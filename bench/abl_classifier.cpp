@@ -1,0 +1,57 @@
+// Ablation: classifier on top of the combined embedding — the paper's RBF
+// SVM vs linear SVM, C4.5 decision tree, and logistic regression. The
+// embedding carries most of the signal; the classifier choice matters less
+// (which supports the paper's "features over classifiers" thesis).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/logreg.hpp"
+#include "util/stopwatch.hpp"
+
+int main() {
+  using namespace dnsembed;
+  const auto config = bench::bench_pipeline_config();
+  bench::print_header("Ablation: classifier over the combined embedding (10-fold CV)",
+                      "paper uses an RBF SVM; alternatives not evaluated there");
+
+  const auto base = core::run_pipeline(config);
+  const auto data = core::make_dataset(base.combined_embedding, base.labels);
+
+  struct Row {
+    const char* name;
+    ml::FoldScorer scorer;
+  };
+  ml::SvmConfig rbf = config.svm;
+  ml::SvmConfig linear = config.svm;
+  linear.kernel = ml::SvmKernel::kLinear;
+  const Row rows[] = {
+      {"SVM rbf (paper)",
+       [&rbf](const ml::Dataset& train, const ml::Dataset& test) {
+         return ml::train_svm(train, rbf).decision_values(test.x);
+       }},
+      {"SVM linear",
+       [&linear](const ml::Dataset& train, const ml::Dataset& test) {
+         return ml::train_svm(train, linear).decision_values(test.x);
+       }},
+      {"C4.5 tree",
+       [](const ml::Dataset& train, const ml::Dataset& test) {
+         return ml::train_tree(train, ml::TreeConfig{}).predict_probas(test.x);
+       }},
+      {"logistic regression",
+       [](const ml::Dataset& train, const ml::Dataset& test) {
+         ml::LogRegConfig lr;
+         lr.epochs = 400;
+         return ml::train_logreg(train, lr).predict_probas(test.x);
+       }},
+  };
+
+  std::printf("%-24s %10s %10s\n", "classifier", "AUC", "time(s)");
+  for (const auto& row : rows) {
+    util::Stopwatch watch;
+    const auto cv = ml::cross_validate(data, config.kfold, config.seed, row.scorer);
+    std::printf("%-24s %10.4f %10.1f\n", row.name, ml::roc_auc(cv.scores, cv.labels),
+                watch.seconds());
+  }
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Ablation: temporal drift (the paper's §8.2 argument). Attackers change
+// tactics mid-trace (every family flips its TTL regime on the shift day;
+// DGA families mint fresh names daily). Both detectors train on domains
+// first seen BEFORE the shift and are evaluated on domains first seen
+// AFTER it:
+//   - Exposure computes each domain's features from that domain's own
+//     activity window (as a deployed scorer must);
+//   - the behavioral pipeline embeds the full graph (it retrains
+//     continuously on the same campus) and scores the new domains.
+// Expectation: the embedding detector transfers; Exposure's TTL/time
+// features mislead it after the regime change.
+#include <cstdio>
+#include <unordered_map>
+
+#include "bench_common.hpp"
+#include "core/behavior.hpp"
+#include "core/detector.hpp"
+#include "features/exposure.hpp"
+#include "intel/labels.hpp"
+#include "ml/decision_tree.hpp"
+#include "trace/generator.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace dnsembed;
+
+/// Tracks each e2LD's first-seen timestamp and feeds period-scoped
+/// Exposure extractors.
+class DriftSink final : public trace::TraceSink {
+ public:
+  DriftSink(std::int64_t split, std::int64_t end)
+      : split_{split}, before_{0, split}, after_{split, end} {}
+
+  void on_dns(const dns::LogEntry& entry) override {
+    const std::string e2ld = psl_.e2ld_or_self(entry.qname);
+    const auto [it, inserted] = first_seen_.emplace(e2ld, entry.timestamp);
+    if (!inserted && entry.timestamp < it->second) it->second = entry.timestamp;
+    (entry.timestamp < split_ ? before_ : after_).observe(entry, e2ld);
+  }
+
+  bool first_seen_before_split(const std::string& e2ld) const {
+    const auto it = first_seen_.find(e2ld);
+    return it != first_seen_.end() && it->second < split_;
+  }
+  bool seen(const std::string& e2ld) const { return first_seen_.contains(e2ld); }
+
+  features::ExposureExtractor& before() noexcept { return before_; }
+  features::ExposureExtractor& after() noexcept { return after_; }
+
+ private:
+  const dns::PublicSuffixList& psl_ = dns::PublicSuffixList::builtin();
+  std::int64_t split_;
+  std::unordered_map<std::string, std::int64_t> first_seen_;
+  features::ExposureExtractor before_;
+  features::ExposureExtractor after_;
+};
+
+}  // namespace
+
+int main() {
+  using namespace dnsembed;
+  auto config = bench::bench_pipeline_config();
+  config.trace.days = 6;
+  config.trace.tactic_shift_day = 3;  // regimes flip at the midpoint
+  const std::int64_t split = 3 * 86400;
+  const std::int64_t end = 6 * 86400;
+
+  bench::print_header(
+      "Ablation: tactic drift (train before the shift, test after)",
+      "section 8.2 narrative: statistical features change over time, behavioral "
+      "similarity does not");
+
+  core::GraphBuilderSink graphs;
+  DriftSink drift{split, end};
+  trace::TeeSink tee{{&graphs, &drift}};
+  util::Stopwatch watch;
+  const auto trace_result = trace::generate_trace(config.trace, tee);
+
+  auto model = core::build_behavior_model(graphs.take_hdbg(), graphs.take_dibg(),
+                                          graphs.take_dtbg(), config.behavior);
+  embed::EmbedConfig ec = config.embedding;
+  ec.dimension = config.embedding_dimension;
+  ec.seed = config.seed;
+  const auto q = embed::embed_graph(model.query_similarity, ec);
+  ec.seed = config.seed + 1;
+  const auto i = embed::embed_graph(model.ip_similarity, ec);
+  ec.seed = config.seed + 2;
+  const auto t = embed::embed_graph(model.temporal_similarity, ec);
+  const auto combined = embed::EmbeddingMatrix::concat(model.kept_domains, {&q, &i, &t});
+
+  const intel::VirusTotalSim vt{trace_result.truth, config.virustotal};
+  const auto labels =
+      build_labeled_set(model.kept_domains, trace_result.truth, vt, config.labeling);
+
+  // Split labeled domains by first-seen day.
+  intel::LabeledSet train_labels;
+  intel::LabeledSet test_labels;
+  for (std::size_t k = 0; k < labels.size(); ++k) {
+    auto& bucket = drift.first_seen_before_split(labels.domains[k]) ? train_labels : test_labels;
+    bucket.domains.push_back(labels.domains[k]);
+    bucket.labels.push_back(labels.labels[k]);
+  }
+  std::printf("labeled: %zu train (pre-shift), %zu test (post-shift; %zu malicious)\n",
+              train_labels.size(), test_labels.size(), test_labels.malicious_count());
+  if (test_labels.malicious_count() < 10 ||
+      test_labels.malicious_count() == test_labels.size()) {
+    std::printf("not enough post-shift domains of both classes; aborting\n");
+    return 1;
+  }
+
+  // --- proposed: embeddings + SVM, trained pre-shift, scored post-shift ---
+  const auto train_data = core::make_dataset(combined, train_labels);
+  const auto test_data = core::make_dataset(combined, test_labels);
+  const auto svm_model = ml::train_svm(train_data, config.svm);
+  const double ours = ml::roc_auc(svm_model.decision_values(test_data.x), test_data.y);
+
+  // --- baseline: Exposure features from each domain's own window ---
+  ml::Dataset exp_train;
+  exp_train.x = drift.before().extract(train_labels.domains);
+  exp_train.y = train_labels.labels;
+  ml::Dataset exp_test;
+  exp_test.x = drift.after().extract(test_labels.domains);
+  exp_test.y = test_labels.labels;
+  const auto tree = ml::train_tree(exp_train, ml::TreeConfig{});
+  const double exposure = ml::roc_auc(tree.predict_probas(exp_test.x), exp_test.y);
+
+  std::printf("\n%-32s %10s\n", "detector", "AUC (post-shift)");
+  std::printf("%-32s %10.4f\n", "behavioral embedding + SVM", ours);
+  std::printf("%-32s %10.4f\n", "Exposure features + C4.5", exposure);
+  std::printf("\ndrift gap: %.3f (paper's same-distribution gap was 0.06; under drift the "
+              "statistical baseline degrades further while the behavioral detector holds)\n",
+              ours - exposure);
+  std::printf("total %.1fs\n", watch.seconds());
+  const bool shape = ours > exposure + 0.02;
+  std::printf("shape check (behavioral >> statistical under drift): %s\n",
+              shape ? "PASS" : "FAIL");
+  return shape ? 0 : 1;
+}

@@ -1,0 +1,46 @@
+// Ablation: SVM kernel and hyper-parameters, including the paper's exact
+// values (RBF, C = 0.09, gamma = 0.06). The paper tuned C/gamma for its
+// feature scale; this sweep documents the sensitivity on ours.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace dnsembed;
+  auto config = bench::bench_pipeline_config();
+  bench::print_header("Ablation: SVM kernel / C / gamma (combined channel, 10-fold CV)",
+                      "paper: RBF kernel, C = 0.09, gamma = 0.06");
+
+  const auto base = core::run_pipeline(config);
+  const auto data = core::make_dataset(base.combined_embedding, base.labels);
+
+  struct Variant {
+    const char* name;
+    ml::SvmKernel kernel;
+    double c;
+    double gamma;
+  };
+  const Variant variants[] = {
+      {"rbf C=0.09 g=0.06 (paper)", ml::SvmKernel::kRbf, 0.09, 0.06},
+      {"rbf C=0.09 g=0.5", ml::SvmKernel::kRbf, 0.09, 0.5},
+      {"rbf C=1    g=0.06", ml::SvmKernel::kRbf, 1.0, 0.06},
+      {"rbf C=1    g=0.5 (ours)", ml::SvmKernel::kRbf, 1.0, 0.5},
+      {"rbf C=10   g=0.5", ml::SvmKernel::kRbf, 10.0, 0.5},
+      {"rbf C=1    g=2", ml::SvmKernel::kRbf, 1.0, 2.0},
+      {"linear C=1", ml::SvmKernel::kLinear, 1.0, 0.0},
+  };
+
+  std::printf("%-28s %10s\n", "kernel / parameters", "AUC");
+  for (const auto& v : variants) {
+    ml::SvmConfig svm = config.svm;
+    svm.kernel = v.kernel;
+    svm.c = v.c;
+    svm.gamma = v.gamma > 0 ? v.gamma : 1.0;  // gamma unused by linear
+    const auto eval = core::evaluate_svm(data, svm, config.kfold, config.seed);
+    std::printf("%-28s %10.4f\n", v.name, eval.auc);
+  }
+  std::printf("\nnote: the paper's C/gamma were tuned for its own feature scale; on our "
+              "96-dim L2-normalized embeddings larger C/gamma fit better (see "
+              "EXPERIMENTS.md).\n");
+  return 0;
+}

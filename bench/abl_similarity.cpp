@@ -1,0 +1,61 @@
+// Ablation: set-similarity measure for the one-mode projections — the
+// paper's Jaccard (Eq. 1-3) vs cosine vs overlap coefficient.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/behavior.hpp"
+#include "trace/generator.hpp"
+#include "util/stopwatch.hpp"
+
+int main() {
+  using namespace dnsembed;
+  const auto config = bench::bench_pipeline_config();
+  bench::print_header("Ablation: projection similarity measure (combined, 10-fold CV)",
+                      "paper uses the Jaccard index for all three graphs");
+
+  core::GraphBuilderSink sink;
+  const auto trace_result = trace::generate_trace(config.trace, sink);
+  const auto hdbg = sink.take_hdbg();
+  const auto dibg = sink.take_dibg();
+  const auto dtbg = sink.take_dtbg();
+  const intel::VirusTotalSim vt{trace_result.truth, config.virustotal};
+
+  struct Variant {
+    const char* name;
+    graph::SimilarityMeasure measure;
+  };
+  const Variant variants[] = {
+      {"jaccard (paper)", graph::SimilarityMeasure::kJaccard},
+      {"cosine", graph::SimilarityMeasure::kCosine},
+      {"overlap", graph::SimilarityMeasure::kOverlap},
+  };
+
+  std::printf("%-18s %12s %10s %10s\n", "measure", "q-edges", "AUC", "time(s)");
+  for (const auto& variant : variants) {
+    util::Stopwatch watch;
+    core::BehaviorModelConfig behavior = config.behavior;
+    behavior.query_projection.measure = variant.measure;
+    behavior.ip_projection.measure = variant.measure;
+    behavior.temporal_projection.measure = variant.measure;
+    auto model = core::build_behavior_model(hdbg, dibg, dtbg, behavior);
+
+    embed::EmbedConfig ec = config.embedding;
+    ec.dimension = config.embedding_dimension;
+    ec.seed = config.seed;
+    const auto q = embed::embed_graph(model.query_similarity, ec);
+    ec.seed = config.seed + 1;
+    const auto i = embed::embed_graph(model.ip_similarity, ec);
+    ec.seed = config.seed + 2;
+    const auto t = embed::embed_graph(model.temporal_similarity, ec);
+    const auto combined = embed::EmbeddingMatrix::concat(model.kept_domains, {&q, &i, &t});
+    const auto labels =
+        build_labeled_set(model.kept_domains, trace_result.truth, vt, config.labeling);
+    const auto eval = core::evaluate_svm(core::make_dataset(combined, labels), config.svm,
+                                         config.kfold, config.seed);
+    std::printf("%-18s %12zu %10.4f %10.1f\n", variant.name,
+                model.query_similarity.edge_count(), eval.auc, watch.seconds());
+  }
+  std::printf("\nnote: overlap saturates at 1 for subset relations, inflating edges between "
+              "popular and niche domains; jaccard/cosine behave similarly here.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Ablation: observation-window length — how much traffic does the system
+// need before detection is reliable? (The paper's intro motivates early
+// detection, "during the very early stage of their operations"; its
+// evaluation uses a one-month window.) The trace generator is
+// prefix-consistent: day d is identical regardless of the configured
+// horizon, so shorter windows are true prefixes of the long one.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/stopwatch.hpp"
+
+int main() {
+  using namespace dnsembed;
+  bench::print_header("Ablation: observation window (days of traffic before detection)",
+                      "paper trains on a full month; early-stage detection is the goal");
+
+  std::printf("%6s %10s %10s %12s %10s %10s\n", "days", "domains", "labeled", "malicious",
+              "AUC", "time(s)");
+  for (const std::size_t days : {1u, 2u, 3u, 5u, 7u}) {
+    auto config = bench::bench_pipeline_config();
+    config.trace.days = days;
+    util::Stopwatch watch;
+    const auto result = core::run_pipeline(config);
+    if (result.labels.malicious_count() < 10 ||
+        result.labels.malicious_count() == result.labels.size()) {
+      std::printf("%6zu  (not enough labeled data)\n", days);
+      continue;
+    }
+    const auto eval = core::evaluate_svm(
+        core::make_dataset(result.combined_embedding, result.labels), config.svm,
+        config.kfold, config.seed);
+    std::printf("%6zu %10zu %10zu %12zu %10.4f %10.1f\n", days,
+                result.model.kept_domains.size(), result.labels.size(),
+                result.labels.malicious_count(), eval.auc, watch.seconds());
+  }
+  std::printf("\nexpectation: AUC is already high after 1-2 days (cohort structure forms "
+              "fast) and saturates with the window, supporting early-stage detection.\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Figure 5: t-SNE visualization of domain embeddings for five randomly
+// selected clusters — strongly associated domains land close together in
+// 2-D. Writes the coordinates to fig5_tsne.csv and prints a separation
+// summary.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "bench_common.hpp"
+#include "core/clustering.hpp"
+#include "ml/kmeans.hpp"
+#include "ml/tsne.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+int main() {
+  using namespace dnsembed;
+  const auto config = bench::bench_pipeline_config();
+  bench::print_header("Figure 5: t-SNE of five random domain clusters",
+                      "clusters form visually separated groups in 2-D");
+
+  util::Stopwatch watch;
+  const auto result = core::run_pipeline(config);
+  const auto clustering = core::cluster_domains(result.combined_embedding,
+                                                result.model.kept_domains,
+                                                result.trace.truth, config.xmeans);
+
+  // Five random clusters with at least 8 members.
+  std::vector<std::size_t> eligible;
+  for (std::size_t c = 0; c < clustering.clusters.size(); ++c) {
+    if (clustering.clusters[c].domains.size() >= 8) eligible.push_back(c);
+  }
+  util::Rng rng{config.seed};
+  rng.shuffle(eligible);
+  eligible.resize(std::min<std::size_t>(5, eligible.size()));
+
+  std::vector<std::string> names;
+  std::vector<std::size_t> cluster_of;
+  for (std::size_t k = 0; k < eligible.size(); ++k) {
+    const auto& cluster = clustering.clusters[eligible[k]];
+    // Cap very large clusters so the exact t-SNE stays fast.
+    const std::size_t take = std::min<std::size_t>(cluster.domains.size(), 60);
+    for (std::size_t i = 0; i < take; ++i) {
+      names.push_back(cluster.domains[i]);
+      cluster_of.push_back(k);
+    }
+  }
+
+  ml::Matrix x{names.size(), result.combined_embedding.dimension()};
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const auto vec = result.combined_embedding.vector_for(names[i]);
+    auto dst = x.row(i);
+    for (std::size_t d = 0; d < vec->size(); ++d) dst[d] = (*vec)[d];
+  }
+
+  ml::TsneConfig tsne_config;
+  tsne_config.perplexity = 15.0;
+  tsne_config.iterations = 400;
+  tsne_config.seed = config.seed;
+  const ml::Matrix y = ml::tsne(x, tsne_config);
+
+  std::ofstream csv{"fig5_tsne.csv"};
+  csv << "domain,cluster,x,y\n";
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    csv << names[i] << ',' << cluster_of[i] << ',' << y.at(i, 0) << ',' << y.at(i, 1) << '\n';
+  }
+
+  // Separation summary: mean intra- vs inter-cluster distance in 2-D.
+  double intra = 0.0;
+  double inter = 0.0;
+  std::size_t ni = 0;
+  std::size_t nx = 0;
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    for (std::size_t j = i + 1; j < names.size(); ++j) {
+      const double d = std::sqrt(ml::squared_l2(y.row(i), y.row(j)));
+      if (cluster_of[i] == cluster_of[j]) {
+        intra += d;
+        ++ni;
+      } else {
+        inter += d;
+        ++nx;
+      }
+    }
+  }
+  intra /= static_cast<double>(std::max<std::size_t>(1, ni));
+  inter /= static_cast<double>(std::max<std::size_t>(1, nx));
+
+  std::printf("embedded %zu domains from %zu clusters in %.1fs total\n", names.size(),
+              eligible.size(), watch.seconds());
+  std::printf("coordinates written to fig5_tsne.csv\n");
+  std::printf("mean intra-cluster 2-D distance: %8.2f\n", intra);
+  std::printf("mean inter-cluster 2-D distance: %8.2f\n", inter);
+  std::printf("separation ratio (inter/intra):  %8.2f\n", inter / intra);
+  const bool shape = inter > 1.5 * intra;
+  std::printf("shape check (clusters visually separated, ratio > 1.5): %s\n",
+              shape ? "PASS" : "FAIL");
+  return shape ? 0 : 1;
+}

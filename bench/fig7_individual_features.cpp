@@ -1,0 +1,32 @@
+// Figure 7: marginal contribution of each feature vector — SVMs trained on
+// the query-behavior, IP-resolving, and temporal embeddings alone, compared
+// with the combined vector (Fig. 6).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "util/stopwatch.hpp"
+
+int main() {
+  using namespace dnsembed;
+  const auto config = bench::bench_pipeline_config();
+  bench::print_header(
+      "Figure 7: AUC per individual feature vector (10-fold CV)",
+      "query 0.89 > IP 0.83 > temporal 0.65; combined 0.94 beats all");
+
+  util::Stopwatch watch;
+  const auto result = core::run_pipeline(config);
+  const auto evals = core::evaluate_channels(result, config);
+  std::printf("\n%-22s %10s %10s\n", "feature vector", "AUC", "paper");
+  std::printf("%-22s %10.4f %10s\n", "query behavioral", evals.query.auc, "0.89");
+  std::printf("%-22s %10.4f %10s\n", "IP resolving", evals.ip.auc, "0.83");
+  std::printf("%-22s %10.4f %10s\n", "temporal", evals.temporal.auc, "0.65");
+  std::printf("%-22s %10.4f %10s\n", "combined (Fig. 6)", evals.combined.auc, "0.94");
+  std::printf("\ntotal %.1fs\n", watch.seconds());
+
+  const bool ordering = evals.query.auc > evals.temporal.auc &&
+                        evals.ip.auc > evals.temporal.auc &&
+                        evals.combined.auc >= evals.query.auc - 0.02;
+  std::printf("shape check (query & IP > temporal, combined >= best): %s\n",
+              ordering ? "PASS" : "FAIL");
+  return ordering ? 0 : 1;
+}

@@ -1,0 +1,73 @@
+// Microbenchmarks: DNS wire codec, e2LD extraction, log parsing.
+#include <benchmark/benchmark.h>
+
+#include "dns/log_io.hpp"
+#include "dns/public_suffix.hpp"
+#include "dns/wire.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dnsembed;
+
+void BM_WireEncode(benchmark::State& state) {
+  const auto query = dns::make_query(1, "www.example.com", dns::QType::kA);
+  dns::Message response = dns::make_response(query, {});
+  for (int i = 0; i < 4; ++i) {
+    dns::ResourceRecord rr;
+    rr.name = "www.example.com";
+    rr.ttl = 300;
+    rr.address = dns::Ipv4{1, 2, 3, static_cast<std::uint8_t>(i)};
+    response.answers.push_back(rr);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::encode(response));
+  }
+}
+BENCHMARK(BM_WireEncode);
+
+void BM_WireDecode(benchmark::State& state) {
+  const auto query = dns::make_query(1, "www.example.com", dns::QType::kA);
+  dns::Message response = dns::make_response(query, {});
+  for (int i = 0; i < 4; ++i) {
+    dns::ResourceRecord rr;
+    rr.name = "www.example.com";
+    rr.ttl = 300;
+    rr.address = dns::Ipv4{1, 2, 3, static_cast<std::uint8_t>(i)};
+    response.answers.push_back(rr);
+  }
+  const auto wire = dns::encode(response);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::decode(wire));
+  }
+}
+BENCHMARK(BM_WireDecode);
+
+void BM_E2ldExtraction(benchmark::State& state) {
+  const auto& psl = dns::PublicSuffixList::builtin();
+  const std::string names[] = {"maps.google.com", "www.bbc.co.uk", "a.b.c.example.com.cn",
+                               "oorfapjflmp.ws", "deep.sub.domain.tree.example.org"};
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(psl.e2ld_or_self(names[i++ % 5]));
+  }
+}
+BENCHMARK(BM_E2ldExtraction);
+
+void BM_LogEntryRoundTrip(benchmark::State& state) {
+  dns::LogEntry entry;
+  entry.timestamp = 1234567;
+  entry.host = "dev-1042";
+  entry.qname = "www.example.com";
+  entry.ttl = 300;
+  entry.addresses = {dns::Ipv4{1, 2, 3, 4}, dns::Ipv4{5, 6, 7, 8}};
+  entry.cnames = {"edge.cdn.net"};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dns::parse_log_entry(dns::format_log_entry(entry)));
+  }
+}
+BENCHMARK(BM_LogEntryRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

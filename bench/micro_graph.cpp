@@ -1,0 +1,56 @@
+// Microbenchmarks: bipartite graph construction and one-mode Jaccard
+// projection at several scales.
+#include <benchmark/benchmark.h>
+
+#include "graph/bipartite.hpp"
+#include "graph/projection.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace dnsembed;
+
+graph::BipartiteGraph random_bipartite(std::size_t hosts, std::size_t domains,
+                                       std::size_t edges, std::uint64_t seed) {
+  util::Rng rng{seed};
+  graph::BipartiteGraph g;
+  for (std::size_t e = 0; e < edges; ++e) {
+    g.add_edge("h" + std::to_string(rng.uniform_index(hosts)),
+               "d" + std::to_string(rng.uniform_index(domains)));
+  }
+  g.finalize();
+  return g;
+}
+
+void BM_BipartiteBuild(benchmark::State& state) {
+  const auto edges = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(random_bipartite(200, 1000, edges, 1));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(edges));
+}
+BENCHMARK(BM_BipartiteBuild)->Arg(10000)->Arg(100000);
+
+void BM_ProjectRight(benchmark::State& state) {
+  const auto edges = static_cast<std::size_t>(state.range(0));
+  const auto g = random_bipartite(200, 1000, edges, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::project_right(g));
+  }
+}
+BENCHMARK(BM_ProjectRight)->Arg(10000)->Arg(50000);
+
+void BM_ProjectRightThresholded(benchmark::State& state) {
+  const auto g = random_bipartite(200, 1000, 50000, 3);
+  graph::ProjectionOptions options;
+  options.min_similarity = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::project_right(g, options));
+  }
+}
+BENCHMARK(BM_ProjectRightThresholded);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// DGA hunting scenario (paper §7): cluster domain embeddings with X-Means,
+// surface DGA-looking clusters, expand a small seed of confirmed malicious
+// domains into whole campaigns, and cross-check against the VirusTotal
+// oracle — the workflow of a threat hunter growing a blocklist.
+#include <algorithm>
+#include <cstdio>
+
+#include "core/clustering.hpp"
+#include "core/pipeline.hpp"
+#include "intel/seed_expansion.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace dnsembed;
+  core::PipelineConfig config;
+  config.trace.hosts = 200;
+  config.trace.days = 4;
+  config.trace.benign_sites = 1000;
+  config.trace.malware_families = 8;
+  config.embedding_dimension = 24;
+  config.embedding.line.total_samples = 2'000'000;
+  config.xmeans.k_min = 8;
+  config.xmeans.k_max = 64;
+
+  const auto result = core::run_pipeline(config);
+  const auto clustering = core::cluster_domains(result.combined_embedding,
+                                                result.model.kept_domains,
+                                                result.trace.truth, config.xmeans);
+  std::printf("X-Means found %zu clusters over %zu domains\n\n", clustering.k,
+              result.model.kept_domains.size());
+
+  // Heuristic DGA spotting: clusters whose names have high mean entropy.
+  std::printf("clusters ranked by mean name entropy (DGA candidates first):\n");
+  std::vector<std::pair<double, const core::DomainCluster*>> by_entropy;
+  for (const auto& cluster : clustering.clusters) {
+    if (cluster.domains.size() < 5) continue;
+    double entropy = 0.0;
+    for (const auto& d : cluster.domains) entropy += util::shannon_entropy(d);
+    by_entropy.emplace_back(entropy / static_cast<double>(cluster.domains.size()), &cluster);
+  }
+  std::sort(by_entropy.rbegin(), by_entropy.rend());
+  for (std::size_t k = 0; k < std::min<std::size_t>(5, by_entropy.size()); ++k) {
+    const auto& [entropy, cluster] = by_entropy[k];
+    std::printf("  entropy %.2f  #%zu (%zu domains, %.0f%% malicious, %s)  e.g. %s\n",
+                entropy, cluster->id, cluster->domains.size(),
+                cluster->malicious_fraction() * 100.0,
+                cluster->dominant_family.empty() ? "unknown" : cluster->dominant_family.c_str(),
+                cluster->domains.front().c_str());
+  }
+
+  // Seed expansion: grow a blocklist from 10 confirmed malicious domains.
+  const intel::VirusTotalSim vt{result.trace.truth, config.virustotal};
+  const auto curve = intel::seed_expansion_curve(result.model.kept_domains,
+                                                 clustering.assignment, vt, {10}, 1);
+  std::printf("\nfrom 10 seed domains the cluster expansion discovers %zu confirmed and "
+              "%zu suspicious domains.\n",
+              curve[0].true_discovered, curve[0].suspicious);
+
+  const std::size_t expanded_total = curve[0].true_discovered + curve[0].suspicious;
+  std::printf("expansion multiplies the analyst's blocklist by %.0fx in one step.\n",
+              static_cast<double>(expanded_total) / 10.0);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Low-level DNS tooling demo: craft queries/responses with the wire codec,
+// inspect compression savings, parse hostile input safely, and extract
+// e2LDs with the public-suffix rules — the substrate under the collector.
+#include <cstdio>
+#include <string>
+
+#include "dns/public_suffix.hpp"
+#include "dns/wire.hpp"
+
+int main() {
+  using namespace dnsembed;
+
+  // 1. Craft a query and its response.
+  const dns::Message query = dns::make_query(0xBEEF, "www.example.co.uk", dns::QType::kA);
+  dns::Message response = dns::make_response(query, {});
+  for (int i = 0; i < 3; ++i) {
+    dns::ResourceRecord rr;
+    rr.name = "www.example.co.uk";
+    rr.type = dns::QType::kA;
+    rr.ttl = 120;
+    rr.address = dns::Ipv4{93, 184, 216, static_cast<std::uint8_t>(34 + i)};
+    response.answers.push_back(rr);
+  }
+  dns::ResourceRecord ns;
+  ns.name = "example.co.uk";
+  ns.type = dns::QType::kNs;
+  ns.ttl = 86400;
+  ns.target = "ns1.example.co.uk";
+  response.authority.push_back(ns);
+
+  const auto wire = dns::encode(response);
+  std::printf("encoded response: %zu bytes (name compression active)\n", wire.size());
+
+  // 2. Decode and print.
+  const auto decoded = dns::decode(wire);
+  if (!decoded) {
+    std::printf("decode failed!\n");
+    return 1;
+  }
+  std::printf("id=0x%04X qr=%d rcode=%u answers=%zu authority=%zu\n", decoded->id,
+              decoded->is_response, static_cast<unsigned>(decoded->rcode),
+              decoded->answers.size(), decoded->authority.size());
+  for (const auto& rr : decoded->answers) {
+    std::printf("  %s %s ttl=%u -> %s\n", rr.name.c_str(),
+                std::string{dns::qtype_name(rr.type)}.c_str(), rr.ttl,
+                rr.address.to_string().c_str());
+  }
+
+  // 3. Hostile input: truncations and compression loops must fail cleanly.
+  std::size_t rejected = 0;
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    std::vector<std::uint8_t> damaged{wire.begin(), wire.begin() + static_cast<long>(cut)};
+    if (!dns::decode(damaged)) ++rejected;
+  }
+  std::printf("fuzzed %zu truncations, %zu rejected, 0 crashes\n", wire.size(), rejected);
+
+  // 4. e2LD extraction on tricky names.
+  const auto& psl = dns::PublicSuffixList::builtin();
+  for (const char* name : {"maps.google.com", "www.bbc.co.uk", "a.b.sina.com.cn",
+                           "www.bbc.uk.co", "oorfapjflmp.ws", "weird.name.zzzz"}) {
+    std::printf("e2LD(%-20s) = %s\n", name, psl.e2ld_or_self(name).c_str());
+  }
+  return 0;
+}

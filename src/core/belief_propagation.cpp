@@ -1,0 +1,154 @@
+#include "core/belief_propagation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dnsembed::core {
+
+namespace {
+
+struct Message {
+  double benign = 0.5;
+  double malicious = 0.5;
+};
+
+void normalize(Message& m) {
+  const double total = m.benign + m.malicious;
+  if (total <= 0.0) {
+    m.benign = m.malicious = 0.5;
+    return;
+  }
+  m.benign /= total;
+  m.malicious /= total;
+}
+
+}  // namespace
+
+std::vector<double> bp_domain_beliefs(const graph::BipartiteGraph& hdbg,
+                                      const std::unordered_map<std::string, int>& seed_labels,
+                                      const BeliefPropagationConfig& config) {
+  if (config.homophily <= 0.0 || config.homophily >= 1.0) {
+    throw std::invalid_argument{"bp: homophily must be in (0,1)"};
+  }
+  if (config.seed_malicious_prior <= 0.0 || config.seed_malicious_prior >= 1.0 ||
+      config.seed_benign_prior <= 0.0 || config.seed_benign_prior >= 1.0) {
+    throw std::invalid_argument{"bp: priors must be in (0,1)"};
+  }
+
+  const std::size_t hosts = hdbg.left_count();
+  const std::size_t domains = hdbg.right_count();
+
+  // Node priors: phi(malicious).
+  std::vector<double> domain_prior(domains, config.unknown_prior);
+  for (graph::VertexId d = 0; d < domains; ++d) {
+    const auto it = seed_labels.find(hdbg.right_names().name(d));
+    if (it != seed_labels.end()) {
+      domain_prior[d] = it->second == 1 ? config.seed_malicious_prior
+                                        : config.seed_benign_prior;
+    }
+  }
+  const std::vector<double> host_prior(hosts, config.unknown_prior);
+
+  // Messages live on directed edges. Index edges per side by walking the
+  // adjacency in a fixed order; host->domain and domain->host stores.
+  // For each host h, messages to each neighbor domain; and vice versa.
+  std::vector<std::vector<Message>> host_to_domain(hosts);
+  std::vector<std::vector<Message>> domain_to_host(domains);
+  for (graph::VertexId h = 0; h < hosts; ++h) {
+    host_to_domain[h].resize(hdbg.left_neighbors(h).size());
+  }
+  for (graph::VertexId d = 0; d < domains; ++d) {
+    domain_to_host[d].resize(hdbg.right_neighbors(d).size());
+  }
+
+  // Fast lookup of the slot of neighbor v in u's adjacency (sorted lists).
+  const auto slot_of = [](std::span<const graph::VertexId> neighbors, graph::VertexId v) {
+    const auto it = std::lower_bound(neighbors.begin(), neighbors.end(), v);
+    return static_cast<std::size_t>(it - neighbors.begin());
+  };
+
+  const double same = config.homophily;
+  const double diff = 1.0 - config.homophily;
+
+  for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+    // Host -> domain messages (synchronous, computed from the previous
+    // domain -> host messages).
+    std::vector<std::vector<Message>> new_h2d = host_to_domain;
+    for (graph::VertexId h = 0; h < hosts; ++h) {
+      const auto neighbors = hdbg.left_neighbors(h);
+      for (std::size_t k = 0; k < neighbors.size(); ++k) {
+        // Product of incoming messages from all OTHER domains.
+        double in_benign = 1.0 - host_prior[h];
+        double in_malicious = host_prior[h];
+        for (std::size_t j = 0; j < neighbors.size(); ++j) {
+          if (j == k) continue;
+          const graph::VertexId d = neighbors[j];
+          const auto& m = domain_to_host[d][slot_of(hdbg.right_neighbors(d), h)];
+          in_benign *= m.benign;
+          in_malicious *= m.malicious;
+          // Rescale to dodge underflow on high-degree hosts.
+          const double scale = in_benign + in_malicious;
+          if (scale > 0.0 && scale < 1e-100) {
+            in_benign /= scale;
+            in_malicious /= scale;
+          }
+        }
+        Message out;
+        out.benign = same * in_benign + diff * in_malicious;
+        out.malicious = diff * in_benign + same * in_malicious;
+        normalize(out);
+        new_h2d[h][k] = out;
+      }
+    }
+    // Domain -> host messages.
+    std::vector<std::vector<Message>> new_d2h = domain_to_host;
+    for (graph::VertexId d = 0; d < domains; ++d) {
+      const auto neighbors = hdbg.right_neighbors(d);
+      for (std::size_t k = 0; k < neighbors.size(); ++k) {
+        double in_benign = 1.0 - domain_prior[d];
+        double in_malicious = domain_prior[d];
+        for (std::size_t j = 0; j < neighbors.size(); ++j) {
+          if (j == k) continue;
+          const graph::VertexId h = neighbors[j];
+          const auto& m = host_to_domain[h][slot_of(hdbg.left_neighbors(h), d)];
+          in_benign *= m.benign;
+          in_malicious *= m.malicious;
+          const double scale = in_benign + in_malicious;
+          if (scale > 0.0 && scale < 1e-100) {
+            in_benign /= scale;
+            in_malicious /= scale;
+          }
+        }
+        Message out;
+        out.benign = same * in_benign + diff * in_malicious;
+        out.malicious = diff * in_benign + same * in_malicious;
+        normalize(out);
+        new_d2h[d][k] = out;
+      }
+    }
+    host_to_domain = std::move(new_h2d);
+    domain_to_host = std::move(new_d2h);
+  }
+
+  // Final domain beliefs.
+  std::vector<double> beliefs(domains, config.unknown_prior);
+  for (graph::VertexId d = 0; d < domains; ++d) {
+    double benign = 1.0 - domain_prior[d];
+    double malicious = domain_prior[d];
+    for (const graph::VertexId h : hdbg.right_neighbors(d)) {
+      const auto& m = host_to_domain[h][slot_of(hdbg.left_neighbors(h), d)];
+      benign *= m.benign;
+      malicious *= m.malicious;
+      const double scale = benign + malicious;
+      if (scale > 0.0 && scale < 1e-100) {
+        benign /= scale;
+        malicious /= scale;
+      }
+    }
+    const double total = benign + malicious;
+    beliefs[d] = total > 0.0 ? malicious / total : config.unknown_prior;
+  }
+  return beliefs;
+}
+
+}  // namespace dnsembed::core

@@ -1,0 +1,85 @@
+#include "core/clustering.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace dnsembed::core {
+
+ClusteringResult cluster_domains(const embed::EmbeddingMatrix& embedding,
+                                 const std::vector<std::string>& domains,
+                                 const trace::GroundTruth& truth,
+                                 const ml::XMeansConfig& config) {
+  ml::Matrix x{domains.size(), embedding.dimension()};
+  for (std::size_t i = 0; i < domains.size(); ++i) {
+    if (const auto vec = embedding.vector_for(domains[i])) {
+      auto dst = x.row(i);
+      for (std::size_t d = 0; d < vec->size(); ++d) dst[d] = (*vec)[d];
+    }
+  }
+  const ml::XMeansResult xm = ml::xmeans(x, config);
+
+  ClusteringResult result;
+  result.assignment = xm.assignment;
+  result.k = xm.k;
+  result.clusters.resize(xm.k);
+  for (std::size_t c = 0; c < xm.k; ++c) result.clusters[c].id = c;
+  for (std::size_t i = 0; i < domains.size(); ++i) {
+    result.clusters[xm.assignment[i]].domains.push_back(domains[i]);
+  }
+  for (auto& cluster : result.clusters) {
+    std::map<std::string, std::size_t> family_counts;
+    for (const auto& domain : cluster.domains) {
+      if (const auto family = truth.family_of(domain)) {
+        ++cluster.malicious;
+        ++family_counts[truth.families()[*family].name];
+      }
+    }
+    for (const auto& [name, count] : family_counts) {
+      if (count > cluster.dominant_family_count) {
+        cluster.dominant_family = name;
+        cluster.dominant_family_count = count;
+      }
+    }
+  }
+  std::sort(result.clusters.begin(), result.clusters.end(),
+            [](const DomainCluster& a, const DomainCluster& b) {
+              if (a.malicious_fraction() != b.malicious_fraction()) {
+                return a.malicious_fraction() > b.malicious_fraction();
+              }
+              return a.malicious > b.malicious;
+            });
+  return result;
+}
+
+ClusterTrafficPattern traffic_pattern_for(const DomainCluster& cluster,
+                                          const trace::GroundTruth& truth,
+                                          const std::vector<trace::NetflowRecord>& flows) {
+  // The cluster's serving IPs: union of the pools of families owning its
+  // malicious members (netflow records carry IPs, not domains).
+  std::unordered_set<std::uint32_t> server_ips;
+  for (const auto& domain : cluster.domains) {
+    if (const auto family = truth.family_of(domain)) {
+      for (const auto& ip : truth.families()[*family].ips) server_ips.insert(ip.value());
+    }
+  }
+  ClusterTrafficPattern pattern;
+  pattern.cluster_id = cluster.id;
+  std::unordered_set<std::string> hosts;
+  std::unordered_set<std::uint16_t> ports;
+  std::unordered_set<std::uint32_t> seen_ips;
+  for (const auto& flow : flows) {
+    if (!server_ips.contains(flow.dst_ip.value())) continue;
+    ++pattern.flows;
+    hosts.insert(flow.host);
+    ports.insert(flow.dst_port);
+    seen_ips.insert(flow.dst_ip.value());
+  }
+  pattern.distinct_hosts = hosts.size();
+  for (const auto ip : seen_ips) pattern.server_ips.push_back(dns::Ipv4{ip}.to_string());
+  std::sort(pattern.server_ips.begin(), pattern.server_ips.end());
+  pattern.ports.assign(ports.begin(), ports.end());
+  std::sort(pattern.ports.begin(), pattern.ports.end());
+  return pattern;
+}
+
+}  // namespace dnsembed::core

@@ -1,0 +1,58 @@
+// Cluster mining (paper §7): X-Means over domain embeddings, per-cluster
+// family analysis (Tables 1-2), and netflow traffic-pattern correlation for
+// malicious clusters (§7.2.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "embed/embedding.hpp"
+#include "ml/xmeans.hpp"
+#include "trace/ground_truth.hpp"
+#include "trace/sink.hpp"
+
+namespace dnsembed::core {
+
+struct DomainCluster {
+  std::size_t id = 0;
+  std::vector<std::string> domains;
+  std::size_t malicious = 0;               // ground-truth malicious members
+  std::string dominant_family;             // family name with most members ("" if none)
+  std::size_t dominant_family_count = 0;
+  double malicious_fraction() const noexcept {
+    return domains.empty() ? 0.0
+                           : static_cast<double>(malicious) / static_cast<double>(domains.size());
+  }
+};
+
+struct ClusteringResult {
+  std::vector<DomainCluster> clusters;     // ordered by descending malicious fraction
+  std::vector<std::size_t> assignment;     // aligned with the input domain list
+  std::size_t k = 0;
+};
+
+/// X-Means over the embedding rows of `domains` (Euclidean distance on the
+/// embedding vectors, as in the paper).
+ClusteringResult cluster_domains(const embed::EmbeddingMatrix& embedding,
+                                 const std::vector<std::string>& domains,
+                                 const trace::GroundTruth& truth,
+                                 const ml::XMeansConfig& config);
+
+/// §7.2.2: join a malicious cluster against netflow — which server IPs,
+/// which destination ports, and how many distinct campus hosts.
+struct ClusterTrafficPattern {
+  std::size_t cluster_id = 0;
+  std::vector<std::string> server_ips;     // flow destinations serving the cluster's domains
+  std::vector<std::uint16_t> ports;
+  std::size_t distinct_hosts = 0;
+  std::size_t flows = 0;
+};
+
+ClusterTrafficPattern traffic_pattern_for(const DomainCluster& cluster,
+                                          const trace::GroundTruth& truth,
+                                          const std::vector<trace::NetflowRecord>& flows);
+
+}  // namespace dnsembed::core

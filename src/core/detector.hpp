@@ -1,0 +1,72 @@
+// Supervised detection (paper §6, §8.1): turn domain embeddings plus a
+// labeled set into an SVM training problem, evaluate with stratified k-fold
+// cross-validation, and report the ROC/AUC.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "embed/embedding.hpp"
+#include "intel/labels.hpp"
+#include "ml/calibration.hpp"
+#include "ml/crossval.hpp"
+#include "ml/dataset.hpp"
+#include "ml/metrics.hpp"
+#include "ml/svm.hpp"
+
+namespace dnsembed::core {
+
+/// Assemble the feature matrix for the labeled domains from an embedding
+/// (domains missing from the embedding get zero rows — they exist in the
+/// trace but had no similarity edges).
+ml::Dataset make_dataset(const embed::EmbeddingMatrix& embedding,
+                         const intel::LabeledSet& labels);
+
+struct DetectionEvaluation {
+  std::vector<ml::RocPoint> roc;
+  double auc = 0.0;
+  ml::ConfusionMatrix confusion_at_zero;  // threshold 0 on the SVM margin
+  std::size_t folds = 0;
+  ml::CrossValScores scores;              // out-of-fold decision values
+};
+
+/// k-fold cross-validated SVM evaluation (paper: k = 10, RBF, C = 0.09,
+/// gamma = 0.06).
+DetectionEvaluation evaluate_svm(const ml::Dataset& data, const ml::SvmConfig& svm,
+                                 std::size_t folds, std::uint64_t seed);
+
+/// Train on the full labeled set and score arbitrary domains (deployment
+/// mode: classify new domains seen in the same network).
+class DomainDetector {
+ public:
+  DomainDetector(const embed::EmbeddingMatrix& embedding, const intel::LabeledSet& labels,
+                 const ml::SvmConfig& svm);
+
+  /// SVM decision value for a domain (positive = malicious side). Domains
+  /// missing from the embedding score at the zero-vector point — check
+  /// knows() to distinguish "benign-looking" from "never observed".
+  double score(const std::string& domain) const;
+  bool is_malicious(const std::string& domain, double threshold = 0.0) const;
+
+  /// True when the domain has an embedding row (was seen in the modeled
+  /// traffic and survived pruning).
+  bool knows(const std::string& domain) const;
+
+  /// Fit a Platt scaler on OUT-OF-FOLD scores of the training labels so
+  /// probability() is available. `folds`-fold CV inside the labeled set.
+  void calibrate(const intel::LabeledSet& labels, std::size_t folds = 5,
+                 std::uint64_t seed = 1);
+  bool calibrated() const noexcept { return scaler_.fitted(); }
+
+  /// Calibrated P(malicious); requires calibrate() first.
+  double probability(const std::string& domain) const;
+
+ private:
+  const embed::EmbeddingMatrix* embedding_;
+  ml::SvmModel model_;
+  ml::SvmConfig svm_config_;
+  ml::PlattScaler scaler_;
+};
+
+}  // namespace dnsembed::core

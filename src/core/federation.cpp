@@ -1,0 +1,134 @@
+#include "core/federation.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+#include <unordered_map>
+
+namespace dnsembed::core {
+
+namespace {
+
+/// Union-find over cluster nodes.
+class DisjointSet {
+ public:
+  explicit DisjointSet(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+CampusReport make_campus_report(
+    std::string campus_name, const ClusteringResult& clustering,
+    const std::vector<std::string>& domains, const graph::BipartiteGraph& dibg,
+    const std::function<bool(const std::string&)>& is_suspicious,
+    double min_suspicious_fraction) {
+  (void)domains;  // clusters already carry their member domains
+  CampusReport report;
+  report.campus = std::move(campus_name);
+  for (const auto& cluster : clustering.clusters) {
+    if (cluster.domains.empty()) continue;
+    std::size_t suspicious = 0;
+    for (const auto& d : cluster.domains) suspicious += is_suspicious(d) ? 1 : 0;
+    const double fraction =
+        static_cast<double>(suspicious) / static_cast<double>(cluster.domains.size());
+    if (fraction < min_suspicious_fraction) continue;
+
+    SharedCluster shared;
+    shared.cluster_id = cluster.id;
+    shared.domains = cluster.domains;
+    std::set<std::string> ips;
+    for (const auto& d : cluster.domains) {
+      if (const auto id = dibg.right_names().find(d)) {
+        for (const auto ip : dibg.right_neighbors(*id)) {
+          ips.insert(dibg.left_names().name(ip));
+        }
+      }
+    }
+    shared.server_ips.assign(ips.begin(), ips.end());
+    report.clusters.push_back(std::move(shared));
+  }
+  return report;
+}
+
+std::vector<Campaign> correlate_campuses(const std::vector<CampusReport>& reports,
+                                         std::size_t min_campuses) {
+  // Flatten clusters; remember owners.
+  struct Node {
+    const CampusReport* report;
+    const SharedCluster* cluster;
+  };
+  std::vector<Node> nodes;
+  for (const auto& report : reports) {
+    for (const auto& cluster : report.clusters) nodes.push_back({&report, &cluster});
+  }
+  DisjointSet dsu{nodes.size()};
+
+  // Unite on shared domains and shared IPs.
+  std::unordered_map<std::string, std::size_t> first_with_domain;
+  std::unordered_map<std::string, std::size_t> first_with_ip;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (const auto& d : nodes[i].cluster->domains) {
+      const auto [it, inserted] = first_with_domain.emplace(d, i);
+      if (!inserted) dsu.unite(i, it->second);
+    }
+    for (const auto& ip : nodes[i].cluster->server_ips) {
+      const auto [it, inserted] = first_with_ip.emplace(ip, i);
+      if (!inserted) dsu.unite(i, it->second);
+    }
+  }
+
+  // Gather components.
+  std::map<std::size_t, std::vector<std::size_t>> components;
+  for (std::size_t i = 0; i < nodes.size(); ++i) components[dsu.find(i)].push_back(i);
+
+  std::vector<Campaign> campaigns;
+  for (const auto& [root, members] : components) {
+    std::set<std::string> campuses;
+    std::map<std::string, std::set<std::string>> domain_campuses;
+    std::map<std::string, std::set<std::string>> ip_campuses;
+    for (const std::size_t i : members) {
+      campuses.insert(nodes[i].report->campus);
+      for (const auto& d : nodes[i].cluster->domains) {
+        domain_campuses[d].insert(nodes[i].report->campus);
+      }
+      for (const auto& ip : nodes[i].cluster->server_ips) {
+        ip_campuses[ip].insert(nodes[i].report->campus);
+      }
+    }
+    if (campuses.size() < min_campuses) continue;
+
+    Campaign campaign;
+    campaign.campuses.assign(campuses.begin(), campuses.end());
+    for (const auto& [d, seen_by] : domain_campuses) {
+      campaign.domains.push_back(d);
+      if (seen_by.size() >= 2) campaign.shared_domains.push_back(d);
+    }
+    for (const auto& [ip, seen_by] : ip_campuses) {
+      if (seen_by.size() >= 2) campaign.shared_ips.push_back(ip);
+    }
+    campaigns.push_back(std::move(campaign));
+  }
+  std::sort(campaigns.begin(), campaigns.end(), [](const Campaign& a, const Campaign& b) {
+    if (a.campuses.size() != b.campuses.size()) return a.campuses.size() > b.campuses.size();
+    return a.domains.size() > b.domains.size();
+  });
+  return campaigns;
+}
+
+}  // namespace dnsembed::core

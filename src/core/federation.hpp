@@ -1,0 +1,61 @@
+// Cross-network campaign mining — the paper's future-work section: deploy
+// the detector on several campuses and correlate their malicious clusters
+// to surface large-scale attack campaigns (same domains or same serving
+// infrastructure observed from independent vantage points).
+//
+// Each campus shares a compact CampusReport (suspicious clusters with their
+// member domains and observed serving IPs — no raw logs, no host ids).
+// correlate_campuses() unions clusters that share a domain or an IP and
+// reports every campaign seen from two or more campuses.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/behavior.hpp"
+#include "core/clustering.hpp"
+
+namespace dnsembed::core {
+
+/// One suspicious cluster as shared by a campus.
+struct SharedCluster {
+  std::size_t cluster_id = 0;
+  std::vector<std::string> domains;
+  std::vector<std::string> server_ips;  // dotted-quad strings
+};
+
+/// What a campus exports to the federation.
+struct CampusReport {
+  std::string campus;
+  std::vector<SharedCluster> clusters;
+};
+
+/// Build a report from local clustering results: clusters whose malicious
+/// fraction (by local detector verdicts in `is_suspicious`) reaches
+/// `min_suspicious_fraction` are shared, with serving IPs read from the
+/// campus's IP-domain bipartite graph.
+///
+/// `is_suspicious(domain)` is the campus's local verdict (detector score or
+/// ground truth in tests).
+CampusReport make_campus_report(
+    std::string campus_name, const ClusteringResult& clustering,
+    const std::vector<std::string>& domains, const graph::BipartiteGraph& dibg,
+    const std::function<bool(const std::string&)>& is_suspicious,
+    double min_suspicious_fraction = 0.5);
+
+/// One cross-campus campaign: a connected component of shared clusters.
+struct Campaign {
+  std::vector<std::string> campuses;       // sorted, unique
+  std::vector<std::string> domains;        // union, sorted
+  std::vector<std::string> shared_domains; // seen from >= 2 campuses
+  std::vector<std::string> shared_ips;     // seen from >= 2 campuses
+};
+
+/// Union clusters across reports on shared domains/IPs; return campaigns
+/// spanning at least `min_campuses` networks, largest first.
+std::vector<Campaign> correlate_campuses(const std::vector<CampusReport>& reports,
+                                         std::size_t min_campuses = 2);
+
+}  // namespace dnsembed::core

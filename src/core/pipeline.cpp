@@ -1,0 +1,87 @@
+#include "core/pipeline.hpp"
+
+#include "util/log.hpp"
+#include "util/stopwatch.hpp"
+
+namespace dnsembed::core {
+
+namespace {
+
+/// Collects flows only (DNS events go to the graph builder).
+class FlowStore final : public trace::TraceSink {
+ public:
+  void on_dns(const dns::LogEntry&) override {}
+  void on_flow(const trace::NetflowRecord& record) override { flows_.push_back(record); }
+
+  std::vector<trace::NetflowRecord> take() && { return std::move(flows_); }
+
+ private:
+  std::vector<trace::NetflowRecord> flows_;
+};
+
+}  // namespace
+
+PipelineResult run_pipeline(const PipelineConfig& config) {
+  util::Stopwatch watch;
+  PipelineResult result;
+
+  GraphBuilderSink graphs;
+  FlowStore flow_store;
+  {
+    std::vector<trace::TraceSink*> sinks{&graphs};
+    if (config.keep_flows) sinks.push_back(&flow_store);
+    trace::TeeSink tee{sinks};
+    result.trace = trace::generate_trace(config.trace, tee);
+  }
+  util::log_info() << "pipeline: trace " << result.trace.dns_events << " dns events in "
+                   << watch.seconds() << "s";
+  if (config.keep_flows) result.flows = std::move(flow_store).take();
+
+  watch.reset();
+  result.model = build_behavior_model(graphs.take_hdbg(), graphs.take_dibg(),
+                                      graphs.take_dtbg(), config.behavior);
+  util::log_info() << "pipeline: behavior model (" << result.model.kept_domains.size()
+                   << " domains; q/i/t edges " << result.model.query_similarity.edge_count()
+                   << "/" << result.model.ip_similarity.edge_count() << "/"
+                   << result.model.temporal_similarity.edge_count() << ") in "
+                   << watch.seconds() << "s";
+
+  watch.reset();
+  embed::EmbedConfig embed_config = config.embedding;
+  embed_config.dimension = config.embedding_dimension;
+  embed_config.seed = config.seed;
+  result.query_embedding = embed::embed_graph(result.model.query_similarity, embed_config);
+  embed_config.seed = config.seed + 1;
+  result.ip_embedding = embed::embed_graph(result.model.ip_similarity, embed_config);
+  embed_config.seed = config.seed + 2;
+  result.temporal_embedding =
+      embed::embed_graph(result.model.temporal_similarity, embed_config);
+  result.combined_embedding = embed::EmbeddingMatrix::concat(
+      result.model.kept_domains,
+      {&result.query_embedding, &result.ip_embedding, &result.temporal_embedding});
+  util::log_info() << "pipeline: embeddings (3x" << config.embedding_dimension << ") in "
+                   << watch.seconds() << "s";
+
+  const intel::VirusTotalSim vt{result.trace.truth, config.virustotal};
+  result.labels =
+      build_labeled_set(result.model.kept_domains, result.trace.truth, vt, config.labeling);
+  util::log_info() << "pipeline: labeled set " << result.labels.size() << " ("
+                   << result.labels.malicious_count() << " malicious)";
+  return result;
+}
+
+ChannelEvaluations evaluate_channels(const PipelineResult& result,
+                                     const PipelineConfig& config) {
+  ChannelEvaluations evals;
+  const auto run = [&](const embed::EmbeddingMatrix& embedding) {
+    return evaluate_svm(make_dataset(embedding, result.labels), config.svm, config.kfold,
+                        config.seed);
+  };
+  evals.query = run(result.query_embedding);
+  evals.ip = run(result.ip_embedding);
+  evals.temporal = run(result.temporal_embedding);
+  evals.combined = run(result.combined_embedding);
+  return evals;
+}
+
+}  // namespace dnsembed::core

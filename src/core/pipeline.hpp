@@ -1,0 +1,79 @@
+// End-to-end pipeline façade (paper Fig. 2): trace -> bipartite graphs ->
+// pruning -> one-mode projections -> graph embeddings -> labeled set ->
+// SVM detection / X-Means mining. Benches and examples drive experiments
+// through this type.
+#pragma once
+
+#include <cstdint>
+
+#include "core/behavior.hpp"
+#include "core/detector.hpp"
+#include "embed/embedder.hpp"
+#include "intel/labels.hpp"
+#include "intel/virustotal.hpp"
+#include "ml/svm.hpp"
+#include "ml/xmeans.hpp"
+#include "trace/config.hpp"
+#include "trace/generator.hpp"
+
+namespace dnsembed::core {
+
+struct PipelineConfig {
+  trace::TraceConfig trace;
+  BehaviorModelConfig behavior;
+
+  /// Embedding size k per similarity graph; the combined vector is 3k
+  /// (paper §6.1).
+  std::size_t embedding_dimension = 32;
+  embed::EmbedConfig embedding;  // method + method knobs; dimension/seed overridden
+
+  intel::VirusTotalConfig virustotal;
+  intel::LabelingConfig labeling;
+
+  ml::SvmConfig svm;     // paper defaults: RBF, C = 0.09, gamma = 0.06
+  std::size_t kfold = 10;
+
+  ml::XMeansConfig xmeans;
+
+  /// Retain netflow records for cluster traffic analysis (§7.2.2).
+  bool keep_flows = true;
+
+  std::uint64_t seed = 1;
+
+  PipelineConfig() {
+    // Budget LINE by total samples, not per-edge: similarity graphs can
+    // have millions of edges.
+    embedding.line.total_samples = 6'000'000;
+    embedding.line.threads = 4;
+    xmeans.k_min = 4;
+    xmeans.k_max = 48;
+  }
+};
+
+struct PipelineResult {
+  trace::TraceResult trace;
+  BehaviorModel model;
+  embed::EmbeddingMatrix query_embedding;
+  embed::EmbeddingMatrix ip_embedding;
+  embed::EmbeddingMatrix temporal_embedding;
+  embed::EmbeddingMatrix combined_embedding;  // R^{3k}, rows = kept_domains
+  intel::LabeledSet labels;
+  std::vector<trace::NetflowRecord> flows;
+};
+
+/// Run trace generation through embedding + labeling. Detection and
+/// clustering are separate calls (they are the per-experiment variables).
+PipelineResult run_pipeline(const PipelineConfig& config);
+
+/// Convenience: evaluate the SVM on each feature channel and the combined
+/// vector (Figs. 6-7).
+struct ChannelEvaluations {
+  DetectionEvaluation query;
+  DetectionEvaluation ip;
+  DetectionEvaluation temporal;
+  DetectionEvaluation combined;
+};
+
+ChannelEvaluations evaluate_channels(const PipelineResult& result, const PipelineConfig& config);
+
+}  // namespace dnsembed::core

@@ -1,0 +1,30 @@
+// Operator-facing markdown report: summarizes a detection run — traffic
+// volume, graph sizes, cross-validated quality per feature channel, the
+// most suspicious clusters with sample domains, and their netflow
+// patterns. Rendered by the CLI `report` subcommand and usable as a
+// library call.
+#pragma once
+
+#include <iosfwd>
+
+#include "core/clustering.hpp"
+#include "core/pipeline.hpp"
+
+namespace dnsembed::core {
+
+struct ReportOptions {
+  std::size_t top_clusters = 5;
+  std::size_t sample_domains = 6;
+  /// Domains with detector scores above this count as "flagged".
+  double score_threshold = 0.0;
+};
+
+/// Write the report as markdown. `evals` and `clusters` may be partial
+/// results of the same pipeline run; ground-truth columns are included
+/// only when the trace carries a truth registry (simulation runs).
+void write_detection_report(std::ostream& out, const PipelineResult& result,
+                            const ChannelEvaluations& evals,
+                            const ClusteringResult& clusters,
+                            const ReportOptions& options = {});
+
+}  // namespace dnsembed::core

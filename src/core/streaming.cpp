@@ -1,0 +1,100 @@
+#include "core/streaming.hpp"
+
+#include <algorithm>
+
+#include "core/detector.hpp"
+#include "intel/labels.hpp"
+
+namespace dnsembed::core {
+
+StreamingDetector::StreamingDetector(StreamingConfig config, const trace::GroundTruth& truth,
+                                     const intel::VirusTotalSim& vt)
+    : config_{std::move(config)},
+      truth_{&truth},
+      vt_{&vt},
+      psl_{&dns::PublicSuffixList::builtin()} {}
+
+void StreamingDetector::advance_day(const std::vector<dns::LogEntry>& entries) {
+  for (const auto& entry : entries) {
+    first_seen_.try_emplace(psl_->e2ld_or_self(entry.qname), day_);
+  }
+  window_.push_back(entries);
+  while (window_.size() > config_.window_days) window_.pop_front();
+  retrain_and_score();
+  ++day_;
+}
+
+void StreamingDetector::retrain_and_score() {
+  // Build this window's behavior model.
+  GraphBuilderSink graphs;
+  for (const auto& day_entries : window_) {
+    for (const auto& entry : day_entries) graphs.on_dns(entry);
+  }
+  auto model = build_behavior_model(graphs.take_hdbg(), graphs.take_dibg(),
+                                    graphs.take_dtbg(), config_.behavior);
+  if (model.kept_domains.size() < 20) return;  // too little traffic yet
+
+  embed::EmbedConfig ec = config_.embedding;
+  ec.dimension = config_.embedding_dimension;
+  ec.seed = config_.seed + day_ * 3;
+  const auto q = embed::embed_graph(model.query_similarity, ec);
+  ec.seed += 1;
+  const auto i = embed::embed_graph(model.ip_similarity, ec);
+  ec.seed += 1;
+  const auto t = embed::embed_graph(model.temporal_similarity, ec);
+  const auto combined = embed::EmbeddingMatrix::concat(model.kept_domains, {&q, &i, &t});
+
+  // Labels available today: benign whitelist immediately; malicious only
+  // when VT-confirmed AND first seen at least label_delay_days ago.
+  intel::LabeledSet labels;
+  std::vector<std::string> scorable;
+  for (const auto& domain : model.kept_domains) {
+    const auto seen = first_seen_.find(domain);
+    const bool delayed_ok = seen != first_seen_.end() &&
+                            day_ >= seen->second + config_.label_delay_days;
+    if (truth_->is_malicious(domain)) {
+      if (delayed_ok && vt_->confirmed(domain)) {
+        labels.domains.push_back(domain);
+        labels.labels.push_back(1);
+      } else {
+        scorable.push_back(domain);  // not yet blacklisted: must be caught
+      }
+    } else if (truth_->is_known(domain)) {
+      labels.domains.push_back(domain);
+      labels.labels.push_back(0);
+    } else {
+      scorable.push_back(domain);
+    }
+  }
+  if (labels.malicious_count() < 5 || labels.malicious_count() == labels.size()) return;
+
+  const ml::SvmModel svm = ml::train_svm(make_dataset(combined, labels), config_.svm);
+
+  // Calibrate the alert threshold on benign training scores.
+  std::vector<double> benign_scores;
+  for (std::size_t k = 0; k < labels.size(); ++k) {
+    if (labels.labels[k] != 0) continue;
+    const auto vec = combined.vector_for(labels.domains[k]);
+    std::vector<double> x(vec->begin(), vec->end());
+    benign_scores.push_back(svm.decision_value(x));
+  }
+  std::sort(benign_scores.begin(), benign_scores.end());
+  const auto cut = static_cast<std::size_t>(
+      static_cast<double>(benign_scores.size()) * (1.0 - config_.alert_fpr));
+  const double threshold =
+      benign_scores[std::min(cut, benign_scores.size() - 1)] + 1e-9;
+
+  // Score the not-yet-blacklisted domains and alert above the threshold.
+  for (const auto& domain : scorable) {
+    if (first_flagged_.contains(domain)) continue;
+    const auto vec = combined.vector_for(domain);
+    std::vector<double> x(vec->begin(), vec->end());
+    const double score = svm.decision_value(x);
+    if (score > threshold) {
+      first_flagged_.emplace(domain, day_);
+      alerts_.push_back(DomainAlert{domain, day_, score});
+    }
+  }
+}
+
+}  // namespace dnsembed::core

@@ -1,0 +1,79 @@
+#include "dns/capture_io.hpp"
+
+#include "dns/packet.hpp"
+#include "dns/packetize.hpp"
+#include "dns/pcap.hpp"
+
+namespace dnsembed::dns {
+
+class EntryPacketWriter::Impl {
+ public:
+  Impl(std::ostream& out, CaptureExportOptions options)
+      : options_{options}, writer_{out} {}
+
+  void write(const LogEntry& entry, const DhcpTable& dhcp) {
+    const Ipv4 client =
+        dhcp.ip_for(entry.host, entry.timestamp)
+            .value_or(Ipv4::parse(entry.host).value_or(options_.fallback_client));
+    PacketizeOptions packetize_options;
+    packetize_options.resolver = options_.resolver;
+    const auto [query, response] = packetize(entry, client, port_, txn_, packetize_options);
+    // Wrap ids/ports so long traces stay valid.
+    txn_ = txn_ == 0xFFFF ? 1 : static_cast<std::uint16_t>(txn_ + 1);
+    port_ = port_ >= 60999 ? 32768 : static_cast<std::uint16_t>(port_ + 1);
+
+    PcapPacket packet;
+    packet.ts_sec = entry.timestamp;
+    packet.data = encapsulate(query);
+    writer_.write(packet);
+    if (entry.rcode != RCode::kServFail) {
+      packet.ts_sec = entry.timestamp;
+      packet.ts_usec = 1000;  // response 1ms later
+      packet.data = encapsulate(response);
+      writer_.write(packet);
+    }
+  }
+
+  std::size_t packets_written() const noexcept { return writer_.packets_written(); }
+
+ private:
+  CaptureExportOptions options_;
+  PcapWriter writer_;
+  std::uint16_t txn_ = 1;
+  std::uint16_t port_ = 32768;
+};
+
+EntryPacketWriter::EntryPacketWriter(std::ostream& out, CaptureExportOptions options)
+    : impl_{std::make_shared<Impl>(out, options)} {}
+
+void EntryPacketWriter::write(const LogEntry& entry, const DhcpTable& dhcp) {
+  impl_->write(entry, dhcp);
+}
+
+std::size_t EntryPacketWriter::packets_written() const noexcept {
+  return impl_->packets_written();
+}
+
+std::size_t export_pcap(std::ostream& out, std::span<const LogEntry> entries,
+                        const DhcpTable& dhcp, const CaptureExportOptions& options) {
+  EntryPacketWriter writer{out, options};
+  for (const auto& entry : entries) writer.write(entry, dhcp);
+  return writer.packets_written();
+}
+
+CaptureImportResult import_pcap(std::istream& in, const DhcpTable* dhcp) {
+  DnsCollector collector{dhcp};
+  PcapReader reader{in};
+  while (const auto packet = reader.next()) {
+    if (const auto datagram = decapsulate(packet->data)) {
+      collector.on_datagram(packet->ts_sec, *datagram);
+    }
+  }
+  collector.flush_all();
+  CaptureImportResult result;
+  result.stats = collector.stats();
+  result.entries = collector.take_entries();
+  return result;
+}
+
+}  // namespace dnsembed::dns

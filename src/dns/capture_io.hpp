@@ -1,0 +1,58 @@
+// Convenience round trip between joined log entries and pcap captures:
+// export writes each entry as a query/response packet pair (client IPs
+// taken from the DHCP table); import runs the reader + decapsulation +
+// collector chain back to entries.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "dns/collector.hpp"
+#include "dns/dhcp.hpp"
+#include "dns/log_record.hpp"
+
+namespace dnsembed::dns {
+
+struct CaptureExportOptions {
+  Ipv4 resolver{10, 0, 0, 53};
+  /// Fallback client IP when the DHCP table has no lease for a host
+  /// (e.g. statically addressed servers).
+  Ipv4 fallback_client{10, 99, 0, 1};
+};
+
+/// Write entries as an Ethernet pcap capture. Returns packets written
+/// (2 per answered entry; 1 for entries the resolver never answered).
+std::size_t export_pcap(std::ostream& out, std::span<const LogEntry> entries,
+                        const DhcpTable& dhcp, const CaptureExportOptions& options = {});
+
+/// Streaming flavor of export_pcap: construct once (writes the pcap global
+/// header), then feed entries one at a time. Used by sinks that packetize
+/// a live event stream without buffering it.
+class EntryPacketWriter {
+ public:
+  EntryPacketWriter(std::ostream& out, CaptureExportOptions options = {});
+
+  /// Write the query (and response, unless the entry was never answered).
+  void write(const LogEntry& entry, const DhcpTable& dhcp);
+
+  std::size_t packets_written() const noexcept;
+
+ private:
+  class Impl;
+  std::shared_ptr<Impl> impl_;  // shared so the writer stays copyable
+};
+
+struct CaptureImportResult {
+  std::vector<LogEntry> entries;
+  DnsCollector::Stats stats;
+};
+
+/// Parse a pcap capture back into joined entries. `dhcp` may be null
+/// (hosts stay IP strings). Throws std::runtime_error on malformed pcap
+/// framing; malformed inner packets are only counted.
+CaptureImportResult import_pcap(std::istream& in, const DhcpTable* dhcp = nullptr);
+
+}  // namespace dnsembed::dns

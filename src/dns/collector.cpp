@@ -1,0 +1,108 @@
+#include "dns/collector.hpp"
+
+#include <algorithm>
+
+#include "dns/wire.hpp"
+
+namespace dnsembed::dns {
+
+namespace {
+constexpr std::uint16_t kDnsPort = 53;
+}
+
+DnsCollector::DnsCollector(const DhcpTable* dhcp, std::int64_t timeout_seconds)
+    : dhcp_{dhcp}, timeout_{timeout_seconds} {}
+
+std::string DnsCollector::host_for(Ipv4 client, std::int64_t ts) const {
+  if (dhcp_ != nullptr) {
+    if (auto device = dhcp_->device_for(client, ts)) return *std::move(device);
+  }
+  return client.to_string();
+}
+
+void DnsCollector::emit(const Key& key, const PendingQuery& query, const Message* response) {
+  LogEntry entry;
+  entry.timestamp = query.ts;
+  entry.host = host_for(Ipv4{key.client_ip}, query.ts);
+  entry.qname = key.qname;
+  entry.qtype = query.qtype;
+  if (response == nullptr) {
+    entry.rcode = RCode::kServFail;  // never answered
+  } else {
+    entry.rcode = response->rcode;
+    std::uint32_t min_ttl = 0;
+    bool have_ttl = false;
+    for (const auto& rr : response->answers) {
+      if (rr.type == QType::kA) {
+        entry.addresses.push_back(rr.address);
+        min_ttl = have_ttl ? std::min(min_ttl, rr.ttl) : rr.ttl;
+        have_ttl = true;
+      } else if (rr.type == QType::kCname) {
+        entry.cnames.push_back(rr.target);
+      }
+    }
+    entry.ttl = have_ttl ? min_ttl : 0;
+  }
+  completed_.push_back(std::move(entry));
+}
+
+void DnsCollector::on_datagram(std::int64_t ts, const UdpDatagram& datagram) {
+  const bool to_server = datagram.dst_port == kDnsPort;
+  const bool from_server = datagram.src_port == kDnsPort;
+  if (!to_server && !from_server) {
+    ++stats_.ignored;
+    return;
+  }
+  const auto message = decode(datagram.payload);
+  if (!message || message->questions.empty()) {
+    ++stats_.malformed;
+    return;
+  }
+  const auto& question = message->questions.front();
+
+  if (to_server && !message->is_response) {
+    ++stats_.query_packets;
+    Key key{datagram.src_ip.value(), datagram.src_port, message->id, question.name};
+    pending_[std::move(key)] = PendingQuery{ts, question.type};
+    return;
+  }
+  if (from_server && message->is_response) {
+    ++stats_.response_packets;
+    const Key key{datagram.dst_ip.value(), datagram.dst_port, message->id, question.name};
+    const auto it = pending_.find(key);
+    if (it == pending_.end()) {
+      ++stats_.orphan_responses;
+      return;
+    }
+    emit(key, it->second, &*message);
+    pending_.erase(it);
+    ++stats_.matched;
+    return;
+  }
+  // Query arriving from port 53 or response heading to it: misdirected.
+  ++stats_.ignored;
+}
+
+void DnsCollector::flush(std::int64_t now) {
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (now - it->second.ts >= timeout_) {
+      emit(it->first, it->second, nullptr);
+      ++stats_.expired_queries;
+      it = pending_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void DnsCollector::flush_all() {
+  for (const auto& [key, query] : pending_) {
+    emit(key, query, nullptr);
+    ++stats_.expired_queries;
+  }
+  pending_.clear();
+}
+
+std::vector<LogEntry> DnsCollector::take_entries() { return std::move(completed_); }
+
+}  // namespace dnsembed::dns

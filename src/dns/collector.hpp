@@ -1,0 +1,80 @@
+// The paper's pre-processing component: consume captured DNS datagrams
+// from the campus edge, pair each query with its response by
+// (client address, client port, transaction id, qname), attribute the
+// client to a stable device via the DHCP table, and emit joined LogEntry
+// records for the behavioral-modeling stage.
+//
+// Unanswered queries are expired after a timeout and emitted with
+// RCode::kServFail and no answers — the query still evidences host-domain
+// interaction for the HDBG.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dns/dhcp.hpp"
+#include "dns/log_record.hpp"
+#include "dns/packet.hpp"
+
+namespace dnsembed::dns {
+
+struct Message;  // dns/wire.hpp
+
+class DnsCollector {
+ public:
+  struct Stats {
+    std::size_t query_packets = 0;
+    std::size_t response_packets = 0;
+    std::size_t matched = 0;
+    std::size_t orphan_responses = 0;  // response with no pending query
+    std::size_t expired_queries = 0;   // queries that never got an answer
+    std::size_t malformed = 0;         // datagrams that failed to parse
+    std::size_t ignored = 0;           // not DNS (wrong ports)
+  };
+
+  /// dhcp may be null: hosts are then identified by client IP string.
+  explicit DnsCollector(const DhcpTable* dhcp = nullptr, std::int64_t timeout_seconds = 30);
+
+  /// Feed one captured datagram with its capture timestamp.
+  void on_datagram(std::int64_t ts, const UdpDatagram& datagram);
+
+  /// Expire pending queries older than the timeout relative to `now`.
+  void flush(std::int64_t now);
+
+  /// Expire everything still pending (end of capture).
+  void flush_all();
+
+  /// Completed entries accumulated so far (ordered by completion).
+  std::vector<LogEntry> take_entries();
+
+  const Stats& stats() const noexcept { return stats_; }
+  std::size_t pending() const noexcept { return pending_.size(); }
+
+ private:
+  struct Key {
+    std::uint32_t client_ip = 0;
+    std::uint16_t client_port = 0;
+    std::uint16_t txn_id = 0;
+    std::string qname;
+
+    friend auto operator<=>(const Key&, const Key&) = default;
+  };
+
+  struct PendingQuery {
+    std::int64_t ts = 0;
+    QType qtype = QType::kA;
+  };
+
+  std::string host_for(Ipv4 client, std::int64_t ts) const;
+  void emit(const Key& key, const PendingQuery& query, const Message* response);
+
+  const DhcpTable* dhcp_;
+  std::int64_t timeout_;
+  std::map<Key, PendingQuery> pending_;
+  std::vector<LogEntry> completed_;
+  Stats stats_;
+};
+
+}  // namespace dnsembed::dns

@@ -1,0 +1,68 @@
+#include "dns/dhcp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dnsembed::dns {
+
+void DhcpTable::add_lease(DhcpLease lease) {
+  if (lease.end <= lease.start) {
+    throw std::invalid_argument{"DhcpTable: lease end must be after start"};
+  }
+  auto& leases = by_ip_[lease.ip];
+  const auto it = std::lower_bound(
+      leases.begin(), leases.end(), lease,
+      [](const DhcpLease& a, const DhcpLease& b) { return a.start < b.start; });
+  // Overlap checks against the neighbors around the insertion point.
+  if (it != leases.begin() && std::prev(it)->end > lease.start) {
+    throw std::invalid_argument{"DhcpTable: overlapping lease for IP " + lease.ip.to_string()};
+  }
+  if (it != leases.end() && it->start < lease.end) {
+    throw std::invalid_argument{"DhcpTable: overlapping lease for IP " + lease.ip.to_string()};
+  }
+  by_mac_[lease.mac].push_back(lease);
+  mac_sorted_ = false;
+  leases.insert(it, std::move(lease));
+  ++count_;
+}
+
+std::optional<Ipv4> DhcpTable::ip_for(const std::string& mac, std::int64_t t) const {
+  const auto it = by_mac_.find(mac);
+  if (it == by_mac_.end()) return std::nullopt;
+  if (!mac_sorted_) {
+    for (auto& [key, leases] : by_mac_) {
+      std::sort(leases.begin(), leases.end(),
+                [](const DhcpLease& a, const DhcpLease& b) { return a.start < b.start; });
+    }
+    mac_sorted_ = true;
+  }
+  const auto& leases = it->second;
+  auto pos = std::upper_bound(
+      leases.begin(), leases.end(), t,
+      [](std::int64_t value, const DhcpLease& lease) { return value < lease.start; });
+  if (pos == leases.begin()) return std::nullopt;
+  --pos;
+  if (t < pos->end) return pos->ip;
+  return std::nullopt;
+}
+
+std::optional<std::string> DhcpTable::device_for(Ipv4 ip, std::int64_t t) const {
+  const auto it = by_ip_.find(ip);
+  if (it == by_ip_.end()) return std::nullopt;
+  const auto& leases = it->second;
+  // First lease with start > t, then step back.
+  auto pos = std::upper_bound(
+      leases.begin(), leases.end(), t,
+      [](std::int64_t value, const DhcpLease& lease) { return value < lease.start; });
+  if (pos == leases.begin()) return std::nullopt;
+  --pos;
+  if (t < pos->end) return pos->mac;
+  return std::nullopt;
+}
+
+std::vector<DhcpLease> DhcpTable::leases_for(Ipv4 ip) const {
+  const auto it = by_ip_.find(ip);
+  return it == by_ip_.end() ? std::vector<DhcpLease>{} : it->second;
+}
+
+}  // namespace dnsembed::dns

@@ -1,0 +1,54 @@
+// DHCP lease table: maps (client IP, time) back to the stable device id
+// (MAC). The paper joins DHCP logs with DNS logs so a device that changes
+// IP (mobility, lease expiry) is still tracked as one host in the
+// host-domain bipartite graph.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/ipv4.hpp"
+
+namespace dnsembed::dns {
+
+struct DhcpLease {
+  std::string mac;        // stable device id
+  Ipv4 ip;                // assigned address
+  std::int64_t start = 0; // lease start (inclusive), seconds
+  std::int64_t end = 0;   // lease end (exclusive), seconds
+
+  friend bool operator==(const DhcpLease&, const DhcpLease&) = default;
+};
+
+class DhcpTable {
+ public:
+  /// Record one lease. Leases for the same IP may not overlap in time;
+  /// an overlapping add throws std::invalid_argument.
+  void add_lease(DhcpLease lease);
+
+  /// The device holding `ip` at time `t`, if any.
+  std::optional<std::string> device_for(Ipv4 ip, std::int64_t t) const;
+
+  std::size_t lease_count() const noexcept { return count_; }
+
+  /// All leases for an IP, sorted by start time (empty if unknown IP).
+  std::vector<DhcpLease> leases_for(Ipv4 ip) const;
+
+  /// Reverse lookup: the IP a device held at time `t`, if any (used when
+  /// packetizing device-attributed logs back into IP-addressed traffic).
+  std::optional<Ipv4> ip_for(const std::string& mac, std::int64_t t) const;
+
+ private:
+  // Per-IP leases kept sorted by start for binary search.
+  std::unordered_map<Ipv4, std::vector<DhcpLease>> by_ip_;
+  // Per-device leases, sorted lazily on first reverse lookup (hence
+  // mutable: sorting is a cache refresh, not observable state).
+  mutable std::unordered_map<std::string, std::vector<DhcpLease>> by_mac_;
+  mutable bool mac_sorted_ = true;
+  std::size_t count_ = 0;
+};
+
+}  // namespace dnsembed::dns

@@ -1,0 +1,41 @@
+#include "dns/ipv4.hpp"
+
+#include <charconv>
+
+namespace dnsembed::dns {
+
+std::string Ipv4::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    if (shift != 24) out += '.';
+    out += std::to_string((value_ >> shift) & 0xFF);
+  }
+  return out;
+}
+
+std::optional<Ipv4> Ipv4::parse(std::string_view text) noexcept {
+  std::uint32_t value = 0;
+  int octets = 0;
+  const char* p = text.data();
+  const char* const end = text.data() + text.size();
+  while (p < end) {
+    unsigned int octet = 0;
+    const auto [next, ec] = std::from_chars(p, end, octet);
+    if (ec != std::errc{} || next == p || octet > 255) return std::nullopt;
+    // Reject leading zeros like "01" (ambiguous octal in the wild).
+    if (next - p > 1 && *p == '0') return std::nullopt;
+    value = (value << 8) | octet;
+    ++octets;
+    p = next;
+    if (p < end) {
+      if (*p != '.' || octets == 4) return std::nullopt;
+      ++p;
+      if (p == end) return std::nullopt;  // trailing dot
+    }
+  }
+  if (octets != 4) return std::nullopt;
+  return Ipv4{value};
+}
+
+}  // namespace dnsembed::dns

@@ -1,0 +1,54 @@
+// IPv4 address value type used throughout the pipeline (resolved addresses,
+// host identities, netflow endpoints).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace dnsembed::dns {
+
+/// IPv4 address stored as a host-order 32-bit integer.
+class Ipv4 {
+ public:
+  constexpr Ipv4() noexcept = default;
+  constexpr explicit Ipv4(std::uint32_t value) noexcept : value_{value} {}
+  constexpr Ipv4(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d) noexcept
+      : value_{(std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+               (std::uint32_t{c} << 8) | std::uint32_t{d}} {}
+
+  constexpr std::uint32_t value() const noexcept { return value_; }
+
+  /// "a.b.c.d" presentation form.
+  std::string to_string() const;
+
+  /// Parse dotted-quad; rejects anything malformed.
+  static std::optional<Ipv4> parse(std::string_view text) noexcept;
+
+  /// The /16 network prefix (used by Exposure's answer-diversity features).
+  constexpr std::uint32_t prefix16() const noexcept { return value_ >> 16; }
+
+  /// The /24 network prefix.
+  constexpr std::uint32_t prefix24() const noexcept { return value_ >> 8; }
+
+  friend constexpr bool operator==(Ipv4 a, Ipv4 b) noexcept { return a.value_ == b.value_; }
+  friend constexpr bool operator!=(Ipv4 a, Ipv4 b) noexcept { return a.value_ != b.value_; }
+  friend constexpr bool operator<(Ipv4 a, Ipv4 b) noexcept { return a.value_ < b.value_; }
+
+ private:
+  std::uint32_t value_ = 0;
+};
+
+}  // namespace dnsembed::dns
+
+template <>
+struct std::hash<dnsembed::dns::Ipv4> {
+  std::size_t operator()(dnsembed::dns::Ipv4 ip) const noexcept {
+    // Finalizer from SplitMix64 for good avalanche on sequential pools.
+    std::uint64_t z = ip.value();
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};

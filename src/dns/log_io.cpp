@@ -1,0 +1,98 @@
+#include "dns/log_io.hpp"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace dnsembed::dns {
+
+namespace {
+
+std::string join_or_dash(const std::vector<std::string>& items) {
+  if (items.empty()) return "-";
+  return util::join(items, ";");
+}
+
+template <typename T>
+bool parse_number(std::string_view text, T& out) noexcept {
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc{} && ptr == text.data() + text.size();
+}
+
+}  // namespace
+
+std::string format_log_entry(const LogEntry& entry) {
+  std::string out;
+  out.reserve(96);
+  out += std::to_string(entry.timestamp);
+  out += '\t';
+  out += entry.host;
+  out += '\t';
+  out += entry.qname;
+  out += '\t';
+  out += qtype_name(entry.qtype);
+  out += '\t';
+  out += std::to_string(static_cast<unsigned>(entry.rcode));
+  out += '\t';
+  out += std::to_string(entry.ttl);
+  out += '\t';
+  if (entry.addresses.empty()) {
+    out += '-';
+  } else {
+    for (std::size_t i = 0; i < entry.addresses.size(); ++i) {
+      if (i != 0) out += ';';
+      out += entry.addresses[i].to_string();
+    }
+  }
+  out += '\t';
+  out += join_or_dash(entry.cnames);
+  return out;
+}
+
+std::optional<LogEntry> parse_log_entry(std::string_view line) {
+  const auto fields = util::split(line, '\t');
+  if (fields.size() != 8) return std::nullopt;
+  LogEntry entry;
+  if (!parse_number(fields[0], entry.timestamp)) return std::nullopt;
+  entry.host = fields[1];
+  entry.qname = fields[2];
+  if (entry.host.empty() || entry.qname.empty()) return std::nullopt;
+  entry.qtype = qtype_from_name(fields[3]);
+  unsigned rcode = 0;
+  if (!parse_number(fields[4], rcode) || rcode > 15) return std::nullopt;
+  entry.rcode = static_cast<RCode>(rcode);
+  if (!parse_number(fields[5], entry.ttl)) return std::nullopt;
+  if (fields[6] != "-") {
+    for (const auto& token : util::split(fields[6], ';')) {
+      const auto ip = Ipv4::parse(token);
+      if (!ip) return std::nullopt;
+      entry.addresses.push_back(*ip);
+    }
+  }
+  if (fields[7] != "-") {
+    entry.cnames = util::split(fields[7], ';');
+  }
+  return entry;
+}
+
+void LogWriter::write(const LogEntry& entry) { *out_ << format_log_entry(entry) << '\n'; }
+
+std::optional<LogEntry> LogReader::next() {
+  std::string line;
+  while (std::getline(*in_, line)) {
+    ++line_no_;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    auto entry = parse_log_entry(line);
+    if (!entry) {
+      throw std::runtime_error{"malformed DNS log line " + std::to_string(line_no_)};
+    }
+    return entry;
+  }
+  return std::nullopt;
+}
+
+}  // namespace dnsembed::dns

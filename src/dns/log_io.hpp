@@ -1,0 +1,48 @@
+// Text (TSV) serialization of joined DNS log entries, so traces can be
+// written to disk once and re-read by experiments.
+//
+// Format, one entry per line:
+//   timestamp \t host \t qname \t qtype \t rcode \t ttl \t ip;ip;... \t cname;cname;...
+// Empty address/cname lists serialize as "-".
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "dns/log_record.hpp"
+
+namespace dnsembed::dns {
+
+/// Render one entry as a TSV line (no trailing newline).
+std::string format_log_entry(const LogEntry& entry);
+
+/// Parse one TSV line; nullopt for malformed input.
+std::optional<LogEntry> parse_log_entry(std::string_view line);
+
+/// Stream writer.
+class LogWriter {
+ public:
+  explicit LogWriter(std::ostream& out) : out_{&out} {}
+  void write(const LogEntry& entry);
+
+ private:
+  std::ostream* out_;
+};
+
+/// Stream reader; skips blank lines, throws std::runtime_error on a
+/// malformed line (with its line number).
+class LogReader {
+ public:
+  explicit LogReader(std::istream& in) : in_{&in} {}
+
+  /// Read the next entry; nullopt at end of stream.
+  std::optional<LogEntry> next();
+
+ private:
+  std::istream* in_;
+  std::size_t line_no_ = 0;
+};
+
+}  // namespace dnsembed::dns

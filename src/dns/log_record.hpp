@@ -1,0 +1,29 @@
+// The joined DNS log record consumed by the behavioral-modeling pipeline:
+// one query plus its matched response, attributed to a stable device id
+// (after DHCP remapping). This is the schema the paper's pre-processing
+// stage extracts from raw packets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dns/ipv4.hpp"
+#include "dns/record.hpp"
+
+namespace dnsembed::dns {
+
+struct LogEntry {
+  std::int64_t timestamp = 0;    // seconds since the trace epoch
+  std::string host;              // stable device id (e.g. MAC after DHCP join)
+  std::string qname;             // normalized FQDN
+  QType qtype = QType::kA;
+  RCode rcode = RCode::kNoError;
+  std::uint32_t ttl = 0;         // minimum answer TTL; 0 when unanswered
+  std::vector<Ipv4> addresses;   // resolved A records
+  std::vector<std::string> cnames;  // CNAME chain targets, in order
+
+  friend bool operator==(const LogEntry&, const LogEntry&) = default;
+};
+
+}  // namespace dnsembed::dns

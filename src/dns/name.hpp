@@ -1,0 +1,41 @@
+// Domain-name handling: normalization, validation, and label access.
+//
+// Names are stored in presentation format ("www.example.com", lower-case,
+// no trailing dot). Wire-format conversion lives in dns/wire.hpp.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dnsembed::dns {
+
+/// Maximum presentation-format name length accepted (RFC 1035: 255 octets
+/// wire, which bounds presentation length to 253).
+inline constexpr std::size_t kMaxNameLength = 253;
+
+/// Maximum label length (RFC 1035).
+inline constexpr std::size_t kMaxLabelLength = 63;
+
+/// Lower-case and strip one trailing dot. Does not validate.
+std::string normalize_name(std::string_view name);
+
+/// RFC-1035 syntactic validity of a normalized name: non-empty labels of
+/// <= 63 chars, total <= 253, characters restricted to LDH plus '_'
+/// (accepted in the wild for service labels).
+bool is_valid_name(std::string_view name) noexcept;
+
+/// Split "www.example.com" into {"www", "example", "com"}.
+std::vector<std::string_view> labels(std::string_view name);
+
+/// Number of labels.
+std::size_t label_count(std::string_view name) noexcept;
+
+/// The final label ("com" for "www.example.com"), or empty.
+std::string_view top_level(std::string_view name) noexcept;
+
+/// True if child equals parent or is a subdomain of parent
+/// ("a.b.com" is within "b.com" and "com").
+bool is_subdomain_of(std::string_view child, std::string_view parent) noexcept;
+
+}  // namespace dnsembed::dns

@@ -1,0 +1,115 @@
+#include "dns/packet.hpp"
+
+namespace dnsembed::dns {
+
+namespace {
+
+constexpr std::size_t kEthernetHeader = 14;
+constexpr std::size_t kIpv4Header = 20;
+constexpr std::size_t kUdpHeader = 8;
+constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+constexpr std::uint8_t kProtocolUdp = 17;
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  put_u16(out, static_cast<std::uint16_t>(v >> 16));
+  put_u16(out, static_cast<std::uint16_t>(v & 0xFFFF));
+}
+
+std::uint16_t read_u16(std::span<const std::uint8_t> data, std::size_t offset) noexcept {
+  return static_cast<std::uint16_t>((data[offset] << 8) | data[offset + 1]);
+}
+
+std::uint32_t read_u32(std::span<const std::uint8_t> data, std::size_t offset) noexcept {
+  return (std::uint32_t{data[offset]} << 24) | (std::uint32_t{data[offset + 1]} << 16) |
+         (std::uint32_t{data[offset + 2]} << 8) | data[offset + 3];
+}
+
+}  // namespace
+
+std::uint16_t ipv4_checksum(std::span<const std::uint8_t> header) noexcept {
+  std::uint32_t sum = 0;
+  for (std::size_t i = 0; i + 1 < header.size(); i += 2) {
+    sum += static_cast<std::uint32_t>((header[i] << 8) | header[i + 1]);
+  }
+  if (header.size() % 2 == 1) sum += static_cast<std::uint32_t>(header.back() << 8);
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum & 0xFFFF);
+}
+
+std::vector<std::uint8_t> encapsulate(const UdpDatagram& datagram) {
+  std::vector<std::uint8_t> frame;
+  frame.reserve(kEthernetHeader + kIpv4Header + kUdpHeader + datagram.payload.size());
+
+  // Ethernet II: synthetic MACs, ethertype IPv4.
+  const std::uint8_t dst_mac[6] = {0x02, 0x00, 0x00, 0x00, 0x00, 0x02};
+  const std::uint8_t src_mac[6] = {0x02, 0x00, 0x00, 0x00, 0x00, 0x01};
+  frame.insert(frame.end(), dst_mac, dst_mac + 6);
+  frame.insert(frame.end(), src_mac, src_mac + 6);
+  put_u16(frame, kEtherTypeIpv4);
+
+  // IPv4 header.
+  const auto total_length =
+      static_cast<std::uint16_t>(kIpv4Header + kUdpHeader + datagram.payload.size());
+  const std::size_t ip_start = frame.size();
+  frame.push_back(0x45);  // version 4, IHL 5
+  frame.push_back(0x00);  // DSCP/ECN
+  put_u16(frame, total_length);
+  put_u16(frame, 0x0000);  // identification
+  put_u16(frame, 0x4000);  // flags: DF, no fragmentation
+  frame.push_back(64);     // TTL
+  frame.push_back(kProtocolUdp);
+  put_u16(frame, 0x0000);  // checksum placeholder
+  put_u32(frame, datagram.src_ip.value());
+  put_u32(frame, datagram.dst_ip.value());
+  const std::uint16_t checksum =
+      ipv4_checksum({frame.data() + ip_start, kIpv4Header});
+  frame[ip_start + 10] = static_cast<std::uint8_t>(checksum >> 8);
+  frame[ip_start + 11] = static_cast<std::uint8_t>(checksum & 0xFF);
+
+  // UDP header (checksum 0 = not computed).
+  put_u16(frame, datagram.src_port);
+  put_u16(frame, datagram.dst_port);
+  put_u16(frame, static_cast<std::uint16_t>(kUdpHeader + datagram.payload.size()));
+  put_u16(frame, 0x0000);
+
+  frame.insert(frame.end(), datagram.payload.begin(), datagram.payload.end());
+  return frame;
+}
+
+std::optional<UdpDatagram> decapsulate(std::span<const std::uint8_t> frame) {
+  if (frame.size() < kEthernetHeader + kIpv4Header + kUdpHeader) return std::nullopt;
+  if (read_u16(frame, 12) != kEtherTypeIpv4) return std::nullopt;
+
+  const auto ip = frame.subspan(kEthernetHeader);
+  if ((ip[0] >> 4) != 4) return std::nullopt;
+  const std::size_t ihl = static_cast<std::size_t>(ip[0] & 0x0F) * 4;
+  if (ihl != kIpv4Header) return std::nullopt;  // options unexpected here
+  if (ip[9] != kProtocolUdp) return std::nullopt;
+  const std::uint16_t flags_frag = read_u16(ip, 6);
+  if ((flags_frag & 0x2000) != 0 || (flags_frag & 0x1FFF) != 0) return std::nullopt;
+  const std::uint16_t total_length = read_u16(ip, 2);
+  if (total_length < kIpv4Header + kUdpHeader ||
+      total_length > ip.size()) {
+    return std::nullopt;
+  }
+  if (ipv4_checksum(ip.subspan(0, kIpv4Header)) != 0) return std::nullopt;
+
+  const auto udp = ip.subspan(kIpv4Header);
+  const std::uint16_t udp_length = read_u16(udp, 4);
+  if (udp_length < kUdpHeader || udp_length > udp.size()) return std::nullopt;
+
+  UdpDatagram out;
+  out.src_ip = Ipv4{read_u32(ip, 12)};
+  out.dst_ip = Ipv4{read_u32(ip, 16)};
+  out.src_port = read_u16(udp, 0);
+  out.dst_port = read_u16(udp, 2);
+  out.payload.assign(udp.begin() + kUdpHeader, udp.begin() + udp_length);
+  return out;
+}
+
+}  // namespace dnsembed::dns

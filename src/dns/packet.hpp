@@ -1,0 +1,39 @@
+// Ethernet + IPv4 + UDP encapsulation for DNS payloads: build link-layer
+// frames the pcap layer can store, and strip them back off. IPv4 header
+// checksums are computed on encode and verified on decode.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dns/ipv4.hpp"
+
+namespace dnsembed::dns {
+
+/// One UDP datagram with its addressing (what the DNS collector consumes).
+struct UdpDatagram {
+  Ipv4 src_ip{};
+  Ipv4 dst_ip{};
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::vector<std::uint8_t> payload;
+
+  friend bool operator==(const UdpDatagram&, const UdpDatagram&) = default;
+};
+
+/// Wrap a datagram in Ethernet(II)/IPv4/UDP. MACs are synthetic constants
+/// (the collector never looks at them). UDP checksum is set to 0
+/// ("not computed", legal for UDP over IPv4).
+std::vector<std::uint8_t> encapsulate(const UdpDatagram& datagram);
+
+/// Parse an Ethernet frame down to the UDP payload. Returns nullopt for
+/// non-IPv4 ethertypes, non-UDP protocols, bad lengths, IPv4 options we
+/// do not expect, fragments, or a wrong IPv4 header checksum.
+std::optional<UdpDatagram> decapsulate(std::span<const std::uint8_t> frame);
+
+/// The IPv4 ones-complement header checksum (exposed for tests).
+std::uint16_t ipv4_checksum(std::span<const std::uint8_t> header) noexcept;
+
+}  // namespace dnsembed::dns

@@ -1,0 +1,53 @@
+#include "dns/packetize.hpp"
+
+#include "dns/name.hpp"
+#include "dns/wire.hpp"
+
+namespace dnsembed::dns {
+
+std::pair<UdpDatagram, UdpDatagram> packetize(const LogEntry& entry, Ipv4 client,
+                                              std::uint16_t client_port, std::uint16_t txn_id,
+                                              const PacketizeOptions& options) {
+  const Message query = make_query(txn_id, entry.qname, entry.qtype);
+
+  std::vector<ResourceRecord> answers;
+  // CNAME chain first (owner = qname, then each target), then the A
+  // records on the final owner, as real resolvers serialize it.
+  std::string owner = normalize_name(entry.qname);
+  for (const auto& target : entry.cnames) {
+    ResourceRecord rr;
+    rr.name = owner;
+    rr.type = QType::kCname;
+    rr.ttl = entry.ttl;
+    rr.target = normalize_name(target);
+    owner = rr.target;
+    answers.push_back(std::move(rr));
+  }
+  for (const auto& address : entry.addresses) {
+    ResourceRecord rr;
+    rr.name = owner;
+    rr.type = QType::kA;
+    rr.ttl = entry.ttl;
+    rr.address = address;
+    answers.push_back(std::move(rr));
+  }
+  const Message response = make_response(query, std::move(answers), entry.rcode);
+
+  UdpDatagram query_dgram;
+  query_dgram.src_ip = client;
+  query_dgram.dst_ip = options.resolver;
+  query_dgram.src_port = client_port;
+  query_dgram.dst_port = 53;
+  query_dgram.payload = encode(query);
+
+  UdpDatagram response_dgram;
+  response_dgram.src_ip = options.resolver;
+  response_dgram.dst_ip = client;
+  response_dgram.src_port = 53;
+  response_dgram.dst_port = client_port;
+  response_dgram.payload = encode(response);
+
+  return {std::move(query_dgram), std::move(response_dgram)};
+}
+
+}  // namespace dnsembed::dns

@@ -1,0 +1,30 @@
+// The inverse of the collector: turn a joined LogEntry back into the
+// query/response datagram pair that would have produced it. Used by the
+// simulator's pcap output and by round-trip tests of the whole collection
+// path (entry -> packets -> pcap -> collector -> entry).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "dns/log_record.hpp"
+#include "dns/packet.hpp"
+
+namespace dnsembed::dns {
+
+struct PacketizeOptions {
+  /// The campus resolver the clients talk to.
+  Ipv4 resolver{10, 0, 0, 53};
+};
+
+/// Build the (query, response) datagrams for an entry. `client` is the
+/// client's IP at the entry's time (from the DHCP table), `client_port`
+/// the ephemeral source port, `txn_id` the DNS transaction id. The
+/// response reconstructs the CNAME chain and A records with entry.ttl.
+/// Timestamps are not part of UdpDatagram — the caller stamps the pcap
+/// records (convention: response at entry.timestamp, or +1s).
+std::pair<UdpDatagram, UdpDatagram> packetize(const LogEntry& entry, Ipv4 client,
+                                              std::uint16_t client_port, std::uint16_t txn_id,
+                                              const PacketizeOptions& options = {});
+
+}  // namespace dnsembed::dns

@@ -1,0 +1,111 @@
+#include "dns/pcap.hpp"
+
+#include <array>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace dnsembed::dns {
+
+namespace {
+
+constexpr std::uint32_t kMagicMicro = 0xa1b2c3d4;
+constexpr std::uint32_t kMagicMicroSwapped = 0xd4c3b2a1;
+constexpr std::uint32_t kMagicNano = 0xa1b23c4d;
+constexpr std::uint32_t kLinkTypeEthernet = 1;
+
+void put_u16(std::ostream& out, std::uint16_t v) {
+  const char bytes[2] = {static_cast<char>(v & 0xFF), static_cast<char>(v >> 8)};
+  out.write(bytes, 2);
+}
+
+void put_u32(std::ostream& out, std::uint32_t v) {
+  const char bytes[4] = {static_cast<char>(v & 0xFF), static_cast<char>((v >> 8) & 0xFF),
+                         static_cast<char>((v >> 16) & 0xFF),
+                         static_cast<char>((v >> 24) & 0xFF)};
+  out.write(bytes, 4);
+}
+
+bool get_u32(std::istream& in, std::uint32_t& v, bool swapped) {
+  std::array<unsigned char, 4> b{};
+  if (!in.read(reinterpret_cast<char*>(b.data()), 4)) return false;
+  v = swapped ? (std::uint32_t{b[0]} << 24) | (std::uint32_t{b[1]} << 16) |
+                    (std::uint32_t{b[2]} << 8) | b[3]
+              : (std::uint32_t{b[3]} << 24) | (std::uint32_t{b[2]} << 16) |
+                    (std::uint32_t{b[1]} << 8) | b[0];
+  return true;
+}
+
+}  // namespace
+
+PcapWriter::PcapWriter(std::ostream& out, std::uint32_t snaplen) : out_{&out} {
+  put_u32(*out_, kMagicMicro);
+  put_u16(*out_, 2);  // version major
+  put_u16(*out_, 4);  // version minor
+  put_u32(*out_, 0);  // thiszone
+  put_u32(*out_, 0);  // sigfigs
+  put_u32(*out_, snaplen);
+  put_u32(*out_, kLinkTypeEthernet);
+}
+
+void PcapWriter::write(const PcapPacket& packet) {
+  put_u32(*out_, static_cast<std::uint32_t>(packet.ts_sec));
+  put_u32(*out_, static_cast<std::uint32_t>(packet.ts_usec));
+  put_u32(*out_, static_cast<std::uint32_t>(packet.data.size()));  // incl_len
+  put_u32(*out_, static_cast<std::uint32_t>(packet.data.size()));  // orig_len
+  out_->write(reinterpret_cast<const char*>(packet.data.data()),
+              static_cast<std::streamsize>(packet.data.size()));
+  ++count_;
+}
+
+PcapReader::PcapReader(std::istream& in) : in_{&in} {
+  std::uint32_t magic = 0;
+  if (!get_u32(*in_, magic, false)) throw std::runtime_error{"pcap: missing global header"};
+  if (magic == kMagicMicro) {
+    swapped_ = false;
+  } else if (magic == kMagicMicroSwapped) {
+    swapped_ = true;
+  } else if (magic == kMagicNano) {
+    throw std::runtime_error{"pcap: nanosecond captures not supported"};
+  } else {
+    throw std::runtime_error{"pcap: bad magic"};
+  }
+  // Skip the remaining 20 header bytes, validating the link type.
+  std::uint32_t version = 0;
+  std::uint32_t zone = 0;
+  std::uint32_t sigfigs = 0;
+  std::uint32_t snaplen = 0;
+  std::uint32_t linktype = 0;
+  if (!get_u32(*in_, version, swapped_) || !get_u32(*in_, zone, swapped_) ||
+      !get_u32(*in_, sigfigs, swapped_) || !get_u32(*in_, snaplen, swapped_) ||
+      !get_u32(*in_, linktype, swapped_)) {
+    throw std::runtime_error{"pcap: truncated global header"};
+  }
+  if (linktype != kLinkTypeEthernet) {
+    throw std::runtime_error{"pcap: only LINKTYPE_ETHERNET supported"};
+  }
+}
+
+std::optional<PcapPacket> PcapReader::next() {
+  std::uint32_t ts_sec = 0;
+  if (!get_u32(*in_, ts_sec, swapped_)) return std::nullopt;  // clean EOF
+  std::uint32_t ts_usec = 0;
+  std::uint32_t incl_len = 0;
+  std::uint32_t orig_len = 0;
+  if (!get_u32(*in_, ts_usec, swapped_) || !get_u32(*in_, incl_len, swapped_) ||
+      !get_u32(*in_, orig_len, swapped_)) {
+    throw std::runtime_error{"pcap: truncated record header"};
+  }
+  if (incl_len > 10 * 1024 * 1024) throw std::runtime_error{"pcap: absurd record length"};
+  PcapPacket packet;
+  packet.ts_sec = ts_sec;
+  packet.ts_usec = static_cast<std::int32_t>(ts_usec);
+  packet.data.resize(incl_len);
+  if (!in_->read(reinterpret_cast<char*>(packet.data.data()),
+                 static_cast<std::streamsize>(incl_len))) {
+    throw std::runtime_error{"pcap: truncated packet body"};
+  }
+  return packet;
+}
+
+}  // namespace dnsembed::dns

@@ -1,0 +1,56 @@
+// Classic libpcap file format (the 24-byte global header + 16-byte
+// per-record headers, LINKTYPE_ETHERNET). The paper's collection layer
+// captures DNS packets at the campus edge; this module lets the simulator
+// write capture files and the collector read them back, interoperable with
+// tcpdump/wireshark.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <vector>
+
+namespace dnsembed::dns {
+
+struct PcapPacket {
+  std::int64_t ts_sec = 0;
+  std::int32_t ts_usec = 0;
+  std::vector<std::uint8_t> data;  // link-layer frame
+
+  friend bool operator==(const PcapPacket&, const PcapPacket&) = default;
+};
+
+/// Writes the global header on construction (microsecond timestamps,
+/// little-endian magic 0xa1b2c3d4, LINKTYPE_ETHERNET).
+class PcapWriter {
+ public:
+  explicit PcapWriter(std::ostream& out, std::uint32_t snaplen = 65535);
+
+  void write(const PcapPacket& packet);
+
+  std::size_t packets_written() const noexcept { return count_; }
+
+ private:
+  std::ostream* out_;
+  std::size_t count_ = 0;
+};
+
+/// Reads classic pcap; validates the magic (both byte orders of the
+/// microsecond magic are accepted; nanosecond captures are rejected).
+class PcapReader {
+ public:
+  /// Throws std::runtime_error on a bad global header.
+  explicit PcapReader(std::istream& in);
+
+  /// Next packet, or nullopt at a clean end of file. Throws on a
+  /// truncated record.
+  std::optional<PcapPacket> next();
+
+  bool swapped() const noexcept { return swapped_; }
+
+ private:
+  std::istream* in_;
+  bool swapped_ = false;
+};
+
+}  // namespace dnsembed::dns

@@ -1,0 +1,104 @@
+#include "dns/public_suffix.hpp"
+
+#include "dns/name.hpp"
+
+namespace dnsembed::dns {
+
+PublicSuffixList::PublicSuffixList(const std::vector<std::string>& rules) {
+  for (const auto& raw : rules) {
+    const std::string rule = normalize_name(raw);
+    if (rule.empty()) continue;
+    if (rule[0] == '!') {
+      exceptions_.insert(rule.substr(1));
+    } else if (rule.rfind("*.", 0) == 0) {
+      wildcards_.insert(rule.substr(2));
+    } else {
+      rules_.insert(rule);
+    }
+  }
+}
+
+const PublicSuffixList& PublicSuffixList::builtin() {
+  static const PublicSuffixList instance{{
+      // Generic TLDs (incl. the new gTLDs common in abuse feeds).
+      "com", "net", "org", "info", "biz", "edu", "gov", "mil", "int",
+      "io", "ai", "co", "me", "tv", "cc", "ws", "bid", "top", "xyz",
+      "club", "site", "online", "pw", "su", "win", "loan", "work",
+      "click", "link", "download", "stream", "racing", "party", "science",
+      // Country codes.
+      "cn", "uk", "jp", "kr", "de", "fr", "ru", "in", "br", "au", "ca",
+      "nl", "it", "es", "se", "ch", "tw", "hk", "sg", "us", "eu", "nz",
+      // Multi-level country suffixes.
+      "com.cn", "net.cn", "org.cn", "edu.cn", "gov.cn", "ac.cn",
+      "co.uk", "org.uk", "ac.uk", "gov.uk", "me.uk",
+      "co.jp", "ne.jp", "or.jp", "ac.jp", "go.jp",
+      "co.kr", "or.kr", "ac.kr",
+      "com.au", "net.au", "org.au", "edu.au",
+      "com.br", "net.br", "org.br",
+      "co.in", "net.in", "org.in",
+      "com.tw", "org.tw", "com.hk", "com.sg",
+      "co.nz", "org.nz",
+      // Private-registry style suffix used by the paper's example
+      // (www.bbc.uk.co -> e2LD bbc.uk.co).
+      "uk.co",
+      // Wildcard + exception examples (actual PSL entries for .ck).
+      "*.ck", "!www.ck",
+  }};
+  return instance;
+}
+
+std::string PublicSuffixList::public_suffix(std::string_view name) const {
+  const std::string norm = normalize_name(name);
+  const auto parts = labels(norm);
+  if (parts.empty()) return {};
+
+  // Walk suffixes from longest to shortest; prefer the longest matching
+  // rule, with exception rules overriding wildcard rules.
+  std::size_t offset = 0;  // index into norm where the current suffix starts
+  std::string best;        // longest match so far (PSL: longest rule wins)
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    const std::string_view suffix{norm.data() + offset, norm.size() - offset};
+    const std::string suffix_str{suffix};
+    if (exceptions_.contains(suffix_str)) {
+      // Exception rule: the suffix is everything after the first label.
+      const std::size_t dot = suffix.find('.');
+      return dot == std::string_view::npos ? std::string{} : std::string{suffix.substr(dot + 1)};
+    }
+    if (best.empty()) {
+      if (rules_.contains(suffix_str)) {
+        best = suffix_str;
+      } else {
+        // "*.X": the whole "label.X" is a suffix when the remainder matches X.
+        const std::size_t dot = suffix.find('.');
+        if (dot != std::string_view::npos &&
+            wildcards_.contains(std::string{suffix.substr(dot + 1)})) {
+          best = suffix_str;
+        }
+      }
+    }
+    offset += parts[i].size() + 1;
+  }
+  if (!best.empty()) return best;
+  // Default "*" rule: the TLD alone.
+  return std::string{parts.back()};
+}
+
+std::optional<std::string> PublicSuffixList::e2ld(std::string_view name) const {
+  const std::string norm = normalize_name(name);
+  if (!is_valid_name(norm)) return std::nullopt;
+  const std::string suffix = public_suffix(norm);
+  if (suffix.empty() || norm == suffix) return std::nullopt;
+  if (!is_subdomain_of(norm, suffix)) return std::nullopt;
+  // One label more than the suffix.
+  const std::string_view head{norm.data(), norm.size() - suffix.size() - 1};
+  const std::size_t dot = head.rfind('.');
+  const std::string_view owner = dot == std::string_view::npos ? head : head.substr(dot + 1);
+  return std::string{owner} + "." + suffix;
+}
+
+std::string PublicSuffixList::e2ld_or_self(std::string_view name) const {
+  if (auto d = e2ld(name)) return *std::move(d);
+  return normalize_name(name);
+}
+
+}  // namespace dnsembed::dns

@@ -1,0 +1,167 @@
+#include "dns/punycode.hpp"
+
+#include <limits>
+
+namespace dnsembed::dns {
+
+namespace {
+
+// RFC 3492 parameters.
+constexpr std::uint32_t kBase = 36;
+constexpr std::uint32_t kTMin = 1;
+constexpr std::uint32_t kTMax = 26;
+constexpr std::uint32_t kSkew = 38;
+constexpr std::uint32_t kDamp = 700;
+constexpr std::uint32_t kInitialBias = 72;
+constexpr std::uint32_t kInitialN = 128;
+constexpr std::uint32_t kMaxCodePoint = 0x10FFFF;
+
+std::uint32_t adapt(std::uint32_t delta, std::uint32_t num_points, bool first_time) {
+  delta = first_time ? delta / kDamp : delta / 2;
+  delta += delta / num_points;
+  std::uint32_t k = 0;
+  while (delta > ((kBase - kTMin) * kTMax) / 2) {
+    delta /= kBase - kTMin;
+    k += kBase;
+  }
+  return k + (((kBase - kTMin + 1) * delta) / (delta + kSkew));
+}
+
+/// Digit value of a basic code point; kBase for invalid characters.
+std::uint32_t digit_value(char c) noexcept {
+  if (c >= 'a' && c <= 'z') return static_cast<std::uint32_t>(c - 'a');
+  if (c >= 'A' && c <= 'Z') return static_cast<std::uint32_t>(c - 'A');
+  if (c >= '0' && c <= '9') return static_cast<std::uint32_t>(c - '0') + 26;
+  return kBase;
+}
+
+char digit_char(std::uint32_t d) noexcept {
+  return d < 26 ? static_cast<char>('a' + d) : static_cast<char>('0' + d - 26);
+}
+
+}  // namespace
+
+std::optional<std::vector<std::uint32_t>> punycode_decode(std::string_view input) {
+  std::vector<std::uint32_t> output;
+  // Basic code points precede the last delimiter '-'.
+  const std::size_t delim = input.rfind('-');
+  std::size_t in = 0;
+  if (delim != std::string_view::npos) {
+    for (std::size_t i = 0; i < delim; ++i) {
+      const auto c = static_cast<unsigned char>(input[i]);
+      if (c >= 0x80) return std::nullopt;  // basic section must be ASCII
+      output.push_back(c);
+    }
+    in = delim + 1;
+  }
+
+  std::uint32_t n = kInitialN;
+  std::uint32_t i = 0;
+  std::uint32_t bias = kInitialBias;
+  while (in < input.size()) {
+    const std::uint32_t old_i = i;
+    std::uint32_t w = 1;
+    for (std::uint32_t k = kBase;; k += kBase) {
+      if (in >= input.size()) return std::nullopt;  // truncated
+      const std::uint32_t digit = digit_value(input[in++]);
+      if (digit >= kBase) return std::nullopt;
+      if (digit > (std::numeric_limits<std::uint32_t>::max() - i) / w) return std::nullopt;
+      i += digit * w;
+      const std::uint32_t t = k <= bias ? kTMin : (k >= bias + kTMax ? kTMax : k - bias);
+      if (digit < t) break;
+      if (w > std::numeric_limits<std::uint32_t>::max() / (kBase - t)) return std::nullopt;
+      w *= kBase - t;
+    }
+    const auto out_size = static_cast<std::uint32_t>(output.size() + 1);
+    bias = adapt(i - old_i, out_size, old_i == 0);
+    if (i / out_size > std::numeric_limits<std::uint32_t>::max() - n) return std::nullopt;
+    n += i / out_size;
+    i %= out_size;
+    if (n > kMaxCodePoint) return std::nullopt;
+    output.insert(output.begin() + i, n);
+    ++i;
+  }
+  return output;
+}
+
+std::optional<std::string> punycode_encode(const std::vector<std::uint32_t>& input) {
+  std::string output;
+  std::size_t basic = 0;
+  for (const std::uint32_t cp : input) {
+    if (cp > kMaxCodePoint) return std::nullopt;
+    if (cp < 0x80) {
+      output += static_cast<char>(cp);
+      ++basic;
+    }
+  }
+  const std::size_t handled_init = basic;
+  if (basic > 0) output += '-';
+
+  std::uint32_t n = kInitialN;
+  std::uint32_t delta = 0;
+  std::uint32_t bias = kInitialBias;
+  std::size_t handled = handled_init;
+  while (handled < input.size()) {
+    // Smallest unhandled code point >= n.
+    std::uint32_t m = kMaxCodePoint + 1;
+    for (const std::uint32_t cp : input) {
+      if (cp >= n && cp < m) m = cp;
+    }
+    if (m - n > (std::numeric_limits<std::uint32_t>::max() - delta) /
+                    static_cast<std::uint32_t>(handled + 1)) {
+      return std::nullopt;
+    }
+    delta += (m - n) * static_cast<std::uint32_t>(handled + 1);
+    n = m;
+    for (const std::uint32_t cp : input) {
+      if (cp < n && ++delta == 0) return std::nullopt;
+      if (cp == n) {
+        std::uint32_t q = delta;
+        for (std::uint32_t k = kBase;; k += kBase) {
+          const std::uint32_t t = k <= bias ? kTMin : (k >= bias + kTMax ? kTMax : k - bias);
+          if (q < t) break;
+          output += digit_char(t + (q - t) % (kBase - t));
+          q = (q - t) / (kBase - t);
+        }
+        output += digit_char(q);
+        bias = adapt(delta, static_cast<std::uint32_t>(handled + 1), handled == handled_init);
+        delta = 0;
+        ++handled;
+      }
+    }
+    ++delta;
+    ++n;
+  }
+  return output;
+}
+
+std::string utf8_encode(const std::vector<std::uint32_t>& code_points) {
+  std::string out;
+  for (const std::uint32_t cp : code_points) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+  return out;
+}
+
+std::string idn_label_to_unicode(std::string_view label) {
+  if (label.size() < 5 || label.substr(0, 4) != "xn--") return std::string{label};
+  const auto decoded = punycode_decode(label.substr(4));
+  if (!decoded) return std::string{label};
+  return utf8_encode(*decoded);
+}
+
+}  // namespace dnsembed::dns

@@ -1,0 +1,32 @@
+// Punycode (RFC 3492) encode/decode for internationalized domain labels.
+// Real DNS logs carry IDNs as "xn--" ACE labels; lexical features computed
+// on the raw ACE form are meaningless (the paper's §8.2 notes lexical
+// features break for non-English domains), so analyzers decode first.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dnsembed::dns {
+
+/// Decode a punycode label body (WITHOUT the "xn--" prefix) to Unicode
+/// code points. Returns nullopt on malformed input (bad digits, overflow,
+/// out-of-range code points).
+std::optional<std::vector<std::uint32_t>> punycode_decode(std::string_view input);
+
+/// Encode Unicode code points as a punycode label body (without "xn--").
+/// Returns nullopt when the input contains code points > 0x10FFFF.
+std::optional<std::string> punycode_encode(const std::vector<std::uint32_t>& input);
+
+/// Convenience: decode a full label. "xn--..." labels are punycode-decoded
+/// to UTF-8; everything else is returned unchanged. Malformed ACE labels
+/// are returned unchanged (as resolvers treat them).
+std::string idn_label_to_unicode(std::string_view label);
+
+/// UTF-8 encode a code-point sequence (exposed for tests).
+std::string utf8_encode(const std::vector<std::uint32_t>& code_points);
+
+}  // namespace dnsembed::dns

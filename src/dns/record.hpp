@@ -1,0 +1,71 @@
+// DNS record model: query types, response codes, and resource records with
+// typed RDATA. Shared by the wire codec, the log layer, and the simulator.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "dns/ipv4.hpp"
+
+namespace dnsembed::dns {
+
+/// Query/record types we model (subset of RFC 1035/3596).
+enum class QType : std::uint16_t {
+  kA = 1,
+  kNs = 2,
+  kCname = 5,
+  kPtr = 12,
+  kMx = 15,
+  kTxt = 16,
+  kAaaa = 28,
+};
+
+/// Response codes (RFC 1035 §4.1.1).
+enum class RCode : std::uint8_t {
+  kNoError = 0,
+  kFormErr = 1,
+  kServFail = 2,
+  kNxDomain = 3,
+  kNotImp = 4,
+  kRefused = 5,
+};
+
+std::string_view qtype_name(QType t) noexcept;
+
+/// Parse "A", "CNAME", ... (case-insensitive); returns kA for unknown input.
+QType qtype_from_name(std::string_view name) noexcept;
+
+/// IPv6 address as raw bytes (we only need equality/printing, not math).
+struct Ipv6Bytes {
+  std::array<std::uint8_t, 16> bytes{};
+
+  friend bool operator==(const Ipv6Bytes&, const Ipv6Bytes&) = default;
+};
+
+/// A resource record (name, type, ttl, typed rdata). Class is implicitly IN.
+/// Which payload field is meaningful depends on `type`:
+///   kA -> address; kAaaa -> address6; kCname/kNs/kPtr -> target (a name);
+///   kTxt -> target (free text); kMx -> mx_preference + target (exchange).
+struct ResourceRecord {
+  std::string name;  // owner name, normalized presentation form
+  QType type = QType::kA;
+  std::uint32_t ttl = 0;
+  Ipv4 address{};
+  Ipv6Bytes address6{};
+  std::string target;
+  std::uint16_t mx_preference = 0;
+
+  friend bool operator==(const ResourceRecord&, const ResourceRecord&) = default;
+};
+
+/// A question entry.
+struct Question {
+  std::string name;
+  QType type = QType::kA;
+
+  friend bool operator==(const Question&, const Question&) = default;
+};
+
+}  // namespace dnsembed::dns

@@ -1,0 +1,348 @@
+#include "dns/wire.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "dns/name.hpp"
+
+namespace dnsembed::dns {
+
+std::string_view qtype_name(QType t) noexcept {
+  switch (t) {
+    case QType::kA: return "A";
+    case QType::kNs: return "NS";
+    case QType::kCname: return "CNAME";
+    case QType::kPtr: return "PTR";
+    case QType::kMx: return "MX";
+    case QType::kTxt: return "TXT";
+    case QType::kAaaa: return "AAAA";
+  }
+  return "A";
+}
+
+QType qtype_from_name(std::string_view name) noexcept {
+  std::string up;
+  up.reserve(name.size());
+  for (const char c : name) up += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  if (up == "NS") return QType::kNs;
+  if (up == "CNAME") return QType::kCname;
+  if (up == "PTR") return QType::kPtr;
+  if (up == "MX") return QType::kMx;
+  if (up == "TXT") return QType::kTxt;
+  if (up == "AAAA") return QType::kAaaa;
+  return QType::kA;
+}
+
+namespace {
+
+// ---------------------------------------------------------------- encoding
+
+class Encoder {
+ public:
+  std::vector<std::uint8_t> take() && { return std::move(buf_); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v >> 16));
+    u16(static_cast<std::uint16_t>(v & 0xFFFF));
+  }
+
+  std::size_t size() const noexcept { return buf_.size(); }
+
+  void patch_u16(std::size_t offset, std::uint16_t v) {
+    buf_[offset] = static_cast<std::uint8_t>(v >> 8);
+    buf_[offset + 1] = static_cast<std::uint8_t>(v & 0xFF);
+  }
+
+  /// Write a name with suffix compression against previously written names.
+  void name(const std::string& presentation) {
+    const std::string norm = normalize_name(presentation);
+    if (norm.size() > kMaxNameLength) {
+      throw std::invalid_argument{"dns::encode: name too long: " + norm};
+    }
+    std::string_view rest{norm};
+    while (!rest.empty()) {
+      const auto it = offsets_.find(std::string{rest});
+      if (it != offsets_.end() && it->second < 0x3FFF) {
+        u16(static_cast<std::uint16_t>(0xC000 | it->second));
+        return;
+      }
+      if (buf_.size() < 0x3FFF) offsets_.emplace(std::string{rest}, buf_.size());
+      const std::size_t dot = rest.find('.');
+      const std::string_view label = dot == std::string_view::npos ? rest : rest.substr(0, dot);
+      if (label.empty() || label.size() > kMaxLabelLength) {
+        throw std::invalid_argument{"dns::encode: bad label in name: " + norm};
+      }
+      u8(static_cast<std::uint8_t>(label.size()));
+      for (const char c : label) buf_.push_back(static_cast<std::uint8_t>(c));
+      rest = dot == std::string_view::npos ? std::string_view{} : rest.substr(dot + 1);
+    }
+    u8(0);  // root label
+  }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::unordered_map<std::string, std::size_t> offsets_;
+};
+
+void encode_rr(Encoder& enc, const ResourceRecord& rr) {
+  enc.name(rr.name);
+  enc.u16(static_cast<std::uint16_t>(rr.type));
+  enc.u16(1);  // class IN
+  enc.u32(rr.ttl);
+  const std::size_t len_at = enc.size();
+  enc.u16(0);  // rdlength placeholder
+  const std::size_t rdata_start = enc.size();
+  switch (rr.type) {
+    case QType::kA:
+      enc.u32(rr.address.value());
+      break;
+    case QType::kAaaa:
+      for (const std::uint8_t b : rr.address6.bytes) enc.u8(b);
+      break;
+    case QType::kCname:
+    case QType::kNs:
+    case QType::kPtr:
+      enc.name(rr.target);
+      break;
+    case QType::kMx:
+      enc.u16(rr.mx_preference);
+      enc.name(rr.target);
+      break;
+    case QType::kTxt: {
+      // Single character-string; split longer text into 255-byte chunks.
+      std::string_view text{rr.target};
+      if (text.empty()) enc.u8(0);
+      while (!text.empty()) {
+        const std::size_t n = std::min<std::size_t>(text.size(), 255);
+        enc.u8(static_cast<std::uint8_t>(n));
+        for (std::size_t i = 0; i < n; ++i) enc.u8(static_cast<std::uint8_t>(text[i]));
+        text.remove_prefix(n);
+      }
+      break;
+    }
+  }
+  enc.patch_u16(len_at, static_cast<std::uint16_t>(enc.size() - rdata_start));
+}
+
+// ---------------------------------------------------------------- decoding
+
+class Decoder {
+ public:
+  explicit Decoder(const std::vector<std::uint8_t>& wire) : wire_{wire} {}
+
+  bool u8(std::uint8_t& out) noexcept {
+    if (pos_ >= wire_.size()) return false;
+    out = wire_[pos_++];
+    return true;
+  }
+  bool u16(std::uint16_t& out) noexcept {
+    std::uint8_t a = 0;
+    std::uint8_t b = 0;
+    if (!u8(a) || !u8(b)) return false;
+    out = static_cast<std::uint16_t>((a << 8) | b);
+    return true;
+  }
+  bool u32(std::uint32_t& out) noexcept {
+    std::uint16_t a = 0;
+    std::uint16_t b = 0;
+    if (!u16(a) || !u16(b)) return false;
+    out = (static_cast<std::uint32_t>(a) << 16) | b;
+    return true;
+  }
+
+  std::size_t pos() const noexcept { return pos_; }
+  bool skip(std::size_t n) noexcept {
+    if (pos_ + n > wire_.size()) return false;
+    pos_ += n;
+    return true;
+  }
+
+  /// Decode a (possibly compressed) name starting at the current position.
+  bool name(std::string& out) {
+    out.clear();
+    std::size_t pos = pos_;
+    bool jumped = false;
+    std::size_t jumps = 0;
+    while (true) {
+      if (pos >= wire_.size()) return false;
+      const std::uint8_t len = wire_[pos];
+      if ((len & 0xC0) == 0xC0) {
+        if (pos + 1 >= wire_.size()) return false;
+        const std::size_t target =
+            (static_cast<std::size_t>(len & 0x3F) << 8) | wire_[pos + 1];
+        if (!jumped) pos_ = pos + 2;
+        jumped = true;
+        if (++jumps > 64 || target >= wire_.size()) return false;  // loop guard
+        pos = target;
+        continue;
+      }
+      if ((len & 0xC0) != 0) return false;  // reserved label types
+      if (len == 0) {
+        if (!jumped) pos_ = pos + 1;
+        return out.size() <= kMaxNameLength;
+      }
+      if (pos + 1 + len > wire_.size()) return false;
+      if (!out.empty()) out += '.';
+      for (std::size_t i = 0; i < len; ++i) {
+        out += static_cast<char>(std::tolower(wire_[pos + 1 + i]));
+      }
+      if (out.size() > kMaxNameLength) return false;
+      pos += 1 + len;
+    }
+  }
+
+ private:
+  const std::vector<std::uint8_t>& wire_;
+  std::size_t pos_ = 0;
+};
+
+bool decode_rr(Decoder& dec, ResourceRecord& rr) {
+  if (!dec.name(rr.name)) return false;
+  std::uint16_t type = 0;
+  std::uint16_t klass = 0;
+  std::uint16_t rdlength = 0;
+  if (!dec.u16(type) || !dec.u16(klass) || !dec.u32(rr.ttl) || !dec.u16(rdlength)) return false;
+  rr.type = static_cast<QType>(type);
+  const std::size_t rdata_end = dec.pos() + rdlength;
+  switch (rr.type) {
+    case QType::kA: {
+      std::uint32_t v = 0;
+      if (rdlength != 4 || !dec.u32(v)) return false;
+      rr.address = Ipv4{v};
+      break;
+    }
+    case QType::kAaaa: {
+      if (rdlength != 16) return false;
+      for (auto& b : rr.address6.bytes) {
+        if (!dec.u8(b)) return false;
+      }
+      break;
+    }
+    case QType::kCname:
+    case QType::kNs:
+    case QType::kPtr:
+      if (!dec.name(rr.target)) return false;
+      break;
+    case QType::kMx:
+      if (!dec.u16(rr.mx_preference) || !dec.name(rr.target)) return false;
+      break;
+    case QType::kTxt: {
+      rr.target.clear();
+      while (dec.pos() < rdata_end) {
+        std::uint8_t n = 0;
+        if (!dec.u8(n)) return false;
+        for (std::size_t i = 0; i < n; ++i) {
+          std::uint8_t c = 0;
+          if (!dec.u8(c)) return false;
+          rr.target += static_cast<char>(c);
+        }
+      }
+      break;
+    }
+    default:
+      // Unknown type: skip rdata, keep the shell.
+      if (!dec.skip(rdlength)) return false;
+      return dec.pos() == rdata_end;
+  }
+  return dec.pos() == rdata_end;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode(const Message& msg) {
+  Encoder enc;
+  enc.u16(msg.id);
+  std::uint16_t flags = 0;
+  if (msg.is_response) flags |= 0x8000;
+  flags |= static_cast<std::uint16_t>((msg.opcode & 0x0F) << 11);
+  if (msg.authoritative) flags |= 0x0400;
+  if (msg.truncated) flags |= 0x0200;
+  if (msg.recursion_desired) flags |= 0x0100;
+  if (msg.recursion_available) flags |= 0x0080;
+  flags |= static_cast<std::uint16_t>(msg.rcode) & 0x0F;
+  enc.u16(flags);
+  enc.u16(static_cast<std::uint16_t>(msg.questions.size()));
+  enc.u16(static_cast<std::uint16_t>(msg.answers.size()));
+  enc.u16(static_cast<std::uint16_t>(msg.authority.size()));
+  enc.u16(static_cast<std::uint16_t>(msg.additional.size()));
+  for (const auto& q : msg.questions) {
+    enc.name(q.name);
+    enc.u16(static_cast<std::uint16_t>(q.type));
+    enc.u16(1);  // class IN
+  }
+  for (const auto& rr : msg.answers) encode_rr(enc, rr);
+  for (const auto& rr : msg.authority) encode_rr(enc, rr);
+  for (const auto& rr : msg.additional) encode_rr(enc, rr);
+  return std::move(enc).take();
+}
+
+std::optional<Message> decode(const std::vector<std::uint8_t>& wire) {
+  Decoder dec{wire};
+  Message msg;
+  std::uint16_t flags = 0;
+  std::uint16_t qd = 0;
+  std::uint16_t an = 0;
+  std::uint16_t ns = 0;
+  std::uint16_t ar = 0;
+  if (!dec.u16(msg.id) || !dec.u16(flags) || !dec.u16(qd) || !dec.u16(an) || !dec.u16(ns) ||
+      !dec.u16(ar)) {
+    return std::nullopt;
+  }
+  msg.is_response = (flags & 0x8000) != 0;
+  msg.opcode = static_cast<std::uint8_t>((flags >> 11) & 0x0F);
+  msg.authoritative = (flags & 0x0400) != 0;
+  msg.truncated = (flags & 0x0200) != 0;
+  msg.recursion_desired = (flags & 0x0100) != 0;
+  msg.recursion_available = (flags & 0x0080) != 0;
+  msg.rcode = static_cast<RCode>(flags & 0x0F);
+
+  msg.questions.resize(qd);
+  for (auto& q : msg.questions) {
+    std::uint16_t type = 0;
+    std::uint16_t klass = 0;
+    if (!dec.name(q.name) || !dec.u16(type) || !dec.u16(klass)) return std::nullopt;
+    q.type = static_cast<QType>(type);
+  }
+  const auto decode_section = [&dec](std::vector<ResourceRecord>& section, std::uint16_t count) {
+    section.resize(count);
+    for (auto& rr : section) {
+      if (!decode_rr(dec, rr)) return false;
+    }
+    return true;
+  };
+  if (!decode_section(msg.answers, an) || !decode_section(msg.authority, ns) ||
+      !decode_section(msg.additional, ar)) {
+    return std::nullopt;
+  }
+  return msg;
+}
+
+Message make_query(std::uint16_t id, const std::string& qname, QType qtype) {
+  Message msg;
+  msg.id = id;
+  msg.is_response = false;
+  msg.recursion_desired = true;
+  msg.questions.push_back(Question{normalize_name(qname), qtype});
+  return msg;
+}
+
+Message make_response(const Message& query, std::vector<ResourceRecord> answers, RCode rcode) {
+  Message msg;
+  msg.id = query.id;
+  msg.is_response = true;
+  msg.recursion_desired = query.recursion_desired;
+  msg.recursion_available = true;
+  msg.rcode = rcode;
+  msg.questions = query.questions;
+  msg.answers = std::move(answers);
+  return msg;
+}
+
+}  // namespace dnsembed::dns

@@ -1,0 +1,52 @@
+// RFC 1035 wire-format codec: message header, questions, resource records,
+// and name compression (encode and decode). The paper's collection layer
+// parses DNS packets off the campus edge routers; this module is the
+// equivalent packet substrate for the simulator's optional pcap-like output
+// and is exercised heavily in tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dns/record.hpp"
+
+namespace dnsembed::dns {
+
+/// Parsed DNS message (class is implicitly IN; EDNS is out of scope).
+struct Message {
+  std::uint16_t id = 0;
+  bool is_response = false;
+  std::uint8_t opcode = 0;
+  bool authoritative = false;
+  bool truncated = false;
+  bool recursion_desired = true;
+  bool recursion_available = false;
+  RCode rcode = RCode::kNoError;
+
+  std::vector<Question> questions;
+  std::vector<ResourceRecord> answers;
+  std::vector<ResourceRecord> authority;
+  std::vector<ResourceRecord> additional;
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+/// Encode a message to wire format. Names are compressed against earlier
+/// occurrences (full-suffix pointer compression, as real servers emit).
+/// Throws std::invalid_argument for names that violate RFC length limits.
+std::vector<std::uint8_t> encode(const Message& msg);
+
+/// Decode a wire-format message. Returns nullopt on any malformed input
+/// (truncation, compression loops, label overruns, bad rdata lengths).
+std::optional<Message> decode(const std::vector<std::uint8_t>& wire);
+
+/// Convenience: build a single-question query message.
+Message make_query(std::uint16_t id, const std::string& qname, QType qtype);
+
+/// Convenience: build a response echoing the query's question with answers.
+Message make_response(const Message& query, std::vector<ResourceRecord> answers,
+                      RCode rcode = RCode::kNoError);
+
+}  // namespace dnsembed::dns

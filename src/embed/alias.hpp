@@ -1,0 +1,32 @@
+// Walker's alias method: O(n) construction, O(1) sampling from a discrete
+// distribution. LINE samples millions of edges and negative vertices per
+// training run, so constant-time draws matter.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dnsembed::embed {
+
+class AliasTable {
+ public:
+  /// Build from non-negative weights (at least one must be positive).
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Draw an index with probability proportional to its weight.
+  std::size_t sample(util::Rng& rng) const noexcept;
+
+  std::size_t size() const noexcept { return prob_.size(); }
+
+  /// Exact sampling probability of index i (for tests).
+  double probability(std::size_t i) const noexcept;
+
+ private:
+  std::vector<double> prob_;        // acceptance probability per bucket
+  std::vector<std::size_t> alias_;  // fallback index per bucket
+  std::vector<double> pmf_;         // normalized input, kept for probability()
+};
+
+}  // namespace dnsembed::embed

@@ -1,0 +1,176 @@
+#include "embed/line.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "embed/alias.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dnsembed::embed {
+
+namespace {
+
+/// Precomputed sigmoid over [-kSigmoidBound, kSigmoidBound].
+class SigmoidTable {
+ public:
+  SigmoidTable() {
+    for (std::size_t i = 0; i < kSize; ++i) {
+      const double x = (static_cast<double>(i) / (kSize - 1) * 2.0 - 1.0) * kBound;
+      table_[i] = 1.0 / (1.0 + std::exp(-x));
+    }
+  }
+
+  double operator()(double x) const noexcept {
+    if (x >= kBound) return 1.0;
+    if (x <= -kBound) return 0.0;
+    const auto idx =
+        static_cast<std::size_t>((x + kBound) / (2.0 * kBound) * (kSize - 1) + 0.5);
+    return table_[idx];
+  }
+
+ private:
+  static constexpr std::size_t kSize = 2048;
+  static constexpr double kBound = 6.0;
+  double table_[kSize];
+};
+
+const SigmoidTable& sigmoid() {
+  static const SigmoidTable table;
+  return table;
+}
+
+struct TrainContext {
+  const graph::WeightedGraph& g;
+  const LineConfig& config;
+  AliasTable edge_sampler;
+  AliasTable noise_sampler;
+  std::size_t steps = 0;
+};
+
+/// One SGD objective pass (first- or second-order) writing `dim`-wide rows
+/// into `vertex` (and using `context` when second_order). Hogwild when
+/// config.threads > 1.
+void run_sgd(TrainContext& ctx, std::vector<float>& vertex, std::vector<float>& context,
+             std::size_t dim, bool second_order) {
+  const auto& g = ctx.g;
+  const auto& config = ctx.config;
+  const auto edges = g.edges();
+  const std::size_t total = ctx.steps;
+  const double lr_floor = config.initial_lr * config.min_lr_fraction;
+
+  const auto worker = [&](std::size_t begin, std::size_t end, std::uint64_t seed) {
+    util::Rng rng{seed};
+    std::vector<double> grad(dim);
+    for (std::size_t step = begin; step < end; ++step) {
+      const double progress = static_cast<double>(step) / static_cast<double>(total);
+      const double lr = std::max(lr_floor, config.initial_lr * (1.0 - progress));
+
+      const auto& edge = edges[ctx.edge_sampler.sample(rng)];
+      // Random orientation: the graph is undirected, LINE's updates are not.
+      const bool flip = rng.bernoulli(0.5);
+      const graph::VertexId src = flip ? edge.v : edge.u;
+      const graph::VertexId dst = flip ? edge.u : edge.v;
+
+      float* const src_vec = vertex.data() + static_cast<std::size_t>(src) * dim;
+      std::fill(grad.begin(), grad.end(), 0.0);
+
+      for (std::size_t k = 0; k <= config.negatives; ++k) {
+        graph::VertexId target = 0;
+        double label = 0.0;
+        if (k == 0) {
+          target = dst;
+          label = 1.0;
+        } else {
+          target = static_cast<graph::VertexId>(ctx.noise_sampler.sample(rng));
+          if (target == dst || target == src) continue;
+        }
+        float* const tgt_vec = (second_order ? context.data() : vertex.data()) +
+                               static_cast<std::size_t>(target) * dim;
+        double dot = 0.0;
+        for (std::size_t d = 0; d < dim; ++d) dot += static_cast<double>(src_vec[d]) * tgt_vec[d];
+        const double coeff = (label - sigmoid()(dot)) * lr;
+        for (std::size_t d = 0; d < dim; ++d) {
+          grad[d] += coeff * tgt_vec[d];
+          tgt_vec[d] += static_cast<float>(coeff * src_vec[d]);
+        }
+      }
+      for (std::size_t d = 0; d < dim; ++d) src_vec[d] += static_cast<float>(grad[d]);
+    }
+  };
+
+  if (config.threads <= 1) {
+    worker(0, total, config.seed ^ (second_order ? 0xA5A5A5A5ULL : 0x5A5A5A5AULL));
+  } else {
+    util::ThreadPool pool{config.threads};
+    pool.parallel_for(0, total, [&](std::size_t lo, std::size_t hi, std::size_t w) {
+      worker(lo, hi, config.seed + w * 0x9e3779b97f4a7c15ULL + (second_order ? 1 : 0));
+    });
+  }
+}
+
+/// Train one objective and return the raw (unnormalized) embedding block.
+std::vector<float> train_order(TrainContext& ctx, std::size_t dim, bool second_order) {
+  const std::size_t n = ctx.g.vertex_count();
+  std::vector<float> vertex(n * dim);
+  std::vector<float> context;
+  util::Rng rng{ctx.config.seed * 7919 + (second_order ? 1 : 0)};
+  for (auto& x : vertex) {
+    x = static_cast<float>((rng.uniform() - 0.5) / static_cast<double>(dim));
+  }
+  if (second_order) context.assign(n * dim, 0.0f);  // word2vec-style zero init
+  run_sgd(ctx, vertex, context, dim, second_order);
+  return vertex;
+}
+
+}  // namespace
+
+EmbeddingMatrix train_line(const graph::WeightedGraph& g, const LineConfig& config) {
+  if (config.dimension == 0) throw std::invalid_argument{"train_line: zero dimension"};
+  if (config.order == LineOrder::kBoth && config.dimension < 2) {
+    throw std::invalid_argument{"train_line: dimension too small to split"};
+  }
+  if (config.initial_lr <= 0.0) throw std::invalid_argument{"train_line: non-positive lr"};
+
+  EmbeddingMatrix out{g.names().names(), config.dimension};
+  if (g.vertex_count() == 0) return out;
+  if (g.edge_count() == 0) return out;  // all isolated -> all-zero rows
+
+  // Samplers shared by both objectives.
+  std::vector<double> edge_weights;
+  edge_weights.reserve(g.edge_count());
+  for (const auto& e : g.edges()) edge_weights.push_back(e.weight);
+  std::vector<double> noise(g.vertex_count());
+  for (graph::VertexId v = 0; v < g.vertex_count(); ++v) {
+    noise[v] = std::pow(g.weighted_degree(v), config.noise_power);
+  }
+  TrainContext ctx{g, config, AliasTable{edge_weights}, AliasTable{noise}, 0};
+  ctx.steps = config.total_samples != 0 ? config.total_samples
+                                        : config.samples_per_edge * g.edge_count();
+  ctx.steps = std::max<std::size_t>(ctx.steps, 1);
+
+  const auto write_block = [&](const std::vector<float>& block, std::size_t dim,
+                               std::size_t offset) {
+    for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+      auto dst = out.row(v);
+      if (g.degree(static_cast<graph::VertexId>(v)) == 0) continue;  // keep zeros
+      for (std::size_t d = 0; d < dim; ++d) dst[offset + d] = block[v * dim + d];
+    }
+  };
+
+  if (config.order == LineOrder::kFirst) {
+    write_block(train_order(ctx, config.dimension, false), config.dimension, 0);
+  } else if (config.order == LineOrder::kSecond) {
+    write_block(train_order(ctx, config.dimension, true), config.dimension, 0);
+  } else {
+    const std::size_t first_dim = config.dimension / 2;
+    const std::size_t second_dim = config.dimension - first_dim;
+    write_block(train_order(ctx, first_dim, false), first_dim, 0);
+    write_block(train_order(ctx, second_dim, true), second_dim, first_dim);
+  }
+  if (config.normalize_output) out.l2_normalize();
+  return out;
+}
+
+}  // namespace dnsembed::embed

@@ -1,0 +1,184 @@
+#include "features/exposure.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dns/punycode.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/wordlist.hpp"
+
+namespace dnsembed::features {
+
+const std::array<std::string_view, kExposureFeatureCount>& exposure_feature_names() {
+  static const std::array<std::string_view, kExposureFeatureCount> names{
+      "short_life",        "daily_similarity",  "interval_regularity", "active_day_ratio",
+      "distinct_ips",      "distinct_prefixes", "ip_shared_domains",   "cname_ratio",
+      "ttl_mean",          "ttl_stddev",        "ttl_distinct",        "ttl_changes",
+      "low_ttl_fraction",  "numeric_ratio",     "lms_ratio",
+  };
+  return names;
+}
+
+namespace {
+
+/// The registrable label, IDN-decoded: lexical statistics on the raw
+/// "xn--" ACE form would be meaningless.
+std::string lexical_label(std::string_view e2ld) {
+  const std::size_t dot = e2ld.find('.');
+  const std::string_view label = dot == std::string_view::npos ? e2ld : e2ld.substr(0, dot);
+  return dns::idn_label_to_unicode(label);
+}
+
+}  // namespace
+
+double numeric_ratio_of_label(std::string_view e2ld) {
+  return util::digit_ratio(lexical_label(e2ld));
+}
+
+double lms_ratio_of_label(std::string_view e2ld) {
+  const std::string label = lexical_label(e2ld);
+  if (label.empty()) return 0.0;
+  return static_cast<double>(util::longest_meaningful_substring(label)) /
+         static_cast<double>(label.size());
+}
+
+ExposureExtractor::ExposureExtractor(std::int64_t trace_start, std::int64_t trace_end)
+    : trace_start_{trace_start}, trace_end_{trace_end} {
+  if (trace_end <= trace_start) {
+    throw std::invalid_argument{"ExposureExtractor: empty observation window"};
+  }
+}
+
+void ExposureExtractor::observe(const dns::LogEntry& entry, std::string_view e2ld) {
+  auto& s = stats_[std::string{e2ld}];
+  if (s.queries == 0) {
+    s.first_seen = entry.timestamp;
+    s.last_seen = entry.timestamp;
+  }
+  s.first_seen = std::min(s.first_seen, entry.timestamp);
+  s.last_seen = std::max(s.last_seen, entry.timestamp);
+  ++s.queries;
+  s.query_times.push_back(entry.timestamp);
+  if (!entry.cnames.empty()) ++s.cname_queries;
+  if (entry.rcode == dns::RCode::kNoError && !entry.addresses.empty()) {
+    s.ttl_sequence.push_back(entry.ttl);
+    for (const auto& ip : entry.addresses) {
+      s.ips.insert(ip.value());
+      s.prefixes16.insert(ip.prefix16());
+      ip_to_domains_[ip.value()].insert(std::string{e2ld});
+    }
+  }
+}
+
+void ExposureExtractor::fill_row(const std::string& domain, std::span<double> row) const {
+  std::fill(row.begin(), row.end(), 0.0);
+  // Lexical features are available even for never-observed domains.
+  row[13] = numeric_ratio_of_label(domain);
+  row[14] = lms_ratio_of_label(domain);
+
+  const auto it = stats_.find(domain);
+  if (it == stats_.end()) return;
+  const DomainStats& s = it->second;
+  const double window = static_cast<double>(trace_end_ - trace_start_);
+
+  // --- time-based ---
+  // F1 short life: 1 - active span / window (1 = seen only instantaneously).
+  row[0] = 1.0 - static_cast<double>(s.last_seen - s.first_seen) / window;
+
+  // F2 daily similarity: mean pairwise Pearson correlation of per-day
+  // hour-of-day query profiles.
+  const auto day_count = static_cast<std::size_t>((trace_end_ - trace_start_ + 86399) / 86400);
+  if (day_count >= 2) {
+    std::vector<std::vector<double>> profiles(day_count, std::vector<double>(24, 0.0));
+    std::vector<bool> day_active(day_count, false);
+    for (const std::int64_t t : s.query_times) {
+      const auto day = static_cast<std::size_t>((t - trace_start_) / 86400);
+      const auto hour = static_cast<std::size_t>(((t - trace_start_) % 86400) / 3600);
+      if (day < day_count) {
+        profiles[day][hour] += 1.0;
+        day_active[day] = true;
+      }
+    }
+    double corr_sum = 0.0;
+    std::size_t pairs = 0;
+    for (std::size_t a = 0; a < day_count; ++a) {
+      if (!day_active[a]) continue;
+      for (std::size_t b = a + 1; b < day_count; ++b) {
+        if (!day_active[b]) continue;
+        corr_sum += util::pearson(profiles[a], profiles[b]);
+        ++pairs;
+      }
+    }
+    row[1] = pairs > 0 ? corr_sum / static_cast<double>(pairs) : 0.0;
+  }
+
+  // F3 regularity: coefficient of variation of inter-query gaps, squashed
+  // to (0, 1]; 1 = perfectly periodic beaconing.
+  if (s.query_times.size() >= 3) {
+    auto times = s.query_times;
+    std::sort(times.begin(), times.end());
+    std::vector<double> gaps;
+    gaps.reserve(times.size() - 1);
+    for (std::size_t i = 1; i < times.size(); ++i) {
+      gaps.push_back(static_cast<double>(times[i] - times[i - 1]));
+    }
+    const double m = util::mean(gaps);
+    const double sd = util::stddev(gaps);
+    row[2] = m > 0.0 ? 1.0 / (1.0 + sd / m) : 0.0;
+  }
+
+  // F4 active-day ratio.
+  {
+    std::unordered_set<std::int64_t> days;
+    for (const std::int64_t t : s.query_times) days.insert((t - trace_start_) / 86400);
+    row[3] = static_cast<double>(days.size()) /
+             static_cast<double>(std::max<std::size_t>(1, day_count));
+  }
+
+  // --- answer-based ---
+  row[4] = static_cast<double>(s.ips.size());
+  row[5] = static_cast<double>(s.prefixes16.size());
+  // F7: how many *other* domains resolve to this domain's addresses.
+  {
+    std::unordered_set<std::string> sharers;
+    for (const std::uint32_t ip : s.ips) {
+      const auto shared = ip_to_domains_.find(ip);
+      if (shared == ip_to_domains_.end()) continue;
+      for (const auto& d : shared->second) {
+        if (d != domain) sharers.insert(d);
+      }
+    }
+    row[6] = static_cast<double>(sharers.size());
+  }
+  row[7] = static_cast<double>(s.cname_queries) / static_cast<double>(s.queries);
+
+  // --- TTL-based ---
+  if (!s.ttl_sequence.empty()) {
+    util::RunningStats ttl_stats;
+    std::unordered_set<std::uint32_t> distinct;
+    std::size_t changes = 0;
+    std::size_t low = 0;
+    for (std::size_t i = 0; i < s.ttl_sequence.size(); ++i) {
+      const std::uint32_t ttl = s.ttl_sequence[i];
+      ttl_stats.add(static_cast<double>(ttl));
+      distinct.insert(ttl);
+      if (i > 0 && ttl != s.ttl_sequence[i - 1]) ++changes;
+      if (ttl < 300) ++low;
+    }
+    row[8] = ttl_stats.mean();
+    row[9] = ttl_stats.stddev();
+    row[10] = static_cast<double>(distinct.size());
+    row[11] = static_cast<double>(changes);
+    row[12] = static_cast<double>(low) / static_cast<double>(s.ttl_sequence.size());
+  }
+}
+
+ml::Matrix ExposureExtractor::extract(const std::vector<std::string>& domains) const {
+  ml::Matrix out{domains.size(), kExposureFeatureCount};
+  for (std::size_t i = 0; i < domains.size(); ++i) fill_row(domains[i], out.row(i));
+  return out;
+}
+
+}  // namespace dnsembed::features

@@ -1,0 +1,76 @@
+// Exposure-style hand-crafted passive-DNS features (Bilge et al., TISSEC'14)
+// — the baseline the paper compares against (§8.2). Four groups over e2LD
+// aggregates of the DNS log:
+//
+//   time-based       F1 short-life, F2 daily-pattern similarity,
+//                    F3 query-interval regularity, F4 active-day ratio
+//   answer-based     F5 distinct IPs, F6 distinct /16 prefixes,
+//                    F7 domains sharing this domain's IPs, F8 CNAME ratio
+//   TTL-based        F9 mean TTL, F10 TTL stddev, F11 distinct TTLs,
+//                    F12 TTL change count, F13 low-TTL (<300 s) fraction
+//   lexical          F14 numeric-character ratio,
+//                    F15 longest-meaningful-substring ratio
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dns/log_record.hpp"
+#include "ml/dataset.hpp"
+
+namespace dnsembed::features {
+
+inline constexpr std::size_t kExposureFeatureCount = 15;
+
+/// Human-readable names of the 15 features, index-aligned with the matrix
+/// columns produced by ExposureExtractor.
+const std::array<std::string_view, kExposureFeatureCount>& exposure_feature_names();
+
+/// Streaming per-e2LD aggregator + feature materializer. Feed every log
+/// entry (already e2LD-aggregated by the caller via observe()'s `e2ld`
+/// argument), then extract the feature matrix for a chosen domain list.
+class ExposureExtractor {
+ public:
+  /// `trace_start`/`trace_end` bound the observation window (seconds); they
+  /// anchor the short-life and active-day features.
+  ExposureExtractor(std::int64_t trace_start, std::int64_t trace_end);
+
+  /// Record one DNS event attributed to the given e2LD.
+  void observe(const dns::LogEntry& entry, std::string_view e2ld);
+
+  /// Feature matrix (rows aligned with `domains`; unseen domains get
+  /// lexical features only, other columns zero).
+  ml::Matrix extract(const std::vector<std::string>& domains) const;
+
+  std::size_t observed_domains() const noexcept { return stats_.size(); }
+
+ private:
+  struct DomainStats {
+    std::vector<std::int64_t> query_times;
+    std::vector<std::uint32_t> ttl_sequence;
+    std::unordered_set<std::uint32_t> ips;
+    std::unordered_set<std::uint32_t> prefixes16;
+    std::size_t queries = 0;
+    std::size_t cname_queries = 0;
+    std::int64_t first_seen = 0;
+    std::int64_t last_seen = 0;
+  };
+
+  void fill_row(const std::string& domain, std::span<double> row) const;
+
+  std::int64_t trace_start_;
+  std::int64_t trace_end_;
+  std::unordered_map<std::string, DomainStats> stats_;
+  std::unordered_map<std::uint32_t, std::unordered_set<std::string>> ip_to_domains_;
+};
+
+/// Lexical-only features for a domain name (F14, F15); usable standalone.
+double numeric_ratio_of_label(std::string_view e2ld);
+double lms_ratio_of_label(std::string_view e2ld);
+
+}  // namespace dnsembed::features

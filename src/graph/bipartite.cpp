@@ -1,0 +1,77 @@
+#include "graph/bipartite.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dnsembed::graph {
+
+void BipartiteGraph::add_edge(std::string_view left, std::string_view right) {
+  finalized_ = false;
+  const VertexId l = left_names_.intern(left);
+  const VertexId r = right_names_.intern(right);
+  if (l >= left_adj_.size()) left_adj_.resize(l + 1);
+  if (r >= right_adj_.size()) right_adj_.resize(r + 1);
+  left_adj_[l].push_back(r);
+  right_adj_[r].push_back(l);
+}
+
+void BipartiteGraph::finalize() {
+  if (finalized_) return;
+  left_adj_.resize(left_names_.size());
+  right_adj_.resize(right_names_.size());
+  edge_count_ = 0;
+  for (auto& adj : left_adj_) {
+    std::sort(adj.begin(), adj.end());
+    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+    adj.shrink_to_fit();
+    edge_count_ += adj.size();
+  }
+  for (auto& adj : right_adj_) {
+    std::sort(adj.begin(), adj.end());
+    adj.erase(std::unique(adj.begin(), adj.end()), adj.end());
+    adj.shrink_to_fit();
+  }
+  finalized_ = true;
+}
+
+void BipartiteGraph::ensure_finalized(const char* op) const {
+  if (!finalized_) {
+    throw std::logic_error{std::string{"BipartiteGraph: "} + op + " requires finalize()"};
+  }
+}
+
+std::size_t BipartiteGraph::edge_count() const {
+  ensure_finalized("edge_count");
+  return edge_count_;
+}
+
+std::span<const VertexId> BipartiteGraph::left_neighbors(VertexId left) const {
+  ensure_finalized("left_neighbors");
+  if (left >= left_adj_.size()) throw std::out_of_range{"BipartiteGraph: bad left id"};
+  return left_adj_[left];
+}
+
+std::span<const VertexId> BipartiteGraph::right_neighbors(VertexId right) const {
+  ensure_finalized("right_neighbors");
+  if (right >= right_adj_.size()) throw std::out_of_range{"BipartiteGraph: bad right id"};
+  return right_adj_[right];
+}
+
+BipartiteGraph BipartiteGraph::filter_right(const std::vector<bool>& keep) const {
+  ensure_finalized("filter_right");
+  if (keep.size() != right_names_.size()) {
+    throw std::invalid_argument{"BipartiteGraph::filter_right: keep mask size mismatch"};
+  }
+  BipartiteGraph out;
+  for (VertexId r = 0; r < right_adj_.size(); ++r) {
+    if (!keep[r]) continue;
+    const auto& right_name = right_names_.name(r);
+    for (const VertexId l : right_adj_[r]) {
+      out.add_edge(left_names_.name(l), right_name);
+    }
+  }
+  out.finalize();
+  return out;
+}
+
+}  // namespace dnsembed::graph

@@ -1,0 +1,26 @@
+// Edge-list persistence for graphs (CSV): lets the CLI materialize the
+// bipartite graphs and similarity graphs for inspection in other tools
+// (gephi, networkx, spreadsheets) and round-trip them in tests.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/bipartite.hpp"
+#include "graph/weighted_graph.hpp"
+
+namespace dnsembed::graph {
+
+/// "left,right" rows, one per distinct edge, with a header line.
+void save_bipartite_csv(std::ostream& out, const BipartiteGraph& g);
+
+/// Parse back; throws std::runtime_error on malformed rows. Result is
+/// finalized.
+BipartiteGraph load_bipartite_csv(std::istream& in);
+
+/// "u,v,weight" rows plus isolated vertices as "name,," rows.
+void save_weighted_csv(std::ostream& out, const WeightedGraph& g);
+
+WeightedGraph load_weighted_csv(std::istream& in);
+
+}  // namespace dnsembed::graph

@@ -1,0 +1,76 @@
+#include "graph/projection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+
+namespace dnsembed::graph {
+
+namespace {
+
+double set_similarity(SimilarityMeasure measure, std::size_t inter, std::size_t deg_u,
+                      std::size_t deg_v) noexcept {
+  switch (measure) {
+    case SimilarityMeasure::kJaccard:
+      return static_cast<double>(inter) / static_cast<double>(deg_u + deg_v - inter);
+    case SimilarityMeasure::kCosine:
+      return static_cast<double>(inter) /
+             std::sqrt(static_cast<double>(deg_u) * static_cast<double>(deg_v));
+    case SimilarityMeasure::kOverlap:
+      return static_cast<double>(inter) / static_cast<double>(std::min(deg_u, deg_v));
+  }
+  return 0.0;
+}
+
+/// Shared implementation: `side_count`/`side_name`/`side_degree` describe
+/// the projection side; `pivot_count`/`pivot_neighbors` the opposite side.
+template <typename NameFn, typename DegreeFn, typename PivotNeighborsFn>
+WeightedGraph project_impl(std::size_t side_count, NameFn&& side_name, DegreeFn&& side_degree,
+                           std::size_t pivot_count, PivotNeighborsFn&& pivot_neighbors,
+                           const ProjectionOptions& options) {
+  WeightedGraph out;
+  for (VertexId v = 0; v < side_count; ++v) out.add_vertex(side_name(v));
+
+  // Pair key packs (u, v) with u < v into 64 bits.
+  std::unordered_map<std::uint64_t, std::uint32_t> intersections;
+  for (VertexId pivot = 0; pivot < pivot_count; ++pivot) {
+    const auto neighbors = pivot_neighbors(pivot);
+    if (options.max_pivot_degree != 0 && neighbors.size() > options.max_pivot_degree) continue;
+    for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      const std::uint64_t hi = static_cast<std::uint64_t>(neighbors[i]) << 32;
+      for (std::size_t j = i + 1; j < neighbors.size(); ++j) {
+        ++intersections[hi | neighbors[j]];
+      }
+    }
+  }
+
+  for (const auto& [key, inter] : intersections) {
+    const auto u = static_cast<VertexId>(key >> 32);
+    const auto v = static_cast<VertexId>(key & 0xFFFFFFFFu);
+    const double similarity =
+        set_similarity(options.measure, inter, side_degree(u), side_degree(v));
+    if (similarity >= options.min_similarity && similarity > 0.0) {
+      out.add_edge_unchecked(u, v, similarity);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+WeightedGraph project_right(const BipartiteGraph& g, const ProjectionOptions& options) {
+  return project_impl(
+      g.right_count(), [&g](VertexId v) -> const std::string& { return g.right_names().name(v); },
+      [&g](VertexId v) { return g.right_degree(v); }, g.left_count(),
+      [&g](VertexId p) { return g.left_neighbors(p); }, options);
+}
+
+WeightedGraph project_left(const BipartiteGraph& g, const ProjectionOptions& options) {
+  return project_impl(
+      g.left_count(), [&g](VertexId v) -> const std::string& { return g.left_names().name(v); },
+      [&g](VertexId v) { return g.left_degree(v); }, g.right_count(),
+      [&g](VertexId p) { return g.right_neighbors(p); }, options);
+}
+
+}  // namespace dnsembed::graph

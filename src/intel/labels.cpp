@@ -1,0 +1,55 @@
+#include "intel/labels.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace dnsembed::intel {
+
+std::size_t LabeledSet::malicious_count() const {
+  return static_cast<std::size_t>(std::count(labels.begin(), labels.end(), 1));
+}
+
+LabeledSet build_labeled_set(const std::vector<std::string>& candidates,
+                             const trace::GroundTruth& truth, const VirusTotalSim& vt,
+                             const LabelingConfig& config) {
+  if (config.malicious_fraction <= 0.0 || config.malicious_fraction >= 1.0) {
+    throw std::invalid_argument{"build_labeled_set: malicious_fraction must be in (0,1)"};
+  }
+  std::vector<std::string> malicious;
+  std::vector<std::string> benign;
+  for (const auto& domain : candidates) {
+    if (truth.is_malicious(domain)) {
+      if (!config.require_vt_confirmation || vt.confirmed(domain)) {
+        malicious.push_back(domain);
+      }
+      // Unconfirmed malicious domains stay unlabeled (the paper drops them).
+    } else if (truth.is_known(domain)) {
+      benign.push_back(domain);
+    }
+    // Unknown domains (typos etc.) are not labeled.
+  }
+  // Subsample benign to the target mix.
+  const auto target_benign = static_cast<std::size_t>(
+      static_cast<double>(malicious.size()) * (1.0 - config.malicious_fraction) /
+      config.malicious_fraction);
+  util::Rng rng{config.seed};
+  rng.shuffle(benign);
+  if (benign.size() > target_benign) benign.resize(target_benign);
+
+  LabeledSet out;
+  out.domains.reserve(malicious.size() + benign.size());
+  out.labels.reserve(malicious.size() + benign.size());
+  for (auto& d : malicious) {
+    out.domains.push_back(std::move(d));
+    out.labels.push_back(1);
+  }
+  for (auto& d : benign) {
+    out.domains.push_back(std::move(d));
+    out.labels.push_back(0);
+  }
+  return out;
+}
+
+}  // namespace dnsembed::intel

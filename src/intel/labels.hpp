@@ -1,0 +1,38 @@
+// Labeled-set construction (paper §6.1): malicious labels come from the
+// ground truth (vendor blacklist) but are only admitted after VirusTotal
+// confirmation; benign labels come from the whitelist; the benign side is
+// subsampled to the paper's 30/70 class mix.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "intel/virustotal.hpp"
+#include "trace/ground_truth.hpp"
+
+namespace dnsembed::intel {
+
+struct LabelingConfig {
+  /// Target malicious fraction of the labeled set (paper: 0.3).
+  double malicious_fraction = 0.3;
+  /// Require >= confirm_threshold blacklist hits for a malicious label.
+  bool require_vt_confirmation = true;
+  std::uint64_t seed = 7;
+};
+
+struct LabeledSet {
+  std::vector<std::string> domains;
+  std::vector<int> labels;  // 1 = malicious
+
+  std::size_t size() const noexcept { return domains.size(); }
+  std::size_t malicious_count() const;
+};
+
+/// Build labels over `candidates` (typically: the domains surviving graph
+/// pruning). Order of the output is deterministic for a fixed seed.
+LabeledSet build_labeled_set(const std::vector<std::string>& candidates,
+                             const trace::GroundTruth& truth, const VirusTotalSim& vt,
+                             const LabelingConfig& config);
+
+}  // namespace dnsembed::intel

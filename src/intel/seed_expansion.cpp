@@ -1,0 +1,53 @@
+#include "intel/seed_expansion.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "util/rng.hpp"
+
+namespace dnsembed::intel {
+
+std::vector<SeedExpansionPoint> seed_expansion_curve(
+    const std::vector<std::string>& domains, const std::vector<std::size_t>& assignment,
+    const VirusTotalSim& vt, const std::vector<std::size_t>& seed_sizes, std::uint64_t seed) {
+  if (domains.size() != assignment.size()) {
+    throw std::invalid_argument{"seed_expansion_curve: domain/assignment size mismatch"};
+  }
+
+  // Candidate seeds: indices of VT-confirmed malicious domains, shuffled
+  // once so larger seed sets extend smaller ones.
+  std::vector<std::size_t> confirmed_indices;
+  for (std::size_t i = 0; i < domains.size(); ++i) {
+    if (vt.confirmed(domains[i])) confirmed_indices.push_back(i);
+  }
+  util::Rng rng{seed};
+  rng.shuffle(confirmed_indices);
+
+  std::vector<SeedExpansionPoint> curve;
+  curve.reserve(seed_sizes.size());
+  for (const std::size_t requested : seed_sizes) {
+    const std::size_t n_seeds = std::min(requested, confirmed_indices.size());
+    std::unordered_set<std::size_t> seed_set(confirmed_indices.begin(),
+                                             confirmed_indices.begin() +
+                                                 static_cast<long>(n_seeds));
+    std::unordered_set<std::size_t> malicious_clusters;
+    for (const std::size_t i : seed_set) malicious_clusters.insert(assignment[i]);
+
+    SeedExpansionPoint point;
+    point.seeds = n_seeds;
+    for (std::size_t i = 0; i < domains.size(); ++i) {
+      if (seed_set.contains(i)) continue;
+      if (!malicious_clusters.contains(assignment[i])) continue;
+      if (vt.confirmed(domains[i])) {
+        ++point.true_discovered;
+      } else {
+        ++point.suspicious;
+      }
+    }
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+}  // namespace dnsembed::intel

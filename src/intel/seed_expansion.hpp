@@ -1,0 +1,31 @@
+// Seed-expansion (paper §7.2.1, Fig. 4): starting from a small seed of
+// confirmed malicious domains, mark every cluster containing a seed as a
+// malicious cluster, then classify the remaining cluster members with the
+// VirusTotal oracle — confirmed ones are newly discovered *true* malicious
+// domains, unconfirmed ones are *suspicious*.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "intel/virustotal.hpp"
+
+namespace dnsembed::intel {
+
+struct SeedExpansionPoint {
+  std::size_t seeds = 0;
+  std::size_t true_discovered = 0;  // VT-confirmed non-seed cluster members
+  std::size_t suspicious = 0;       // unconfirmed non-seed cluster members
+};
+
+/// Compute the discovery curve for each requested seed size. `assignment`
+/// maps each domain (row of `domains`) to its cluster id. Seeds are drawn
+/// (deterministically for a fixed seed) from the VT-confirmed malicious
+/// domains present in `domains`; each larger seed size extends the smaller
+/// one, matching the paper's incremental experiment.
+std::vector<SeedExpansionPoint> seed_expansion_curve(
+    const std::vector<std::string>& domains, const std::vector<std::size_t>& assignment,
+    const VirusTotalSim& vt, const std::vector<std::size_t>& seed_sizes, std::uint64_t seed);
+
+}  // namespace dnsembed::intel

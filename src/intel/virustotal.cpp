@@ -1,0 +1,59 @@
+#include "intel/virustotal.hpp"
+
+#include <stdexcept>
+
+namespace dnsembed::intel {
+
+VirusTotalSim::VirusTotalSim(const trace::GroundTruth& truth, const VirusTotalConfig& config)
+    : truth_{&truth}, config_{config} {
+  if (config.lists == 0) throw std::invalid_argument{"VirusTotalSim: no lists"};
+  if (config.min_sensitivity < 0 || config.max_sensitivity > 1 ||
+      config.min_sensitivity > config.max_sensitivity) {
+    throw std::invalid_argument{"VirusTotalSim: bad sensitivity range"};
+  }
+}
+
+double VirusTotalSim::list_sensitivity(std::size_t list) const noexcept {
+  if (config_.lists == 1) return config_.max_sensitivity;
+  const double frac = static_cast<double>(list) / static_cast<double>(config_.lists - 1);
+  return config_.min_sensitivity + frac * (config_.max_sensitivity - config_.min_sensitivity);
+}
+
+std::uint64_t VirusTotalSim::domain_hash(std::string_view domain, std::uint64_t salt) const
+    noexcept {
+  // FNV-1a over the name, then SplitMix64 finalization with the salt.
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : domain) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  std::uint64_t z = h ^ (salt * 0x9e3779b97f4a7c15ULL) ^ config_.seed;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+bool VirusTotalSim::evades(std::string_view domain) const {
+  if (!truth_->is_malicious(domain)) return false;
+  const double u = static_cast<double>(domain_hash(domain, 0xE0A5ULL) >> 11) * 0x1.0p-53;
+  return u < config_.evasion_rate;
+}
+
+std::size_t VirusTotalSim::hits(std::string_view domain) const {
+  const bool malicious = truth_->is_malicious(domain);
+  if (malicious && evades(domain)) return 0;
+  std::size_t count = 0;
+  for (std::size_t list = 0; list < config_.lists; ++list) {
+    const double u =
+        static_cast<double>(domain_hash(domain, 1000 + list) >> 11) * 0x1.0p-53;
+    const double p = malicious ? list_sensitivity(list) : config_.false_positive_rate;
+    if (u < p) ++count;
+  }
+  return count;
+}
+
+bool VirusTotalSim::confirmed(std::string_view domain) const {
+  return hits(domain) >= config_.confirm_threshold;
+}
+
+}  // namespace dnsembed::intel

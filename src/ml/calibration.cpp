@@ -1,0 +1,69 @@
+#include "ml/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dnsembed::ml {
+
+namespace {
+
+double sigmoid_of(double a, double b, double score) noexcept {
+  const double z = a * score + b;
+  if (z >= 0) {
+    const double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+void PlattScaler::fit(const std::vector<double>& scores, const std::vector<int>& labels) {
+  if (scores.size() != labels.size()) {
+    throw std::invalid_argument{"PlattScaler::fit: size mismatch"};
+  }
+  const auto n_pos = static_cast<double>(std::count(labels.begin(), labels.end(), 1));
+  const auto n_neg = static_cast<double>(labels.size()) - n_pos;
+  if (n_pos == 0 || n_neg == 0) {
+    throw std::invalid_argument{"PlattScaler::fit: both classes required"};
+  }
+  // Platt's smoothed targets protect against overconfident boundaries.
+  const double t_pos = (n_pos + 1.0) / (n_pos + 2.0);
+  const double t_neg = 1.0 / (n_neg + 2.0);
+
+  // Gradient descent on the cross-entropy in (a, b). Note P = sigma(a*s+b)
+  // with a expected NEGATIVE when higher scores mean class 1... we follow
+  // Platt's convention P = 1/(1+exp(a*s+b)), so dP/ds > 0 requires a < 0.
+  double a = -1.0;
+  double b = 0.0;
+  const double lr = 0.01;
+  for (int iter = 0; iter < 5000; ++iter) {
+    double grad_a = 0.0;
+    double grad_b = 0.0;
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+      const double target = labels[i] == 1 ? t_pos : t_neg;
+      // P(y=1) = 1 / (1 + exp(a*s + b)) = sigma(-(a*s+b)).
+      const double p = sigmoid_of(-a, -b, scores[i]);
+      const double error = p - target;
+      grad_a += error * -scores[i];  // dP/da = -s * p(1-p); folded sign into error form
+      grad_b += error * -1.0;
+    }
+    a -= lr * grad_a / static_cast<double>(scores.size());
+    b -= lr * grad_b / static_cast<double>(scores.size());
+    if (std::abs(grad_a) + std::abs(grad_b) < 1e-8 * static_cast<double>(scores.size())) {
+      break;
+    }
+  }
+  a_ = a;
+  b_ = b;
+  fitted_ = true;
+}
+
+double PlattScaler::probability(double score) const {
+  if (!fitted_) throw std::logic_error{"PlattScaler: not fitted"};
+  return sigmoid_of(-a_, -b_, score);
+}
+
+}  // namespace dnsembed::ml

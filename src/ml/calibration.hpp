@@ -1,0 +1,32 @@
+// Platt scaling: map raw SVM decision values to calibrated probabilities
+// P(malicious | score) = 1 / (1 + exp(A*score + B)). Operators act on
+// probabilities and expected costs, not margins; the paper's Eq. 7
+// thresholding becomes a probability cut-off after calibration.
+#pragma once
+
+#include <vector>
+
+namespace dnsembed::ml {
+
+class PlattScaler {
+ public:
+  /// Fit A and B on (decision value, 0/1 label) pairs — use out-of-fold
+  /// scores, never training scores. Uses Platt's target smoothing and
+  /// gradient descent on the cross-entropy. Throws std::invalid_argument
+  /// on size mismatch / single-class input.
+  void fit(const std::vector<double>& scores, const std::vector<int>& labels);
+
+  /// Calibrated P(label = 1 | score). Throws std::logic_error before fit().
+  double probability(double score) const;
+
+  double slope() const noexcept { return a_; }
+  double intercept() const noexcept { return b_; }
+  bool fitted() const noexcept { return fitted_; }
+
+ private:
+  double a_ = -1.0;
+  double b_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace dnsembed::ml

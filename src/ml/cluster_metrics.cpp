@@ -1,0 +1,122 @@
+#include "ml/cluster_metrics.hpp"
+
+#include <cmath>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace dnsembed::ml {
+
+namespace {
+
+using Contingency = std::map<std::pair<std::size_t, std::size_t>, std::size_t>;
+
+void check(const std::vector<std::size_t>& a, const std::vector<std::size_t>& b) {
+  if (a.size() != b.size()) throw std::invalid_argument{"cluster metrics: size mismatch"};
+  if (a.empty()) throw std::invalid_argument{"cluster metrics: empty input"};
+}
+
+Contingency contingency(const std::vector<std::size_t>& a, const std::vector<std::size_t>& b) {
+  Contingency table;
+  for (std::size_t i = 0; i < a.size(); ++i) ++table[{a[i], b[i]}];
+  return table;
+}
+
+std::unordered_map<std::size_t, std::size_t> counts_of(const std::vector<std::size_t>& v) {
+  std::unordered_map<std::size_t, std::size_t> counts;
+  for (const auto x : v) ++counts[x];
+  return counts;
+}
+
+double choose2(std::size_t n) noexcept {
+  return static_cast<double>(n) * static_cast<double>(n - 1) / 2.0;
+}
+
+}  // namespace
+
+double cluster_purity(const std::vector<std::size_t>& assignment,
+                      const std::vector<std::size_t>& reference) {
+  check(assignment, reference);
+  // Per cluster: count the dominant reference class.
+  std::unordered_map<std::size_t, std::unordered_map<std::size_t, std::size_t>> per_cluster;
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    ++per_cluster[assignment[i]][reference[i]];
+  }
+  std::size_t dominant_total = 0;
+  for (const auto& [cluster, classes] : per_cluster) {
+    std::size_t best = 0;
+    for (const auto& [cls, count] : classes) best = std::max(best, count);
+    dominant_total += best;
+  }
+  return static_cast<double>(dominant_total) / static_cast<double>(assignment.size());
+}
+
+double rand_index(const std::vector<std::size_t>& assignment,
+                  const std::vector<std::size_t>& reference) {
+  check(assignment, reference);
+  const auto n = assignment.size();
+  if (n < 2) return 1.0;
+  // agreements = pairs together in both + pairs apart in both. Computed
+  // from the contingency table in O(table) instead of O(n^2).
+  double together_both = 0.0;
+  for (const auto& [cell, count] : contingency(assignment, reference)) {
+    together_both += choose2(count);
+  }
+  double together_a = 0.0;
+  for (const auto& [cluster, count] : counts_of(assignment)) together_a += choose2(count);
+  double together_b = 0.0;
+  for (const auto& [cls, count] : counts_of(reference)) together_b += choose2(count);
+  const double total_pairs = choose2(n);
+  const double disagreements = together_a + together_b - 2.0 * together_both;
+  return (total_pairs - disagreements) / total_pairs;
+}
+
+double adjusted_rand_index(const std::vector<std::size_t>& assignment,
+                           const std::vector<std::size_t>& reference) {
+  check(assignment, reference);
+  const auto n = assignment.size();
+  if (n < 2) return 1.0;
+  double sum_cells = 0.0;
+  for (const auto& [cell, count] : contingency(assignment, reference)) {
+    sum_cells += choose2(count);
+  }
+  double sum_a = 0.0;
+  for (const auto& [cluster, count] : counts_of(assignment)) sum_a += choose2(count);
+  double sum_b = 0.0;
+  for (const auto& [cls, count] : counts_of(reference)) sum_b += choose2(count);
+  const double total = choose2(n);
+  const double expected = sum_a * sum_b / total;
+  const double maximum = (sum_a + sum_b) / 2.0;
+  if (maximum == expected) return 1.0;  // both partitions trivial
+  return (sum_cells - expected) / (maximum - expected);
+}
+
+double normalized_mutual_information(const std::vector<std::size_t>& assignment,
+                                     const std::vector<std::size_t>& reference) {
+  check(assignment, reference);
+  const auto n = static_cast<double>(assignment.size());
+  const auto counts_a = counts_of(assignment);
+  const auto counts_b = counts_of(reference);
+
+  double mi = 0.0;
+  for (const auto& [cell, count] : contingency(assignment, reference)) {
+    const double p_joint = static_cast<double>(count) / n;
+    const double p_a = static_cast<double>(counts_a.at(cell.first)) / n;
+    const double p_b = static_cast<double>(counts_b.at(cell.second)) / n;
+    mi += p_joint * std::log(p_joint / (p_a * p_b));
+  }
+  const auto entropy = [n](const std::unordered_map<std::size_t, std::size_t>& counts) {
+    double h = 0.0;
+    for (const auto& [key, count] : counts) {
+      const double p = static_cast<double>(count) / n;
+      h -= p * std::log(p);
+    }
+    return h;
+  };
+  const double ha = entropy(counts_a);
+  const double hb = entropy(counts_b);
+  if (ha <= 0.0 || hb <= 0.0) return 0.0;
+  return mi / ((ha + hb) / 2.0);
+}
+
+}  // namespace dnsembed::ml

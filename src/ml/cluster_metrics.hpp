@@ -1,0 +1,33 @@
+// External clustering-quality metrics against a reference partition:
+// purity, Rand index, adjusted Rand index, and normalized mutual
+// information. Used to quantify malware-family recovery (the paper's §7
+// reports it qualitatively).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dnsembed::ml {
+
+/// All metrics take two equal-length label vectors (cluster assignment vs
+/// reference classes). Labels are arbitrary ids; only equality matters.
+
+/// Fraction of points whose cluster's majority class matches their class.
+double cluster_purity(const std::vector<std::size_t>& assignment,
+                      const std::vector<std::size_t>& reference);
+
+/// Fraction of agreeing pairs (same/same + diff/diff).
+double rand_index(const std::vector<std::size_t>& assignment,
+                  const std::vector<std::size_t>& reference);
+
+/// Rand index corrected for chance (Hubert & Arabie); 1 = identical
+/// partitions, ~0 = random agreement.
+double adjusted_rand_index(const std::vector<std::size_t>& assignment,
+                           const std::vector<std::size_t>& reference);
+
+/// Mutual information normalized by the arithmetic mean of the entropies;
+/// in [0, 1], 0 when either partition is trivial.
+double normalized_mutual_information(const std::vector<std::size_t>& assignment,
+                                     const std::vector<std::size_t>& reference);
+
+}  // namespace dnsembed::ml

@@ -1,0 +1,66 @@
+#include "ml/dataset.hpp"
+
+#include <stdexcept>
+
+namespace dnsembed::ml {
+
+std::span<double> Matrix::row(std::size_t i) {
+  if (i >= rows_) throw std::out_of_range{"Matrix::row"};
+  return {data_.data() + i * cols_, cols_};
+}
+
+std::span<const double> Matrix::row(std::size_t i) const {
+  if (i >= rows_) throw std::out_of_range{"Matrix::row"};
+  return {data_.data() + i * cols_, cols_};
+}
+
+double& Matrix::at(std::size_t i, std::size_t j) {
+  if (i >= rows_ || j >= cols_) throw std::out_of_range{"Matrix::at"};
+  return data_[i * cols_ + j];
+}
+
+double Matrix::at(std::size_t i, std::size_t j) const {
+  if (i >= rows_ || j >= cols_) throw std::out_of_range{"Matrix::at"};
+  return data_[i * cols_ + j];
+}
+
+Matrix Matrix::select_rows(std::span<const std::size_t> indices) const {
+  Matrix out{indices.size(), cols_};
+  for (std::size_t k = 0; k < indices.size(); ++k) {
+    const auto src = row(indices[k]);
+    auto dst = out.row(k);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return out;
+}
+
+Dataset Dataset::select(std::span<const std::size_t> indices) const {
+  Dataset out;
+  out.x = x.select_rows(indices);
+  out.y.reserve(indices.size());
+  for (const std::size_t i : indices) {
+    if (i >= y.size()) throw std::out_of_range{"Dataset::select"};
+    out.y.push_back(y[i]);
+  }
+  if (!names.empty()) {
+    out.names.reserve(indices.size());
+    for (const std::size_t i : indices) out.names.push_back(names[i]);
+  }
+  return out;
+}
+
+void Dataset::validate() const {
+  if (x.rows() != y.size()) {
+    throw std::invalid_argument{"Dataset: feature/label count mismatch"};
+  }
+  if (!names.empty() && names.size() != y.size()) {
+    throw std::invalid_argument{"Dataset: name/label count mismatch"};
+  }
+  for (const int label : y) {
+    if (label != 0 && label != 1) {
+      throw std::invalid_argument{"Dataset: labels must be 0 or 1"};
+    }
+  }
+}
+
+}  // namespace dnsembed::ml

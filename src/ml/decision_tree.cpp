@@ -1,0 +1,224 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace dnsembed::ml {
+
+namespace {
+
+double entropy(std::size_t positives, std::size_t total) noexcept {
+  if (total == 0) return 0.0;
+  const double p = static_cast<double>(positives) / static_cast<double>(total);
+  double h = 0.0;
+  if (p > 0.0) h -= p * std::log2(p);
+  if (p < 1.0) h -= (1.0 - p) * std::log2(1.0 - p);
+  return h;
+}
+
+struct SplitChoice {
+  bool found = false;
+  std::size_t feature = 0;
+  double threshold = 0.0;
+  double gain_ratio = 0.0;
+};
+
+/// C4.5 pessimistic error: upper confidence bound on the error rate of a
+/// node that misclassifies e of n samples, at confidence factor cf
+/// (normal approximation, as in J48's Stats.addErrs).
+double pessimistic_errors(double n, double e, double cf) {
+  if (n <= 0.0) return 0.0;
+  // z for the one-sided upper bound at confidence cf (cf=0.25 -> z~0.6745).
+  // Inverse normal CDF via Acklam-style rational approximation on (0, 0.5].
+  const double p = 1.0 - cf;
+  const double t = std::sqrt(-2.0 * std::log(1.0 - p));
+  const double z =
+      t - (2.515517 + 0.802853 * t + 0.010328 * t * t) /
+              (1.0 + 1.432788 * t + 0.189269 * t * t + 0.001308 * t * t * t);
+  const double f = e / n;
+  const double z2 = z * z;
+  const double ucb = (f + z2 / (2.0 * n) +
+                      z * std::sqrt(f / n - f * f / n + z2 / (4.0 * n * n))) /
+                     (1.0 + z2 / n);
+  return ucb * n;
+}
+
+class TreeBuilder {
+ public:
+  TreeBuilder(const Dataset& data, const TreeConfig& config) : data_{data}, config_{config} {}
+
+  std::unique_ptr<DecisionTree::Node> build() {
+    std::vector<std::size_t> indices(data_.size());
+    std::iota(indices.begin(), indices.end(), 0);
+    auto root = grow(indices, 0);
+    if (config_.pruning_confidence > 0.0) prune(*root);
+    return root;
+  }
+
+ private:
+  std::unique_ptr<DecisionTree::Node> grow(std::vector<std::size_t>& indices,
+                                           std::size_t depth) {
+    auto node = std::make_unique<DecisionTree::Node>();
+    node->samples = indices.size();
+    node->positives = 0;
+    for (const std::size_t i : indices) node->positives += static_cast<std::size_t>(data_.y[i]);
+    // Laplace smoothing keeps ROC scores informative at pure leaves.
+    node->p_malicious = (static_cast<double>(node->positives) + 1.0) /
+                        (static_cast<double>(node->samples) + 2.0);
+
+    const bool pure = node->positives == 0 || node->positives == indices.size();
+    if (pure || depth >= config_.max_depth || indices.size() < config_.min_samples_split) {
+      return node;
+    }
+    const SplitChoice split = best_split(indices);
+    if (!split.found) return node;
+
+    std::vector<std::size_t> left_idx;
+    std::vector<std::size_t> right_idx;
+    for (const std::size_t i : indices) {
+      (data_.x.at(i, split.feature) <= split.threshold ? left_idx : right_idx).push_back(i);
+    }
+    if (left_idx.size() < config_.min_samples_leaf ||
+        right_idx.size() < config_.min_samples_leaf) {
+      return node;
+    }
+    node->is_leaf = false;
+    node->feature = split.feature;
+    node->threshold = split.threshold;
+    indices.clear();
+    indices.shrink_to_fit();
+    node->left = grow(left_idx, depth + 1);
+    node->right = grow(right_idx, depth + 1);
+    return node;
+  }
+
+  SplitChoice best_split(const std::vector<std::size_t>& indices) {
+    SplitChoice best;
+    const std::size_t total = indices.size();
+    std::size_t total_pos = 0;
+    for (const std::size_t i : indices) total_pos += static_cast<std::size_t>(data_.y[i]);
+    const double parent_entropy = entropy(total_pos, total);
+
+    std::vector<std::pair<double, int>> values(total);
+    for (std::size_t f = 0; f < data_.x.cols(); ++f) {
+      for (std::size_t k = 0; k < total; ++k) {
+        values[k] = {data_.x.at(indices[k], f), data_.y[indices[k]]};
+      }
+      std::sort(values.begin(), values.end());
+      std::size_t left_n = 0;
+      std::size_t left_pos = 0;
+      for (std::size_t k = 0; k + 1 < total; ++k) {
+        ++left_n;
+        left_pos += static_cast<std::size_t>(values[k].second);
+        if (values[k].first == values[k + 1].first) continue;  // no boundary here
+        if (left_n < config_.min_samples_leaf || total - left_n < config_.min_samples_leaf) {
+          continue;
+        }
+        const double p_left = static_cast<double>(left_n) / static_cast<double>(total);
+        const double info = p_left * entropy(left_pos, left_n) +
+                            (1.0 - p_left) * entropy(total_pos - left_pos, total - left_n);
+        const double gain = parent_entropy - info;
+        if (gain <= 1e-12) continue;
+        // Gain ratio: gain / split entropy (C4.5's hedge against
+        // many-valued splits; for binary thresholds it still damps
+        // extremely unbalanced cuts).
+        const double split_info = entropy(left_n, total);
+        if (split_info <= 1e-12) continue;
+        const double ratio = gain / split_info;
+        if (ratio > best.gain_ratio) {
+          best.found = true;
+          best.feature = f;
+          best.threshold = (values[k].first + values[k + 1].first) / 2.0;
+          best.gain_ratio = ratio;
+        }
+      }
+    }
+    return best;
+  }
+
+  /// Bottom-up subtree replacement: collapse a split whose pessimistic
+  /// error is not better than the leaf's.
+  double prune(DecisionTree::Node& node) {
+    const auto n = static_cast<double>(node.samples);
+    const auto errors_as_leaf = static_cast<double>(
+        std::min(node.positives, node.samples - node.positives));
+    const double leaf_estimate =
+        pessimistic_errors(n, errors_as_leaf, config_.pruning_confidence);
+    if (node.is_leaf) return leaf_estimate;
+    const double subtree_estimate = prune(*node.left) + prune(*node.right);
+    if (leaf_estimate <= subtree_estimate + 0.1) {
+      node.is_leaf = true;
+      node.left.reset();
+      node.right.reset();
+      return leaf_estimate;
+    }
+    return subtree_estimate;
+  }
+
+  const Dataset& data_;
+  const TreeConfig& config_;
+};
+
+}  // namespace
+
+DecisionTree train_tree(const Dataset& train, const TreeConfig& config) {
+  train.validate();
+  if (train.size() == 0) throw std::invalid_argument{"train_tree: empty dataset"};
+  DecisionTree tree;
+  TreeBuilder builder{train, config};
+  tree.root_ = builder.build();
+  return tree;
+}
+
+double DecisionTree::predict_proba(std::span<const double> x) const {
+  if (!root_) throw std::logic_error{"DecisionTree: not trained"};
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    if (node->feature >= x.size()) {
+      throw std::invalid_argument{"DecisionTree: feature vector too short"};
+    }
+    node = x[node->feature] <= node->threshold ? node->left.get() : node->right.get();
+  }
+  return node->p_malicious;
+}
+
+int DecisionTree::predict(std::span<const double> x, double threshold) const {
+  return predict_proba(x) >= threshold ? 1 : 0;
+}
+
+std::vector<double> DecisionTree::predict_probas(const Matrix& x) const {
+  std::vector<double> out;
+  out.reserve(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) out.push_back(predict_proba(x.row(i)));
+  return out;
+}
+
+std::size_t DecisionTree::count_nodes(const Node& node) noexcept {
+  if (node.is_leaf) return 1;
+  return 1 + count_nodes(*node.left) + count_nodes(*node.right);
+}
+
+std::size_t DecisionTree::max_depth_of(const Node& node) noexcept {
+  if (node.is_leaf) return 0;
+  return 1 + std::max(max_depth_of(*node.left), max_depth_of(*node.right));
+}
+
+std::size_t DecisionTree::count_leaves(const Node& node) noexcept {
+  if (node.is_leaf) return 1;
+  return count_leaves(*node.left) + count_leaves(*node.right);
+}
+
+std::size_t DecisionTree::node_count() const noexcept {
+  return root_ ? count_nodes(*root_) : 0;
+}
+
+std::size_t DecisionTree::depth() const noexcept { return root_ ? max_depth_of(*root_) : 0; }
+
+std::size_t DecisionTree::leaf_count() const noexcept {
+  return root_ ? count_leaves(*root_) : 0;
+}
+
+}  // namespace dnsembed::ml

@@ -1,0 +1,62 @@
+// C4.5-style decision tree over continuous features — the classifier behind
+// the paper's Exposure baseline ("J48" is Weka's C4.5). Gain-ratio splits on
+// threshold midpoints, pessimistic error pruning (confidence factor 0.25,
+// as J48), and Laplace-smoothed leaf probabilities for ROC scoring.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace dnsembed::ml {
+
+struct TreeConfig {
+  std::size_t max_depth = 32;
+  std::size_t min_samples_split = 4;
+  std::size_t min_samples_leaf = 2;
+  /// C4.5/J48 pruning confidence factor; 0 disables pruning.
+  double pruning_confidence = 0.25;
+};
+
+class DecisionTree {
+ public:
+  /// P(class = 1) for one feature vector.
+  double predict_proba(std::span<const double> x) const;
+
+  int predict(std::span<const double> x, double threshold = 0.5) const;
+
+  std::vector<double> predict_probas(const Matrix& x) const;
+
+  std::size_t node_count() const noexcept;
+  std::size_t depth() const noexcept;
+  std::size_t leaf_count() const noexcept;
+
+  /// Tree node. Public only so the out-of-line builder can construct the
+  /// tree; not part of the stable API.
+  struct Node {
+    bool is_leaf = true;
+    std::size_t feature = 0;
+    double threshold = 0.0;
+    double p_malicious = 0.0;  // Laplace-smoothed at leaves
+    std::size_t samples = 0;
+    std::size_t positives = 0;
+    std::unique_ptr<Node> left;   // feature <= threshold
+    std::unique_ptr<Node> right;  // feature > threshold
+  };
+
+ private:
+  friend DecisionTree train_tree(const Dataset& train, const TreeConfig& config);
+
+  static std::size_t count_nodes(const Node& node) noexcept;
+  static std::size_t max_depth_of(const Node& node) noexcept;
+  static std::size_t count_leaves(const Node& node) noexcept;
+
+  std::unique_ptr<Node> root_;
+};
+
+DecisionTree train_tree(const Dataset& train, const TreeConfig& config);
+
+}  // namespace dnsembed::ml

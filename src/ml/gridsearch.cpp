@@ -1,0 +1,39 @@
+#include "ml/gridsearch.hpp"
+
+#include <stdexcept>
+
+#include "ml/crossval.hpp"
+#include "ml/metrics.hpp"
+
+namespace dnsembed::ml {
+
+SvmGridResult grid_search_svm(const Dataset& data, const SvmConfig& base,
+                              const std::vector<double>& cs,
+                              const std::vector<double>& gammas, std::size_t folds,
+                              std::uint64_t seed) {
+  if (cs.empty() || gammas.empty()) {
+    throw std::invalid_argument{"grid_search_svm: empty grid"};
+  }
+  SvmGridResult result;
+  result.best = base;
+  for (const double c : cs) {
+    for (const double gamma : gammas) {
+      SvmConfig config = base;
+      config.c = c;
+      config.gamma = gamma;
+      const auto cv = cross_validate(
+          data, folds, seed, [&config](const Dataset& train, const Dataset& test) {
+            return train_svm(train, config).decision_values(test.x);
+          });
+      const double auc = roc_auc(cv.scores, cv.labels);
+      result.evaluated.push_back(SvmGridPoint{c, gamma, auc});
+      if (auc > result.best_auc) {
+        result.best_auc = auc;
+        result.best = config;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace dnsembed::ml

@@ -1,0 +1,34 @@
+// Cross-validated grid search over SVM hyper-parameters. The paper states
+// C = 0.09 and gamma = 0.06 without a search protocol; this utility makes
+// the selection reproducible on any feature set.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/svm.hpp"
+
+namespace dnsembed::ml {
+
+struct SvmGridPoint {
+  double c = 0.0;
+  double gamma = 0.0;
+  double auc = 0.0;
+};
+
+struct SvmGridResult {
+  SvmConfig best;            // base config with the winning C / gamma
+  double best_auc = 0.0;
+  std::vector<SvmGridPoint> evaluated;  // in sweep order
+};
+
+/// Evaluate every (C, gamma) pair with stratified k-fold CV AUC and return
+/// the best. For the linear kernel pass a single dummy gamma. Throws
+/// std::invalid_argument on empty grids.
+SvmGridResult grid_search_svm(const Dataset& data, const SvmConfig& base,
+                              const std::vector<double>& cs,
+                              const std::vector<double>& gammas, std::size_t folds,
+                              std::uint64_t seed);
+
+}  // namespace dnsembed::ml

@@ -1,0 +1,126 @@
+#include "ml/kmeans.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace dnsembed::ml {
+
+double squared_l2(std::span<const double> a, std::span<const double> b) noexcept {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+namespace {
+
+Matrix kmeanspp_init(const Matrix& x, std::size_t k, util::Rng& rng) {
+  const std::size_t n = x.rows();
+  Matrix centroids{k, x.cols()};
+  std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
+
+  std::size_t first = rng.uniform_index(n);
+  std::copy(x.row(first).begin(), x.row(first).end(), centroids.row(0).begin());
+  for (std::size_t c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      min_dist[i] = std::min(min_dist[i], squared_l2(x.row(i), centroids.row(c - 1)));
+      total += min_dist[i];
+    }
+    std::size_t chosen = 0;
+    if (total > 0.0) {
+      double u = rng.uniform() * total;
+      for (std::size_t i = 0; i < n; ++i) {
+        u -= min_dist[i];
+        if (u <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = rng.uniform_index(n);  // all points identical
+    }
+    std::copy(x.row(chosen).begin(), x.row(chosen).end(), centroids.row(c).begin());
+  }
+  return centroids;
+}
+
+KMeansResult lloyd(const Matrix& x, Matrix centroids, std::size_t max_iterations,
+                   util::Rng& rng) {
+  const std::size_t n = x.rows();
+  const std::size_t k = centroids.rows();
+  const std::size_t d = x.cols();
+  KMeansResult result;
+  result.assignment.assign(n, 0);
+
+  for (std::size_t iter = 0; iter < max_iterations; ++iter) {
+    bool changed = iter == 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        const double dist = squared_l2(x.row(i), centroids.row(c));
+        if (dist < best) {
+          best = dist;
+          best_c = c;
+        }
+      }
+      if (result.assignment[i] != best_c) changed = true;
+      result.assignment[i] = best_c;
+    }
+    result.iterations = iter + 1;
+    if (!changed && iter > 0) break;
+
+    Matrix sums{k, d};
+    std::vector<std::size_t> counts(k, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto dst = sums.row(result.assignment[i]);
+      const auto src = x.row(i);
+      for (std::size_t j = 0; j < d; ++j) dst[j] += src[j];
+      ++counts[result.assignment[i]];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      auto row = centroids.row(c);
+      if (counts[c] == 0) {
+        // Empty cluster: re-seed on a random point to keep k clusters.
+        const auto src = x.row(rng.uniform_index(n));
+        std::copy(src.begin(), src.end(), row.begin());
+        continue;
+      }
+      const auto sum = sums.row(c);
+      for (std::size_t j = 0; j < d; ++j) row[j] = sum[j] / static_cast<double>(counts[c]);
+    }
+  }
+
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    result.inertia += squared_l2(x.row(i), centroids.row(result.assignment[i]));
+  }
+  result.centroids = std::move(centroids);
+  return result;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const Matrix& x, const KMeansConfig& config) {
+  if (config.k == 0) throw std::invalid_argument{"kmeans: k must be >= 1"};
+  if (x.rows() < config.k) throw std::invalid_argument{"kmeans: fewer rows than clusters"};
+  if (config.restarts == 0) throw std::invalid_argument{"kmeans: restarts must be >= 1"};
+
+  KMeansResult best;
+  best.inertia = std::numeric_limits<double>::infinity();
+  for (std::size_t r = 0; r < config.restarts; ++r) {
+    util::Rng rng{config.seed + r * 0x9e3779b97f4a7c15ULL};
+    auto centroids = kmeanspp_init(x, config.k, rng);
+    auto result = lloyd(x, std::move(centroids), config.max_iterations, rng);
+    if (result.inertia < best.inertia) best = std::move(result);
+  }
+  return best;
+}
+
+}  // namespace dnsembed::ml

@@ -1,0 +1,78 @@
+#include "ml/logreg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dnsembed::ml {
+
+namespace {
+
+double sigmoid(double x) noexcept {
+  if (x >= 0) {
+    const double z = std::exp(-x);
+    return 1.0 / (1.0 + z);
+  }
+  const double z = std::exp(x);
+  return z / (1.0 + z);
+}
+
+}  // namespace
+
+LogRegModel train_logreg(const Dataset& train, const LogRegConfig& config) {
+  train.validate();
+  const std::size_t n = train.size();
+  if (n == 0) throw std::invalid_argument{"train_logreg: empty dataset"};
+  if (config.learning_rate <= 0) throw std::invalid_argument{"train_logreg: bad learning rate"};
+  const std::size_t d = train.x.cols();
+
+  LogRegModel model;
+  model.weights_.assign(d, 0.0);
+  model.bias_ = 0.0;
+
+  std::vector<double> grad(d);
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    std::fill(grad.begin(), grad.end(), 0.0);
+    double grad_bias = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto row = train.x.row(i);
+      double z = model.bias_;
+      for (std::size_t j = 0; j < d; ++j) z += model.weights_[j] * row[j];
+      const double error = sigmoid(z) - static_cast<double>(train.y[i]);
+      for (std::size_t j = 0; j < d; ++j) grad[j] += error * row[j];
+      grad_bias += error;
+    }
+    double total_abs = std::abs(grad_bias);
+    const double scale = config.learning_rate / static_cast<double>(n);
+    for (std::size_t j = 0; j < d; ++j) {
+      grad[j] += config.l2 * static_cast<double>(n) * model.weights_[j];
+      total_abs += std::abs(grad[j]);
+      model.weights_[j] -= scale * grad[j];
+    }
+    model.bias_ -= scale * grad_bias;
+    model.epochs_run_ = epoch + 1;
+    if (total_abs / static_cast<double>(n * (d + 1)) < config.tolerance) break;
+  }
+  return model;
+}
+
+double LogRegModel::predict_proba(std::span<const double> x) const {
+  if (x.size() != weights_.size()) {
+    throw std::invalid_argument{"LogRegModel: dimension mismatch"};
+  }
+  double z = bias_;
+  for (std::size_t j = 0; j < weights_.size(); ++j) z += weights_[j] * x[j];
+  return sigmoid(z);
+}
+
+int LogRegModel::predict(std::span<const double> x, double threshold) const {
+  return predict_proba(x) >= threshold ? 1 : 0;
+}
+
+std::vector<double> LogRegModel::predict_probas(const Matrix& x) const {
+  std::vector<double> out;
+  out.reserve(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) out.push_back(predict_proba(x.row(i)));
+  return out;
+}
+
+}  // namespace dnsembed::ml

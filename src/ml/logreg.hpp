@@ -1,0 +1,47 @@
+// L2-regularized logistic regression trained by gradient descent — a
+// third classifier for the ablation alongside the paper's SVM and the
+// Exposure baseline's C4.5.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace dnsembed::ml {
+
+struct LogRegConfig {
+  double learning_rate = 0.1;
+  double l2 = 1e-4;
+  std::size_t epochs = 200;
+  /// Stop early when the mean absolute gradient falls below this.
+  double tolerance = 1e-6;
+  std::uint64_t seed = 1;
+};
+
+class LogRegModel {
+ public:
+  /// P(y = 1 | x).
+  double predict_proba(std::span<const double> x) const;
+
+  int predict(std::span<const double> x, double threshold = 0.5) const;
+
+  std::vector<double> predict_probas(const Matrix& x) const;
+
+  const std::vector<double>& weights() const noexcept { return weights_; }
+  double bias() const noexcept { return bias_; }
+  std::size_t epochs_run() const noexcept { return epochs_run_; }
+
+ private:
+  friend LogRegModel train_logreg(const Dataset& train, const LogRegConfig& config);
+
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+  std::size_t epochs_run_ = 0;
+};
+
+/// Full-batch gradient descent on the regularized cross-entropy.
+LogRegModel train_logreg(const Dataset& train, const LogRegConfig& config);
+
+}  // namespace dnsembed::ml

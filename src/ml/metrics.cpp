@@ -1,0 +1,113 @@
+#include "ml/metrics.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace dnsembed::ml {
+
+namespace {
+
+void check_inputs(const std::vector<double>& scores, const std::vector<int>& labels) {
+  if (scores.size() != labels.size()) {
+    throw std::invalid_argument{"metrics: score/label size mismatch"};
+  }
+  if (scores.empty()) throw std::invalid_argument{"metrics: empty input"};
+  bool has_pos = false;
+  bool has_neg = false;
+  for (const int y : labels) {
+    if (y == 1) {
+      has_pos = true;
+    } else if (y == 0) {
+      has_neg = true;
+    } else {
+      throw std::invalid_argument{"metrics: labels must be 0 or 1"};
+    }
+  }
+  if (!has_pos || !has_neg) {
+    throw std::invalid_argument{"metrics: both classes must be present"};
+  }
+}
+
+}  // namespace
+
+std::vector<RocPoint> roc_curve(const std::vector<double>& scores,
+                                const std::vector<int>& labels) {
+  check_inputs(scores, labels);
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&scores](std::size_t a, std::size_t b) { return scores[a] > scores[b]; });
+
+  const auto positives = static_cast<double>(std::count(labels.begin(), labels.end(), 1));
+  const auto negatives = static_cast<double>(labels.size()) - positives;
+
+  std::vector<RocPoint> curve;
+  curve.push_back(RocPoint{0.0, 0.0, scores[order.front()] + 1.0});
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  for (std::size_t k = 0; k < order.size();) {
+    // Consume the whole tie group at this score.
+    const double score = scores[order[k]];
+    while (k < order.size() && scores[order[k]] == score) {
+      if (labels[order[k]] == 1) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+      ++k;
+    }
+    curve.push_back(RocPoint{static_cast<double>(fp) / negatives,
+                             static_cast<double>(tp) / positives, score});
+  }
+  return curve;
+}
+
+double roc_auc(const std::vector<double>& scores, const std::vector<int>& labels) {
+  const auto curve = roc_curve(scores, labels);
+  double auc = 0.0;
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    auc += (curve[i].fpr - curve[i - 1].fpr) * (curve[i].tpr + curve[i - 1].tpr) * 0.5;
+  }
+  return auc;
+}
+
+double ConfusionMatrix::accuracy() const noexcept {
+  const std::size_t total = tp + fp + tn + fn;
+  return total == 0 ? 0.0 : static_cast<double>(tp + tn) / static_cast<double>(total);
+}
+
+double ConfusionMatrix::precision() const noexcept {
+  return tp + fp == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(tp + fp);
+}
+
+double ConfusionMatrix::recall() const noexcept {
+  return tp + fn == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(tp + fn);
+}
+
+double ConfusionMatrix::f1() const noexcept {
+  const double p = precision();
+  const double r = recall();
+  return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::fpr() const noexcept {
+  return fp + tn == 0 ? 0.0 : static_cast<double>(fp) / static_cast<double>(fp + tn);
+}
+
+ConfusionMatrix confusion_at(const std::vector<double>& scores, const std::vector<int>& labels,
+                             double threshold) {
+  check_inputs(scores, labels);
+  ConfusionMatrix cm;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    const bool predicted = scores[i] >= threshold;
+    if (labels[i] == 1) {
+      predicted ? ++cm.tp : ++cm.fn;
+    } else {
+      predicted ? ++cm.fp : ++cm.tn;
+    }
+  }
+  return cm;
+}
+
+}  // namespace dnsembed::ml

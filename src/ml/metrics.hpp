@@ -1,0 +1,43 @@
+// Classification metrics: ROC curve and AUC (the paper's headline numbers,
+// Figs. 6-7), plus thresholded confusion-matrix statistics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dnsembed::ml {
+
+struct RocPoint {
+  double fpr = 0.0;
+  double tpr = 0.0;
+  double threshold = 0.0;
+};
+
+/// ROC curve from decision scores (higher = more likely positive) and
+/// binary labels. Points are ordered from (0,0) to (1,1); tied scores
+/// collapse into a single point. Throws std::invalid_argument when sizes
+/// mismatch or a class is absent.
+std::vector<RocPoint> roc_curve(const std::vector<double>& scores, const std::vector<int>& labels);
+
+/// Area under the ROC curve (trapezoidal; equals the Mann-Whitney U
+/// statistic, ties counted half).
+double roc_auc(const std::vector<double>& scores, const std::vector<int>& labels);
+
+struct ConfusionMatrix {
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  std::size_t tn = 0;
+  std::size_t fn = 0;
+
+  double accuracy() const noexcept;
+  double precision() const noexcept;  // 0 when no positive predictions
+  double recall() const noexcept;     // 0 when no positive labels
+  double f1() const noexcept;
+  double fpr() const noexcept;        // 0 when no negative labels
+};
+
+/// Confusion matrix predicting positive when score >= threshold.
+ConfusionMatrix confusion_at(const std::vector<double>& scores, const std::vector<int>& labels,
+                             double threshold);
+
+}  // namespace dnsembed::ml

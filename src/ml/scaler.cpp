@@ -1,0 +1,46 @@
+#include "ml/scaler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace dnsembed::ml {
+
+void StandardScaler::fit(const Matrix& x) {
+  if (x.rows() == 0) throw std::invalid_argument{"StandardScaler::fit: empty matrix"};
+  const std::size_t d = x.cols();
+  means_.assign(d, 0.0);
+  stddevs_.assign(d, 0.0);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const auto row = x.row(i);
+    for (std::size_t j = 0; j < d; ++j) means_[j] += row[j];
+  }
+  for (auto& m : means_) m /= static_cast<double>(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const auto row = x.row(i);
+    for (std::size_t j = 0; j < d; ++j) {
+      const double delta = row[j] - means_[j];
+      stddevs_[j] += delta * delta;
+    }
+  }
+  for (auto& s : stddevs_) s = std::sqrt(s / static_cast<double>(x.rows()));
+  fitted_ = true;
+}
+
+Matrix StandardScaler::transform(const Matrix& x) const {
+  if (!fitted_) throw std::logic_error{"StandardScaler::transform before fit"};
+  if (x.cols() != means_.size()) {
+    throw std::invalid_argument{"StandardScaler::transform: column mismatch"};
+  }
+  Matrix out{x.rows(), x.cols()};
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const auto src = x.row(i);
+    auto dst = out.row(i);
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      const double centered = src[j] - means_[j];
+      dst[j] = stddevs_[j] > 0.0 ? centered / stddevs_[j] : centered;
+    }
+  }
+  return out;
+}
+
+}  // namespace dnsembed::ml

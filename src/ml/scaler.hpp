@@ -1,0 +1,36 @@
+// Per-feature standardization (zero mean, unit variance). The Exposure
+// baseline's hand-crafted features live on wildly different scales
+// (TTL seconds vs ratios), so the SVM/tree comparisons standardize first.
+#pragma once
+
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace dnsembed::ml {
+
+class StandardScaler {
+ public:
+  /// Learn means and stddevs from the training matrix.
+  void fit(const Matrix& x);
+
+  /// (x - mean) / stddev per column; constant columns pass through
+  /// centered. Throws std::logic_error if not fitted, std::invalid_argument
+  /// on column-count mismatch.
+  Matrix transform(const Matrix& x) const;
+
+  Matrix fit_transform(const Matrix& x) {
+    fit(x);
+    return transform(x);
+  }
+
+  const std::vector<double>& means() const noexcept { return means_; }
+  const std::vector<double>& stddevs() const noexcept { return stddevs_; }
+
+ private:
+  std::vector<double> means_;
+  std::vector<double> stddevs_;
+  bool fitted_ = false;
+};
+
+}  // namespace dnsembed::ml

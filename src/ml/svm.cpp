@@ -1,0 +1,275 @@
+#include "ml/svm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <limits>
+#include <list>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace dnsembed::ml {
+
+namespace {
+
+double dot(std::span<const double> a, std::span<const double> b) noexcept {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double squared_distance(std::span<const double> a, std::span<const double> b) noexcept {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+double kernel_value(const SvmConfig& config, std::span<const double> a,
+                    std::span<const double> b) noexcept {
+  switch (config.kernel) {
+    case SvmKernel::kRbf:
+      return std::exp(-config.gamma * squared_distance(a, b));
+    case SvmKernel::kLinear:
+      return dot(a, b);
+  }
+  return 0.0;
+}
+
+/// LRU cache of kernel matrix rows: K(i, *) for training points.
+class KernelCache {
+ public:
+  KernelCache(const Matrix& x, const SvmConfig& config)
+      : x_{x}, config_{config}, capacity_{std::max<std::size_t>(2, config.cache_rows)} {}
+
+  std::span<const double> row(std::size_t i) {
+    const auto it = rows_.find(i);
+    if (it != rows_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      return it->second.values;
+    }
+    if (rows_.size() >= capacity_) {
+      const std::size_t victim = lru_.back();
+      lru_.pop_back();
+      rows_.erase(victim);
+    }
+    Entry entry;
+    entry.values.resize(x_.rows());
+    const auto xi = x_.row(i);
+    for (std::size_t j = 0; j < x_.rows(); ++j) {
+      entry.values[j] = kernel_value(config_, xi, x_.row(j));
+    }
+    lru_.push_front(i);
+    entry.lru_it = lru_.begin();
+    const auto [pos, inserted] = rows_.emplace(i, std::move(entry));
+    return pos->second.values;
+  }
+
+ private:
+  struct Entry {
+    std::vector<double> values;
+    std::list<std::size_t>::iterator lru_it;
+  };
+
+  const Matrix& x_;
+  const SvmConfig& config_;
+  std::size_t capacity_;
+  std::unordered_map<std::size_t, Entry> rows_;
+  std::list<std::size_t> lru_;
+};
+
+}  // namespace
+
+SvmModel train_svm(const Dataset& train, const SvmConfig& config) {
+  train.validate();
+  const std::size_t n = train.size();
+  if (n < 2) throw std::invalid_argument{"train_svm: need at least 2 rows"};
+  if (config.c <= 0.0) throw std::invalid_argument{"train_svm: C must be positive"};
+  if (config.kernel == SvmKernel::kRbf && config.gamma <= 0.0) {
+    throw std::invalid_argument{"train_svm: gamma must be positive"};
+  }
+  bool has_pos = false;
+  bool has_neg = false;
+  for (const int label : train.y) (label == 1 ? has_pos : has_neg) = true;
+  if (!has_pos || !has_neg) {
+    throw std::invalid_argument{"train_svm: both classes required"};
+  }
+
+  // Signed labels and per-class box bounds.
+  std::vector<double> y(n);
+  std::vector<double> cap(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    y[i] = train.y[i] == 1 ? 1.0 : -1.0;
+    cap[i] = config.c * config.class_weight[train.y[i]];
+  }
+
+  // Dual problem: min 1/2 a^T Q a - e^T a, 0 <= a_i <= cap_i, y^T a = 0,
+  // with Q_ij = y_i y_j K_ij. gradient[i] = (Q a)_i - 1.
+  std::vector<double> alpha(n, 0.0);
+  std::vector<double> gradient(n, -1.0);
+  KernelCache cache{train.x, config};
+
+  const std::size_t max_iter = config.max_iterations != 0
+                                   ? config.max_iterations
+                                   : std::max<std::size_t>(10'000'000, 100 * n);
+  std::size_t iter = 0;
+  for (; iter < max_iter; ++iter) {
+    // Maximal violating pair (Keerthi et al. / libsvm WSS1):
+    //   i = argmax_{t in I_up}   -y_t * grad_t
+    //   j = argmin_{t in I_low}  -y_t * grad_t
+    double max_up = -std::numeric_limits<double>::infinity();
+    double min_low = std::numeric_limits<double>::infinity();
+    std::size_t i = n;
+    std::size_t j = n;
+    for (std::size_t t = 0; t < n; ++t) {
+      const double value = -y[t] * gradient[t];
+      const bool in_up = (y[t] > 0 && alpha[t] < cap[t]) || (y[t] < 0 && alpha[t] > 0);
+      const bool in_low = (y[t] > 0 && alpha[t] > 0) || (y[t] < 0 && alpha[t] < cap[t]);
+      if (in_up && value > max_up) {
+        max_up = value;
+        i = t;
+      }
+      if (in_low && value < min_low) {
+        min_low = value;
+        j = t;
+      }
+    }
+    if (i == n || j == n || max_up - min_low < config.tolerance) break;
+
+    const auto ki = cache.row(i);
+    const auto kj = cache.row(j);
+    double eta = ki[i] + kj[j] - 2.0 * ki[j];
+    if (eta <= 0.0) eta = 1e-12;
+
+    // Unconstrained step along the pair, then clip to the box.
+    const double delta = (max_up - min_low) / eta;
+    double step = delta;
+    if (y[i] > 0) {
+      step = std::min(step, cap[i] - alpha[i]);
+    } else {
+      step = std::min(step, alpha[i]);
+    }
+    if (y[j] > 0) {
+      step = std::min(step, alpha[j]);
+    } else {
+      step = std::min(step, cap[j] - alpha[j]);
+    }
+    alpha[i] += y[i] * step;
+    alpha[j] -= y[j] * step;
+
+    // Delta alpha_i = y_i * step and delta alpha_j = -y_j * step, so
+    // grad_t += Q_ti dA_i + Q_tj dA_j = y_t * step * (K_ti - K_tj).
+    for (std::size_t t = 0; t < n; ++t) {
+      gradient[t] += step * y[t] * (ki[t] - kj[t]);
+    }
+  }
+
+  // Bias from free support vectors (fallback: midpoint of the bounds).
+  double bias_sum = 0.0;
+  std::size_t bias_count = 0;
+  double up_bound = std::numeric_limits<double>::infinity();
+  double low_bound = -std::numeric_limits<double>::infinity();
+  for (std::size_t t = 0; t < n; ++t) {
+    const double value = -y[t] * gradient[t];
+    if (alpha[t] > 0.0 && alpha[t] < cap[t]) {
+      bias_sum += value;
+      ++bias_count;
+    }
+    const bool in_up = (y[t] > 0 && alpha[t] < cap[t]) || (y[t] < 0 && alpha[t] > 0);
+    const bool in_low = (y[t] > 0 && alpha[t] > 0) || (y[t] < 0 && alpha[t] < cap[t]);
+    if (in_up) up_bound = std::min(up_bound, value);
+    if (in_low) low_bound = std::max(low_bound, value);
+  }
+  double bias = 0.0;
+  if (bias_count > 0) {
+    bias = bias_sum / static_cast<double>(bias_count);
+  } else if (std::isfinite(up_bound) && std::isfinite(low_bound)) {
+    bias = (up_bound + low_bound) / 2.0;
+  }
+
+  // Collect support vectors.
+  std::vector<std::size_t> sv_idx;
+  for (std::size_t t = 0; t < n; ++t) {
+    if (alpha[t] > 1e-12) sv_idx.push_back(t);
+  }
+  SvmModel model;
+  model.config_ = config;
+  model.bias_ = bias;
+  model.iterations_ = iter;
+  model.support_vectors_ = train.x.select_rows(sv_idx);
+  model.coef_.reserve(sv_idx.size());
+  for (const std::size_t t : sv_idx) model.coef_.push_back(alpha[t] * y[t]);
+  return model;
+}
+
+double SvmModel::decision_value(std::span<const double> x) const {
+  double sum = bias_;
+  for (std::size_t s = 0; s < coef_.size(); ++s) {
+    sum += coef_[s] * kernel_value(config_, support_vectors_.row(s), x);
+  }
+  return sum;
+}
+
+int SvmModel::predict(std::span<const double> x, double threshold) const {
+  return decision_value(x) >= threshold ? 1 : 0;
+}
+
+void SvmModel::save(std::ostream& out) const {
+  out.precision(17);
+  out << "dnsembed-svm 1\n";
+  out << (config_.kernel == SvmKernel::kRbf ? "rbf" : "linear") << ' ' << config_.c << ' '
+      << config_.gamma << ' ' << bias_ << '\n';
+  out << coef_.size() << ' ' << support_vectors_.cols() << '\n';
+  for (std::size_t s = 0; s < coef_.size(); ++s) {
+    out << coef_[s];
+    for (const double v : support_vectors_.row(s)) out << ' ' << v;
+    out << '\n';
+  }
+}
+
+SvmModel SvmModel::load(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != "dnsembed-svm" || version != 1) {
+    throw std::runtime_error{"SvmModel::load: bad header"};
+  }
+  SvmModel model;
+  std::string kernel;
+  if (!(in >> kernel >> model.config_.c >> model.config_.gamma >> model.bias_)) {
+    throw std::runtime_error{"SvmModel::load: bad parameter line"};
+  }
+  if (kernel == "rbf") {
+    model.config_.kernel = SvmKernel::kRbf;
+  } else if (kernel == "linear") {
+    model.config_.kernel = SvmKernel::kLinear;
+  } else {
+    throw std::runtime_error{"SvmModel::load: unknown kernel " + kernel};
+  }
+  std::size_t count = 0;
+  std::size_t dim = 0;
+  if (!(in >> count >> dim) || dim == 0) {
+    throw std::runtime_error{"SvmModel::load: bad shape line"};
+  }
+  model.coef_.resize(count);
+  model.support_vectors_ = Matrix{count, dim};
+  for (std::size_t s = 0; s < count; ++s) {
+    if (!(in >> model.coef_[s])) throw std::runtime_error{"SvmModel::load: truncated"};
+    for (double& v : model.support_vectors_.row(s)) {
+      if (!(in >> v)) throw std::runtime_error{"SvmModel::load: truncated"};
+    }
+  }
+  return model;
+}
+
+std::vector<double> SvmModel::decision_values(const Matrix& x) const {
+  std::vector<double> out;
+  out.reserve(x.rows());
+  for (std::size_t i = 0; i < x.rows(); ++i) out.push_back(decision_value(x.row(i)));
+  return out;
+}
+
+}  // namespace dnsembed::ml

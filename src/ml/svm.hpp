@@ -1,0 +1,68 @@
+// C-SVC support vector machine trained with SMO (sequential minimal
+// optimization, libsvm-style maximal-violating-pair working-set selection).
+// The paper's detector (§6.2) is an RBF SVM with C = 0.09 and gamma = 0.06;
+// decision values (Eq. 7) feed the ROC/AUC evaluation.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace dnsembed::ml {
+
+enum class SvmKernel { kRbf, kLinear };
+
+struct SvmConfig {
+  SvmKernel kernel = SvmKernel::kRbf;
+  /// Box constraint (paper: 0.09).
+  double c = 0.09;
+  /// RBF kernel coefficient (paper: 0.06). Ignored for the linear kernel.
+  double gamma = 0.06;
+  /// Per-class C multipliers, index 0 = benign, 1 = malicious. Useful for
+  /// the 30/70 class imbalance; 1.0/1.0 matches the paper.
+  double class_weight[2] = {1.0, 1.0};
+  /// KKT violation tolerance for convergence.
+  double tolerance = 1e-3;
+  /// Hard cap on SMO iterations (0 = heuristic: max(10^7, 100 n)).
+  std::size_t max_iterations = 0;
+  /// Kernel row cache size in rows (bounds memory at cache_rows * n).
+  std::size_t cache_rows = 2048;
+};
+
+/// Trained model: support vectors with signed coefficients and the bias.
+class SvmModel {
+ public:
+  /// Signed decision value: positive side = class 1 (malicious).
+  double decision_value(std::span<const double> x) const;
+
+  /// Hard 0/1 prediction at the given decision threshold.
+  int predict(std::span<const double> x, double threshold = 0.0) const;
+
+  std::vector<double> decision_values(const Matrix& x) const;
+
+  std::size_t support_vector_count() const noexcept { return coef_.size(); }
+  double bias() const noexcept { return bias_; }
+  std::size_t iterations() const noexcept { return iterations_; }
+
+  /// Persist / restore the trained model (text format: header with kernel,
+  /// C, gamma, bias; one support vector per line with its coefficient).
+  void save(std::ostream& out) const;
+  static SvmModel load(std::istream& in);
+
+ private:
+  friend SvmModel train_svm(const Dataset& train, const SvmConfig& config);
+
+  SvmConfig config_{};
+  Matrix support_vectors_;
+  std::vector<double> coef_;  // alpha_i * (2 y_i - 1)
+  double bias_ = 0.0;
+  std::size_t iterations_ = 0;
+};
+
+/// Train on a validated dataset containing both classes.
+SvmModel train_svm(const Dataset& train, const SvmConfig& config);
+
+}  // namespace dnsembed::ml

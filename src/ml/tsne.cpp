@@ -1,0 +1,163 @@
+#include "ml/tsne.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "ml/kmeans.hpp"
+#include "util/rng.hpp"
+
+namespace dnsembed::ml {
+
+namespace {
+
+/// Conditional distribution P(j|i) with the bandwidth tuned by bisection so
+/// the entropy matches log(perplexity).
+void fill_conditional_row(const std::vector<double>& dist2_row, std::size_t i,
+                          double perplexity, std::vector<double>& p_row) {
+  const std::size_t n = dist2_row.size();
+  const double target_entropy = std::log(perplexity);
+  double beta = 1.0;
+  double beta_min = 0.0;
+  double beta_max = std::numeric_limits<double>::infinity();
+
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    double sum = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      p_row[j] = j == i ? 0.0 : std::exp(-beta * dist2_row[j]);
+      sum += p_row[j];
+    }
+    if (sum <= 0.0) sum = 1e-300;
+    double entropy = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      p_row[j] /= sum;
+      if (p_row[j] > 1e-12) entropy -= p_row[j] * std::log(p_row[j]);
+    }
+    const double diff = entropy - target_entropy;
+    if (std::abs(diff) < 1e-5) break;
+    if (diff > 0) {  // too flat -> sharpen
+      beta_min = beta;
+      beta = std::isinf(beta_max) ? beta * 2.0 : (beta + beta_max) / 2.0;
+    } else {
+      beta_max = beta;
+      beta = (beta + beta_min) / 2.0;
+    }
+  }
+}
+
+}  // namespace
+
+Matrix tsne(const Matrix& x, const TsneConfig& config) {
+  const std::size_t n = x.rows();
+  if (n < 4) throw std::invalid_argument{"tsne: need at least 4 points"};
+  if (config.perplexity >= static_cast<double>(n)) {
+    throw std::invalid_argument{"tsne: perplexity must be < n"};
+  }
+  if (config.output_dims == 0) throw std::invalid_argument{"tsne: zero output dims"};
+
+  // Pairwise squared distances in the input space.
+  std::vector<std::vector<double>> dist2(n, std::vector<double>(n, 0.0));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double d = squared_l2(x.row(i), x.row(j));
+      dist2[i][j] = d;
+      dist2[j][i] = d;
+    }
+  }
+
+  // Symmetrized joint distribution P.
+  std::vector<std::vector<double>> p(n, std::vector<double>(n, 0.0));
+  {
+    std::vector<double> row(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      fill_conditional_row(dist2[i], i, config.perplexity, row);
+      for (std::size_t j = 0; j < n; ++j) p[i][j] += row[j];
+    }
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double v = (p[i][j] + p[j][i]) / (2.0 * static_cast<double>(n));
+        p[i][j] = v;
+        p[j][i] = v;
+        total += 2.0 * v;
+      }
+      p[i][i] = 0.0;
+    }
+    // Normalize (total should already be ~1; guard numerics) and floor.
+    for (auto& prow : p) {
+      for (auto& v : prow) v = std::max(v / total, 1e-12);
+    }
+  }
+
+  const std::size_t dims = config.output_dims;
+  Matrix y{n, dims};
+  util::Rng rng{config.seed};
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t d = 0; d < dims; ++d) y.at(i, d) = rng.normal() * 1e-4;
+  }
+  Matrix velocity{n, dims};
+  Matrix gains{n, dims};
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t d = 0; d < dims; ++d) gains.at(i, d) = 1.0;
+  }
+
+  std::vector<std::vector<double>> q_num(n, std::vector<double>(n, 0.0));
+  for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+    const double exaggeration = iter < config.exaggeration_iters ? config.exaggeration : 1.0;
+    const double momentum = iter < config.momentum_switch_iter ? config.initial_momentum
+                                                               : config.final_momentum;
+
+    // Student-t numerators and their sum.
+    double q_total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) {
+        const double d2 = squared_l2(y.row(i), y.row(j));
+        const double num = 1.0 / (1.0 + d2);
+        q_num[i][j] = num;
+        q_num[j][i] = num;
+        q_total += 2.0 * num;
+      }
+    }
+    if (q_total <= 0.0) q_total = 1e-300;
+
+    // Full gradient first, then a simultaneous update of all points: an
+    // in-place (Gauss-Seidel) update feeds each point's displacement into
+    // the next point's stale q terms and diverges violently.
+    Matrix grad{n, dims};
+    for (std::size_t i = 0; i < n; ++i) {
+      auto grow = grad.row(i);
+      for (std::size_t j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const double q = std::max(q_num[i][j] / q_total, 1e-12);
+        const double mult = (exaggeration * p[i][j] - q) * q_num[i][j];
+        for (std::size_t d = 0; d < dims; ++d) {
+          grow[d] += 4.0 * mult * (y.at(i, d) - y.at(j, d));
+        }
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t d = 0; d < dims; ++d) {
+        // Adaptive gains as in the reference implementation.
+        const bool same_sign = (grad.at(i, d) > 0.0) == (velocity.at(i, d) > 0.0);
+        double& gain = gains.at(i, d);
+        gain = same_sign ? std::max(gain * 0.8, 0.01) : gain + 0.2;
+        velocity.at(i, d) = momentum * velocity.at(i, d) -
+                            config.learning_rate * gain * grad.at(i, d);
+        y.at(i, d) += velocity.at(i, d);
+      }
+    }
+
+    // Re-center to keep the embedding bounded.
+    for (std::size_t d = 0; d < dims; ++d) {
+      double mean = 0.0;
+      for (std::size_t i = 0; i < n; ++i) mean += y.at(i, d);
+      mean /= static_cast<double>(n);
+      for (std::size_t i = 0; i < n; ++i) y.at(i, d) -= mean;
+    }
+  }
+  return y;
+}
+
+}  // namespace dnsembed::ml

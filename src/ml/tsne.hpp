@@ -1,0 +1,31 @@
+// Exact t-SNE (van der Maaten & Hinton, JMLR'08) for 2-D visualization of
+// domain embeddings (paper Fig. 5). Exact O(n^2) gradients — adequate for
+// the few-thousand-point cluster visualizations the paper shows.
+#pragma once
+
+#include <cstdint>
+
+#include "ml/dataset.hpp"
+
+namespace dnsembed::ml {
+
+struct TsneConfig {
+  std::size_t output_dims = 2;
+  double perplexity = 30.0;
+  std::size_t iterations = 500;
+  /// P is multiplied by this factor for the first `exaggeration_iters`
+  /// iterations (early exaggeration).
+  double exaggeration = 12.0;
+  std::size_t exaggeration_iters = 100;
+  double learning_rate = 200.0;
+  double initial_momentum = 0.5;
+  double final_momentum = 0.8;
+  std::size_t momentum_switch_iter = 250;
+  std::uint64_t seed = 1;
+};
+
+/// Returns an n x output_dims matrix of low-dimensional coordinates.
+/// Requires n >= 4 and perplexity < n.
+Matrix tsne(const Matrix& x, const TsneConfig& config);
+
+}  // namespace dnsembed::ml

@@ -1,0 +1,37 @@
+// X-Means (Pelleg & Moore, ICML'00): k-means with automatic selection of
+// the number of clusters via BIC-scored centroid splitting. The paper uses
+// X-Means to group domain embeddings into malware families (§7.1).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "ml/kmeans.hpp"
+
+namespace dnsembed::ml {
+
+struct XMeansConfig {
+  std::size_t k_min = 2;
+  std::size_t k_max = 64;
+  std::size_t max_iterations = 100;  // per inner k-means
+  std::size_t restarts = 2;          // per inner k-means
+  std::uint64_t seed = 1;
+};
+
+struct XMeansResult {
+  Matrix centroids;
+  std::vector<std::size_t> assignment;
+  std::size_t k = 0;
+  double bic = 0.0;  // of the final model
+};
+
+/// Cluster rows of x, choosing k in [k_min, k_max] by BIC improvement.
+XMeansResult xmeans(const Matrix& x, const XMeansConfig& config);
+
+/// BIC of a spherical-Gaussian k-means model (identical-variance MLE), the
+/// scoring function X-Means maximizes. Exposed for tests.
+double kmeans_bic(const Matrix& x, const Matrix& centroids,
+                  const std::vector<std::size_t>& assignment);
+
+}  // namespace dnsembed::ml

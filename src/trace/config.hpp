@@ -1,0 +1,116 @@
+// Configuration of the synthetic campus-network DNS trace (the substitution
+// for the paper's proprietary capture; see DESIGN.md §2). Defaults are sized
+// so the full experiment suite runs in minutes; every knob scales up.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace dnsembed::trace {
+
+struct TraceConfig {
+  std::uint64_t seed = 42;
+
+  /// Seed for malware-campaign *infrastructure* (family domains, IP pools,
+  /// TTL regimes, ports). Defaults to 0 = derive from `seed`. Two campuses
+  /// simulated with different `seed`s but the same `campaign_seed` are hit
+  /// by the same campaigns (same domains and server IPs, different local
+  /// victims) — the cross-network correlation setting of the paper's
+  /// future-work section.
+  std::uint64_t campaign_seed = 0;
+
+  // ------------------------------------------------------------- campus
+  /// Number of end-host devices (desktops/laptops/phones/IoT).
+  std::size_t hosts = 400;
+  /// Simulated duration in days.
+  std::size_t days = 7;
+  /// Epoch offset (seconds) of the first day.
+  std::int64_t start_time = 0;
+  /// Mean DHCP lease lifetime in hours (devices occasionally change IP).
+  double dhcp_lease_hours = 24.0;
+
+  // --------------------------------------------------------- benign web
+  /// Distinct popular benign site e2LDs; per-site subdomains are generated.
+  std::size_t benign_sites = 2500;
+  /// Zipf exponent of site popularity.
+  double zipf_exponent = 0.95;
+  /// Pool of third-party e2LDs (ads/CDN/analytics) embedded in pages.
+  std::size_t third_party_pool = 300;
+  /// Mean third-party domains fetched per page view (temporal co-occurrence).
+  double embedded_per_page = 4.0;
+  /// Per-host interest-profile size: how many sites a host ever visits.
+  std::size_t interests_per_host = 150;
+  /// Mean browsing sessions per host per active day.
+  double sessions_per_day = 5.0;
+  /// Mean page views per session.
+  double pages_per_session = 6.0;
+  /// Fraction of sites served through a CDN (CNAME chain + shared CDN IPs).
+  double cdn_fraction = 0.25;
+  /// Fraction of sites on shared web hosting (IP shared with other sites).
+  double shared_hosting_fraction = 0.3;
+  /// Fraction of benign sites with brandable / non-English names (low
+  /// dictionary overlap, digits) — defeats lexical features.
+  double brandable_site_fraction = 0.3;
+  /// Fraction of benign sites with internationalized names (punycode
+  /// "xn--" ACE labels) — meaningless to undecoded lexical features.
+  double idn_site_fraction = 0.03;
+  /// Fraction of benign sites that are ephemeral (event/campaign pages
+  /// active on a single day) — defeats "short life" features.
+  double ephemeral_site_fraction = 0.2;
+  /// Fraction of benign sites that are expired/parked: still queried via
+  /// stale links and bookmarks but answering NXDOMAIN. Without them,
+  /// "never resolves" would be a perfect malicious indicator (it is not,
+  /// in real traces).
+  double expired_site_fraction = 0.07;
+  /// Benign apps with fixed polling periods (mail/IM/weather). Their
+  /// regular beacons make the temporal channel noisy, as in real traffic.
+  std::size_t polling_apps = 25;
+  /// Mean polling period in minutes.
+  double polling_period_minutes = 20.0;
+  /// Probability a browsing query is a typo resulting in NXDOMAIN.
+  double typo_rate = 0.01;
+
+  // ---------------------------------------------------------- malicious
+  /// Number of malware families / campaigns (kinds are assigned
+  /// round-robin: DGA C&C, spam, phishing, fast-flux, static C&C).
+  std::size_t malware_families = 10;
+  /// Victim cohort size range per family.
+  std::size_t min_victims = 6;
+  std::size_t max_victims = 40;
+  /// DGA families: algorithmically generated domains per day.
+  std::size_t dga_domains_per_day = 30;
+  /// Fraction of a day's DGA domains actually registered (rest NXDOMAIN).
+  double dga_active_fraction = 0.5;
+  /// Spam/phishing families: campaign domain count.
+  std::size_t spam_domains_per_family = 45;
+  /// Beacon period range (minutes) for C&C check-ins.
+  double min_beacon_minutes = 10.0;
+  double max_beacon_minutes = 45.0;
+  /// Fast-flux: size of the rotating IP pool per family.
+  std::size_t fastflux_pool_size = 60;
+  /// Fraction of malicious domains using *high* TTLs (the paper observes
+  /// malicious TTLs trending up, defeating Exposure's TTL features).
+  double malicious_high_ttl_fraction = 0.5;
+  /// Probability that a spam/phishing family serves (partly) from the
+  /// benign shared-hosting pool — compromised websites. Blurs the
+  /// IP-resolving channel, as in real traffic.
+  double compromised_hosting_fraction = 0.35;
+  /// Per-host-per-day probability of a stray click on a spam/phishing
+  /// campaign by a NON-victim host (spam reaches everyone); dilutes the
+  /// victim-cohort purity the query channel relies on.
+  double stray_click_rate = 0.02;
+  /// Day on which every malware family switches its TTL regime (the
+  /// paper's §8.2 observation: attackers changed TTL tactics over time,
+  /// breaking Exposure's TTL features). SIZE_MAX disables the shift.
+  std::size_t tactic_shift_day = SIZE_MAX;
+
+  // ------------------------------------------------------------- output
+  /// Also emit netflow records for malicious contacts and a sample of
+  /// benign flows (for the §7.2.2 traffic-pattern analysis).
+  bool emit_netflow = true;
+  /// Sampling rate for benign netflow (malicious flows are always kept).
+  double benign_flow_sample = 0.02;
+};
+
+}  // namespace dnsembed::trace

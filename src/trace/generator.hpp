@@ -1,0 +1,31 @@
+// The campus DNS trace generator: emits a joined DNS query/response event
+// stream (plus netflow) for a simulated population of hosts browsing benign
+// sites, running benign polling apps, and — for the compromised subset —
+// talking to malware infrastructure (DGA fluxing, spam/phishing campaigns,
+// fast-flux hosting, static C&C).
+//
+// The generator is deterministic for a fixed TraceConfig::seed. Events are
+// emitted grouped by day (and within a day by host, then by family); they
+// are NOT globally time-sorted — consumers aggregate by timestamp.
+#pragma once
+
+#include "dns/dhcp.hpp"
+#include "trace/config.hpp"
+#include "trace/ground_truth.hpp"
+#include "trace/sink.hpp"
+
+namespace dnsembed::trace {
+
+/// Metadata produced alongside the event stream.
+struct TraceResult {
+  GroundTruth truth;
+  dns::DhcpTable dhcp;       // lease history backing the device ids
+  std::size_t dns_events = 0;
+  std::size_t flow_events = 0;
+  std::size_t nxdomain_events = 0;
+};
+
+/// Run the simulation, pushing every event into `sink`.
+TraceResult generate_trace(const TraceConfig& config, TraceSink& sink);
+
+}  // namespace dnsembed::trace

@@ -1,0 +1,59 @@
+#include "trace/ground_truth.hpp"
+
+#include <stdexcept>
+
+namespace dnsembed::trace {
+
+std::string_view family_kind_name(FamilyKind kind) noexcept {
+  switch (kind) {
+    case FamilyKind::kDgaCnc: return "dga-cnc";
+    case FamilyKind::kSpam: return "spam";
+    case FamilyKind::kPhishing: return "phishing";
+    case FamilyKind::kFastFlux: return "fast-flux";
+    case FamilyKind::kStaticCnc: return "static-cnc";
+    case FamilyKind::kApt: return "apt";
+  }
+  return "unknown";
+}
+
+void GroundTruth::add_benign(std::string domain) {
+  if (known_.contains(domain)) return;
+  known_.emplace(domain, false);
+  benign_.push_back(std::move(domain));
+}
+
+void GroundTruth::add_family(MalwareFamily family) {
+  for (const auto& domain : family.domains) {
+    if (known_.contains(domain)) {
+      throw std::invalid_argument{"GroundTruth: domain registered twice: " + domain};
+    }
+    known_.emplace(domain, true);
+    malicious_index_.emplace(domain, family.id);
+  }
+  families_.push_back(std::move(family));
+}
+
+bool GroundTruth::is_malicious(std::string_view domain) const {
+  return malicious_index_.contains(std::string{domain});
+}
+
+bool GroundTruth::is_known(std::string_view domain) const {
+  return known_.contains(std::string{domain});
+}
+
+std::optional<std::size_t> GroundTruth::family_of(std::string_view domain) const {
+  const auto it = malicious_index_.find(std::string{domain});
+  if (it == malicious_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<std::string> GroundTruth::malicious_domains() const {
+  std::vector<std::string> out;
+  out.reserve(malicious_index_.size());
+  for (const auto& family : families_) {
+    for (const auto& domain : family.domains) out.push_back(domain);
+  }
+  return out;
+}
+
+}  // namespace dnsembed::trace

@@ -1,0 +1,71 @@
+// Ground-truth registry produced alongside the synthetic trace: which e2LDs
+// are malicious, which family/campaign owns them, and the infrastructure
+// (IPs, ports, victims) behind each family. This substitutes for the
+// paper's vendor blacklist + ThreatBook family reports.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/ipv4.hpp"
+
+namespace dnsembed::trace {
+
+enum class FamilyKind : std::uint8_t {
+  kDgaCnc,     // domain-fluxing C&C (Conficker-style)
+  kSpam,       // spam campaign cluster
+  kPhishing,   // phishing site cluster
+  kFastFlux,   // fast-flux hosted malware
+  kStaticCnc,  // fixed-domain C&C
+  kApt,        // low-and-slow APT C&C: statistically benign-looking
+               // (long-lived wordlike .com domains, stable IPs, normal
+               // TTLs, rare diurnal contacts) — only the victim-cohort
+               // structure gives it away
+};
+
+std::string_view family_kind_name(FamilyKind kind) noexcept;
+
+struct MalwareFamily {
+  std::size_t id = 0;
+  FamilyKind kind = FamilyKind::kDgaCnc;
+  std::string name;                   // e.g. "family03-spam"
+  std::vector<std::string> domains;   // e2LDs operated by the family
+  std::vector<dns::Ipv4> ips;         // serving IP pool
+  std::vector<std::string> victims;   // compromised device ids
+  std::uint16_t port = 80;            // C&C / delivery port
+};
+
+class GroundTruth {
+ public:
+  /// Register a benign e2LD (site, third-party, app).
+  void add_benign(std::string domain);
+
+  /// Register a malicious family (domains become malicious labels).
+  void add_family(MalwareFamily family);
+
+  bool is_malicious(std::string_view domain) const;
+  bool is_known(std::string_view domain) const;
+
+  /// Family owning a malicious domain.
+  std::optional<std::size_t> family_of(std::string_view domain) const;
+
+  const std::vector<MalwareFamily>& families() const noexcept { return families_; }
+  const std::vector<std::string>& benign_domains() const noexcept { return benign_; }
+
+  std::vector<std::string> malicious_domains() const;
+
+  std::size_t benign_count() const noexcept { return benign_.size(); }
+  std::size_t malicious_count() const noexcept { return malicious_index_.size(); }
+
+ private:
+  std::vector<std::string> benign_;
+  std::vector<MalwareFamily> families_;
+  std::unordered_map<std::string, std::size_t> malicious_index_;  // domain -> family id
+  std::unordered_map<std::string, bool> known_;
+};
+
+}  // namespace dnsembed::trace

@@ -1,0 +1,129 @@
+#include "trace/namegen.hpp"
+
+#include <array>
+
+#include "dns/punycode.hpp"
+#include "util/wordlist.hpp"
+
+namespace dnsembed::trace {
+
+namespace {
+
+std::string pick_word(util::Rng& rng) {
+  const auto& words = util::word_list();
+  return words[rng.uniform_index(words.size())];
+}
+
+std::string drop_random_vowel(std::string word, util::Rng& rng) {
+  std::vector<std::size_t> vowels;
+  for (std::size_t i = 0; i < word.size(); ++i) {
+    const char c = word[i];
+    if (c == 'a' || c == 'e' || c == 'i' || c == 'o' || c == 'u') vowels.push_back(i);
+  }
+  if (!vowels.empty() && word.size() > 3) {
+    word.erase(vowels[rng.uniform_index(vowels.size())], 1);
+  }
+  return word;
+}
+
+}  // namespace
+
+std::string benign_site_name(util::Rng& rng) {
+  static const std::array<std::string, 8> tlds{"com",   "net", "org",    "io",
+                                               "co.uk", "de",  "com.cn", "edu"};
+  const std::string& tld = tlds[rng.uniform_index(tlds.size())];
+  std::string name = pick_word(rng);
+  const double style = rng.uniform();
+  if (style < 0.45) {
+    name += pick_word(rng);
+  } else if (style < 0.6) {
+    name += "-" + pick_word(rng);
+  } else if (style < 0.7) {
+    name += std::to_string(rng.uniform_index(100));
+  }
+  return name + "." + tld;
+}
+
+std::string brandable_site_name(util::Rng& rng) {
+  static const std::array<std::string, 18> syllables{"tao", "bao", "wei", "bo",  "xin", "hua",
+                                                     "qi",  "niu", "sou", "hu",  "you", "ku",
+                                                     "dou", "yin", "mei", "tuan", "jing", "dong"};
+  std::string name;
+  const double style = rng.uniform();
+  if (style < 0.55) {
+    // Pinyin-like: 2-4 syllables.
+    const std::size_t n = 2 + rng.uniform_index(3);
+    for (std::size_t i = 0; i < n; ++i) name += syllables[rng.uniform_index(syllables.size())];
+  } else {
+    // Short consonant-heavy brand: 3-6 random letters.
+    const std::size_t n = 3 + rng.uniform_index(4);
+    for (std::size_t i = 0; i < n; ++i) name += static_cast<char>('a' + rng.uniform_index(26));
+  }
+  if (rng.bernoulli(0.3)) name += std::to_string(rng.uniform_index(1000));
+  static const std::array<std::string, 5> tlds{"com", "com.cn", "cn", "net", "cc"};
+  return name + "." + tlds[rng.uniform_index(tlds.size())];
+}
+
+std::string idn_site_name(util::Rng& rng) {
+  // 2-4 common CJK code points, punycode-encoded.
+  std::vector<std::uint32_t> points;
+  const std::size_t n = 2 + rng.uniform_index(3);
+  for (std::size_t i = 0; i < n; ++i) {
+    points.push_back(0x4E00 + static_cast<std::uint32_t>(rng.uniform_index(0x9FA5 - 0x4E00)));
+  }
+  const auto ace = dns::punycode_encode(points);
+  static const std::array<std::string, 3> tlds{"cn", "com.cn", "com"};
+  return "xn--" + *ace + "." + tlds[rng.uniform_index(tlds.size())];
+}
+
+std::string third_party_name(util::Rng& rng) {
+  static const std::array<std::string, 6> prefixes{"cdn",   "ads",   "track",
+                                                   "stats", "pixel", "api"};
+  static const std::array<std::string, 5> suffixes{"metrics", "serve", "edge", "cache",
+                                                   "sync"};
+  const double style = rng.uniform();
+  std::string name;
+  if (style < 0.5) {
+    name = std::string{prefixes[rng.uniform_index(prefixes.size())]} + "-" + pick_word(rng);
+  } else {
+    name = pick_word(rng) + std::string{suffixes[rng.uniform_index(suffixes.size())]};
+  }
+  static const std::array<std::string, 4> tlds{"net", "com", "io", "cc"};
+  return name + "." + tlds[rng.uniform_index(tlds.size())];
+}
+
+std::string spam_name(util::Rng& rng, const std::string& tld) {
+  std::string a = pick_word(rng);
+  std::string b = pick_word(rng);
+  if (rng.bernoulli(0.5)) a = drop_random_vowel(std::move(a), rng);
+  if (rng.bernoulli(0.3)) b = drop_random_vowel(std::move(b), rng);
+  std::string name = a + b;
+  if (rng.bernoulli(0.35)) name += pick_word(rng).substr(0, 3);
+  return name + "." + tld;
+}
+
+std::string dga_name(std::uint64_t family_seed, std::uint64_t day, std::size_t index,
+                     std::size_t length, const std::string& tld) {
+  // Deterministic per (family, day, index): re-running the generator or an
+  // analyst reimplementing the DGA yields the same names, as with real
+  // domain-fluxing malware.
+  util::Rng rng{family_seed * 1000003ULL + day * 8191ULL + index};
+  std::string name;
+  name.reserve(length + 1 + tld.size());
+  for (std::size_t i = 0; i < length; ++i) {
+    name += static_cast<char>('a' + rng.uniform_index(26));
+  }
+  return name + "." + tld;
+}
+
+std::string typo_of(const std::string& name, util::Rng& rng) {
+  const std::size_t dot = name.find('.');
+  std::string label = dot == std::string::npos ? name : name.substr(0, dot);
+  const std::string rest = dot == std::string::npos ? "" : name.substr(dot);
+  if (label.empty()) return name;
+  const std::size_t pos = rng.uniform_index(label.size());
+  label[pos] = static_cast<char>('a' + rng.uniform_index(26));
+  return label + rest;
+}
+
+}  // namespace dnsembed::trace

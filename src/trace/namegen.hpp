@@ -1,0 +1,43 @@
+// Name generators for the synthetic trace: plausible benign site names,
+// third-party/CDN names, spam word-mash names (Table 1 style,
+// "fattylivercur.bid"), and Conficker-style DGA names (Table 2 style,
+// "oorfapjflmp.ws").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dnsembed::trace {
+
+/// "word-word.tld" or "wordword.com"-style benign site e2LD.
+std::string benign_site_name(util::Rng& rng);
+
+/// Brandable / non-English benign e2LD: pinyin-like syllable strings or
+/// short consonant brands, sometimes with digits ("taobao8.com",
+/// "xqcdn.net"). These defeat dictionary-based lexical features (the paper
+/// notes LMS fails for non-English domains).
+std::string brandable_site_name(util::Rng& rng);
+
+/// Ad/CDN/analytics e2LD ("cdn-word.net", "wordmetrics.com", ...).
+std::string third_party_name(util::Rng& rng);
+
+/// Internationalized benign e2LD: a few CJK code points in punycode ACE
+/// form ("xn--....cn"). Lexical features must IDN-decode these or read
+/// garbage (the paper's non-English-domain caveat).
+std::string idn_site_name(util::Rng& rng);
+
+/// Spam campaign e2LD: concatenated (sometimes vowel-dropped) words on a
+/// cheap TLD, e.g. "bstwoodprofit.bid".
+std::string spam_name(util::Rng& rng, const std::string& tld = "bid");
+
+/// DGA e2LD: `length` uniformly random lowercase letters on `tld`, seeded
+/// per (family, day) like real domain-fluxing malware.
+std::string dga_name(std::uint64_t family_seed, std::uint64_t day, std::size_t index,
+                     std::size_t length = 11, const std::string& tld = "ws");
+
+/// Simple one-character typo of a name's second-level label.
+std::string typo_of(const std::string& name, util::Rng& rng);
+
+}  // namespace dnsembed::trace

@@ -1,0 +1,30 @@
+// Streaming pcap output: a TraceSink that packetizes every DNS event as it
+// is generated and appends it to a pcap stream, building its DHCP table
+// from the lease events the generator emits up front. Memory stays O(1) in
+// the trace length.
+#pragma once
+
+#include <iosfwd>
+
+#include "dns/capture_io.hpp"
+#include "trace/sink.hpp"
+
+namespace dnsembed::trace {
+
+class PcapStreamSink final : public TraceSink {
+ public:
+  explicit PcapStreamSink(std::ostream& out, dns::CaptureExportOptions options = {})
+      : writer_{out, options} {}
+
+  void on_dhcp(const dns::DhcpLease& lease) override { dhcp_.add_lease(lease); }
+
+  void on_dns(const dns::LogEntry& entry) override { writer_.write(entry, dhcp_); }
+
+  std::size_t packets_written() const noexcept { return writer_.packets_written(); }
+
+ private:
+  dns::DhcpTable dhcp_;
+  dns::EntryPacketWriter writer_;
+};
+
+}  // namespace dnsembed::trace

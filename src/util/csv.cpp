@@ -1,0 +1,84 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace dnsembed::util {
+
+namespace {
+
+bool needs_quoting(std::string_view field, char sep) noexcept {
+  return field.find(sep) != std::string_view::npos ||
+         field.find('"') != std::string_view::npos ||
+         field.find('\n') != std::string_view::npos ||
+         field.find('\r') != std::string_view::npos;
+}
+
+void write_field(std::ostream& out, std::string_view field, char sep) {
+  if (!needs_quoting(field, sep)) {
+    out << field;
+    return;
+  }
+  out << '"';
+  for (const char c : field) {
+    if (c == '"') out << '"';
+    out << c;
+  }
+  out << '"';
+}
+
+}  // namespace
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) *out_ << sep_;
+    write_field(*out_, fields[i], sep_);
+  }
+  *out_ << '\n';
+}
+
+std::vector<std::string> parse_csv_line(std::string_view line, char sep) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == sep) {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::vector<std::vector<std::string>> read_csv_file(const std::string& path, char sep) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error{"cannot open CSV file: " + path};
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    rows.push_back(parse_csv_line(line, sep));
+  }
+  return rows;
+}
+
+}  // namespace dnsembed::util

@@ -1,0 +1,32 @@
+// Minimal CSV reading/writing for experiment output and embedding I/O.
+// Supports RFC-4180-style quoting on both sides.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dnsembed::util {
+
+/// Streams rows to an ostream, quoting fields that contain separators,
+/// quotes, or newlines.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out, char sep = ',') : out_{&out}, sep_{sep} {}
+
+  void write_row(const std::vector<std::string>& fields);
+
+ private:
+  std::ostream* out_;
+  char sep_;
+};
+
+/// Parse one CSV line into fields (handles quoted fields with embedded
+/// separators and doubled quotes).
+std::vector<std::string> parse_csv_line(std::string_view line, char sep = ',');
+
+/// Read an entire CSV file; throws std::runtime_error on open failure.
+std::vector<std::vector<std::string>> read_csv_file(const std::string& path, char sep = ',');
+
+}  // namespace dnsembed::util

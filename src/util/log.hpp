@@ -1,0 +1,47 @@
+// Leveled stderr logging. Kept intentionally tiny: experiments are
+// command-line binaries; structured logging would be overkill.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace dnsembed::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level (defaults to kInfo). Not thread-isolated by design:
+/// set once at startup.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Emit one line to stderr with a level tag and elapsed-time prefix.
+void log_line(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_{level} {}
+  LogStream(const LogStream&) = delete;
+  LogStream& operator=(const LogStream&) = delete;
+  ~LogStream() { log_line(level_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+
+inline detail::LogStream log_debug() { return detail::LogStream{LogLevel::kDebug}; }
+inline detail::LogStream log_info() { return detail::LogStream{LogLevel::kInfo}; }
+inline detail::LogStream log_warn() { return detail::LogStream{LogLevel::kWarn}; }
+inline detail::LogStream log_error() { return detail::LogStream{LogLevel::kError}; }
+
+}  // namespace dnsembed::util

@@ -1,0 +1,52 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace dnsembed::util {
+
+double Rng::normal() noexcept {
+  // Box-Muller; draw u1 away from zero to keep log() finite.
+  double u1 = uniform();
+  while (u1 <= 1e-300) u1 = uniform();
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::exponential(double rate) noexcept {
+  double u = uniform();
+  while (u <= 1e-300) u = uniform();
+  return -std::log(u) / rate;
+}
+
+std::uint64_t Rng::poisson(double mean) noexcept {
+  if (mean <= 0) return 0;
+  if (mean > 64.0) {
+    // Normal approximation with continuity correction; adequate for workload
+    // generation where exact tail shape at large means is immaterial.
+    const double x = normal(mean, std::sqrt(mean));
+    return x < 0.5 ? 0 : static_cast<std::uint64_t>(x + 0.5);
+  }
+  const double limit = std::exp(-mean);
+  std::uint64_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= uniform();
+  } while (p > limit);
+  return k - 1;
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (const double w : weights) total += w;
+  if (total <= 0.0) throw std::invalid_argument{"weighted_index: weights sum to zero"};
+  double u = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+}  // namespace dnsembed::util

@@ -1,0 +1,40 @@
+// Descriptive statistics helpers used by feature extraction, graph stats,
+// and experiment reporting.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace dnsembed::util {
+
+/// Streaming mean/variance accumulator (Welford). Numerically stable and
+/// single-pass; variance() is the population variance.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const noexcept { return n_ > 0 ? m2_ / static_cast<double>(n_) : 0.0; }
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ > 0 ? min_ : 0.0; }
+  double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+double mean(const std::vector<double>& v) noexcept;
+double stddev(const std::vector<double>& v) noexcept;
+
+/// Linear-interpolated percentile; p in [0, 100]. Copies and sorts.
+double percentile(std::vector<double> v, double p);
+
+/// Pearson correlation of two equal-length series; 0 if degenerate.
+double pearson(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace dnsembed::util

@@ -1,0 +1,32 @@
+// Small string helpers shared across modules. All functions are pure.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dnsembed::util {
+
+/// Split on a single character; empty fields are preserved.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Join pieces with a separator.
+std::string join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// ASCII lower-case copy.
+std::string to_lower(std::string_view s);
+
+/// Strip leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view s) noexcept;
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+bool ends_with(std::string_view s, std::string_view suffix) noexcept;
+
+/// Shannon entropy (bits per character) of the byte distribution of s.
+/// Used by lexical features; returns 0 for empty input.
+double shannon_entropy(std::string_view s) noexcept;
+
+/// Fraction of characters in s that are ASCII digits (0 for empty input).
+double digit_ratio(std::string_view s) noexcept;
+
+}  // namespace dnsembed::util

@@ -1,0 +1,36 @@
+#include "util/wordlist.hpp"
+
+#include <algorithm>
+
+namespace dnsembed::util {
+
+const std::vector<std::string>& word_list() {
+  static const std::vector<std::string> words{
+      "time",    "year",   "people", "way",     "day",     "man",    "thing",  "world",
+      "life",    "hand",   "part",   "child",   "eye",     "woman",  "place",  "work",
+      "week",    "case",   "point",  "company", "number",  "group",  "problem","fact",
+      "cloud",   "data",   "net",    "web",     "tech",    "info",   "news",   "shop",
+      "store",   "media",  "play",   "game",    "music",   "video",  "photo",  "travel",
+      "food",    "health", "money",  "bank",    "trade",   "market", "stock",  "sport",
+      "book",    "house",  "study",  "smart",   "fast",    "easy",   "good",   "best",
+      "top",     "first",  "free",   "new",     "live",    "home",   "city",   "star",
+      "light",   "green",  "blue",   "red",     "gold",    "silver", "river",  "mountain",
+      "ocean",   "forest", "garden", "bridge",  "castle",  "wood",   "profit", "canvas",
+      "solar",   "america","flight", "belly",   "ankle",   "nano",   "cook",   "nice",
+      "turmeric","liver",  "holster","permit",  "detect",  "burger", "plym",   "muzic",
+      "mail",    "push",   "edge",   "cache",   "track",   "stats",  "pixel",  "api",
+      "metrics", "serve",  "sync",   "search",  "login",   "secure", "account","update",
+  };
+  return words;
+}
+
+std::size_t longest_meaningful_substring(std::string_view label) {
+  std::size_t best = 0;
+  for (const auto& word : word_list()) {
+    if (word.size() <= best) continue;
+    if (label.find(word) != std::string_view::npos) best = word.size();
+  }
+  return best;
+}
+
+}  // namespace dnsembed::util

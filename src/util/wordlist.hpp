@@ -1,0 +1,19 @@
+// Shared English-ish word dictionary. Used by the trace generator to build
+// plausible benign/spam names and by the Exposure lexical features to
+// compute the "longest meaningful substring".
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dnsembed::util {
+
+/// Common lower-case words (a few hundred entries).
+const std::vector<std::string>& word_list();
+
+/// Length of the longest dictionary word contained in `label` (0 if none).
+/// The Exposure lexical feature divides this by the label length.
+std::size_t longest_meaningful_substring(std::string_view label);
+
+}  // namespace dnsembed::util

@@ -1,0 +1,33 @@
+#include "util/zipf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace dnsembed::util {
+
+ZipfSampler::ZipfSampler(std::size_t n, double exponent) {
+  if (n == 0) throw std::invalid_argument{"ZipfSampler: n must be > 0"};
+  if (exponent < 0) throw std::invalid_argument{"ZipfSampler: exponent must be >= 0"};
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    cdf_[i] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const noexcept {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::size_t rank) const noexcept {
+  if (rank >= cdf_.size()) return 0.0;
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+}  // namespace dnsembed::util

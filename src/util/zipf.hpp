@@ -1,0 +1,32 @@
+// Zipf-distributed sampling over ranks 0..n-1, used to model domain
+// popularity in the campus trace simulator (a handful of domains receive
+// most queries; a long tail receives few).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dnsembed::util {
+
+/// Samples ranks with P(rank = i) proportional to 1 / (i + 1)^exponent.
+/// Precomputes the CDF once; each draw is a binary search (O(log n)).
+class ZipfSampler {
+ public:
+  /// n: number of ranks (> 0); exponent: skew (1.0 is classic Zipf).
+  ZipfSampler(std::size_t n, double exponent);
+
+  /// Draw one rank in [0, n).
+  std::size_t sample(Rng& rng) const noexcept;
+
+  /// Probability mass of a given rank.
+  double pmf(std::size_t rank) const noexcept;
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;  // cdf_[i] = P(rank <= i)
+};
+
+}  // namespace dnsembed::util

@@ -1,0 +1,107 @@
+// Tests for the belief-propagation baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/belief_propagation.hpp"
+
+namespace dnsembed::core {
+namespace {
+
+// Two host cliques: infected hosts {b1, b2} query {evil1, evil2, mixed};
+// clean hosts {c1, c2} query {good1, good2, mixed}.
+graph::BipartiteGraph two_cohorts() {
+  graph::BipartiteGraph g;
+  for (const char* h : {"b1", "b2"}) {
+    g.add_edge(h, "evil1.bid");
+    g.add_edge(h, "evil2.bid");
+    g.add_edge(h, "mixed.com");
+  }
+  for (const char* h : {"c1", "c2"}) {
+    g.add_edge(h, "good1.com");
+    g.add_edge(h, "good2.com");
+    g.add_edge(h, "mixed.com");
+  }
+  g.finalize();
+  return g;
+}
+
+TEST(BeliefPropagation, PropagatesFromSeedsThroughHosts) {
+  const auto g = two_cohorts();
+  // Seed one malicious and one benign domain; the others are unknown.
+  const std::unordered_map<std::string, int> seeds{{"evil1.bid", 1}, {"good1.com", 0}};
+  BeliefPropagationConfig config;
+  config.homophily = 0.8;  // two-hop deviation scales with (2h-1)^2
+  const auto beliefs = bp_domain_beliefs(g, seeds, config);
+
+  const auto belief_of = [&](const char* name) {
+    return beliefs[*g.right_names().find(name)];
+  };
+  // Seeded nodes stay near their priors.
+  EXPECT_GT(belief_of("evil1.bid"), 0.9);
+  EXPECT_LT(belief_of("good1.com"), 0.1);
+  // Unlabeled domains inherit their cohort's verdict.
+  EXPECT_GT(belief_of("evil2.bid"), 0.55);
+  EXPECT_LT(belief_of("good2.com"), 0.45);
+  EXPECT_GT(belief_of("evil2.bid"), belief_of("good2.com"));
+  // The shared domain sits between the camps.
+  EXPECT_GT(belief_of("mixed.com"), belief_of("good2.com"));
+  EXPECT_LT(belief_of("mixed.com"), belief_of("evil2.bid"));
+}
+
+TEST(BeliefPropagation, NoSeedsMeansUniformBeliefs) {
+  const auto g = two_cohorts();
+  const auto beliefs = bp_domain_beliefs(g, {});
+  for (const double b : beliefs) EXPECT_NEAR(b, 0.5, 1e-9);
+}
+
+TEST(BeliefPropagation, StrongerHomophilyPropagatesHarder) {
+  const auto g = two_cohorts();
+  const std::unordered_map<std::string, int> seeds{{"evil1.bid", 1}};
+  BeliefPropagationConfig weak;
+  weak.homophily = 0.51;
+  BeliefPropagationConfig strong;
+  strong.homophily = 0.9;
+  const auto weak_beliefs = bp_domain_beliefs(g, seeds, weak);
+  const auto strong_beliefs = bp_domain_beliefs(g, seeds, strong);
+  const auto idx = *g.right_names().find("evil2.bid");
+  EXPECT_GT(strong_beliefs[idx], weak_beliefs[idx]);
+}
+
+TEST(BeliefPropagation, IsolatedCohortUnaffectedBySeeds) {
+  graph::BipartiteGraph g;
+  g.add_edge("b1", "evil1.bid");
+  g.add_edge("b1", "evil2.bid");
+  g.add_edge("island", "alone.com");  // disconnected from the seeds
+  g.finalize();
+  const auto beliefs = bp_domain_beliefs(g, {{"evil1.bid", 1}});
+  EXPECT_NEAR(beliefs[*g.right_names().find("alone.com")], 0.5, 1e-9);
+  EXPECT_GT(beliefs[*g.right_names().find("evil2.bid")], 0.5);
+}
+
+TEST(BeliefPropagation, RejectsBadConfig) {
+  const auto g = two_cohorts();
+  BeliefPropagationConfig config;
+  config.homophily = 1.0;
+  EXPECT_THROW(bp_domain_beliefs(g, {}, config), std::invalid_argument);
+  config = BeliefPropagationConfig{};
+  config.seed_malicious_prior = 1.0;
+  EXPECT_THROW(bp_domain_beliefs(g, {}, config), std::invalid_argument);
+}
+
+TEST(BeliefPropagation, HighDegreeStability) {
+  // A hub host with hundreds of neighbors must not underflow.
+  graph::BipartiteGraph g;
+  for (int i = 0; i < 400; ++i) g.add_edge("hub", "d" + std::to_string(i) + ".com");
+  g.add_edge("other", "d0.com");
+  g.finalize();
+  const auto beliefs = bp_domain_beliefs(g, {{"d0.com", 1}});
+  for (const double b : beliefs) {
+    EXPECT_TRUE(std::isfinite(b));
+    EXPECT_GE(b, 0.0);
+    EXPECT_LE(b, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace dnsembed::core

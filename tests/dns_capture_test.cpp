@@ -1,0 +1,368 @@
+// Tests for the packet-capture substrate: pcap read/write, Ethernet/IPv4/
+// UDP encapsulation, the query-response collector, and the full
+// entry -> packets -> pcap -> collector -> entry round trip.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dns/capture_io.hpp"
+#include "dns/collector.hpp"
+#include "dns/packet.hpp"
+#include "dns/packetize.hpp"
+#include "dns/pcap.hpp"
+#include "dns/wire.hpp"
+#include "util/rng.hpp"
+
+namespace dnsembed::dns {
+namespace {
+
+TEST(Pcap, WriteReadRoundTrip) {
+  std::stringstream stream;
+  PcapWriter writer{stream};
+  PcapPacket a;
+  a.ts_sec = 100;
+  a.ts_usec = 250000;
+  a.data = {1, 2, 3, 4, 5};
+  PcapPacket b;
+  b.ts_sec = 101;
+  b.data = {};
+  writer.write(a);
+  writer.write(b);
+  EXPECT_EQ(writer.packets_written(), 2u);
+
+  PcapReader reader{stream};
+  EXPECT_FALSE(reader.swapped());
+  const auto ra = reader.next();
+  const auto rb = reader.next();
+  ASSERT_TRUE(ra && rb);
+  EXPECT_EQ(*ra, a);
+  EXPECT_EQ(*rb, b);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(Pcap, RejectsBadMagicAndTruncation) {
+  std::stringstream empty;
+  EXPECT_THROW(PcapReader{empty}, std::runtime_error);
+
+  std::stringstream junk{"not a pcap file at all........."};
+  EXPECT_THROW(PcapReader{junk}, std::runtime_error);
+
+  // Valid header, then a record header claiming more bytes than present.
+  std::stringstream stream;
+  PcapWriter writer{stream};
+  PcapPacket p;
+  p.data = {1, 2, 3, 4, 5, 6, 7, 8};
+  writer.write(p);
+  std::string content = stream.str();
+  content.resize(content.size() - 4);  // cut into the packet body
+  std::stringstream cut{content};
+  PcapReader reader{cut};
+  EXPECT_THROW(reader.next(), std::runtime_error);
+}
+
+TEST(Packet, EncapsulateDecapsulateRoundTrip) {
+  UdpDatagram d;
+  d.src_ip = Ipv4{10, 20, 0, 42};
+  d.dst_ip = Ipv4{10, 0, 0, 53};
+  d.src_port = 51515;
+  d.dst_port = 53;
+  d.payload = {0xDE, 0xAD, 0xBE, 0xEF, 0x00};
+  const auto frame = encapsulate(d);
+  EXPECT_EQ(frame.size(), 14u + 20u + 8u + 5u);
+  const auto back = decapsulate(frame);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, d);
+}
+
+TEST(Packet, EmptyPayload) {
+  UdpDatagram d;
+  d.src_ip = Ipv4{1, 1, 1, 1};
+  d.dst_ip = Ipv4{2, 2, 2, 2};
+  d.src_port = 1000;
+  d.dst_port = 53;
+  const auto back = decapsulate(encapsulate(d));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->payload.empty());
+}
+
+TEST(Packet, ChecksumValidation) {
+  UdpDatagram d;
+  d.src_ip = Ipv4{10, 0, 0, 1};
+  d.dst_ip = Ipv4{10, 0, 0, 2};
+  d.src_port = 4444;
+  d.dst_port = 53;
+  d.payload = {1, 2, 3};
+  auto frame = encapsulate(d);
+  // A valid header checksums to zero.
+  EXPECT_EQ(ipv4_checksum({frame.data() + 14, 20}), 0);
+  // Corrupt the source IP: decapsulation must reject the frame.
+  frame[14 + 12] ^= 0xFF;
+  EXPECT_FALSE(decapsulate(frame).has_value());
+}
+
+TEST(Packet, RejectsNonIpv4NonUdpAndShortFrames) {
+  UdpDatagram d;
+  d.src_ip = Ipv4{1, 0, 0, 1};
+  d.dst_ip = Ipv4{1, 0, 0, 2};
+  d.src_port = 9;
+  d.dst_port = 53;
+  auto frame = encapsulate(d);
+
+  auto wrong_ethertype = frame;
+  wrong_ethertype[12] = 0x86;  // IPv6
+  wrong_ethertype[13] = 0xDD;
+  EXPECT_FALSE(decapsulate(wrong_ethertype).has_value());
+
+  auto tcp = frame;
+  tcp[14 + 9] = 6;  // TCP — also breaks the checksum, but protocol is checked first
+  EXPECT_FALSE(decapsulate(tcp).has_value());
+
+  std::vector<std::uint8_t> tiny(frame.begin(), frame.begin() + 20);
+  EXPECT_FALSE(decapsulate(tiny).has_value());
+}
+
+LogEntry make_entry(std::int64_t ts, const std::string& host, const std::string& qname) {
+  LogEntry e;
+  e.timestamp = ts;
+  e.host = host;
+  e.qname = qname;
+  e.ttl = 300;
+  e.addresses = {Ipv4{93, 184, 216, 34}};
+  e.cnames = {"edge.cdn.net"};
+  return e;
+}
+
+TEST(Packetize, BuildsMatchingQueryAndResponse) {
+  const LogEntry entry = make_entry(1000, "dev-1", "www.example.com");
+  const auto [query_dgram, response_dgram] =
+      packetize(entry, Ipv4{10, 20, 0, 7}, 40000, 0x1234);
+  EXPECT_EQ(query_dgram.dst_port, 53);
+  EXPECT_EQ(response_dgram.src_port, 53);
+  EXPECT_EQ(query_dgram.src_ip, response_dgram.dst_ip);
+
+  const auto query = decode(query_dgram.payload);
+  const auto response = decode(response_dgram.payload);
+  ASSERT_TRUE(query && response);
+  EXPECT_FALSE(query->is_response);
+  EXPECT_TRUE(response->is_response);
+  EXPECT_EQ(query->id, 0x1234);
+  EXPECT_EQ(response->id, 0x1234);
+  ASSERT_EQ(response->answers.size(), 2u);
+  EXPECT_EQ(response->answers[0].type, QType::kCname);
+  EXPECT_EQ(response->answers[0].target, "edge.cdn.net");
+  EXPECT_EQ(response->answers[1].type, QType::kA);
+  EXPECT_EQ(response->answers[1].name, "edge.cdn.net");  // chain owner
+}
+
+TEST(Collector, MatchesQueryWithResponse) {
+  DnsCollector collector;
+  const LogEntry entry = make_entry(50, "10.20.0.7", "www.example.com");
+  const auto [q, r] = packetize(entry, Ipv4{10, 20, 0, 7}, 40001, 7);
+  collector.on_datagram(50, q);
+  EXPECT_EQ(collector.pending(), 1u);
+  collector.on_datagram(50, r);
+  EXPECT_EQ(collector.pending(), 0u);
+  const auto entries = collector.take_entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0], entry);  // full reconstruction incl. host=IP string
+  EXPECT_EQ(collector.stats().matched, 1u);
+}
+
+TEST(Collector, DhcpAttributionMapsIpToDevice) {
+  DhcpTable dhcp;
+  dhcp.add_lease({"laptop-9", Ipv4{10, 20, 0, 7}, 0, 1000});
+  DnsCollector collector{&dhcp};
+  const LogEntry entry = make_entry(50, "laptop-9", "www.example.com");
+  const auto [q, r] = packetize(entry, Ipv4{10, 20, 0, 7}, 40001, 7);
+  collector.on_datagram(50, q);
+  collector.on_datagram(51, r);
+  const auto entries = collector.take_entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].host, "laptop-9");
+}
+
+TEST(Collector, OrphanResponsesCounted) {
+  DnsCollector collector;
+  const auto [q, r] = packetize(make_entry(1, "h", "a.com"), Ipv4{10, 0, 0, 1}, 555, 9);
+  collector.on_datagram(1, r);  // response without query
+  EXPECT_EQ(collector.stats().orphan_responses, 1u);
+  EXPECT_TRUE(collector.take_entries().empty());
+}
+
+TEST(Collector, TimeoutEmitsServfail) {
+  DnsCollector collector{nullptr, 30};
+  const auto [q, r] = packetize(make_entry(100, "h", "gone.ws"), Ipv4{10, 0, 0, 1}, 555, 9);
+  collector.on_datagram(100, q);
+  collector.flush(120);  // not yet expired
+  EXPECT_EQ(collector.pending(), 1u);
+  collector.flush(131);
+  EXPECT_EQ(collector.pending(), 0u);
+  const auto entries = collector.take_entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].rcode, RCode::kServFail);
+  EXPECT_TRUE(entries[0].addresses.empty());
+  EXPECT_EQ(collector.stats().expired_queries, 1u);
+}
+
+TEST(Collector, MismatchedIdDoesNotMatch) {
+  DnsCollector collector;
+  const auto [q, r1] = packetize(make_entry(1, "h", "a.com"), Ipv4{10, 0, 0, 1}, 555, 9);
+  const auto [q2, r2] = packetize(make_entry(1, "h", "a.com"), Ipv4{10, 0, 0, 1}, 555, 10);
+  collector.on_datagram(1, q);
+  collector.on_datagram(1, r2);  // wrong transaction id
+  EXPECT_EQ(collector.stats().orphan_responses, 1u);
+  EXPECT_EQ(collector.pending(), 1u);
+}
+
+TEST(Collector, IgnoresNonDnsAndMalformed) {
+  DnsCollector collector;
+  UdpDatagram not_dns;
+  not_dns.src_port = 1000;
+  not_dns.dst_port = 2000;
+  collector.on_datagram(1, not_dns);
+  EXPECT_EQ(collector.stats().ignored, 1u);
+
+  UdpDatagram garbage;
+  garbage.src_port = 4000;
+  garbage.dst_port = 53;
+  garbage.payload = {1, 2, 3};
+  collector.on_datagram(1, garbage);
+  EXPECT_EQ(collector.stats().malformed, 1u);
+}
+
+TEST(Collector, FullPcapRoundTrip) {
+  // Entries -> packets -> pcap bytes -> packets -> collector -> entries.
+  util::Rng rng{3};
+  std::vector<LogEntry> originals;
+  for (int i = 0; i < 40; ++i) {
+    LogEntry e = make_entry(1000 + i * 3, "", "d" + std::to_string(i % 7) + ".example.com");
+    e.host = Ipv4{10, 20, 0, static_cast<std::uint8_t>(1 + i % 5)}.to_string();
+    if (i % 9 == 0) {
+      e.rcode = RCode::kNxDomain;
+      e.addresses.clear();
+      e.cnames.clear();
+      e.ttl = 0;
+    }
+    originals.push_back(std::move(e));
+  }
+
+  std::stringstream capture;
+  {
+    PcapWriter writer{capture};
+    std::uint16_t txn = 1;
+    for (const auto& entry : originals) {
+      const auto client = *Ipv4::parse(entry.host);
+      const auto [q, r] = packetize(entry, client,
+                                    static_cast<std::uint16_t>(30000 + txn), txn);
+      PcapPacket qp;
+      qp.ts_sec = entry.timestamp;
+      qp.data = encapsulate(q);
+      writer.write(qp);
+      PcapPacket rp;
+      rp.ts_sec = entry.timestamp;
+      rp.data = encapsulate(r);
+      writer.write(rp);
+      ++txn;
+    }
+  }
+
+  DnsCollector collector;
+  PcapReader reader{capture};
+  while (const auto packet = reader.next()) {
+    if (const auto datagram = decapsulate(packet->data)) {
+      collector.on_datagram(packet->ts_sec, *datagram);
+    }
+  }
+  collector.flush_all();
+  const auto entries = collector.take_entries();
+  ASSERT_EQ(entries.size(), originals.size());
+  EXPECT_EQ(collector.stats().matched, originals.size());
+  EXPECT_EQ(collector.stats().expired_queries, 0u);
+  // Collector output order may differ from input order; compare as sets.
+  auto sorted_originals = originals;
+  auto sorted_entries = entries;
+  const auto by_key = [](const LogEntry& a, const LogEntry& b) {
+    return std::tie(a.timestamp, a.host, a.qname) < std::tie(b.timestamp, b.host, b.qname);
+  };
+  std::sort(sorted_originals.begin(), sorted_originals.end(), by_key);
+  std::sort(sorted_entries.begin(), sorted_entries.end(), by_key);
+  EXPECT_EQ(sorted_entries, sorted_originals);
+}
+
+TEST(DhcpReverse, IpForDevice) {
+  DhcpTable dhcp;
+  dhcp.add_lease({"dev-a", Ipv4{10, 0, 0, 1}, 0, 100});
+  dhcp.add_lease({"dev-a", Ipv4{10, 0, 0, 9}, 100, 200});
+  dhcp.add_lease({"dev-b", Ipv4{10, 0, 0, 2}, 0, 200});
+  EXPECT_EQ(dhcp.ip_for("dev-a", 50), (Ipv4{10, 0, 0, 1}));
+  EXPECT_EQ(dhcp.ip_for("dev-a", 150), (Ipv4{10, 0, 0, 9}));
+  EXPECT_FALSE(dhcp.ip_for("dev-a", 250).has_value());
+  EXPECT_FALSE(dhcp.ip_for("unknown", 50).has_value());
+  // Round trip with forward lookup.
+  EXPECT_EQ(dhcp.device_for(*dhcp.ip_for("dev-b", 10), 10), "dev-b");
+}
+
+
+TEST(CaptureIo, ExportImportRoundTrip) {
+  DhcpTable dhcp;
+  dhcp.add_lease({"dev-1", Ipv4{10, 20, 0, 5}, 0, 10000});
+  dhcp.add_lease({"dev-2", Ipv4{10, 20, 0, 6}, 0, 10000});
+
+  std::vector<LogEntry> originals;
+  for (int i = 0; i < 25; ++i) {
+    LogEntry e = make_entry(100 + i, i % 2 == 0 ? "dev-1" : "dev-2",
+                            "site" + std::to_string(i % 4) + ".com");
+    if (i % 7 == 0) {
+      e.rcode = RCode::kNxDomain;
+      e.addresses.clear();
+      e.cnames.clear();
+      e.ttl = 0;
+    }
+    originals.push_back(std::move(e));
+  }
+
+  std::stringstream capture;
+  const std::size_t packets = export_pcap(capture, originals, dhcp);
+  EXPECT_EQ(packets, originals.size() * 2);  // every entry answered
+
+  const auto imported = import_pcap(capture, &dhcp);
+  EXPECT_EQ(imported.stats.matched, originals.size());
+  ASSERT_EQ(imported.entries.size(), originals.size());
+  auto a = originals;
+  auto b = imported.entries;
+  const auto by_key = [](const LogEntry& x, const LogEntry& y) {
+    return std::tie(x.timestamp, x.host, x.qname) < std::tie(y.timestamp, y.host, y.qname);
+  };
+  std::sort(a.begin(), a.end(), by_key);
+  std::sort(b.begin(), b.end(), by_key);
+  EXPECT_EQ(a, b);
+}
+
+TEST(CaptureIo, ServfailEntriesProduceLoneQueries) {
+  DhcpTable dhcp;
+  dhcp.add_lease({"dev-1", Ipv4{10, 20, 0, 5}, 0, 10000});
+  LogEntry e = make_entry(100, "dev-1", "dead.ws");
+  e.rcode = RCode::kServFail;
+  e.addresses.clear();
+  e.cnames.clear();
+  e.ttl = 0;
+  std::stringstream capture;
+  EXPECT_EQ(export_pcap(capture, std::vector<LogEntry>{e}, dhcp), 1u);
+  const auto imported = import_pcap(capture, &dhcp);
+  ASSERT_EQ(imported.entries.size(), 1u);
+  EXPECT_EQ(imported.entries[0].rcode, RCode::kServFail);
+  EXPECT_EQ(imported.stats.expired_queries, 1u);
+}
+
+TEST(CaptureIo, UnknownHostFallsBackToConfiguredClient) {
+  DhcpTable dhcp;  // empty: no leases at all
+  const LogEntry e = make_entry(5, "server-rack-9", "static.example.com");
+  std::stringstream capture;
+  export_pcap(capture, std::vector<LogEntry>{e}, dhcp);
+  const auto imported = import_pcap(capture, nullptr);
+  ASSERT_EQ(imported.entries.size(), 1u);
+  EXPECT_EQ(imported.entries[0].host, "10.99.0.1");  // fallback client IP
+}
+
+}  // namespace
+}  // namespace dnsembed::dns

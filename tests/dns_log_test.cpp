@@ -1,0 +1,152 @@
+// Tests for IPv4 parsing, DNS log (de)serialization, and the DHCP table.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dns/dhcp.hpp"
+#include "dns/ipv4.hpp"
+#include "dns/log_io.hpp"
+
+namespace dnsembed::dns {
+namespace {
+
+TEST(Ipv4, ToStringAndParse) {
+  const Ipv4 ip{192, 168, 1, 42};
+  EXPECT_EQ(ip.to_string(), "192.168.1.42");
+  EXPECT_EQ(Ipv4::parse("192.168.1.42"), ip);
+  EXPECT_EQ(Ipv4::parse("0.0.0.0"), Ipv4{0u});
+  EXPECT_EQ(Ipv4::parse("255.255.255.255"), Ipv4{0xFFFFFFFFu});
+}
+
+TEST(Ipv4, ParseRejectsMalformed) {
+  EXPECT_FALSE(Ipv4::parse("").has_value());
+  EXPECT_FALSE(Ipv4::parse("1.2.3").has_value());
+  EXPECT_FALSE(Ipv4::parse("1.2.3.4.5").has_value());
+  EXPECT_FALSE(Ipv4::parse("256.1.1.1").has_value());
+  EXPECT_FALSE(Ipv4::parse("1.2.3.").has_value());
+  EXPECT_FALSE(Ipv4::parse(".1.2.3.4").has_value());
+  EXPECT_FALSE(Ipv4::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4::parse("01.2.3.4").has_value());
+  EXPECT_FALSE(Ipv4::parse("1.2.3.4 ").has_value());
+}
+
+TEST(Ipv4, Prefixes) {
+  const Ipv4 ip{10, 20, 30, 40};
+  EXPECT_EQ(ip.prefix16(), (10u << 8) | 20u);
+  EXPECT_EQ(ip.prefix24(), (10u << 16) | (20u << 8) | 30u);
+}
+
+LogEntry sample_entry() {
+  LogEntry e;
+  e.timestamp = 12345;
+  e.host = "aa:bb:cc:dd:ee:01";
+  e.qname = "www.example.com";
+  e.qtype = QType::kA;
+  e.rcode = RCode::kNoError;
+  e.ttl = 300;
+  e.addresses = {Ipv4{1, 2, 3, 4}, Ipv4{5, 6, 7, 8}};
+  e.cnames = {"cdn.example.net"};
+  return e;
+}
+
+TEST(LogIo, FormatParseRoundTrip) {
+  const LogEntry e = sample_entry();
+  const auto parsed = parse_log_entry(format_log_entry(e));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, e);
+}
+
+TEST(LogIo, EmptyListsSerializeAsDash) {
+  LogEntry e = sample_entry();
+  e.addresses.clear();
+  e.cnames.clear();
+  e.rcode = RCode::kNxDomain;
+  const std::string line = format_log_entry(e);
+  EXPECT_NE(line.find("\t-\t-"), std::string::npos);
+  const auto parsed = parse_log_entry(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, e);
+}
+
+TEST(LogIo, ParseRejectsMalformed) {
+  EXPECT_FALSE(parse_log_entry("").has_value());
+  EXPECT_FALSE(parse_log_entry("not a log line").has_value());
+  EXPECT_FALSE(parse_log_entry("x\th\tq\tA\t0\t1\t-\t-").has_value());        // bad ts
+  EXPECT_FALSE(parse_log_entry("1\t\tq\tA\t0\t1\t-\t-").has_value());         // empty host
+  EXPECT_FALSE(parse_log_entry("1\th\tq\tA\t99\t1\t-\t-").has_value());       // bad rcode
+  EXPECT_FALSE(parse_log_entry("1\th\tq\tA\t0\t1\tbad-ip\t-").has_value());   // bad ip
+  EXPECT_FALSE(parse_log_entry("1\th\tq\tA\t0\t1\t-").has_value());           // missing field
+}
+
+TEST(LogIo, StreamRoundTripAndBlankLineSkip) {
+  std::stringstream stream;
+  LogWriter writer{stream};
+  const LogEntry a = sample_entry();
+  LogEntry b = sample_entry();
+  b.timestamp = 99999;
+  b.qname = "evil.bid";
+  writer.write(a);
+  stream << "\n";  // blank line should be skipped
+  writer.write(b);
+
+  LogReader reader{stream};
+  const auto ra = reader.next();
+  const auto rb = reader.next();
+  ASSERT_TRUE(ra && rb);
+  EXPECT_EQ(*ra, a);
+  EXPECT_EQ(*rb, b);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(LogIo, ReaderThrowsOnMalformedLine) {
+  std::stringstream stream{"garbage line\n"};
+  LogReader reader{stream};
+  EXPECT_THROW(reader.next(), std::runtime_error);
+}
+
+TEST(Dhcp, MapsIpAndTimeToDevice) {
+  DhcpTable table;
+  const Ipv4 ip{10, 0, 0, 5};
+  table.add_lease({"mac-a", ip, 0, 100});
+  table.add_lease({"mac-b", ip, 100, 200});
+  EXPECT_EQ(table.device_for(ip, 0), "mac-a");
+  EXPECT_EQ(table.device_for(ip, 99), "mac-a");
+  EXPECT_EQ(table.device_for(ip, 100), "mac-b");  // end is exclusive
+  EXPECT_EQ(table.device_for(ip, 199), "mac-b");
+  EXPECT_FALSE(table.device_for(ip, 200).has_value());
+  EXPECT_FALSE(table.device_for(Ipv4{10, 0, 0, 6}, 50).has_value());
+  EXPECT_EQ(table.lease_count(), 2u);
+}
+
+TEST(Dhcp, RejectsOverlappingLeases) {
+  DhcpTable table;
+  const Ipv4 ip{10, 0, 0, 7};
+  table.add_lease({"mac-a", ip, 0, 100});
+  EXPECT_THROW(table.add_lease({"mac-b", ip, 50, 150}), std::invalid_argument);
+  EXPECT_THROW(table.add_lease({"mac-b", ip, 0, 100}), std::invalid_argument);
+  EXPECT_THROW(table.add_lease({"mac-b", ip, 10, 20}), std::invalid_argument);
+  table.add_lease({"mac-b", ip, 100, 150});  // adjacent is fine
+}
+
+TEST(Dhcp, RejectsEmptyInterval) {
+  DhcpTable table;
+  EXPECT_THROW(table.add_lease({"mac", Ipv4{1u}, 10, 10}), std::invalid_argument);
+  EXPECT_THROW(table.add_lease({"mac", Ipv4{1u}, 10, 5}), std::invalid_argument);
+}
+
+TEST(Dhcp, OutOfOrderInsertionStaysSorted) {
+  DhcpTable table;
+  const Ipv4 ip{10, 0, 1, 1};
+  table.add_lease({"c", ip, 200, 300});
+  table.add_lease({"a", ip, 0, 100});
+  table.add_lease({"b", ip, 100, 200});
+  const auto leases = table.leases_for(ip);
+  ASSERT_EQ(leases.size(), 3u);
+  EXPECT_EQ(leases[0].mac, "a");
+  EXPECT_EQ(leases[1].mac, "b");
+  EXPECT_EQ(leases[2].mac, "c");
+  EXPECT_EQ(table.device_for(ip, 150), "b");
+}
+
+}  // namespace
+}  // namespace dnsembed::dns

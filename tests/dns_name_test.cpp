@@ -1,0 +1,119 @@
+// Tests for domain-name handling and e2LD extraction (public-suffix rules).
+#include <gtest/gtest.h>
+
+#include "dns/name.hpp"
+#include "dns/public_suffix.hpp"
+
+namespace dnsembed::dns {
+namespace {
+
+TEST(Name, NormalizeLowercasesAndStripsDot) {
+  EXPECT_EQ(normalize_name("WWW.Example.COM."), "www.example.com");
+  EXPECT_EQ(normalize_name("abc"), "abc");
+  EXPECT_EQ(normalize_name("."), "");
+}
+
+TEST(Name, ValidityRules) {
+  EXPECT_TRUE(is_valid_name("example.com"));
+  EXPECT_TRUE(is_valid_name("a-b.c_d.com"));
+  EXPECT_TRUE(is_valid_name("xn--p1ai"));
+  EXPECT_FALSE(is_valid_name(""));
+  EXPECT_FALSE(is_valid_name(".com"));
+  EXPECT_FALSE(is_valid_name("a..b"));
+  EXPECT_FALSE(is_valid_name("-a.com"));
+  EXPECT_FALSE(is_valid_name("a-.com"));
+  EXPECT_FALSE(is_valid_name("a b.com"));
+  EXPECT_FALSE(is_valid_name(std::string(64, 'a') + ".com"));   // label > 63
+  EXPECT_TRUE(is_valid_name(std::string(63, 'a') + ".com"));
+  std::string long_name;
+  for (int i = 0; i < 64; ++i) long_name += "abc.";
+  long_name += "com";  // 259 chars
+  EXPECT_FALSE(is_valid_name(long_name));
+}
+
+TEST(Name, Labels) {
+  const auto l = labels("www.example.com");
+  ASSERT_EQ(l.size(), 3u);
+  EXPECT_EQ(l[0], "www");
+  EXPECT_EQ(l[1], "example");
+  EXPECT_EQ(l[2], "com");
+  EXPECT_EQ(label_count("www.example.com"), 3u);
+  EXPECT_EQ(label_count("com"), 1u);
+  EXPECT_EQ(label_count(""), 0u);
+  EXPECT_EQ(top_level("www.example.com"), "com");
+  EXPECT_EQ(top_level("com"), "com");
+}
+
+TEST(Name, SubdomainRelation) {
+  EXPECT_TRUE(is_subdomain_of("a.b.com", "b.com"));
+  EXPECT_TRUE(is_subdomain_of("b.com", "b.com"));
+  EXPECT_TRUE(is_subdomain_of("a.b.com", "com"));
+  EXPECT_FALSE(is_subdomain_of("ab.com", "b.com"));  // must match at label boundary
+  EXPECT_FALSE(is_subdomain_of("b.com", "a.b.com"));
+  EXPECT_FALSE(is_subdomain_of("b.com", ""));
+}
+
+TEST(PublicSuffix, SimpleTlds) {
+  const auto& psl = PublicSuffixList::builtin();
+  EXPECT_EQ(psl.public_suffix("maps.google.com"), "com");
+  EXPECT_EQ(psl.e2ld("maps.google.com"), "google.com");
+  EXPECT_EQ(psl.e2ld("google.com"), "google.com");
+  EXPECT_FALSE(psl.e2ld("com").has_value());
+}
+
+TEST(PublicSuffix, MultiLevelSuffixes) {
+  const auto& psl = PublicSuffixList::builtin();
+  EXPECT_EQ(psl.public_suffix("www.bbc.co.uk"), "co.uk");
+  EXPECT_EQ(psl.e2ld("www.bbc.co.uk"), "bbc.co.uk");
+  EXPECT_FALSE(psl.e2ld("co.uk").has_value());
+  // The paper's example: www.bbc.uk.co -> bbc.uk.co.
+  EXPECT_EQ(psl.e2ld("www.bbc.uk.co"), "bbc.uk.co");
+}
+
+TEST(PublicSuffix, LongestRuleWins) {
+  const auto& psl = PublicSuffixList::builtin();
+  // "com.cn" beats "cn".
+  EXPECT_EQ(psl.public_suffix("news.sina.com.cn"), "com.cn");
+  EXPECT_EQ(psl.e2ld("news.sina.com.cn"), "sina.com.cn");
+}
+
+TEST(PublicSuffix, WildcardAndException) {
+  const auto& psl = PublicSuffixList::builtin();
+  // "*.ck": foo.ck is a public suffix, so bar.foo.ck registers at bar.foo.ck.
+  EXPECT_EQ(psl.public_suffix("bar.foo.ck"), "foo.ck");
+  EXPECT_EQ(psl.e2ld("baz.bar.foo.ck"), "bar.foo.ck");
+  EXPECT_FALSE(psl.e2ld("foo.ck").has_value());
+  // "!www.ck": www.ck is registrable despite the wildcard.
+  EXPECT_EQ(psl.e2ld("www.ck"), "www.ck");
+  EXPECT_EQ(psl.e2ld("a.www.ck"), "www.ck");
+}
+
+TEST(PublicSuffix, UnknownTldFallsBackToLastLabel) {
+  const auto& psl = PublicSuffixList::builtin();
+  EXPECT_EQ(psl.public_suffix("x.example.zzzz"), "zzzz");
+  EXPECT_EQ(psl.e2ld("x.example.zzzz"), "example.zzzz");
+}
+
+TEST(PublicSuffix, E2ldOrSelfNeverFails) {
+  const auto& psl = PublicSuffixList::builtin();
+  EXPECT_EQ(psl.e2ld_or_self("Maps.Google.COM"), "google.com");
+  EXPECT_EQ(psl.e2ld_or_self("com"), "com");
+  EXPECT_EQ(psl.e2ld_or_self("co.uk"), "co.uk");
+}
+
+TEST(PublicSuffix, CustomRuleSet) {
+  const PublicSuffixList psl{{"test", "multi.test"}};
+  EXPECT_EQ(psl.e2ld("a.b.multi.test"), "b.multi.test");
+  EXPECT_EQ(psl.e2ld("a.test"), "a.test");
+}
+
+TEST(PublicSuffix, PaperExamplesFromAbuseFeeds) {
+  const auto& psl = PublicSuffixList::builtin();
+  // Spam cluster TLDs (.bid) and Conficker DGA TLDs (.ws) from Tables 1-2.
+  EXPECT_EQ(psl.e2ld("brvegnholster.bid"), "brvegnholster.bid");
+  EXPECT_EQ(psl.e2ld("oorfapjflmp.ws"), "oorfapjflmp.ws");
+  EXPECT_EQ(psl.e2ld("www.oorfapjflmp.ws"), "oorfapjflmp.ws");
+}
+
+}  // namespace
+}  // namespace dnsembed::dns

@@ -1,0 +1,97 @@
+// Tests for the RFC 3492 punycode codec, including the RFC's own sample
+// strings and encode/decode round trips.
+#include <gtest/gtest.h>
+
+#include "dns/punycode.hpp"
+#include "util/rng.hpp"
+
+namespace dnsembed::dns {
+namespace {
+
+// RFC 3492 §7.1 sample (A): Arabic "ليهمابتكلموشعربي؟".
+const std::vector<std::uint32_t> kArabic{
+    0x0644, 0x064A, 0x0647, 0x0645, 0x0627, 0x0628, 0x062A, 0x0643, 0x0644,
+    0x0645, 0x0648, 0x0634, 0x0639, 0x0631, 0x0628, 0x064A, 0x061F};
+const char* kArabicAce = "egbpdaj6bu4bxfgehfvwxn";
+
+// RFC 3492 §7.1 sample (B): Simplified Chinese "他们为什么不说中文".
+const std::vector<std::uint32_t> kChinese{0x4ED6, 0x4EEC, 0x4E3A, 0x4EC0, 0x4E48,
+                                          0x4E0D, 0x8BF4, 0x4E2D, 0x6587};
+const char* kChineseAce = "ihqwcrb4cv8a8dqg056pqjye";
+
+// RFC 3492 §7.1 sample (S): "-> $1.00 <-" (all-basic string).
+const std::vector<std::uint32_t> kBasic{0x2D, 0x3E, 0x20, 0x24, 0x31, 0x2E,
+                                        0x30, 0x30, 0x20, 0x3C, 0x2D};
+const char* kBasicAce = "-> $1.00 <--";
+
+TEST(Punycode, RfcSampleDecode) {
+  EXPECT_EQ(punycode_decode(kArabicAce), kArabic);
+  EXPECT_EQ(punycode_decode(kChineseAce), kChinese);
+  EXPECT_EQ(punycode_decode(kBasicAce), kBasic);
+}
+
+TEST(Punycode, RfcSampleEncode) {
+  EXPECT_EQ(punycode_encode(kArabic), kArabicAce);
+  EXPECT_EQ(punycode_encode(kChinese), kChineseAce);
+  EXPECT_EQ(punycode_encode(kBasic), kBasicAce);
+}
+
+TEST(Punycode, KnownIdnLabels) {
+  // "münchen" -> xn--mnchen-3ya ; "bücher" -> xn--bcher-kva.
+  EXPECT_EQ(idn_label_to_unicode("xn--mnchen-3ya"), "m\xC3\xBCnchen");
+  EXPECT_EQ(idn_label_to_unicode("xn--bcher-kva"), "b\xC3\xBC" "cher");
+  // Chinese 中国 -> xn--fiqs8s.
+  EXPECT_EQ(idn_label_to_unicode("xn--fiqs8s"), "\xE4\xB8\xAD\xE5\x9B\xBD");
+}
+
+TEST(Punycode, NonAceLabelsPassThrough) {
+  EXPECT_EQ(idn_label_to_unicode("example"), "example");
+  EXPECT_EQ(idn_label_to_unicode("xn-"), "xn-");
+  EXPECT_EQ(idn_label_to_unicode(""), "");
+  // Malformed ACE stays as-is.
+  EXPECT_EQ(idn_label_to_unicode("xn--!!!"), "xn--!!!");
+}
+
+TEST(Punycode, DecodeRejectsMalformed) {
+  EXPECT_FALSE(punycode_decode("!!").has_value());                 // bad digits
+  EXPECT_FALSE(punycode_decode("99999999999999999").has_value());  // overflow
+  EXPECT_FALSE(punycode_decode("\x80xyz").has_value());            // non-ASCII basic
+  // "a-" is legal: all-basic label with an empty extended section.
+  const auto basic_only = punycode_decode("a-");
+  ASSERT_TRUE(basic_only.has_value());
+  EXPECT_EQ(*basic_only, (std::vector<std::uint32_t>{'a'}));
+}
+
+TEST(Punycode, RandomRoundTrips) {
+  util::Rng rng{7};
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::uint32_t> points;
+    const std::size_t n = 1 + rng.uniform_index(12);
+    for (std::size_t i = 0; i < n; ++i) {
+      switch (rng.uniform_index(3)) {
+        case 0: points.push_back('a' + static_cast<std::uint32_t>(rng.uniform_index(26))); break;
+        case 1: points.push_back(0x4E00 + static_cast<std::uint32_t>(rng.uniform_index(0x2000))); break;
+        default: points.push_back(0xC0 + static_cast<std::uint32_t>(rng.uniform_index(0x200))); break;
+      }
+    }
+    const auto encoded = punycode_encode(points);
+    ASSERT_TRUE(encoded.has_value());
+    const auto decoded = punycode_decode(*encoded);
+    ASSERT_TRUE(decoded.has_value()) << *encoded;
+    EXPECT_EQ(*decoded, points) << *encoded;
+  }
+}
+
+TEST(Punycode, EncodeRejectsOutOfRange) {
+  EXPECT_FALSE(punycode_encode({0x110000}).has_value());
+}
+
+TEST(Punycode, Utf8Encoding) {
+  EXPECT_EQ(utf8_encode({0x41}), "A");
+  EXPECT_EQ(utf8_encode({0xFC}), "\xC3\xBC");
+  EXPECT_EQ(utf8_encode({0x4E2D}), "\xE4\xB8\xAD");
+  EXPECT_EQ(utf8_encode({0x1F600}), "\xF0\x9F\x98\x80");
+}
+
+}  // namespace
+}  // namespace dnsembed::dns

@@ -1,0 +1,177 @@
+// Tests for the Exposure feature extraction: each feature group must
+// discriminate the behavior it was designed for.
+#include <gtest/gtest.h>
+
+#include "features/exposure.hpp"
+#include "util/strings.hpp"
+
+namespace dnsembed::features {
+namespace {
+
+dns::LogEntry entry(std::int64_t ts, const std::string& host, const std::string& qname,
+                    std::uint32_t ttl, std::vector<dns::Ipv4> ips,
+                    std::vector<std::string> cnames = {}) {
+  dns::LogEntry e;
+  e.timestamp = ts;
+  e.host = host;
+  e.qname = qname;
+  e.ttl = ttl;
+  e.addresses = std::move(ips);
+  e.cnames = std::move(cnames);
+  return e;
+}
+
+constexpr std::int64_t kDaySecs = 86400;
+
+TEST(Exposure, FeatureNamesAligned) {
+  EXPECT_EQ(exposure_feature_names().size(), kExposureFeatureCount);
+  EXPECT_EQ(exposure_feature_names()[0], "short_life");
+  EXPECT_EQ(exposure_feature_names()[14], "lms_ratio");
+}
+
+TEST(Exposure, RejectsEmptyWindow) {
+  EXPECT_THROW(ExposureExtractor(100, 100), std::invalid_argument);
+  EXPECT_THROW(ExposureExtractor(100, 50), std::invalid_argument);
+}
+
+TEST(Exposure, ShortLifeSeparatesEphemeralDomains) {
+  ExposureExtractor ex{0, 7 * kDaySecs};
+  // long-lived: queried across the whole week.
+  for (int d = 0; d < 7; ++d) {
+    ex.observe(entry(d * kDaySecs + 3600, "h1", "steady.com", 300, {dns::Ipv4{1, 1, 1, 1}}),
+               "steady.com");
+  }
+  // ephemeral: two queries within one hour.
+  ex.observe(entry(2 * kDaySecs, "h1", "flash.bid", 60, {dns::Ipv4{2, 2, 2, 2}}), "flash.bid");
+  ex.observe(entry(2 * kDaySecs + 1800, "h1", "flash.bid", 60, {dns::Ipv4{2, 2, 2, 2}}),
+             "flash.bid");
+  const auto m = ex.extract({"steady.com", "flash.bid"});
+  EXPECT_LT(m.at(0, 0), 0.2);   // short_life small for the steady domain
+  EXPECT_GT(m.at(1, 0), 0.95);  // ~1 for the flash domain
+}
+
+TEST(Exposure, IntervalRegularityDetectsBeacons) {
+  ExposureExtractor ex{0, kDaySecs};
+  // Beacon: exactly every 600 s.
+  for (int i = 0; i < 60; ++i) {
+    ex.observe(entry(i * 600, "bot", "cnc.win", 120, {dns::Ipv4{9, 9, 9, 9}}), "cnc.win");
+  }
+  // Human browsing: irregular.
+  std::int64_t t = 0;
+  const std::int64_t gaps[] = {5, 3000, 40, 7000, 100, 20000, 12, 400, 9000, 60};
+  for (int i = 0; i < 10; ++i) {
+    t += gaps[i];
+    ex.observe(entry(t, "user", "news.com", 300, {dns::Ipv4{3, 3, 3, 3}}), "news.com");
+  }
+  const auto m = ex.extract({"cnc.win", "news.com"});
+  EXPECT_GT(m.at(0, 2), 0.9);
+  EXPECT_LT(m.at(1, 2), 0.6);
+}
+
+TEST(Exposure, ActiveDayRatio) {
+  ExposureExtractor ex{0, 4 * kDaySecs};
+  for (int d = 0; d < 4; ++d) {
+    ex.observe(entry(d * kDaySecs + 100, "h", "daily.com", 60, {dns::Ipv4{1, 2, 3, 4}}),
+               "daily.com");
+  }
+  ex.observe(entry(kDaySecs + 5, "h", "once.com", 60, {dns::Ipv4{4, 3, 2, 1}}), "once.com");
+  const auto m = ex.extract({"daily.com", "once.com"});
+  EXPECT_DOUBLE_EQ(m.at(0, 3), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 3), 0.25);
+}
+
+TEST(Exposure, AnswerDiversityCountsIpsAndPrefixes) {
+  ExposureExtractor ex{0, kDaySecs};
+  // Fast-flux style: many IPs across prefixes.
+  for (int i = 0; i < 10; ++i) {
+    ex.observe(entry(i * 100, "h", "flux.su", 30,
+                     {dns::Ipv4{static_cast<std::uint8_t>(10 + i), 0, 0, 1}}),
+               "flux.su");
+  }
+  // Stable site: one IP.
+  ex.observe(entry(50, "h", "stable.com", 3600, {dns::Ipv4{8, 8, 8, 8}}), "stable.com");
+  const auto m = ex.extract({"flux.su", "stable.com"});
+  EXPECT_DOUBLE_EQ(m.at(0, 4), 10.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 5), 10.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 4), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 5), 1.0);
+}
+
+TEST(Exposure, SharedIpCountsOtherDomains) {
+  ExposureExtractor ex{0, kDaySecs};
+  const dns::Ipv4 shared{7, 7, 7, 7};
+  for (const auto* d : {"a.bid", "b.bid", "c.bid"}) {
+    ex.observe(entry(10, "h", d, 60, {shared}), d);
+  }
+  ex.observe(entry(10, "h", "alone.com", 60, {dns::Ipv4{1, 0, 0, 1}}), "alone.com");
+  const auto m = ex.extract({"a.bid", "alone.com"});
+  EXPECT_DOUBLE_EQ(m.at(0, 6), 2.0);  // b.bid and c.bid share a.bid's IP
+  EXPECT_DOUBLE_EQ(m.at(1, 6), 0.0);
+}
+
+TEST(Exposure, CnameRatio) {
+  ExposureExtractor ex{0, kDaySecs};
+  ex.observe(entry(1, "h", "www.cdnsite.com", 60, {dns::Ipv4{1, 1, 1, 1}}, {"edge.cdn.net"}),
+             "cdnsite.com");
+  ex.observe(entry(2, "h", "www.cdnsite.com", 60, {dns::Ipv4{1, 1, 1, 1}}, {"edge.cdn.net"}),
+             "cdnsite.com");
+  ex.observe(entry(3, "h", "plain.com", 60, {dns::Ipv4{2, 2, 2, 2}}), "plain.com");
+  const auto m = ex.extract({"cdnsite.com", "plain.com"});
+  EXPECT_DOUBLE_EQ(m.at(0, 7), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 7), 0.0);
+}
+
+TEST(Exposure, TtlFeatures) {
+  ExposureExtractor ex{0, kDaySecs};
+  const std::uint32_t ttls[] = {60, 60, 120, 60, 300};
+  for (int i = 0; i < 5; ++i) {
+    ex.observe(entry(i, "h", "varied.com", ttls[i], {dns::Ipv4{1, 1, 1, 1}}), "varied.com");
+  }
+  const auto m = ex.extract({"varied.com"});
+  EXPECT_NEAR(m.at(0, 8), (60 + 60 + 120 + 60 + 300) / 5.0, 1e-9);  // mean
+  EXPECT_GT(m.at(0, 9), 0.0);                                       // stddev
+  EXPECT_DOUBLE_EQ(m.at(0, 10), 3.0);                               // distinct
+  EXPECT_DOUBLE_EQ(m.at(0, 11), 3.0);  // changes: 60->120, 120->60, 60->300
+  EXPECT_DOUBLE_EQ(m.at(0, 12), 0.8);  // 4 of 5 below 300
+}
+
+TEST(Exposure, LexicalFeatures) {
+  EXPECT_DOUBLE_EQ(numeric_ratio_of_label("abc123.com"), 0.5);
+  EXPECT_DOUBLE_EQ(numeric_ratio_of_label("abc.com"), 0.0);
+  // "moneytrade.win" contains dictionary words; a DGA name does not.
+  EXPECT_GT(lms_ratio_of_label("moneytrade.win"), 0.4);
+  EXPECT_LT(lms_ratio_of_label("qxkzvjwpqh.ws"), 0.4);
+
+  // Unobserved domains still get lexical columns.
+  ExposureExtractor ex{0, kDaySecs};
+  const auto m = ex.extract({"money99.bid"});
+  EXPECT_GT(m.at(0, 13), 0.0);
+  EXPECT_GT(m.at(0, 14), 0.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 4), 0.0);  // no answer features
+}
+
+
+TEST(Exposure, IdnLabelsDecodedForLexicalFeatures) {
+  // xn--mnchen-3ya = "münchen": the ACE form contains digits and hyphens
+  // that would pollute the lexical statistics; the decoded form does not.
+  EXPECT_DOUBLE_EQ(numeric_ratio_of_label("xn--mnchen-3ya.com"), 0.0);
+  // The raw ACE string would have numeric_ratio 1/12 > 0.
+  EXPECT_GT(util::digit_ratio("xn--mnchen-3ya"), 0.0);
+  // Malformed ACE falls back to the raw label without crashing.
+  EXPECT_GE(numeric_ratio_of_label("xn--!!!.com"), 0.0);
+}
+
+TEST(Exposure, NxdomainEntriesCountQueriesNotAnswers) {
+  ExposureExtractor ex{0, kDaySecs};
+  dns::LogEntry nx = entry(5, "h", "gone.ws", 0, {});
+  nx.rcode = dns::RCode::kNxDomain;
+  ex.observe(nx, "gone.ws");
+  ex.observe(nx, "gone.ws");
+  const auto m = ex.extract({"gone.ws"});
+  EXPECT_DOUBLE_EQ(m.at(0, 4), 0.0);   // no IPs
+  EXPECT_DOUBLE_EQ(m.at(0, 8), 0.0);   // no TTLs
+  EXPECT_GT(m.at(0, 3), 0.0);          // but it was active
+}
+
+}  // namespace
+}  // namespace dnsembed::features

@@ -1,0 +1,74 @@
+// Tests for graph edge-list persistence.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/io.hpp"
+
+namespace dnsembed::graph {
+namespace {
+
+TEST(GraphIo, BipartiteRoundTrip) {
+  BipartiteGraph g;
+  g.add_edge("h1", "a.com");
+  g.add_edge("h1", "b.com");
+  g.add_edge("h2", "a.com");
+  g.finalize();
+
+  std::stringstream stream;
+  save_bipartite_csv(stream, g);
+  const auto loaded = load_bipartite_csv(stream);
+  EXPECT_EQ(loaded.left_count(), 2u);
+  EXPECT_EQ(loaded.right_count(), 2u);
+  EXPECT_EQ(loaded.edge_count(), 3u);
+  const auto h1 = *loaded.left_names().find("h1");
+  EXPECT_EQ(loaded.left_degree(h1), 2u);
+}
+
+TEST(GraphIo, BipartiteRejectsMalformed) {
+  std::stringstream bad{"left,right\nonly-one-field\n"};
+  EXPECT_THROW(load_bipartite_csv(bad), std::runtime_error);
+  std::stringstream empty_field{"left,right\nx,\n"};
+  EXPECT_THROW(load_bipartite_csv(empty_field), std::runtime_error);
+}
+
+TEST(GraphIo, WeightedRoundTripWithIsolatedVertices) {
+  WeightedGraph g;
+  g.add_edge("a.com", "b.com", 0.5);
+  g.add_edge("a.com", "c.com", 0.125);
+  g.add_vertex("lonely.net");
+
+  std::stringstream stream;
+  save_weighted_csv(stream, g);
+  const auto loaded = load_weighted_csv(stream);
+  EXPECT_EQ(loaded.vertex_count(), 4u);
+  EXPECT_EQ(loaded.edge_count(), 2u);
+  const auto a = *loaded.names().find("a.com");
+  const auto b = *loaded.names().find("b.com");
+  ASSERT_TRUE(loaded.has_edge(a, b));
+  EXPECT_DOUBLE_EQ(loaded.weighted_degree(a), 0.625);
+  const auto lonely = loaded.names().find("lonely.net");
+  ASSERT_TRUE(lonely.has_value());
+  EXPECT_EQ(loaded.degree(*lonely), 0u);
+}
+
+TEST(GraphIo, WeightedRejectsBadWeight) {
+  std::stringstream bad{"u,v,weight\na,b,not-a-number\n"};
+  EXPECT_THROW(load_weighted_csv(bad), std::runtime_error);
+}
+
+TEST(GraphIo, EmptyGraphsRoundTrip) {
+  BipartiteGraph bg;
+  bg.finalize();
+  std::stringstream s1;
+  save_bipartite_csv(s1, bg);
+  EXPECT_EQ(load_bipartite_csv(s1).edge_count(), 0u);
+
+  WeightedGraph wg;
+  std::stringstream s2;
+  save_weighted_csv(s2, wg);
+  EXPECT_EQ(load_weighted_csv(s2).vertex_count(), 0u);
+}
+
+}  // namespace
+}  // namespace dnsembed::graph

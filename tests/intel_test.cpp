@@ -1,0 +1,181 @@
+// Tests for the intel layer: VirusTotal simulator statistics, labeled-set
+// construction (30/70 mix, confirmation gating), and seed expansion.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "intel/labels.hpp"
+#include "intel/seed_expansion.hpp"
+#include "intel/virustotal.hpp"
+
+namespace dnsembed::intel {
+namespace {
+
+trace::GroundTruth make_truth(std::size_t benign, std::size_t malicious) {
+  trace::GroundTruth truth;
+  for (std::size_t i = 0; i < benign; ++i) {
+    truth.add_benign("benign" + std::to_string(i) + ".com");
+  }
+  trace::MalwareFamily family;
+  family.id = 0;
+  family.kind = trace::FamilyKind::kSpam;
+  family.name = "family0-spam";
+  for (std::size_t i = 0; i < malicious; ++i) {
+    family.domains.push_back("evil" + std::to_string(i) + ".bid");
+  }
+  truth.add_family(family);
+  return truth;
+}
+
+TEST(VirusTotal, Deterministic) {
+  const auto truth = make_truth(10, 10);
+  const VirusTotalSim vt{truth, VirusTotalConfig{}};
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(vt.hits("evil1.bid"), vt.hits("evil1.bid"));
+    EXPECT_EQ(vt.confirmed("benign1.com"), vt.confirmed("benign1.com"));
+  }
+}
+
+TEST(VirusTotal, MostMaliciousConfirmedFewBenignFlagged) {
+  const auto truth = make_truth(500, 500);
+  const VirusTotalSim vt{truth, VirusTotalConfig{}};
+  std::size_t confirmed_malicious = 0;
+  std::size_t confirmed_benign = 0;
+  std::size_t evading = 0;
+  for (std::size_t i = 0; i < 500; ++i) {
+    if (vt.confirmed("evil" + std::to_string(i) + ".bid")) ++confirmed_malicious;
+    if (vt.evades("evil" + std::to_string(i) + ".bid")) ++evading;
+    if (vt.confirmed("benign" + std::to_string(i) + ".com")) ++confirmed_benign;
+  }
+  // Non-evading malicious domains have ~60 * 0.45 expected hits; they are
+  // essentially always confirmed.
+  EXPECT_NEAR(static_cast<double>(evading) / 500.0, 0.18, 0.06);
+  EXPECT_EQ(confirmed_malicious, 500 - evading);
+  // Benign: P(>= 2 of 60 lists at 0.0015) ~ 0.4%.
+  EXPECT_LT(confirmed_benign, 15u);
+}
+
+TEST(VirusTotal, EvadersNeverHit) {
+  const auto truth = make_truth(5, 200);
+  const VirusTotalSim vt{truth, VirusTotalConfig{}};
+  for (std::size_t i = 0; i < 200; ++i) {
+    const std::string d = "evil" + std::to_string(i) + ".bid";
+    if (vt.evades(d)) {
+      EXPECT_EQ(vt.hits(d), 0u);
+    }
+  }
+  EXPECT_FALSE(vt.evades("benign1.com"));
+}
+
+TEST(VirusTotal, ConfigValidation) {
+  const auto truth = make_truth(1, 1);
+  VirusTotalConfig config;
+  config.lists = 0;
+  EXPECT_THROW((VirusTotalSim{truth, config}), std::invalid_argument);
+  config = VirusTotalConfig{};
+  config.min_sensitivity = 0.9;
+  config.max_sensitivity = 0.1;
+  EXPECT_THROW((VirusTotalSim{truth, config}), std::invalid_argument);
+}
+
+TEST(Labels, BuildsTargetClassMix) {
+  const auto truth = make_truth(2000, 300);
+  const VirusTotalSim vt{truth, VirusTotalConfig{}};
+  std::vector<std::string> candidates;
+  for (const auto& d : truth.benign_domains()) candidates.push_back(d);
+  for (const auto& d : truth.malicious_domains()) candidates.push_back(d);
+
+  LabelingConfig config;
+  const auto labeled = build_labeled_set(candidates, truth, vt, config);
+  const double frac =
+      static_cast<double>(labeled.malicious_count()) / static_cast<double>(labeled.size());
+  EXPECT_NEAR(frac, 0.3, 0.01);
+  // Malicious labels only for VT-confirmed domains.
+  for (std::size_t i = 0; i < labeled.size(); ++i) {
+    if (labeled.labels[i] == 1) {
+      EXPECT_TRUE(vt.confirmed(labeled.domains[i]));
+      EXPECT_TRUE(truth.is_malicious(labeled.domains[i]));
+    } else {
+      EXPECT_FALSE(truth.is_malicious(labeled.domains[i]));
+    }
+  }
+}
+
+TEST(Labels, UnknownCandidatesIgnored) {
+  const auto truth = make_truth(10, 5);
+  const VirusTotalSim vt{truth, VirusTotalConfig{}};
+  const auto labeled =
+      build_labeled_set({"benign1.com", "nonsense.zz", "evil1.bid"}, truth, vt,
+                        LabelingConfig{});
+  for (const auto& d : labeled.domains) EXPECT_NE(d, "nonsense.zz");
+}
+
+TEST(Labels, ConfirmationGateCanBeDisabled) {
+  const auto truth = make_truth(100, 100);
+  VirusTotalConfig vt_config;
+  vt_config.evasion_rate = 0.5;
+  const VirusTotalSim vt{truth, vt_config};
+  std::vector<std::string> candidates = truth.malicious_domains();
+  for (const auto& d : truth.benign_domains()) candidates.push_back(d);
+
+  LabelingConfig gated;
+  LabelingConfig ungated;
+  ungated.require_vt_confirmation = false;
+  const auto with_gate = build_labeled_set(candidates, truth, vt, gated);
+  const auto without_gate = build_labeled_set(candidates, truth, vt, ungated);
+  EXPECT_LT(with_gate.malicious_count(), without_gate.malicious_count());
+  EXPECT_EQ(without_gate.malicious_count(), 100u);
+}
+
+TEST(Labels, RejectsBadFraction) {
+  const auto truth = make_truth(2, 2);
+  const VirusTotalSim vt{truth, VirusTotalConfig{}};
+  LabelingConfig config;
+  config.malicious_fraction = 0.0;
+  EXPECT_THROW(build_labeled_set({}, truth, vt, config), std::invalid_argument);
+}
+
+TEST(SeedExpansion, DiscoversClusterMembersFromSeeds) {
+  // 200 malicious in clusters 0-3 (50 each), 200 benign in clusters 4-7.
+  const auto truth = make_truth(200, 200);
+  VirusTotalConfig vt_config;
+  vt_config.evasion_rate = 0.2;
+  const VirusTotalSim vt{truth, vt_config};
+
+  std::vector<std::string> domains;
+  std::vector<std::size_t> assignment;
+  for (std::size_t i = 0; i < 200; ++i) {
+    domains.push_back("evil" + std::to_string(i) + ".bid");
+    assignment.push_back(i / 50);
+  }
+  for (std::size_t i = 0; i < 200; ++i) {
+    domains.push_back("benign" + std::to_string(i) + ".com");
+    assignment.push_back(4 + i / 50);
+  }
+
+  const auto curve = seed_expansion_curve(domains, assignment, vt, {0, 5, 20, 80}, 3);
+  ASSERT_EQ(curve.size(), 4u);
+  EXPECT_EQ(curve[0].seeds, 0u);
+  EXPECT_EQ(curve[0].true_discovered, 0u);
+  EXPECT_EQ(curve[0].suspicious, 0u);
+  // Discovery grows with seed size.
+  EXPECT_GT(curve[1].true_discovered, 0u);
+  EXPECT_GE(curve[2].true_discovered, curve[1].true_discovered);
+  // With 80 seeds, all four malicious clusters are hit: everything
+  // non-seed in them is discovered; evaders land in `suspicious`.
+  const auto& last = curve[3];
+  EXPECT_GT(last.true_discovered, 80u);
+  EXPECT_GT(last.suspicious, 10u);
+  EXPECT_GT(last.true_discovered, last.suspicious);  // Fig. 4 shape
+  // Benign clusters contain no seeds, so their members are never counted.
+  EXPECT_LE(last.true_discovered + last.suspicious + last.seeds, 200u);
+}
+
+TEST(SeedExpansion, SizeMismatchRejected) {
+  const auto truth = make_truth(2, 2);
+  const VirusTotalSim vt{truth, VirusTotalConfig{}};
+  EXPECT_THROW(seed_expansion_curve({"a.com"}, {0, 1}, vt, {1}, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dnsembed::intel

@@ -1,0 +1,87 @@
+// Tests for external clustering metrics (purity, Rand, ARI, NMI).
+#include <gtest/gtest.h>
+
+#include "ml/cluster_metrics.hpp"
+#include "util/rng.hpp"
+
+namespace dnsembed::ml {
+namespace {
+
+const std::vector<std::size_t> kRef{0, 0, 0, 1, 1, 1, 2, 2, 2};
+
+TEST(ClusterMetrics, PerfectAgreement) {
+  // Same partition up to label renaming.
+  const std::vector<std::size_t> renamed{5, 5, 5, 9, 9, 9, 7, 7, 7};
+  EXPECT_DOUBLE_EQ(cluster_purity(renamed, kRef), 1.0);
+  EXPECT_DOUBLE_EQ(rand_index(renamed, kRef), 1.0);
+  EXPECT_NEAR(adjusted_rand_index(renamed, kRef), 1.0, 1e-12);
+  EXPECT_NEAR(normalized_mutual_information(renamed, kRef), 1.0, 1e-12);
+}
+
+TEST(ClusterMetrics, TrivialSingleCluster) {
+  const std::vector<std::size_t> one(9, 0);
+  EXPECT_NEAR(cluster_purity(one, kRef), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(adjusted_rand_index(one, kRef), 0.0, 1e-9);
+  EXPECT_DOUBLE_EQ(normalized_mutual_information(one, kRef), 0.0);
+}
+
+TEST(ClusterMetrics, AllSingletonsHavePerfectPurityButLowAri) {
+  std::vector<std::size_t> singletons(9);
+  for (std::size_t i = 0; i < 9; ++i) singletons[i] = i;
+  EXPECT_DOUBLE_EQ(cluster_purity(singletons, kRef), 1.0);
+  EXPECT_LT(adjusted_rand_index(singletons, kRef), 0.01);
+}
+
+TEST(ClusterMetrics, HandComputedRandIndex) {
+  // ref {0,0,1,1}, assignment {0,1,1,1}: pairs (4 choose 2) = 6.
+  // same/same: (2,3). diff/diff: (0,2),(0,3). agreements = 3 -> RI = 0.5.
+  const std::vector<std::size_t> ref{0, 0, 1, 1};
+  const std::vector<std::size_t> asg{0, 1, 1, 1};
+  EXPECT_DOUBLE_EQ(rand_index(asg, ref), 0.5);
+}
+
+TEST(ClusterMetrics, RandomAssignmentScoresNearZeroAri) {
+  util::Rng rng{7};
+  std::vector<std::size_t> ref(600);
+  std::vector<std::size_t> random_assignment(600);
+  for (std::size_t i = 0; i < ref.size(); ++i) {
+    ref[i] = i / 100;                             // 6 balanced classes
+    random_assignment[i] = rng.uniform_index(6);  // random clusters
+  }
+  EXPECT_NEAR(adjusted_rand_index(random_assignment, ref), 0.0, 0.05);
+  EXPECT_NEAR(normalized_mutual_information(random_assignment, ref), 0.0, 0.07);
+  // Unadjusted Rand is misleadingly high on many clusters - the reason ARI exists.
+  EXPECT_GT(rand_index(random_assignment, ref), 0.6);
+}
+
+TEST(ClusterMetrics, MergingTwoClassesDegradesGracefully) {
+  // Assignment merges classes 1 and 2 into one cluster.
+  const std::vector<std::size_t> merged{0, 0, 0, 1, 1, 1, 1, 1, 1};
+  const double ari = adjusted_rand_index(merged, kRef);
+  EXPECT_GT(ari, 0.3);
+  EXPECT_LT(ari, 1.0);
+  EXPECT_NEAR(cluster_purity(merged, kRef), (3 + 3) / 9.0, 1e-12);
+}
+
+TEST(ClusterMetrics, InputValidation) {
+  EXPECT_THROW(cluster_purity({0}, {0, 1}), std::invalid_argument);
+  EXPECT_THROW(rand_index({}, {}), std::invalid_argument);
+  EXPECT_THROW(adjusted_rand_index({0, 1}, {0}), std::invalid_argument);
+  EXPECT_THROW(normalized_mutual_information({}, {}), std::invalid_argument);
+}
+
+TEST(ClusterMetrics, SymmetryOfAriAndNmi) {
+  util::Rng rng{11};
+  std::vector<std::size_t> a(200);
+  std::vector<std::size_t> b(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    a[i] = rng.uniform_index(5);
+    b[i] = (a[i] + (rng.bernoulli(0.3) ? 1 : 0)) % 5;  // correlated
+  }
+  EXPECT_NEAR(adjusted_rand_index(a, b), adjusted_rand_index(b, a), 1e-12);
+  EXPECT_NEAR(normalized_mutual_information(a, b), normalized_mutual_information(b, a),
+              1e-12);
+}
+
+}  // namespace
+}  // namespace dnsembed::ml

@@ -1,0 +1,263 @@
+// Tests for the unsupervised stack: k-means, X-Means (BIC model selection),
+// and t-SNE.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "ml/kmeans.hpp"
+#include "ml/tsne.hpp"
+#include "ml/xmeans.hpp"
+#include "util/rng.hpp"
+
+namespace dnsembed::ml {
+namespace {
+
+/// `count` points around each of `centers` (rows), stddev sigma.
+Matrix blobs(const Matrix& centers, std::size_t count, double sigma, std::uint64_t seed) {
+  util::Rng rng{seed};
+  Matrix x{centers.rows() * count, centers.cols()};
+  for (std::size_t c = 0; c < centers.rows(); ++c) {
+    for (std::size_t i = 0; i < count; ++i) {
+      auto row = x.row(c * count + i);
+      const auto center = centers.row(c);
+      for (std::size_t j = 0; j < centers.cols(); ++j) {
+        row[j] = center[j] + rng.normal() * sigma;
+      }
+    }
+  }
+  return x;
+}
+
+Matrix grid_centers(std::size_t k, double spacing) {
+  Matrix centers{k, 2};
+  for (std::size_t c = 0; c < k; ++c) {
+    centers.at(c, 0) = static_cast<double>(c % 3) * spacing;
+    centers.at(c, 1) = static_cast<double>(c / 3) * spacing;
+  }
+  return centers;
+}
+
+/// Fraction of same-blob pairs assigned to the same cluster and
+/// different-blob pairs assigned to different clusters (Rand index).
+double rand_index(const std::vector<std::size_t>& assignment, std::size_t blob_size) {
+  double agree = 0;
+  double total = 0;
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    for (std::size_t j = i + 1; j < assignment.size(); ++j) {
+      const bool same_blob = i / blob_size == j / blob_size;
+      const bool same_cluster = assignment[i] == assignment[j];
+      if (same_blob == same_cluster) ++agree;
+      ++total;
+    }
+  }
+  return agree / total;
+}
+
+TEST(KMeans, RecoversWellSeparatedBlobs) {
+  const auto x = blobs(grid_centers(4, 20.0), 30, 1.0, 1);
+  KMeansConfig config;
+  config.k = 4;
+  config.seed = 5;
+  const auto result = kmeans(x, config);
+  EXPECT_EQ(result.centroids.rows(), 4u);
+  EXPECT_GT(rand_index(result.assignment, 30), 0.99);
+}
+
+TEST(KMeans, InertiaDecreasesWithMoreClusters) {
+  const auto x = blobs(grid_centers(4, 10.0), 25, 1.5, 3);
+  double prev = std::numeric_limits<double>::infinity();
+  for (const std::size_t k : {1u, 2u, 4u, 8u}) {
+    KMeansConfig config;
+    config.k = k;
+    config.seed = 7;
+    const auto result = kmeans(x, config);
+    EXPECT_LT(result.inertia, prev);
+    prev = result.inertia;
+  }
+}
+
+TEST(KMeans, KEqualsOneGivesGlobalCentroid) {
+  Matrix x{4, 1};
+  x.at(0, 0) = 0.0;
+  x.at(1, 0) = 2.0;
+  x.at(2, 0) = 4.0;
+  x.at(3, 0) = 6.0;
+  KMeansConfig config;
+  config.k = 1;
+  const auto result = kmeans(x, config);
+  EXPECT_NEAR(result.centroids.at(0, 0), 3.0, 1e-9);
+  EXPECT_NEAR(result.inertia, 20.0, 1e-9);
+}
+
+TEST(KMeans, DeterministicForFixedSeed) {
+  const auto x = blobs(grid_centers(3, 8.0), 20, 1.0, 9);
+  KMeansConfig config;
+  config.k = 3;
+  config.seed = 11;
+  const auto a = kmeans(x, config);
+  const auto b = kmeans(x, config);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeans, RejectsBadConfig) {
+  Matrix x{3, 1};
+  KMeansConfig config;
+  config.k = 0;
+  EXPECT_THROW(kmeans(x, config), std::invalid_argument);
+  config.k = 5;
+  EXPECT_THROW(kmeans(x, config), std::invalid_argument);
+  config.k = 2;
+  config.restarts = 0;
+  EXPECT_THROW(kmeans(x, config), std::invalid_argument);
+}
+
+TEST(KMeans, HandlesDuplicatePoints) {
+  Matrix x{6, 1};
+  for (std::size_t i = 0; i < 6; ++i) x.at(i, 0) = i < 3 ? 1.0 : 1.0;  // all identical
+  KMeansConfig config;
+  config.k = 2;
+  const auto result = kmeans(x, config);
+  EXPECT_NEAR(result.inertia, 0.0, 1e-12);
+}
+
+TEST(XMeans, FindsTheRightNumberOfClusters) {
+  const auto x = blobs(grid_centers(5, 25.0), 40, 1.0, 13);
+  XMeansConfig config;
+  config.k_min = 2;
+  config.k_max = 16;
+  config.seed = 17;
+  const auto result = xmeans(x, config);
+  EXPECT_EQ(result.k, 5u);
+  EXPECT_GT(rand_index(result.assignment, 40), 0.99);
+}
+
+TEST(XMeans, DoesNotSplitASingleGaussian) {
+  Matrix center{1, 2};
+  center.at(0, 0) = 3.0;
+  center.at(0, 1) = -2.0;
+  const auto x = blobs(center, 150, 1.0, 19);
+  XMeansConfig config;
+  config.k_min = 1;
+  config.k_max = 10;
+  config.seed = 23;
+  const auto result = xmeans(x, config);
+  EXPECT_EQ(result.k, 1u);
+}
+
+TEST(XMeans, RespectsKMax) {
+  const auto x = blobs(grid_centers(6, 30.0), 30, 0.5, 29);
+  XMeansConfig config;
+  config.k_min = 2;
+  config.k_max = 4;
+  const auto result = xmeans(x, config);
+  EXPECT_LE(result.k, 4u);
+  EXPECT_GE(result.k, 2u);
+}
+
+TEST(XMeans, BicPrefersTrueStructure) {
+  const auto x = blobs(grid_centers(2, 30.0), 50, 1.0, 31);
+  // Fit k=1 and k=2 by hand and compare BIC.
+  KMeansConfig k1;
+  k1.k = 1;
+  const auto fit1 = kmeans(x, k1);
+  KMeansConfig k2;
+  k2.k = 2;
+  const auto fit2 = kmeans(x, k2);
+  EXPECT_GT(kmeans_bic(x, fit2.centroids, fit2.assignment),
+            kmeans_bic(x, fit1.centroids, fit1.assignment));
+}
+
+TEST(XMeans, RejectsBadConfig) {
+  Matrix x{10, 1};
+  XMeansConfig config;
+  config.k_min = 5;
+  config.k_max = 3;
+  EXPECT_THROW(xmeans(x, config), std::invalid_argument);
+  config.k_min = 0;
+  EXPECT_THROW(xmeans(x, config), std::invalid_argument);
+}
+
+TEST(Tsne, PreservesClusterStructureIn2D) {
+  // Three tight blobs in 10-D; t-SNE must keep them separated in 2-D.
+  Matrix centers{3, 10};
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t j = 0; j < 10; ++j) centers.at(c, j) = c == j ? 25.0 : 0.0;
+  }
+  const auto x = blobs(centers, 25, 0.5, 37);
+  TsneConfig config;
+  config.perplexity = 10.0;
+  config.iterations = 350;
+  config.seed = 41;
+  const Matrix y = tsne(x, config);
+  ASSERT_EQ(y.rows(), 75u);
+  ASSERT_EQ(y.cols(), 2u);
+
+  // Mean intra-blob distance must be far below mean inter-blob distance.
+  double intra = 0.0;
+  double inter = 0.0;
+  std::size_t intra_n = 0;
+  std::size_t inter_n = 0;
+  for (std::size_t i = 0; i < 75; ++i) {
+    for (std::size_t j = i + 1; j < 75; ++j) {
+      const double d = std::sqrt(squared_l2(y.row(i), y.row(j)));
+      if (i / 25 == j / 25) {
+        intra += d;
+        ++intra_n;
+      } else {
+        inter += d;
+        ++inter_n;
+      }
+    }
+  }
+  intra /= static_cast<double>(intra_n);
+  inter /= static_cast<double>(inter_n);
+  EXPECT_GT(inter / intra, 3.0) << "inter=" << inter << " intra=" << intra;
+}
+
+TEST(Tsne, OutputIsCentered) {
+  Matrix centers{2, 3};
+  centers.at(1, 0) = 10.0;
+  const auto x = blobs(centers, 20, 1.0, 43);
+  TsneConfig config;
+  config.perplexity = 8.0;
+  config.iterations = 100;
+  const Matrix y = tsne(x, config);
+  for (std::size_t d = 0; d < 2; ++d) {
+    double mean = 0.0;
+    for (std::size_t i = 0; i < y.rows(); ++i) mean += y.at(i, d);
+    EXPECT_NEAR(mean / static_cast<double>(y.rows()), 0.0, 1e-6);
+  }
+}
+
+TEST(Tsne, RejectsBadConfig) {
+  Matrix x{10, 2};
+  TsneConfig config;
+  config.perplexity = 20.0;  // >= n
+  EXPECT_THROW(tsne(x, config), std::invalid_argument);
+  config.perplexity = 3.0;
+  config.output_dims = 0;
+  EXPECT_THROW(tsne(x, config), std::invalid_argument);
+  Matrix tiny{3, 2};
+  EXPECT_THROW(tsne(tiny, TsneConfig{}), std::invalid_argument);
+}
+
+TEST(Tsne, DeterministicForFixedSeed) {
+  Matrix centers{2, 4};
+  centers.at(1, 1) = 12.0;
+  const auto x = blobs(centers, 10, 1.0, 47);
+  TsneConfig config;
+  config.perplexity = 5.0;
+  config.iterations = 50;
+  config.seed = 53;
+  const Matrix a = tsne(x, config);
+  const Matrix b = tsne(x, config);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t d = 0; d < 2; ++d) EXPECT_DOUBLE_EQ(a.at(i, d), b.at(i, d));
+  }
+}
+
+}  // namespace
+}  // namespace dnsembed::ml

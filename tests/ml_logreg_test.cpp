@@ -1,0 +1,89 @@
+// Tests for the logistic-regression learner.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ml/logreg.hpp"
+#include "ml/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace dnsembed::ml {
+namespace {
+
+Dataset blobs(std::size_t per_class, double separation, std::uint64_t seed) {
+  util::Rng rng{seed};
+  Dataset data;
+  data.x = Matrix{per_class * 2, 2};
+  data.y.resize(per_class * 2);
+  for (std::size_t i = 0; i < per_class * 2; ++i) {
+    const int label = i < per_class ? 0 : 1;
+    data.x.at(i, 0) = rng.normal() + (label == 1 ? separation : 0.0);
+    data.x.at(i, 1) = rng.normal();
+    data.y[i] = label;
+  }
+  return data;
+}
+
+TEST(LogReg, SeparatesBlobs) {
+  const auto train = blobs(100, 4.0, 1);
+  const auto model = train_logreg(train, LogRegConfig{});
+  const auto test = blobs(60, 4.0, 2);
+  EXPECT_GT(roc_auc(model.predict_probas(test.x), test.y), 0.98);
+  // Weight on the separating feature dominates.
+  EXPECT_GT(std::abs(model.weights()[0]), std::abs(model.weights()[1]) * 2);
+}
+
+TEST(LogReg, ProbabilitiesAreCalibratedAtTheBoundary) {
+  // Symmetric blobs: a point midway between the means scores ~0.5.
+  const auto train = blobs(300, 2.0, 3);
+  const auto model = train_logreg(train, LogRegConfig{});
+  const double mid[] = {1.0, 0.0};
+  EXPECT_NEAR(model.predict_proba(mid), 0.5, 0.1);
+  const double deep_pos[] = {6.0, 0.0};
+  EXPECT_GT(model.predict_proba(deep_pos), 0.95);
+  const double deep_neg[] = {-4.0, 0.0};
+  EXPECT_LT(model.predict_proba(deep_neg), 0.05);
+}
+
+TEST(LogReg, L2ShrinksWeights) {
+  const auto train = blobs(100, 5.0, 5);
+  LogRegConfig weak;
+  weak.l2 = 1e-6;
+  LogRegConfig strong;
+  strong.l2 = 1.0;
+  const auto loose = train_logreg(train, weak);
+  const auto tight = train_logreg(train, strong);
+  EXPECT_LT(std::abs(tight.weights()[0]), std::abs(loose.weights()[0]));
+}
+
+TEST(LogReg, EarlyStoppingOnConvergence) {
+  const auto train = blobs(50, 10.0, 7);
+  LogRegConfig config;
+  config.epochs = 100000;
+  config.tolerance = 1e-3;
+  const auto model = train_logreg(train, config);
+  EXPECT_LT(model.epochs_run(), 100000u);
+}
+
+TEST(LogReg, ErrorsOnMisuse) {
+  EXPECT_THROW(train_logreg(Dataset{}, LogRegConfig{}), std::invalid_argument);
+  const auto train = blobs(10, 2.0, 9);
+  LogRegConfig config;
+  config.learning_rate = 0.0;
+  EXPECT_THROW(train_logreg(train, config), std::invalid_argument);
+  const auto model = train_logreg(train, LogRegConfig{});
+  const double wrong_dim[] = {1.0};
+  EXPECT_THROW(model.predict_proba(std::span<const double>{wrong_dim, 1}),
+               std::invalid_argument);
+}
+
+TEST(LogReg, PredictUsesThreshold) {
+  const auto train = blobs(100, 4.0, 11);
+  const auto model = train_logreg(train, LogRegConfig{});
+  const double pos[] = {5.0, 0.0};
+  EXPECT_EQ(model.predict(pos), 1);
+  EXPECT_EQ(model.predict(pos, 0.9999), 0);
+}
+
+}  // namespace
+}  // namespace dnsembed::ml

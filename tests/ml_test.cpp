@@ -1,0 +1,454 @@
+// Tests for dataset plumbing, scaling, metrics, cross-validation, the SMO
+// SVM, and the C4.5 decision tree.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "ml/crossval.hpp"
+#include "ml/dataset.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/metrics.hpp"
+#include "ml/scaler.hpp"
+#include "ml/svm.hpp"
+#include "util/rng.hpp"
+
+namespace dnsembed::ml {
+namespace {
+
+// Two 2-D Gaussian blobs, optionally overlapping.
+Dataset gaussian_blobs(std::size_t per_class, double separation, std::uint64_t seed) {
+  util::Rng rng{seed};
+  Dataset data;
+  data.x = Matrix{per_class * 2, 2};
+  data.y.resize(per_class * 2);
+  for (std::size_t i = 0; i < per_class * 2; ++i) {
+    const int label = i < per_class ? 0 : 1;
+    const double cx = label == 0 ? 0.0 : separation;
+    data.x.at(i, 0) = cx + rng.normal();
+    data.x.at(i, 1) = rng.normal();
+    data.y[i] = label;
+  }
+  return data;
+}
+
+// XOR pattern: linearly inseparable, solvable with RBF.
+Dataset xor_dataset(std::size_t per_quadrant, std::uint64_t seed) {
+  util::Rng rng{seed};
+  Dataset data;
+  data.x = Matrix{per_quadrant * 4, 2};
+  data.y.resize(per_quadrant * 4);
+  std::size_t row = 0;
+  for (const auto& [qx, qy, label] :
+       std::vector<std::tuple<double, double, int>>{{1, 1, 0}, {-1, -1, 0}, {1, -1, 1}, {-1, 1, 1}}) {
+    for (std::size_t i = 0; i < per_quadrant; ++i, ++row) {
+      data.x.at(row, 0) = qx * 2.0 + rng.normal() * 0.4;
+      data.x.at(row, 1) = qy * 2.0 + rng.normal() * 0.4;
+      data.y[row] = label;
+    }
+  }
+  return data;
+}
+
+TEST(MatrixTest, RowAccessAndSelect) {
+  Matrix m{3, 2};
+  m.at(0, 0) = 1.0;
+  m.at(2, 1) = 5.0;
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m.row(2)[1], 5.0);
+  EXPECT_THROW(m.at(3, 0), std::out_of_range);
+  EXPECT_THROW(m.row(3), std::out_of_range);
+
+  const std::vector<std::size_t> idx{2, 0};
+  const Matrix sel = m.select_rows(idx);
+  EXPECT_EQ(sel.rows(), 2u);
+  EXPECT_DOUBLE_EQ(sel.at(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(sel.at(1, 0), 1.0);
+}
+
+TEST(DatasetTest, ValidateAndSelect) {
+  Dataset data;
+  data.x = Matrix{2, 1};
+  data.y = {0, 1};
+  data.names = {"a.com", "b.com"};
+  EXPECT_NO_THROW(data.validate());
+
+  const std::vector<std::size_t> idx{1};
+  const Dataset sub = data.select(idx);
+  EXPECT_EQ(sub.size(), 1u);
+  EXPECT_EQ(sub.names[0], "b.com");
+  EXPECT_EQ(sub.y[0], 1);
+
+  data.y = {0, 2};
+  EXPECT_THROW(data.validate(), std::invalid_argument);
+  data.y = {0};
+  EXPECT_THROW(data.validate(), std::invalid_argument);
+}
+
+TEST(Scaler, StandardizesColumns) {
+  Matrix x{4, 2};
+  const double col0[] = {1, 2, 3, 4};
+  const double col1[] = {10, 10, 10, 10};  // constant
+  for (std::size_t i = 0; i < 4; ++i) {
+    x.at(i, 0) = col0[i];
+    x.at(i, 1) = col1[i];
+  }
+  StandardScaler scaler;
+  const Matrix z = scaler.fit_transform(x);
+  double mean0 = 0.0;
+  double var0 = 0.0;
+  for (std::size_t i = 0; i < 4; ++i) mean0 += z.at(i, 0);
+  mean0 /= 4;
+  for (std::size_t i = 0; i < 4; ++i) var0 += (z.at(i, 0) - mean0) * (z.at(i, 0) - mean0);
+  EXPECT_NEAR(mean0, 0.0, 1e-12);
+  EXPECT_NEAR(var0 / 4, 1.0, 1e-12);
+  // Constant column: centered, not divided.
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(z.at(i, 1), 0.0);
+}
+
+TEST(Scaler, ErrorsOnMisuse) {
+  StandardScaler scaler;
+  Matrix x{2, 2};
+  EXPECT_THROW(scaler.transform(x), std::logic_error);
+  scaler.fit(x);
+  Matrix wrong{2, 3};
+  EXPECT_THROW(scaler.transform(wrong), std::invalid_argument);
+  EXPECT_THROW(scaler.fit(Matrix{}), std::invalid_argument);
+}
+
+TEST(Metrics, PerfectSeparationGivesAucOne) {
+  const std::vector<double> scores{0.9, 0.8, 0.2, 0.1};
+  const std::vector<int> labels{1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, labels), 1.0);
+  const auto curve = roc_curve(scores, labels);
+  EXPECT_DOUBLE_EQ(curve.front().fpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.front().tpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().fpr, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().tpr, 1.0);
+}
+
+TEST(Metrics, ReversedScoresGiveAucZero) {
+  EXPECT_DOUBLE_EQ(roc_auc({0.1, 0.2, 0.8, 0.9}, {1, 1, 0, 0}), 0.0);
+}
+
+TEST(Metrics, TiedScoresCountHalf) {
+  // All scores equal: AUC must be exactly 0.5.
+  EXPECT_DOUBLE_EQ(roc_auc({0.5, 0.5, 0.5, 0.5}, {1, 0, 1, 0}), 0.5);
+}
+
+TEST(Metrics, KnownHandComputedAuc) {
+  // scores: pos {0.8, 0.4}, neg {0.6, 0.2}. Pairs: (0.8>0.6, 0.8>0.2,
+  // 0.4<0.6, 0.4>0.2) -> 3/4 = 0.75.
+  EXPECT_DOUBLE_EQ(roc_auc({0.8, 0.4, 0.6, 0.2}, {1, 1, 0, 0}), 0.75);
+}
+
+TEST(Metrics, InputValidation) {
+  EXPECT_THROW(roc_auc({0.5}, {1}), std::invalid_argument);                // one class
+  EXPECT_THROW(roc_auc({0.5, 0.5}, {1, 2}), std::invalid_argument);        // bad label
+  EXPECT_THROW(roc_auc({0.5}, {1, 0}), std::invalid_argument);             // size mismatch
+  EXPECT_THROW(roc_auc({}, {}), std::invalid_argument);                    // empty
+}
+
+TEST(Metrics, ConfusionMatrixAndDerivedStats) {
+  const std::vector<double> scores{0.9, 0.7, 0.4, 0.2};
+  const std::vector<int> labels{1, 0, 1, 0};
+  const auto cm = confusion_at(scores, labels, 0.5);
+  EXPECT_EQ(cm.tp, 1u);
+  EXPECT_EQ(cm.fp, 1u);
+  EXPECT_EQ(cm.fn, 1u);
+  EXPECT_EQ(cm.tn, 1u);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.5);
+  EXPECT_DOUBLE_EQ(cm.precision(), 0.5);
+  EXPECT_DOUBLE_EQ(cm.recall(), 0.5);
+  EXPECT_DOUBLE_EQ(cm.f1(), 0.5);
+  EXPECT_DOUBLE_EQ(cm.fpr(), 0.5);
+}
+
+TEST(CrossVal, StratifiedFoldsPreserveClassRatio) {
+  std::vector<int> labels;
+  for (int i = 0; i < 30; ++i) labels.push_back(1);
+  for (int i = 0; i < 70; ++i) labels.push_back(0);
+  const auto folds = stratified_kfold(labels, 10, 42);
+  ASSERT_EQ(folds.size(), 10u);
+  std::vector<bool> seen(100, false);
+  for (const auto& fold : folds) {
+    EXPECT_EQ(fold.size(), 10u);
+    int pos = 0;
+    for (const std::size_t i : fold) {
+      EXPECT_FALSE(seen[i]) << "index " << i << " in two folds";
+      seen[i] = true;
+      pos += labels[i];
+    }
+    EXPECT_EQ(pos, 3);  // exactly 30% per fold
+  }
+  for (const bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(CrossVal, RejectsBadParameters) {
+  EXPECT_THROW(stratified_kfold({1, 0}, 1, 0), std::invalid_argument);
+  EXPECT_THROW(stratified_kfold({1, 0}, 3, 0), std::invalid_argument);
+}
+
+TEST(CrossVal, OutOfFoldScoresCoverEveryRow) {
+  Dataset data = gaussian_blobs(30, 6.0, 3);
+  const auto result = cross_validate(data, 5, 7, [](const Dataset& train, const Dataset& test) {
+    // Trivial centroid scorer.
+    std::vector<double> centroid1(train.x.cols(), 0.0);
+    std::vector<double> centroid0(train.x.cols(), 0.0);
+    double n1 = 0;
+    double n0 = 0;
+    for (std::size_t i = 0; i < train.size(); ++i) {
+      for (std::size_t j = 0; j < train.x.cols(); ++j) {
+        (train.y[i] == 1 ? centroid1 : centroid0)[j] += train.x.at(i, j);
+      }
+      (train.y[i] == 1 ? n1 : n0) += 1;
+    }
+    for (auto& v : centroid1) v /= n1;
+    for (auto& v : centroid0) v /= n0;
+    std::vector<double> scores;
+    for (std::size_t i = 0; i < test.size(); ++i) {
+      double d1 = 0;
+      double d0 = 0;
+      for (std::size_t j = 0; j < test.x.cols(); ++j) {
+        d1 += (test.x.at(i, j) - centroid1[j]) * (test.x.at(i, j) - centroid1[j]);
+        d0 += (test.x.at(i, j) - centroid0[j]) * (test.x.at(i, j) - centroid0[j]);
+      }
+      scores.push_back(d0 - d1);
+    }
+    return scores;
+  });
+  EXPECT_EQ(result.scores.size(), data.size());
+  EXPECT_GT(roc_auc(result.scores, result.labels), 0.95);
+}
+
+TEST(Svm, SeparableBlobsReachHighAccuracy) {
+  Dataset train = gaussian_blobs(60, 8.0, 1);
+  SvmConfig config;
+  config.c = 1.0;
+  config.gamma = 0.5;
+  const SvmModel model = train_svm(train, config);
+  EXPECT_GT(model.support_vector_count(), 0u);
+  Dataset test = gaussian_blobs(40, 8.0, 2);
+  const auto scores = model.decision_values(test.x);
+  EXPECT_GT(roc_auc(scores, test.y), 0.99);
+  const auto cm = confusion_at(scores, test.y, 0.0);
+  EXPECT_GT(cm.accuracy(), 0.97);
+}
+
+TEST(Svm, RbfSolvesXor) {
+  Dataset train = xor_dataset(40, 5);
+  SvmConfig config;
+  config.c = 5.0;
+  config.gamma = 0.5;
+  const SvmModel model = train_svm(train, config);
+  Dataset test = xor_dataset(25, 6);
+  EXPECT_GT(roc_auc(model.decision_values(test.x), test.y), 0.99);
+}
+
+TEST(Svm, LinearKernelFailsXorButRbfDoesNot) {
+  Dataset train = xor_dataset(40, 7);
+  SvmConfig linear;
+  linear.kernel = SvmKernel::kLinear;
+  linear.c = 1.0;
+  const SvmModel linear_model = train_svm(train, linear);
+  Dataset test = xor_dataset(25, 8);
+  const double linear_auc = roc_auc(linear_model.decision_values(test.x), test.y);
+  EXPECT_LT(linear_auc, 0.7);  // structurally unable to separate XOR
+}
+
+TEST(Svm, DecisionValuesSatisfyKktOnSupportVectors) {
+  Dataset train = gaussian_blobs(40, 4.0, 9);
+  SvmConfig config;
+  config.c = 1.0;
+  config.gamma = 0.5;
+  config.tolerance = 1e-4;
+  const SvmModel model = train_svm(train, config);
+  // Every training point must satisfy y*f(x) >= 1 - slack; with the model
+  // converged, no point may violate the soft margin grossly.
+  int gross = 0;
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    const double f = model.decision_value(train.x.row(i));
+    const double yf = (train.y[i] == 1 ? 1.0 : -1.0) * f;
+    if (yf < -1.5) ++gross;
+  }
+  EXPECT_EQ(gross, 0);
+}
+
+TEST(Svm, ClassWeightShiftsDecisionTowardMinority) {
+  // Imbalanced overlapping blobs: 20% positives.
+  util::Rng rng{11};
+  Dataset train;
+  train.x = Matrix{200, 1};
+  train.y.resize(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    const int label = i < 40 ? 1 : 0;
+    train.x.at(i, 0) = (label == 1 ? 1.0 : -1.0) + rng.normal() * 1.2;
+    train.y[i] = label;
+  }
+  SvmConfig plain;
+  plain.c = 1.0;
+  plain.gamma = 1.0;
+  SvmConfig weighted = plain;
+  weighted.class_weight[1] = 4.0;
+  const auto recall_of = [&](const SvmConfig& cfg) {
+    const SvmModel model = train_svm(train, cfg);
+    return confusion_at(model.decision_values(train.x), train.y, 0.0).recall();
+  };
+  EXPECT_GT(recall_of(weighted), recall_of(plain));
+}
+
+TEST(Svm, PaperHyperparametersTrainCleanly) {
+  Dataset train = gaussian_blobs(100, 3.0, 13);
+  SvmConfig config;  // defaults: C = 0.09, gamma = 0.06 (paper §6.2)
+  const SvmModel model = train_svm(train, config);
+  EXPECT_GT(roc_auc(model.decision_values(train.x), train.y), 0.9);
+}
+
+TEST(Svm, RejectsInvalidInputs) {
+  Dataset data = gaussian_blobs(5, 2.0, 1);
+  SvmConfig config;
+  config.c = 0.0;
+  EXPECT_THROW(train_svm(data, config), std::invalid_argument);
+  config.c = 1.0;
+  config.gamma = 0.0;
+  EXPECT_THROW(train_svm(data, config), std::invalid_argument);
+  Dataset one_class;
+  one_class.x = Matrix{2, 1};
+  one_class.y = {1, 1};
+  EXPECT_THROW(train_svm(one_class, SvmConfig{}), std::invalid_argument);
+}
+
+TEST(Svm, SmallKernelCacheStillConverges) {
+  Dataset train = gaussian_blobs(50, 6.0, 17);
+  SvmConfig config;
+  config.c = 1.0;
+  config.gamma = 0.5;
+  config.cache_rows = 2;  // pathological cache pressure
+  const SvmModel model = train_svm(train, config);
+  EXPECT_GT(roc_auc(model.decision_values(train.x), train.y), 0.99);
+}
+
+
+TEST(Svm, SaveLoadRoundTripPreservesDecisions) {
+  Dataset train = gaussian_blobs(40, 5.0, 21);
+  SvmConfig config;
+  config.c = 1.0;
+  config.gamma = 0.5;
+  const SvmModel model = train_svm(train, config);
+
+  std::stringstream stream;
+  model.save(stream);
+  const SvmModel loaded = SvmModel::load(stream);
+  EXPECT_EQ(loaded.support_vector_count(), model.support_vector_count());
+  EXPECT_DOUBLE_EQ(loaded.bias(), model.bias());
+  Dataset test = gaussian_blobs(20, 5.0, 22);
+  const auto a = model.decision_values(test.x);
+  const auto b = loaded.decision_values(test.x);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(Svm, LoadRejectsGarbage) {
+  std::stringstream empty;
+  EXPECT_THROW(SvmModel::load(empty), std::runtime_error);
+  std::stringstream bad_magic{"not-a-model 1\n"};
+  EXPECT_THROW(SvmModel::load(bad_magic), std::runtime_error);
+  std::stringstream truncated{"dnsembed-svm 1\nrbf 1 0.5 0.1\n3 2\n0.5 1.0\n"};
+  EXPECT_THROW(SvmModel::load(truncated), std::runtime_error);
+  std::stringstream bad_kernel{"dnsembed-svm 1\npoly 1 0.5 0.1\n1 1\n0.5 1.0\n"};
+  EXPECT_THROW(SvmModel::load(bad_kernel), std::runtime_error);
+}
+
+TEST(Tree, LearnsAxisAlignedRule) {
+  // Label = x0 > 0.5, single feature.
+  Dataset train;
+  train.x = Matrix{100, 1};
+  train.y.resize(100);
+  util::Rng rng{19};
+  for (std::size_t i = 0; i < 100; ++i) {
+    const double v = rng.uniform();
+    train.x.at(i, 0) = v;
+    train.y[i] = v > 0.5 ? 1 : 0;
+  }
+  const DecisionTree tree = train_tree(train, TreeConfig{});
+  EXPECT_GE(tree.depth(), 1u);
+  double correct = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    if (tree.predict(train.x.row(i)) == train.y[i]) ++correct;
+  }
+  EXPECT_GT(correct / 100.0, 0.98);
+}
+
+TEST(Tree, SolvesXor) {
+  Dataset train = xor_dataset(50, 23);
+  const DecisionTree tree = train_tree(train, TreeConfig{});
+  Dataset test = xor_dataset(25, 29);
+  EXPECT_GT(roc_auc(tree.predict_probas(test.x), test.y), 0.98);
+}
+
+TEST(Tree, PruningShrinksNoiseFits) {
+  // Pure noise: pruning should collapse most of the tree.
+  Dataset train;
+  train.x = Matrix{200, 4};
+  train.y.resize(200);
+  util::Rng rng{31};
+  for (std::size_t i = 0; i < 200; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) train.x.at(i, j) = rng.uniform();
+    train.y[i] = rng.bernoulli(0.5) ? 1 : 0;
+  }
+  TreeConfig unpruned;
+  unpruned.pruning_confidence = 0.0;
+  TreeConfig pruned;
+  pruned.pruning_confidence = 0.25;
+  const auto big = train_tree(train, unpruned);
+  const auto small = train_tree(train, pruned);
+  EXPECT_LT(small.node_count(), big.node_count());
+}
+
+TEST(Tree, MinLeafSizeRespected) {
+  Dataset train = gaussian_blobs(30, 2.0, 37);
+  TreeConfig config;
+  config.min_samples_leaf = 10;
+  config.pruning_confidence = 0.0;
+  const auto tree = train_tree(train, config);
+  // With 60 samples and min leaf 10, at most 6 leaves.
+  EXPECT_LE(tree.leaf_count(), 6u);
+}
+
+TEST(Tree, ProbabilitiesAreCalibratedToLeafPurity) {
+  Dataset train;
+  train.x = Matrix{10, 1};
+  train.y.resize(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    train.x.at(i, 0) = static_cast<double>(i);
+    train.y[i] = i >= 5 ? 1 : 0;
+  }
+  const auto tree = train_tree(train, TreeConfig{});
+  // Left region: 0 of 5 positive -> Laplace (0+1)/(5+2).
+  const double left[] = {1.0};
+  EXPECT_NEAR(tree.predict_proba(left), 1.0 / 7.0, 1e-9);
+  const double right[] = {9.0};
+  EXPECT_NEAR(tree.predict_proba(right), 6.0 / 7.0, 1e-9);
+}
+
+TEST(Tree, ErrorsOnMisuse) {
+  EXPECT_THROW(train_tree(Dataset{}, TreeConfig{}), std::invalid_argument);
+  // Label depends only on feature 1 (feature 0 is constant), so the root
+  // must split on feature 1 and a too-short vector must be rejected.
+  Dataset train;
+  train.x = Matrix{20, 2};
+  train.y.resize(20);
+  for (std::size_t i = 0; i < 20; ++i) {
+    train.x.at(i, 0) = 1.0;
+    train.x.at(i, 1) = static_cast<double>(i);
+    train.y[i] = i >= 10 ? 1 : 0;
+  }
+  const auto tree = train_tree(train, TreeConfig{});
+  ASSERT_GE(tree.depth(), 1u);
+  const double short_vec[] = {0.0};
+  EXPECT_THROW(tree.predict_proba(std::span<const double>{short_vec, 1}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dnsembed::ml

@@ -1,0 +1,103 @@
+// Tests for the sliding-window streaming detector.
+#include <gtest/gtest.h>
+
+#include "core/streaming.hpp"
+#include "trace/generator.hpp"
+
+namespace dnsembed::core {
+namespace {
+
+trace::TraceConfig small_config() {
+  trace::TraceConfig config;
+  config.seed = 13;
+  config.hosts = 80;
+  config.days = 4;
+  config.benign_sites = 400;
+  config.third_party_pool = 80;
+  config.interests_per_host = 50;
+  config.polling_apps = 8;
+  config.malware_families = 6;
+  config.min_victims = 5;
+  config.max_victims = 15;
+  return config;
+}
+
+class StreamingFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sink_ = new trace::CollectingSink;
+    result_ = new trace::TraceResult{generate_trace(small_config(), *sink_)};
+    by_day_ = new std::vector<std::vector<dns::LogEntry>>(small_config().days);
+    for (const auto& entry : sink_->dns()) {
+      auto day = static_cast<std::size_t>(entry.timestamp / 86400);
+      if (day >= by_day_->size()) day = by_day_->size() - 1;
+      (*by_day_)[day].push_back(entry);
+    }
+  }
+  static void TearDownTestSuite() {
+    delete sink_;
+    delete result_;
+    delete by_day_;
+    sink_ = nullptr;
+    result_ = nullptr;
+    by_day_ = nullptr;
+  }
+
+  static trace::CollectingSink* sink_;
+  static trace::TraceResult* result_;
+  static std::vector<std::vector<dns::LogEntry>>* by_day_;
+};
+
+trace::CollectingSink* StreamingFixture::sink_ = nullptr;
+trace::TraceResult* StreamingFixture::result_ = nullptr;
+std::vector<std::vector<dns::LogEntry>>* StreamingFixture::by_day_ = nullptr;
+
+TEST_F(StreamingFixture, AlertsAreMostlyMaliciousAndBeatTheLag) {
+  const intel::VirusTotalSim vt{result_->truth, intel::VirusTotalConfig{}};
+  StreamingConfig config;
+  config.window_days = 2;
+  config.label_delay_days = 2;
+  config.embedding.line.total_samples = 500'000;
+  StreamingDetector detector{config, result_->truth, vt};
+  for (const auto& day : *by_day_) detector.advance_day(day);
+  EXPECT_EQ(detector.days_processed(), by_day_->size());
+  ASSERT_GT(detector.alerts().size(), 5u);
+
+  std::size_t truly_malicious = 0;
+  for (const auto& alert : detector.alerts()) {
+    if (result_->truth.is_malicious(alert.domain)) ++truly_malicious;
+    // Every alert has consistent bookkeeping.
+    EXPECT_TRUE(detector.first_flagged().contains(alert.domain));
+    EXPECT_TRUE(detector.first_seen().contains(alert.domain));
+    EXPECT_GE(alert.day, detector.first_seen().at(alert.domain));
+  }
+  EXPECT_GT(static_cast<double>(truly_malicious) /
+                static_cast<double>(detector.alerts().size()),
+            0.6);
+}
+
+TEST_F(StreamingFixture, NoDuplicateAlertsPerDomain) {
+  const intel::VirusTotalSim vt{result_->truth, intel::VirusTotalConfig{}};
+  StreamingConfig config;
+  config.window_days = 2;
+  config.embedding.line.total_samples = 300'000;
+  StreamingDetector detector{config, result_->truth, vt};
+  for (const auto& day : *by_day_) detector.advance_day(day);
+  std::unordered_map<std::string, int> counts;
+  for (const auto& alert : detector.alerts()) ++counts[alert.domain];
+  for (const auto& [domain, count] : counts) EXPECT_EQ(count, 1) << domain;
+}
+
+TEST(Streaming, SilentOnEmptyDays) {
+  trace::GroundTruth truth;
+  truth.add_benign("nothing.com");
+  const intel::VirusTotalSim vt{truth, intel::VirusTotalConfig{}};
+  StreamingDetector detector{StreamingConfig{}, truth, vt};
+  detector.advance_day({});
+  detector.advance_day({});
+  EXPECT_EQ(detector.days_processed(), 2u);
+  EXPECT_TRUE(detector.alerts().empty());
+}
+
+}  // namespace
+}  // namespace dnsembed::core

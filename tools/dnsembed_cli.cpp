@@ -1,0 +1,472 @@
+// dnsembed — command-line front end to the library. Subcommands cover the
+// deployment workflow end to end:
+//
+//   simulate   generate a campus trace (log, optional pcap, labels CSV)
+//   convert    parse a pcap capture into the joined log format
+//   embed      log -> similarity graphs -> LINE embeddings (CSV)
+//   detect     embeddings + labels -> k-fold cross-validated ROC/AUC
+//   score      embeddings + labels -> decision values for given domains
+//   cluster    embeddings -> X-Means cluster assignments (CSV)
+//
+// Example session:
+//   dnsembed simulate --out trace.log --labels labels.csv --hosts 300 --days 5
+//   dnsembed embed    --log trace.log --out emb.csv --dim 32
+//   dnsembed detect   --embeddings emb.csv --labels labels.csv --kfold 10
+//   dnsembed cluster  --embeddings emb.csv --out clusters.csv
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "core/behavior.hpp"
+#include "core/clustering.hpp"
+#include "core/detector.hpp"
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "graph/io.hpp"
+#include "dns/capture_io.hpp"
+#include "dns/log_io.hpp"
+#include "embed/embedder.hpp"
+#include "intel/labels.hpp"
+#include "ml/xmeans.hpp"
+#include "trace/generator.hpp"
+#include "trace/pcap_sink.hpp"
+#include "util/args.hpp"
+#include "util/csv.hpp"
+#include "util/log.hpp"
+#include "util/stopwatch.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace dnsembed;
+
+int usage() {
+  std::fprintf(stderr, R"(usage: dnsembed <command> [options]
+
+commands:
+  simulate  --out FILE [--labels FILE] [--pcap FILE] [--hosts N] [--days N]
+            [--families N] [--sites N] [--seed N] [--campaign-seed N]
+  convert   --pcap FILE --out FILE
+  graphs    --log FILE --out-prefix PATH [--min-similarity X]
+  embed     --log FILE --out FILE [--dim N] [--method line|deepwalk|node2vec]
+            [--samples N] [--min-similarity X] [--threads N] [--seed N]
+  detect    --embeddings FILE --labels FILE [--kfold N] [--svm-c X]
+            [--svm-gamma X] [--roc FILE]
+  train     --embeddings FILE --labels FILE --out MODEL [--svm-c X]
+            [--svm-gamma X]
+  score     --embeddings FILE --domains a.com,b.net
+            (--model MODEL | --labels FILE [--svm-c X] [--svm-gamma X])
+  cluster   --embeddings FILE --out FILE [--kmin N] [--kmax N] [--seed N]
+  report    --out report.md [--hosts N] [--days N] [--families N] [--seed N]
+            (one-shot: simulate + model + embed + evaluate + cluster)
+)");
+  return 2;
+}
+
+int fail(const std::string& message) {
+  std::fprintf(stderr, "dnsembed: %s\n", message.c_str());
+  return 1;
+}
+
+// ------------------------------------------------------------- simulate
+
+/// Sink writing the joined log.
+class FileLogSink final : public trace::TraceSink {
+ public:
+  explicit FileLogSink(const std::string& path) : out_{path}, writer_{out_} {
+    if (!out_) throw std::runtime_error{"cannot open " + path};
+  }
+  void on_dns(const dns::LogEntry& entry) override { writer_.write(entry); }
+
+ private:
+  std::ofstream out_;
+  dns::LogWriter writer_;
+};
+
+int cmd_simulate(const util::ArgParser& args) {
+  const auto out_path = args.get("--out");
+  if (!out_path) return fail("simulate: --out is required");
+
+  trace::TraceConfig config;
+  config.hosts = static_cast<std::size_t>(args.get_int_or("--hosts", 300));
+  config.days = static_cast<std::size_t>(args.get_int_or("--days", 5));
+  config.benign_sites = static_cast<std::size_t>(args.get_int_or("--sites", 1800));
+  config.malware_families = static_cast<std::size_t>(args.get_int_or("--families", 10));
+  config.seed = static_cast<std::uint64_t>(args.get_int_or("--seed", 42));
+  config.campaign_seed = static_cast<std::uint64_t>(args.get_int_or("--campaign-seed", 0));
+
+  util::Stopwatch watch;
+  FileLogSink log_sink{*out_path};
+  std::vector<trace::TraceSink*> sinks{&log_sink};
+  std::ofstream pcap_out;
+  std::optional<trace::PcapStreamSink> pcap_sink;
+  const auto pcap_path = args.get("--pcap");
+  if (pcap_path) {
+    pcap_out.open(*pcap_path, std::ios::binary);
+    if (!pcap_out) return fail("cannot open " + *pcap_path);
+    pcap_sink.emplace(pcap_out);
+    sinks.push_back(&*pcap_sink);
+  }
+  trace::TeeSink tee{sinks};
+  const auto result = trace::generate_trace(config, tee);
+  std::printf("wrote %zu DNS events to %s (%.1fs)\n", result.dns_events, out_path->c_str(),
+              watch.seconds());
+  if (pcap_sink) {
+    std::printf("wrote %zu packets to %s (streamed)\n", pcap_sink->packets_written(),
+                pcap_path->c_str());
+  }
+
+  if (const auto labels_path = args.get("--labels")) {
+    std::ofstream labels_out{*labels_path};
+    if (!labels_out) return fail("cannot open " + *labels_path);
+    util::CsvWriter csv{labels_out};
+    csv.write_row({"domain", "label", "family"});
+    for (const auto& domain : result.truth.benign_domains()) {
+      csv.write_row({domain, "0", ""});
+    }
+    for (const auto& family : result.truth.families()) {
+      for (const auto& domain : family.domains) {
+        csv.write_row({domain, "1", family.name});
+      }
+    }
+    std::printf("wrote %zu labels to %s\n",
+                result.truth.benign_count() + result.truth.malicious_count(),
+                labels_path->c_str());
+  }
+  return 0;
+}
+
+// -------------------------------------------------------------- convert
+
+int cmd_convert(const util::ArgParser& args) {
+  const auto pcap_path = args.get("--pcap");
+  const auto out_path = args.get("--out");
+  if (!pcap_path || !out_path) return fail("convert: --pcap and --out are required");
+  std::ifstream in{*pcap_path, std::ios::binary};
+  if (!in) return fail("cannot open " + *pcap_path);
+  const auto imported = dns::import_pcap(in);
+  std::ofstream out{*out_path};
+  if (!out) return fail("cannot open " + *out_path);
+  dns::LogWriter writer{out};
+  for (const auto& entry : imported.entries) writer.write(entry);
+  std::printf("parsed %zu entries (%zu matched, %zu orphan responses, %zu expired, "
+              "%zu malformed)\n",
+              imported.entries.size(), imported.stats.matched,
+              imported.stats.orphan_responses, imported.stats.expired_queries,
+              imported.stats.malformed);
+  return 0;
+}
+
+// ---------------------------------------------------------------- graphs
+
+/// Shared: read a log file into the three bipartite graphs.
+core::GraphBuilderSink read_log_graphs(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) throw std::runtime_error{"cannot open " + path};
+  core::GraphBuilderSink graphs;
+  dns::LogReader reader{in};
+  while (const auto entry = reader.next()) graphs.on_dns(*entry);
+  return graphs;
+}
+
+int cmd_graphs(const util::ArgParser& args) {
+  const auto log_path = args.get("--log");
+  const auto prefix = args.get("--out-prefix");
+  if (!log_path || !prefix) return fail("graphs: --log and --out-prefix are required");
+
+  auto graphs = read_log_graphs(*log_path);
+  core::BehaviorModelConfig behavior;
+  const double min_sim = args.get_double_or("--min-similarity", 0.1);
+  behavior.query_projection.min_similarity = min_sim;
+  behavior.ip_projection.min_similarity = min_sim;
+  behavior.temporal_projection.min_similarity = min_sim;
+  const auto model = core::build_behavior_model(graphs.take_hdbg(), graphs.take_dibg(),
+                                                graphs.take_dtbg(), behavior);
+
+  const auto save_bipartite = [&](const char* name, const graph::BipartiteGraph& g) {
+    const std::string path = *prefix + name + ".csv";
+    std::ofstream out{path};
+    graph::save_bipartite_csv(out, g);
+    std::printf("wrote %-16s %8zu x %-8zu (%zu edges)\n", path.c_str(), g.left_count(),
+                g.right_count(), g.edge_count());
+  };
+  const auto save_weighted = [&](const char* name, const graph::WeightedGraph& g) {
+    const std::string path = *prefix + name + ".csv";
+    std::ofstream out{path};
+    graph::save_weighted_csv(out, g);
+    std::printf("wrote %-16s %8zu vertices (%zu edges)\n", path.c_str(), g.vertex_count(),
+                g.edge_count());
+  };
+  save_bipartite("hdbg", model.hdbg);
+  save_bipartite("dibg", model.dibg);
+  save_bipartite("dtbg", model.dtbg);
+  save_weighted("query_sim", model.query_similarity);
+  save_weighted("ip_sim", model.ip_similarity);
+  save_weighted("temporal_sim", model.temporal_similarity);
+  return 0;
+}
+
+// ---------------------------------------------------------------- embed
+
+int cmd_embed(const util::ArgParser& args) {
+  const auto log_path = args.get("--log");
+  const auto out_path = args.get("--out");
+  if (!log_path || !out_path) return fail("embed: --log and --out are required");
+
+  auto graphs = read_log_graphs(*log_path);
+
+  core::BehaviorModelConfig behavior;
+  const double min_sim = args.get_double_or("--min-similarity", 0.1);
+  behavior.query_projection.min_similarity = min_sim;
+  behavior.ip_projection.min_similarity = min_sim;
+  behavior.temporal_projection.min_similarity = min_sim;
+  auto model = core::build_behavior_model(graphs.take_hdbg(), graphs.take_dibg(),
+                                          graphs.take_dtbg(), behavior);
+  std::printf("behavior model: %zu domains, %zu/%zu/%zu similarity edges\n",
+              model.kept_domains.size(), model.query_similarity.edge_count(),
+              model.ip_similarity.edge_count(), model.temporal_similarity.edge_count());
+
+  embed::EmbedConfig config;
+  const std::string method = args.get_or("--method", "line");
+  if (method == "line") {
+    config.method = embed::EmbedMethod::kLine;
+  } else if (method == "deepwalk") {
+    config.method = embed::EmbedMethod::kDeepWalk;
+  } else if (method == "node2vec") {
+    config.method = embed::EmbedMethod::kNode2Vec;
+  } else {
+    return fail("embed: unknown --method " + method);
+  }
+  config.dimension = static_cast<std::size_t>(args.get_int_or("--dim", 32));
+  config.seed = static_cast<std::uint64_t>(args.get_int_or("--seed", 1));
+  config.line.total_samples =
+      static_cast<std::size_t>(args.get_int_or("--samples", 4'000'000));
+  config.line.threads = static_cast<std::size_t>(args.get_int_or("--threads", 4));
+
+  util::Stopwatch watch;
+  const auto q = embed::embed_graph(model.query_similarity, config);
+  config.seed += 1;
+  const auto i = embed::embed_graph(model.ip_similarity, config);
+  config.seed += 1;
+  const auto t = embed::embed_graph(model.temporal_similarity, config);
+  const auto combined = embed::EmbeddingMatrix::concat(model.kept_domains, {&q, &i, &t});
+  combined.save_csv(*out_path);
+  std::printf("wrote %zux%zu embeddings to %s (%.1fs)\n", combined.size(),
+              combined.dimension(), out_path->c_str(), watch.seconds());
+  return 0;
+}
+
+// --------------------------------------------------------------- labels
+
+intel::LabeledSet read_labels(const std::string& path, const embed::EmbeddingMatrix& embedding) {
+  intel::LabeledSet labels;
+  for (const auto& row : util::read_csv_file(path)) {
+    if (row.size() < 2 || row[0] == "domain") continue;
+    if (!embedding.index_of(row[0])) continue;  // only domains we can score
+    labels.domains.push_back(row[0]);
+    labels.labels.push_back(row[1] == "1" ? 1 : 0);
+  }
+  return labels;
+}
+
+ml::SvmConfig svm_from_args(const util::ArgParser& args) {
+  ml::SvmConfig svm;
+  svm.c = args.get_double_or("--svm-c", 1.0);
+  svm.gamma = args.get_double_or("--svm-gamma", 0.5);
+  return svm;
+}
+
+// --------------------------------------------------------------- detect
+
+int cmd_detect(const util::ArgParser& args) {
+  const auto embeddings_path = args.get("--embeddings");
+  const auto labels_path = args.get("--labels");
+  if (!embeddings_path || !labels_path) {
+    return fail("detect: --embeddings and --labels are required");
+  }
+  const auto embedding = embed::EmbeddingMatrix::load_csv(*embeddings_path);
+  const auto labels = read_labels(*labels_path, embedding);
+  if (labels.size() < 20 || labels.malicious_count() == 0 ||
+      labels.malicious_count() == labels.size()) {
+    return fail("detect: need both classes among the embedded domains");
+  }
+  std::printf("%zu labeled domains (%zu malicious)\n", labels.size(),
+              labels.malicious_count());
+
+  const auto folds = static_cast<std::size_t>(args.get_int_or("--kfold", 10));
+  const auto eval = core::evaluate_svm(core::make_dataset(embedding, labels),
+                                       svm_from_args(args), folds, 1);
+  std::printf("AUC = %.4f over %zu-fold cross-validation\n", eval.auc, folds);
+  const auto& cm = eval.confusion_at_zero;
+  std::printf("threshold 0: accuracy %.3f, precision %.3f, recall %.3f, FPR %.3f\n",
+              cm.accuracy(), cm.precision(), cm.recall(), cm.fpr());
+  if (const auto roc_path = args.get("--roc")) {
+    std::ofstream roc_out{*roc_path};
+    util::CsvWriter csv{roc_out};
+    csv.write_row({"fpr", "tpr", "threshold"});
+    for (const auto& point : eval.roc) {
+      csv.write_row({std::to_string(point.fpr), std::to_string(point.tpr),
+                     std::to_string(point.threshold)});
+    }
+    std::printf("ROC curve written to %s\n", roc_path->c_str());
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------- train
+
+int cmd_train(const util::ArgParser& args) {
+  const auto embeddings_path = args.get("--embeddings");
+  const auto labels_path = args.get("--labels");
+  const auto out_path = args.get("--out");
+  if (!embeddings_path || !labels_path || !out_path) {
+    return fail("train: --embeddings, --labels and --out are required");
+  }
+  const auto embedding = embed::EmbeddingMatrix::load_csv(*embeddings_path);
+  const auto labels = read_labels(*labels_path, embedding);
+  const auto model = ml::train_svm(core::make_dataset(embedding, labels), svm_from_args(args));
+  std::ofstream out{*out_path};
+  if (!out) return fail("cannot open " + *out_path);
+  model.save(out);
+  std::printf("trained on %zu domains (%zu malicious); %zu support vectors; model "
+              "written to %s\n",
+              labels.size(), labels.malicious_count(), model.support_vector_count(),
+              out_path->c_str());
+  return 0;
+}
+
+// ---------------------------------------------------------------- score
+
+int cmd_score(const util::ArgParser& args) {
+  const auto embeddings_path = args.get("--embeddings");
+  const auto domains_arg = args.get("--domains");
+  if (!embeddings_path || !domains_arg) {
+    return fail("score: --embeddings and --domains are required");
+  }
+  const auto embedding = embed::EmbeddingMatrix::load_csv(*embeddings_path);
+
+  // Scoring source: a pre-trained model file, or train-on-the-fly.
+  ml::SvmModel loaded_model;
+  core::DomainDetector* detector = nullptr;
+  std::optional<core::DomainDetector> fresh;
+  intel::LabeledSet labels;
+  if (const auto model_path = args.get("--model")) {
+    std::ifstream in{*model_path};
+    if (!in) return fail("cannot open " + *model_path);
+    loaded_model = ml::SvmModel::load(in);
+  } else if (const auto labels_path = args.get("--labels")) {
+    labels = read_labels(*labels_path, embedding);
+    fresh.emplace(embedding, labels, svm_from_args(args));
+    detector = &*fresh;
+  } else {
+    return fail("score: pass --model or --labels");
+  }
+
+  for (const auto& domain : util::split(*domains_arg, ',')) {
+    const auto vec = embedding.vector_for(domain);
+    if (!vec) {
+      std::printf("%9s  %s  %s\n", "-", "unknown  ", domain.c_str());
+      continue;
+    }
+    double score = 0.0;
+    if (detector != nullptr) {
+      score = detector->score(domain);
+    } else {
+      const std::vector<double> x(vec->begin(), vec->end());
+      score = loaded_model.decision_value(x);
+    }
+    std::printf("%+9.4f  %s  %s\n", score, score >= 0 ? "MALICIOUS" : "benign   ",
+                domain.c_str());
+  }
+  return 0;
+}
+
+// -------------------------------------------------------------- cluster
+
+int cmd_cluster(const util::ArgParser& args) {
+  const auto embeddings_path = args.get("--embeddings");
+  const auto out_path = args.get("--out");
+  if (!embeddings_path || !out_path) return fail("cluster: --embeddings and --out required");
+  const auto embedding = embed::EmbeddingMatrix::load_csv(*embeddings_path);
+
+  ml::Matrix x{embedding.size(), embedding.dimension()};
+  for (std::size_t i = 0; i < embedding.size(); ++i) {
+    const auto row = embedding.row(i);
+    auto dst = x.row(i);
+    for (std::size_t d = 0; d < row.size(); ++d) dst[d] = row[d];
+  }
+  ml::XMeansConfig config;
+  config.k_min = static_cast<std::size_t>(args.get_int_or("--kmin", 8));
+  config.k_max = static_cast<std::size_t>(args.get_int_or("--kmax", 96));
+  config.seed = static_cast<std::uint64_t>(args.get_int_or("--seed", 1));
+  const auto result = ml::xmeans(x, config);
+
+  std::ofstream out{*out_path};
+  if (!out) return fail("cannot open " + *out_path);
+  util::CsvWriter csv{out};
+  csv.write_row({"domain", "cluster"});
+  for (std::size_t i = 0; i < embedding.size(); ++i) {
+    csv.write_row({embedding.names()[i], std::to_string(result.assignment[i])});
+  }
+  std::printf("X-Means chose k = %zu; assignments written to %s\n", result.k,
+              out_path->c_str());
+  return 0;
+}
+
+// ---------------------------------------------------------------- report
+
+int cmd_report(const util::ArgParser& args) {
+  const auto out_path = args.get("--out");
+  if (!out_path) return fail("report: --out is required");
+  core::PipelineConfig config;
+  config.trace.hosts = static_cast<std::size_t>(args.get_int_or("--hosts", 200));
+  config.trace.days = static_cast<std::size_t>(args.get_int_or("--days", 4));
+  config.trace.benign_sites = static_cast<std::size_t>(args.get_int_or("--sites", 1000));
+  config.trace.malware_families =
+      static_cast<std::size_t>(args.get_int_or("--families", 8));
+  config.trace.seed = static_cast<std::uint64_t>(args.get_int_or("--seed", 42));
+  config.embedding_dimension = 24;
+  config.embedding.line.total_samples = 2'000'000;
+  config.svm = svm_from_args(args);
+  config.kfold = 5;
+  config.xmeans.k_min = 8;
+  config.xmeans.k_max = 64;
+
+  const auto result = core::run_pipeline(config);
+  const auto evals = core::evaluate_channels(result, config);
+  const auto clusters = core::cluster_domains(result.combined_embedding,
+                                              result.model.kept_domains,
+                                              result.trace.truth, config.xmeans);
+  std::ofstream out{*out_path};
+  if (!out) return fail("cannot open " + *out_path);
+  core::write_detection_report(out, result, evals, clusters);
+  std::printf("report written to %s (combined AUC %.4f, %zu clusters)\n",
+              out_path->c_str(), evals.combined.auc, clusters.k);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::ArgParser args{argc, argv};
+  const auto command = args.positional(0);
+  if (!command) return usage();
+  try {
+    if (*command == "simulate") return cmd_simulate(args);
+    if (*command == "convert") return cmd_convert(args);
+    if (*command == "graphs") return cmd_graphs(args);
+    if (*command == "embed") return cmd_embed(args);
+    if (*command == "detect") return cmd_detect(args);
+    if (*command == "train") return cmd_train(args);
+    if (*command == "score") return cmd_score(args);
+    if (*command == "cluster") return cmd_cluster(args);
+    if (*command == "report") return cmd_report(args);
+  } catch (const std::exception& e) {
+    return fail(e.what());
+  }
+  std::fprintf(stderr, "dnsembed: unknown command '%s'\n", command->c_str());
+  return usage();
+}
