@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl_classifier.cpp" "bench/CMakeFiles/abl_classifier.dir/abl_classifier.cpp.o" "gcc" "bench/CMakeFiles/abl_classifier.dir/abl_classifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dnsembed_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/dnsembed_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/dnsembed_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dnsembed_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/intel/CMakeFiles/dnsembed_intel.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/dnsembed_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dnsembed_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/dnsembed_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dnsembed_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

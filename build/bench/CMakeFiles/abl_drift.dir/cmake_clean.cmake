@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_drift.dir/abl_drift.cpp.o"
+  "CMakeFiles/abl_drift.dir/abl_drift.cpp.o.d"
+  "abl_drift"
+  "abl_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_kernel.dir/abl_kernel.cpp.o"
+  "CMakeFiles/abl_kernel.dir/abl_kernel.cpp.o.d"
+  "abl_kernel"
+  "abl_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_pruning.dir/abl_pruning.cpp.o"
+  "CMakeFiles/abl_pruning.dir/abl_pruning.cpp.o.d"
+  "abl_pruning"
+  "abl_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

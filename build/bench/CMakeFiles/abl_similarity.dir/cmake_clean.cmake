@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_similarity.dir/abl_similarity.cpp.o"
+  "CMakeFiles/abl_similarity.dir/abl_similarity.cpp.o.d"
+  "abl_similarity"
+  "abl_similarity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_similarity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmp_belief_propagation.dir/cmp_belief_propagation.cpp.o"
+  "CMakeFiles/cmp_belief_propagation.dir/cmp_belief_propagation.cpp.o.d"
+  "cmp_belief_propagation"
+  "cmp_belief_propagation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmp_belief_propagation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

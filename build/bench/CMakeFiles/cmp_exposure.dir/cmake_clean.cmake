@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmp_exposure.dir/cmp_exposure.cpp.o"
+  "CMakeFiles/cmp_exposure.dir/cmp_exposure.cpp.o.d"
+  "cmp_exposure"
+  "cmp_exposure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmp_exposure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

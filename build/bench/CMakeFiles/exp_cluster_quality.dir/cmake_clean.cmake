@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_cluster_quality.dir/exp_cluster_quality.cpp.o"
+  "CMakeFiles/exp_cluster_quality.dir/exp_cluster_quality.cpp.o.d"
+  "exp_cluster_quality"
+  "exp_cluster_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_cluster_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

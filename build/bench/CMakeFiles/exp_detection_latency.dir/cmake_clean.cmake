@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_detection_latency.dir/exp_detection_latency.cpp.o"
+  "CMakeFiles/exp_detection_latency.dir/exp_detection_latency.cpp.o.d"
+  "exp_detection_latency"
+  "exp_detection_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_detection_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_zero_day.dir/exp_zero_day.cpp.o"
+  "CMakeFiles/exp_zero_day.dir/exp_zero_day.cpp.o.d"
+  "exp_zero_day"
+  "exp_zero_day.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_zero_day.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_workload.dir/fig1_workload.cpp.o"
+  "CMakeFiles/fig1_workload.dir/fig1_workload.cpp.o.d"
+  "fig1_workload"
+  "fig1_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

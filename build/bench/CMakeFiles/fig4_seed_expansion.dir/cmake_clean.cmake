@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_seed_expansion.dir/fig4_seed_expansion.cpp.o"
+  "CMakeFiles/fig4_seed_expansion.dir/fig4_seed_expansion.cpp.o.d"
+  "fig4_seed_expansion"
+  "fig4_seed_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_seed_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

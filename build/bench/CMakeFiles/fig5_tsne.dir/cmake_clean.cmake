@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_tsne.dir/fig5_tsne.cpp.o"
+  "CMakeFiles/fig5_tsne.dir/fig5_tsne.cpp.o.d"
+  "fig5_tsne"
+  "fig5_tsne.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_tsne.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

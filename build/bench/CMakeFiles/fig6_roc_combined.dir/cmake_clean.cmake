@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_roc_combined.dir/fig6_roc_combined.cpp.o"
+  "CMakeFiles/fig6_roc_combined.dir/fig6_roc_combined.cpp.o.d"
+  "fig6_roc_combined"
+  "fig6_roc_combined.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_roc_combined.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_individual_features.dir/fig7_individual_features.cpp.o"
+  "CMakeFiles/fig7_individual_features.dir/fig7_individual_features.cpp.o.d"
+  "fig7_individual_features"
+  "fig7_individual_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_individual_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_embed.dir/micro_embed.cpp.o"
+  "CMakeFiles/micro_embed.dir/micro_embed.cpp.o.d"
+  "micro_embed"
+  "micro_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_tab2_clusters.dir/tab1_tab2_clusters.cpp.o"
+  "CMakeFiles/tab1_tab2_clusters.dir/tab1_tab2_clusters.cpp.o.d"
+  "tab1_tab2_clusters"
+  "tab1_tab2_clusters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_tab2_clusters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/campus_detection.dir/campus_detection.cpp.o"
+  "CMakeFiles/campus_detection.dir/campus_detection.cpp.o.d"
+  "campus_detection"
+  "campus_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

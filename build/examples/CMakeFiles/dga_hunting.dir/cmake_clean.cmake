@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dga_hunting.dir/dga_hunting.cpp.o"
+  "CMakeFiles/dga_hunting.dir/dga_hunting.cpp.o.d"
+  "dga_hunting"
+  "dga_hunting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dga_hunting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_campus.dir/multi_campus.cpp.o"
+  "CMakeFiles/multi_campus.dir/multi_campus.cpp.o.d"
+  "multi_campus"
+  "multi_campus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_campus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_tools.dir/wire_tools.cpp.o"
+  "CMakeFiles/wire_tools.dir/wire_tools.cpp.o.d"
+  "wire_tools"
+  "wire_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/behavior.cpp" "src/core/CMakeFiles/dnsembed_core.dir/behavior.cpp.o" "gcc" "src/core/CMakeFiles/dnsembed_core.dir/behavior.cpp.o.d"
+  "/root/repo/src/core/belief_propagation.cpp" "src/core/CMakeFiles/dnsembed_core.dir/belief_propagation.cpp.o" "gcc" "src/core/CMakeFiles/dnsembed_core.dir/belief_propagation.cpp.o.d"
+  "/root/repo/src/core/clustering.cpp" "src/core/CMakeFiles/dnsembed_core.dir/clustering.cpp.o" "gcc" "src/core/CMakeFiles/dnsembed_core.dir/clustering.cpp.o.d"
+  "/root/repo/src/core/detector.cpp" "src/core/CMakeFiles/dnsembed_core.dir/detector.cpp.o" "gcc" "src/core/CMakeFiles/dnsembed_core.dir/detector.cpp.o.d"
+  "/root/repo/src/core/federation.cpp" "src/core/CMakeFiles/dnsembed_core.dir/federation.cpp.o" "gcc" "src/core/CMakeFiles/dnsembed_core.dir/federation.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/dnsembed_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/dnsembed_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/dnsembed_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/dnsembed_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/streaming.cpp" "src/core/CMakeFiles/dnsembed_core.dir/streaming.cpp.o" "gcc" "src/core/CMakeFiles/dnsembed_core.dir/streaming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dns/CMakeFiles/dnsembed_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/embed/CMakeFiles/dnsembed_embed.dir/DependInfo.cmake"
+  "/root/repo/build/src/features/CMakeFiles/dnsembed_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dnsembed_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/intel/CMakeFiles/dnsembed_intel.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/dnsembed_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dnsembed_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dnsembed_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

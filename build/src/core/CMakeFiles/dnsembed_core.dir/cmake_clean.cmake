@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsembed_core.dir/behavior.cpp.o"
+  "CMakeFiles/dnsembed_core.dir/behavior.cpp.o.d"
+  "CMakeFiles/dnsembed_core.dir/belief_propagation.cpp.o"
+  "CMakeFiles/dnsembed_core.dir/belief_propagation.cpp.o.d"
+  "CMakeFiles/dnsembed_core.dir/clustering.cpp.o"
+  "CMakeFiles/dnsembed_core.dir/clustering.cpp.o.d"
+  "CMakeFiles/dnsembed_core.dir/detector.cpp.o"
+  "CMakeFiles/dnsembed_core.dir/detector.cpp.o.d"
+  "CMakeFiles/dnsembed_core.dir/federation.cpp.o"
+  "CMakeFiles/dnsembed_core.dir/federation.cpp.o.d"
+  "CMakeFiles/dnsembed_core.dir/pipeline.cpp.o"
+  "CMakeFiles/dnsembed_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/dnsembed_core.dir/report.cpp.o"
+  "CMakeFiles/dnsembed_core.dir/report.cpp.o.d"
+  "CMakeFiles/dnsembed_core.dir/streaming.cpp.o"
+  "CMakeFiles/dnsembed_core.dir/streaming.cpp.o.d"
+  "libdnsembed_core.a"
+  "libdnsembed_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsembed_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

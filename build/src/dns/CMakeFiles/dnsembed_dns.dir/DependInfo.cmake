@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dns/capture_io.cpp" "src/dns/CMakeFiles/dnsembed_dns.dir/capture_io.cpp.o" "gcc" "src/dns/CMakeFiles/dnsembed_dns.dir/capture_io.cpp.o.d"
+  "/root/repo/src/dns/collector.cpp" "src/dns/CMakeFiles/dnsembed_dns.dir/collector.cpp.o" "gcc" "src/dns/CMakeFiles/dnsembed_dns.dir/collector.cpp.o.d"
+  "/root/repo/src/dns/dhcp.cpp" "src/dns/CMakeFiles/dnsembed_dns.dir/dhcp.cpp.o" "gcc" "src/dns/CMakeFiles/dnsembed_dns.dir/dhcp.cpp.o.d"
+  "/root/repo/src/dns/ipv4.cpp" "src/dns/CMakeFiles/dnsembed_dns.dir/ipv4.cpp.o" "gcc" "src/dns/CMakeFiles/dnsembed_dns.dir/ipv4.cpp.o.d"
+  "/root/repo/src/dns/log_io.cpp" "src/dns/CMakeFiles/dnsembed_dns.dir/log_io.cpp.o" "gcc" "src/dns/CMakeFiles/dnsembed_dns.dir/log_io.cpp.o.d"
+  "/root/repo/src/dns/name.cpp" "src/dns/CMakeFiles/dnsembed_dns.dir/name.cpp.o" "gcc" "src/dns/CMakeFiles/dnsembed_dns.dir/name.cpp.o.d"
+  "/root/repo/src/dns/packet.cpp" "src/dns/CMakeFiles/dnsembed_dns.dir/packet.cpp.o" "gcc" "src/dns/CMakeFiles/dnsembed_dns.dir/packet.cpp.o.d"
+  "/root/repo/src/dns/packetize.cpp" "src/dns/CMakeFiles/dnsembed_dns.dir/packetize.cpp.o" "gcc" "src/dns/CMakeFiles/dnsembed_dns.dir/packetize.cpp.o.d"
+  "/root/repo/src/dns/pcap.cpp" "src/dns/CMakeFiles/dnsembed_dns.dir/pcap.cpp.o" "gcc" "src/dns/CMakeFiles/dnsembed_dns.dir/pcap.cpp.o.d"
+  "/root/repo/src/dns/public_suffix.cpp" "src/dns/CMakeFiles/dnsembed_dns.dir/public_suffix.cpp.o" "gcc" "src/dns/CMakeFiles/dnsembed_dns.dir/public_suffix.cpp.o.d"
+  "/root/repo/src/dns/punycode.cpp" "src/dns/CMakeFiles/dnsembed_dns.dir/punycode.cpp.o" "gcc" "src/dns/CMakeFiles/dnsembed_dns.dir/punycode.cpp.o.d"
+  "/root/repo/src/dns/wire.cpp" "src/dns/CMakeFiles/dnsembed_dns.dir/wire.cpp.o" "gcc" "src/dns/CMakeFiles/dnsembed_dns.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dnsembed_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

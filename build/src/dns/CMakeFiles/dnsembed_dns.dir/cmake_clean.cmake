@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsembed_dns.dir/capture_io.cpp.o"
+  "CMakeFiles/dnsembed_dns.dir/capture_io.cpp.o.d"
+  "CMakeFiles/dnsembed_dns.dir/collector.cpp.o"
+  "CMakeFiles/dnsembed_dns.dir/collector.cpp.o.d"
+  "CMakeFiles/dnsembed_dns.dir/dhcp.cpp.o"
+  "CMakeFiles/dnsembed_dns.dir/dhcp.cpp.o.d"
+  "CMakeFiles/dnsembed_dns.dir/ipv4.cpp.o"
+  "CMakeFiles/dnsembed_dns.dir/ipv4.cpp.o.d"
+  "CMakeFiles/dnsembed_dns.dir/log_io.cpp.o"
+  "CMakeFiles/dnsembed_dns.dir/log_io.cpp.o.d"
+  "CMakeFiles/dnsembed_dns.dir/name.cpp.o"
+  "CMakeFiles/dnsembed_dns.dir/name.cpp.o.d"
+  "CMakeFiles/dnsembed_dns.dir/packet.cpp.o"
+  "CMakeFiles/dnsembed_dns.dir/packet.cpp.o.d"
+  "CMakeFiles/dnsembed_dns.dir/packetize.cpp.o"
+  "CMakeFiles/dnsembed_dns.dir/packetize.cpp.o.d"
+  "CMakeFiles/dnsembed_dns.dir/pcap.cpp.o"
+  "CMakeFiles/dnsembed_dns.dir/pcap.cpp.o.d"
+  "CMakeFiles/dnsembed_dns.dir/public_suffix.cpp.o"
+  "CMakeFiles/dnsembed_dns.dir/public_suffix.cpp.o.d"
+  "CMakeFiles/dnsembed_dns.dir/punycode.cpp.o"
+  "CMakeFiles/dnsembed_dns.dir/punycode.cpp.o.d"
+  "CMakeFiles/dnsembed_dns.dir/wire.cpp.o"
+  "CMakeFiles/dnsembed_dns.dir/wire.cpp.o.d"
+  "libdnsembed_dns.a"
+  "libdnsembed_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsembed_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

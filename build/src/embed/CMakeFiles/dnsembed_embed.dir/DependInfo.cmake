@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/embed/alias.cpp" "src/embed/CMakeFiles/dnsembed_embed.dir/alias.cpp.o" "gcc" "src/embed/CMakeFiles/dnsembed_embed.dir/alias.cpp.o.d"
+  "/root/repo/src/embed/embedding.cpp" "src/embed/CMakeFiles/dnsembed_embed.dir/embedding.cpp.o" "gcc" "src/embed/CMakeFiles/dnsembed_embed.dir/embedding.cpp.o.d"
+  "/root/repo/src/embed/line.cpp" "src/embed/CMakeFiles/dnsembed_embed.dir/line.cpp.o" "gcc" "src/embed/CMakeFiles/dnsembed_embed.dir/line.cpp.o.d"
+  "/root/repo/src/embed/sgns.cpp" "src/embed/CMakeFiles/dnsembed_embed.dir/sgns.cpp.o" "gcc" "src/embed/CMakeFiles/dnsembed_embed.dir/sgns.cpp.o.d"
+  "/root/repo/src/embed/walks.cpp" "src/embed/CMakeFiles/dnsembed_embed.dir/walks.cpp.o" "gcc" "src/embed/CMakeFiles/dnsembed_embed.dir/walks.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/dnsembed_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dnsembed_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsembed_embed.dir/alias.cpp.o"
+  "CMakeFiles/dnsembed_embed.dir/alias.cpp.o.d"
+  "CMakeFiles/dnsembed_embed.dir/embedding.cpp.o"
+  "CMakeFiles/dnsembed_embed.dir/embedding.cpp.o.d"
+  "CMakeFiles/dnsembed_embed.dir/line.cpp.o"
+  "CMakeFiles/dnsembed_embed.dir/line.cpp.o.d"
+  "CMakeFiles/dnsembed_embed.dir/sgns.cpp.o"
+  "CMakeFiles/dnsembed_embed.dir/sgns.cpp.o.d"
+  "CMakeFiles/dnsembed_embed.dir/walks.cpp.o"
+  "CMakeFiles/dnsembed_embed.dir/walks.cpp.o.d"
+  "libdnsembed_embed.a"
+  "libdnsembed_embed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsembed_embed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

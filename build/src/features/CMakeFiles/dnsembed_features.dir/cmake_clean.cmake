@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsembed_features.dir/exposure.cpp.o"
+  "CMakeFiles/dnsembed_features.dir/exposure.cpp.o.d"
+  "libdnsembed_features.a"
+  "libdnsembed_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsembed_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

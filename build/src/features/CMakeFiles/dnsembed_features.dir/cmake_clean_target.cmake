@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdnsembed_features.a"
+)

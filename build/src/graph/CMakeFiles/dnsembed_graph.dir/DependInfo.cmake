@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/bipartite.cpp" "src/graph/CMakeFiles/dnsembed_graph.dir/bipartite.cpp.o" "gcc" "src/graph/CMakeFiles/dnsembed_graph.dir/bipartite.cpp.o.d"
+  "/root/repo/src/graph/io.cpp" "src/graph/CMakeFiles/dnsembed_graph.dir/io.cpp.o" "gcc" "src/graph/CMakeFiles/dnsembed_graph.dir/io.cpp.o.d"
+  "/root/repo/src/graph/projection.cpp" "src/graph/CMakeFiles/dnsembed_graph.dir/projection.cpp.o" "gcc" "src/graph/CMakeFiles/dnsembed_graph.dir/projection.cpp.o.d"
+  "/root/repo/src/graph/stats.cpp" "src/graph/CMakeFiles/dnsembed_graph.dir/stats.cpp.o" "gcc" "src/graph/CMakeFiles/dnsembed_graph.dir/stats.cpp.o.d"
+  "/root/repo/src/graph/weighted_graph.cpp" "src/graph/CMakeFiles/dnsembed_graph.dir/weighted_graph.cpp.o" "gcc" "src/graph/CMakeFiles/dnsembed_graph.dir/weighted_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dnsembed_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

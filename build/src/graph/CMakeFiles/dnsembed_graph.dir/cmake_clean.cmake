@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsembed_graph.dir/bipartite.cpp.o"
+  "CMakeFiles/dnsembed_graph.dir/bipartite.cpp.o.d"
+  "CMakeFiles/dnsembed_graph.dir/io.cpp.o"
+  "CMakeFiles/dnsembed_graph.dir/io.cpp.o.d"
+  "CMakeFiles/dnsembed_graph.dir/projection.cpp.o"
+  "CMakeFiles/dnsembed_graph.dir/projection.cpp.o.d"
+  "CMakeFiles/dnsembed_graph.dir/stats.cpp.o"
+  "CMakeFiles/dnsembed_graph.dir/stats.cpp.o.d"
+  "CMakeFiles/dnsembed_graph.dir/weighted_graph.cpp.o"
+  "CMakeFiles/dnsembed_graph.dir/weighted_graph.cpp.o.d"
+  "libdnsembed_graph.a"
+  "libdnsembed_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsembed_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/intel/labels.cpp" "src/intel/CMakeFiles/dnsembed_intel.dir/labels.cpp.o" "gcc" "src/intel/CMakeFiles/dnsembed_intel.dir/labels.cpp.o.d"
+  "/root/repo/src/intel/seed_expansion.cpp" "src/intel/CMakeFiles/dnsembed_intel.dir/seed_expansion.cpp.o" "gcc" "src/intel/CMakeFiles/dnsembed_intel.dir/seed_expansion.cpp.o.d"
+  "/root/repo/src/intel/virustotal.cpp" "src/intel/CMakeFiles/dnsembed_intel.dir/virustotal.cpp.o" "gcc" "src/intel/CMakeFiles/dnsembed_intel.dir/virustotal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/dnsembed_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dnsembed_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/dnsembed_dns.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsembed_intel.dir/labels.cpp.o"
+  "CMakeFiles/dnsembed_intel.dir/labels.cpp.o.d"
+  "CMakeFiles/dnsembed_intel.dir/seed_expansion.cpp.o"
+  "CMakeFiles/dnsembed_intel.dir/seed_expansion.cpp.o.d"
+  "CMakeFiles/dnsembed_intel.dir/virustotal.cpp.o"
+  "CMakeFiles/dnsembed_intel.dir/virustotal.cpp.o.d"
+  "libdnsembed_intel.a"
+  "libdnsembed_intel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsembed_intel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/calibration.cpp" "src/ml/CMakeFiles/dnsembed_ml.dir/calibration.cpp.o" "gcc" "src/ml/CMakeFiles/dnsembed_ml.dir/calibration.cpp.o.d"
+  "/root/repo/src/ml/cluster_metrics.cpp" "src/ml/CMakeFiles/dnsembed_ml.dir/cluster_metrics.cpp.o" "gcc" "src/ml/CMakeFiles/dnsembed_ml.dir/cluster_metrics.cpp.o.d"
+  "/root/repo/src/ml/crossval.cpp" "src/ml/CMakeFiles/dnsembed_ml.dir/crossval.cpp.o" "gcc" "src/ml/CMakeFiles/dnsembed_ml.dir/crossval.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/ml/CMakeFiles/dnsembed_ml.dir/dataset.cpp.o" "gcc" "src/ml/CMakeFiles/dnsembed_ml.dir/dataset.cpp.o.d"
+  "/root/repo/src/ml/decision_tree.cpp" "src/ml/CMakeFiles/dnsembed_ml.dir/decision_tree.cpp.o" "gcc" "src/ml/CMakeFiles/dnsembed_ml.dir/decision_tree.cpp.o.d"
+  "/root/repo/src/ml/gridsearch.cpp" "src/ml/CMakeFiles/dnsembed_ml.dir/gridsearch.cpp.o" "gcc" "src/ml/CMakeFiles/dnsembed_ml.dir/gridsearch.cpp.o.d"
+  "/root/repo/src/ml/kmeans.cpp" "src/ml/CMakeFiles/dnsembed_ml.dir/kmeans.cpp.o" "gcc" "src/ml/CMakeFiles/dnsembed_ml.dir/kmeans.cpp.o.d"
+  "/root/repo/src/ml/logreg.cpp" "src/ml/CMakeFiles/dnsembed_ml.dir/logreg.cpp.o" "gcc" "src/ml/CMakeFiles/dnsembed_ml.dir/logreg.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/ml/CMakeFiles/dnsembed_ml.dir/metrics.cpp.o" "gcc" "src/ml/CMakeFiles/dnsembed_ml.dir/metrics.cpp.o.d"
+  "/root/repo/src/ml/scaler.cpp" "src/ml/CMakeFiles/dnsembed_ml.dir/scaler.cpp.o" "gcc" "src/ml/CMakeFiles/dnsembed_ml.dir/scaler.cpp.o.d"
+  "/root/repo/src/ml/svm.cpp" "src/ml/CMakeFiles/dnsembed_ml.dir/svm.cpp.o" "gcc" "src/ml/CMakeFiles/dnsembed_ml.dir/svm.cpp.o.d"
+  "/root/repo/src/ml/tsne.cpp" "src/ml/CMakeFiles/dnsembed_ml.dir/tsne.cpp.o" "gcc" "src/ml/CMakeFiles/dnsembed_ml.dir/tsne.cpp.o.d"
+  "/root/repo/src/ml/xmeans.cpp" "src/ml/CMakeFiles/dnsembed_ml.dir/xmeans.cpp.o" "gcc" "src/ml/CMakeFiles/dnsembed_ml.dir/xmeans.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/dnsembed_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

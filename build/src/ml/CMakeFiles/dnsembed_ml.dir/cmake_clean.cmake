@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsembed_ml.dir/calibration.cpp.o"
+  "CMakeFiles/dnsembed_ml.dir/calibration.cpp.o.d"
+  "CMakeFiles/dnsembed_ml.dir/cluster_metrics.cpp.o"
+  "CMakeFiles/dnsembed_ml.dir/cluster_metrics.cpp.o.d"
+  "CMakeFiles/dnsembed_ml.dir/crossval.cpp.o"
+  "CMakeFiles/dnsembed_ml.dir/crossval.cpp.o.d"
+  "CMakeFiles/dnsembed_ml.dir/dataset.cpp.o"
+  "CMakeFiles/dnsembed_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/dnsembed_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/dnsembed_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/dnsembed_ml.dir/gridsearch.cpp.o"
+  "CMakeFiles/dnsembed_ml.dir/gridsearch.cpp.o.d"
+  "CMakeFiles/dnsembed_ml.dir/kmeans.cpp.o"
+  "CMakeFiles/dnsembed_ml.dir/kmeans.cpp.o.d"
+  "CMakeFiles/dnsembed_ml.dir/logreg.cpp.o"
+  "CMakeFiles/dnsembed_ml.dir/logreg.cpp.o.d"
+  "CMakeFiles/dnsembed_ml.dir/metrics.cpp.o"
+  "CMakeFiles/dnsembed_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/dnsembed_ml.dir/scaler.cpp.o"
+  "CMakeFiles/dnsembed_ml.dir/scaler.cpp.o.d"
+  "CMakeFiles/dnsembed_ml.dir/svm.cpp.o"
+  "CMakeFiles/dnsembed_ml.dir/svm.cpp.o.d"
+  "CMakeFiles/dnsembed_ml.dir/tsne.cpp.o"
+  "CMakeFiles/dnsembed_ml.dir/tsne.cpp.o.d"
+  "CMakeFiles/dnsembed_ml.dir/xmeans.cpp.o"
+  "CMakeFiles/dnsembed_ml.dir/xmeans.cpp.o.d"
+  "libdnsembed_ml.a"
+  "libdnsembed_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsembed_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

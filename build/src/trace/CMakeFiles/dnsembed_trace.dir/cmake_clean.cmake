@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsembed_trace.dir/generator.cpp.o"
+  "CMakeFiles/dnsembed_trace.dir/generator.cpp.o.d"
+  "CMakeFiles/dnsembed_trace.dir/ground_truth.cpp.o"
+  "CMakeFiles/dnsembed_trace.dir/ground_truth.cpp.o.d"
+  "CMakeFiles/dnsembed_trace.dir/namegen.cpp.o"
+  "CMakeFiles/dnsembed_trace.dir/namegen.cpp.o.d"
+  "libdnsembed_trace.a"
+  "libdnsembed_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsembed_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsembed_util.dir/args.cpp.o"
+  "CMakeFiles/dnsembed_util.dir/args.cpp.o.d"
+  "CMakeFiles/dnsembed_util.dir/csv.cpp.o"
+  "CMakeFiles/dnsembed_util.dir/csv.cpp.o.d"
+  "CMakeFiles/dnsembed_util.dir/log.cpp.o"
+  "CMakeFiles/dnsembed_util.dir/log.cpp.o.d"
+  "CMakeFiles/dnsembed_util.dir/rng.cpp.o"
+  "CMakeFiles/dnsembed_util.dir/rng.cpp.o.d"
+  "CMakeFiles/dnsembed_util.dir/stats.cpp.o"
+  "CMakeFiles/dnsembed_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dnsembed_util.dir/strings.cpp.o"
+  "CMakeFiles/dnsembed_util.dir/strings.cpp.o.d"
+  "CMakeFiles/dnsembed_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/dnsembed_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/dnsembed_util.dir/wordlist.cpp.o"
+  "CMakeFiles/dnsembed_util.dir/wordlist.cpp.o.d"
+  "CMakeFiles/dnsembed_util.dir/zipf.cpp.o"
+  "CMakeFiles/dnsembed_util.dir/zipf.cpp.o.d"
+  "libdnsembed_util.a"
+  "libdnsembed_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsembed_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

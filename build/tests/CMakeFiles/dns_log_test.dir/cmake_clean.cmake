@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_log_test.dir/dns_log_test.cpp.o"
+  "CMakeFiles/dns_log_test.dir/dns_log_test.cpp.o.d"
+  "dns_log_test"
+  "dns_log_test.pdb"
+  "dns_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

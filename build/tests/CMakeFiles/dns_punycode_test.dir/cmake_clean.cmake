@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_punycode_test.dir/dns_punycode_test.cpp.o"
+  "CMakeFiles/dns_punycode_test.dir/dns_punycode_test.cpp.o.d"
+  "dns_punycode_test"
+  "dns_punycode_test.pdb"
+  "dns_punycode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_punycode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

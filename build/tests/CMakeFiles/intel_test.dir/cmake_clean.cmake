@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intel_test.dir/intel_test.cpp.o"
+  "CMakeFiles/intel_test.dir/intel_test.cpp.o.d"
+  "intel_test"
+  "intel_test.pdb"
+  "intel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

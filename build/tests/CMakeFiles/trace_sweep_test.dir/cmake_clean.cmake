@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_sweep_test.dir/trace_sweep_test.cpp.o"
+  "CMakeFiles/trace_sweep_test.dir/trace_sweep_test.cpp.o.d"
+  "trace_sweep_test"
+  "trace_sweep_test.pdb"
+  "trace_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

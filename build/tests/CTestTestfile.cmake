@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/util_args_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_logreg_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_cluster_metrics_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_calibration_test[1]_include.cmake")
+include("/root/repo/build/tests/dns_name_test[1]_include.cmake")
+include("/root/repo/build/tests/dns_wire_test[1]_include.cmake")
+include("/root/repo/build/tests/dns_log_test[1]_include.cmake")
+include("/root/repo/build/tests/dns_capture_test[1]_include.cmake")
+include("/root/repo/build/tests/dns_punycode_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_io_test[1]_include.cmake")
+include("/root/repo/build/tests/embed_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_cluster_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/features_test[1]_include.cmake")
+include("/root/repo/build/tests/intel_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/federation_test[1]_include.cmake")
+include("/root/repo/build/tests/bp_test[1]_include.cmake")
+include("/root/repo/build/tests/streaming_test[1]_include.cmake")
+add_test(cli_workflow "bash" "-c" "set -e; d=\$(mktemp -d); trap 'rm -rf \$d' EXIT; cd \$d;     /root/repo/build/tools/dnsembed simulate --out t.log --labels l.csv --hosts 40 --days 1 --sites 150 --families 6 &&     /root/repo/build/tools/dnsembed embed --log t.log --out e.csv --dim 8 --samples 200000 --threads 2 &&     /root/repo/build/tools/dnsembed detect --embeddings e.csv --labels l.csv --kfold 3 &&     /root/repo/build/tools/dnsembed train --embeddings e.csv --labels l.csv --out m.svm &&     /root/repo/build/tools/dnsembed score --embeddings e.csv --model m.svm --domains \$(grep ',1,' l.csv | head -1 | cut -d, -f1) &&     /root/repo/build/tools/dnsembed cluster --embeddings e.csv --out c.csv --kmax 24")
+set_tests_properties(cli_workflow PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;37;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsembed_cli.dir/dnsembed_cli.cpp.o"
+  "CMakeFiles/dnsembed_cli.dir/dnsembed_cli.cpp.o.d"
+  "dnsembed"
+  "dnsembed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsembed_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
