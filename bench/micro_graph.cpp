@@ -1,10 +1,22 @@
 // Microbenchmarks: bipartite graph construction and one-mode Jaccard
-// projection at several scales.
+// projection at several scales, including the sharded flat-hash engine at
+// several thread counts against the map-based reference.
+//
+// After the google-benchmark run, a machine-readable perf record is written
+// to BENCH_projection.json (override the path with DNSEMBED_BENCH_JSON) so
+// successive PRs can track the projection throughput trajectory.
 #include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "graph/bipartite.hpp"
 #include "graph/projection.hpp"
 #include "util/rng.hpp"
+#include "util/stopwatch.hpp"
 
 namespace {
 
@@ -32,14 +44,37 @@ void BM_BipartiteBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_BipartiteBuild)->Arg(10000)->Arg(100000);
 
-void BM_ProjectRight(benchmark::State& state) {
+// Map-based single-threaded baseline (pre-sharding implementation).
+void BM_ProjectRightReference(benchmark::State& state) {
   const auto edges = static_cast<std::size_t>(state.range(0));
   const auto g = random_bipartite(200, 1000, edges, 2);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(graph::project_right(g));
+    benchmark::DoNotOptimize(graph::project_right_reference(g));
   }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(edges));
 }
-BENCHMARK(BM_ProjectRight)->Arg(10000)->Arg(50000);
+BENCHMARK(BM_ProjectRightReference)->Arg(10000)->Arg(50000)->Arg(100000);
+
+// Sharded flat-hash engine: Args are {edges, threads}.
+void BM_ProjectRight(benchmark::State& state) {
+  const auto edges = static_cast<std::size_t>(state.range(0));
+  const auto g = random_bipartite(200, 1000, edges, 2);
+  graph::ProjectionOptions options;
+  options.threads = static_cast<std::size_t>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::project_right(g, options));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(edges));
+}
+BENCHMARK(BM_ProjectRight)
+    ->Args({10000, 1})
+    ->Args({50000, 1})
+    ->Args({100000, 1})
+    ->Args({100000, 2})
+    ->Args({100000, 4})
+    ->Args({100000, 8});
 
 void BM_ProjectRightThresholded(benchmark::State& state) {
   const auto g = random_bipartite(200, 1000, 50000, 3);
@@ -51,6 +86,70 @@ void BM_ProjectRightThresholded(benchmark::State& state) {
 }
 BENCHMARK(BM_ProjectRightThresholded);
 
+// ---------------------------------------------------------------------
+// BENCH_projection.json: best-of-N wall times for the 100k-edge projection
+// across engines/thread counts, as one JSON array of
+// {name, edges, threads, wall_ms, items_per_s} records.
+
+double best_wall_ms(const std::function<void()>& fn, int reps = 3) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    util::Stopwatch watch;
+    fn();
+    best = std::min(best, watch.millis());
+  }
+  return best;
+}
+
+void write_projection_json() {
+  const char* path = std::getenv("DNSEMBED_BENCH_JSON");
+  if (path == nullptr) path = "BENCH_projection.json";
+  constexpr std::size_t kEdges = 100000;
+  const auto g = random_bipartite(200, 1000, kEdges, 2);
+
+  struct Row {
+    std::string name;
+    std::size_t threads;
+    double wall_ms;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"project_right_reference/100k", 1, best_wall_ms([&] {
+                    benchmark::DoNotOptimize(graph::project_right_reference(g));
+                  })});
+  for (const std::size_t threads : {1, 2, 4, 8}) {
+    graph::ProjectionOptions options;
+    options.threads = threads;
+    rows.push_back({"project_right_sharded/100k", threads, best_wall_ms([&] {
+                      benchmark::DoNotOptimize(graph::project_right(g, options));
+                    })});
+  }
+
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "micro_graph: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(out, "[\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const double items_per_s = static_cast<double>(kEdges) / (rows[i].wall_ms / 1e3);
+    std::fprintf(out,
+                 "  {\"name\": \"%s\", \"edges\": %zu, \"threads\": %zu, "
+                 "\"wall_ms\": %.3f, \"items_per_s\": %.0f}%s\n",
+                 rows[i].name.c_str(), kEdges, rows[i].threads, rows[i].wall_ms, items_per_s,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "]\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", path);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  write_projection_json();
+  return 0;
+}

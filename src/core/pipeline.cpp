@@ -38,8 +38,12 @@ PipelineResult run_pipeline(const PipelineConfig& config) {
   if (config.keep_flows) result.flows = std::move(flow_store).take();
 
   watch.reset();
+  BehaviorModelConfig behavior = config.behavior;
+  behavior.query_projection.threads = config.projection_threads;
+  behavior.ip_projection.threads = config.projection_threads;
+  behavior.temporal_projection.threads = config.projection_threads;
   result.model = build_behavior_model(graphs.take_hdbg(), graphs.take_dibg(),
-                                      graphs.take_dtbg(), config.behavior);
+                                      graphs.take_dtbg(), behavior);
   util::log_info() << "pipeline: behavior model (" << result.model.kept_domains.size()
                    << " domains; q/i/t edges " << result.model.query_similarity.edge_count()
                    << "/" << result.model.ip_similarity.edge_count() << "/"

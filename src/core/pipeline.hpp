@@ -22,6 +22,12 @@ struct PipelineConfig {
   trace::TraceConfig trace;
   BehaviorModelConfig behavior;
 
+  /// Worker threads for the three one-mode projections (0 = one per
+  /// hardware thread). Applied to all three ProjectionOptions in
+  /// `behavior` by run_pipeline; projection output is deterministic for
+  /// every value, so this is purely a throughput knob.
+  std::size_t projection_threads = 0;
+
   /// Embedding size k per similarity graph; the combined vector is 3k
   /// (paper §6.1).
   std::size_t embedding_dimension = 32;
@@ -45,6 +51,8 @@ struct PipelineConfig {
     // have millions of edges.
     embedding.line.total_samples = 6'000'000;
     embedding.line.threads = 4;
+    // Kernel fill / batch scoring parallelism (deterministic; see SvmConfig).
+    svm.threads = 0;
     xmeans.k_min = 4;
     xmeans.k_max = 48;
   }

@@ -4,6 +4,10 @@
 #include <cmath>
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
+
+#include "util/flat_counter.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dnsembed::graph {
 
@@ -23,8 +27,27 @@ double set_similarity(SimilarityMeasure measure, std::size_t inter, std::size_t 
   return 0.0;
 }
 
+/// Shard for a pair key, derived from the FIRST vertex of the pair only:
+/// the inner counting loop emits a run of keys (u, v0..vk) with ascending v
+/// for one u, so sharding on u keeps a whole run inside one FlatCounter
+/// whose slot_hash probes it sequentially — sharding on the full key would
+/// scatter the run across tables and forfeit that locality. mix64's high
+/// bits + fastrange keep the shard choice independent of probe slots.
+std::size_t shard_of(VertexId u, std::size_t shards) noexcept {
+  const std::uint64_t hi = util::mix64(u) >> 32;
+  return static_cast<std::size_t>((hi * shards) >> 32);
+}
+
 /// Shared implementation: `side_count`/`side_name`/`side_degree` describe
 /// the projection side; `pivot_count`/`pivot_neighbors` the opposite side.
+///
+/// Two-pass sharded counting. Pass 1: each worker scans a contiguous pivot
+/// range (ThreadPool::parallel_for chunk) and increments worker-local
+/// FlatCounter shards — no two workers ever touch the same table, so the
+/// count phase is lock- and atomic-free. Pass 2: each shard index is merged
+/// across workers and filtered into per-shard edge vectors, again with
+/// disjoint ownership. A final sort by (u, v) makes the output independent
+/// of the partition, so any thread count yields the identical graph.
 template <typename NameFn, typename DegreeFn, typename PivotNeighborsFn>
 WeightedGraph project_impl(std::size_t side_count, NameFn&& side_name, DegreeFn&& side_degree,
                            std::size_t pivot_count, PivotNeighborsFn&& pivot_neighbors,
@@ -32,7 +55,85 @@ WeightedGraph project_impl(std::size_t side_count, NameFn&& side_name, DegreeFn&
   WeightedGraph out;
   for (VertexId v = 0; v < side_count; ++v) out.add_vertex(side_name(v));
 
-  // Pair key packs (u, v) with u < v into 64 bits.
+  std::size_t threads = util::resolve_threads(options.threads);
+  threads = std::min(threads, std::max<std::size_t>(1, pivot_count));
+  const std::size_t shards = threads;
+
+  // Pass 1: count pair intersections into worker-local shards.
+  std::vector<std::vector<util::FlatCounter>> local(threads);
+  for (auto& w : local) w.resize(shards);
+  const auto count_range = [&](std::size_t lo, std::size_t hi, std::size_t worker) {
+    auto& tables = local[worker];
+    for (std::size_t pivot = lo; pivot < hi; ++pivot) {
+      const auto neighbors = pivot_neighbors(static_cast<VertexId>(pivot));
+      if (options.max_pivot_degree != 0 && neighbors.size() > options.max_pivot_degree) continue;
+      constexpr std::size_t kPrefetchDistance = 16;
+      for (std::size_t i = 0; i < neighbors.size(); ++i) {
+        const std::uint64_t hi_key = static_cast<std::uint64_t>(neighbors[i]) << 32;
+        auto& table = tables[shards == 1 ? 0 : shard_of(neighbors[i], shards)];
+        // One capacity check per run, not per pair; with the load ensured,
+        // the inner loop is hash + probe only, with the slot line fetched
+        // kPrefetchDistance keys ahead.
+        table.ensure(neighbors.size() - i - 1);
+        for (std::size_t j = i + 1; j < neighbors.size(); ++j) {
+          if (j + kPrefetchDistance < neighbors.size()) {
+            table.prefetch(hi_key | neighbors[j + kPrefetchDistance]);
+          }
+          table.increment_unchecked(hi_key | neighbors[j]);
+        }
+      }
+    }
+  };
+
+  // Pass 2: merge one shard index across all workers, then filter and emit.
+  std::vector<std::vector<WeightedEdge>> shard_edges(shards);
+  const auto emit_shards = [&](std::size_t lo, std::size_t hi, std::size_t) {
+    for (std::size_t s = lo; s < hi; ++s) {
+      util::FlatCounter merged = std::move(local[0][s]);
+      for (std::size_t w = 1; w < local.size(); ++w) merged.merge_from(local[w][s]);
+      auto& edges = shard_edges[s];
+      merged.for_each([&](std::uint64_t key, std::uint32_t inter) {
+        const auto u = static_cast<VertexId>(key >> 32);
+        const auto v = static_cast<VertexId>(key & 0xFFFFFFFFu);
+        const double similarity =
+            set_similarity(options.measure, inter, side_degree(u), side_degree(v));
+        if (similarity >= options.min_similarity && similarity > 0.0) {
+          edges.push_back({u, v, similarity});
+        }
+      });
+    }
+  };
+
+  if (threads == 1) {
+    count_range(0, pivot_count, 0);
+    emit_shards(0, shards, 0);
+  } else {
+    util::ThreadPool pool{threads};
+    pool.parallel_for(0, pivot_count, count_range);
+    pool.parallel_for(0, shards, emit_shards);
+  }
+
+  std::size_t total = 0;
+  for (const auto& edges : shard_edges) total += edges.size();
+  std::vector<WeightedEdge> all;
+  all.reserve(total);
+  for (auto& edges : shard_edges) all.insert(all.end(), edges.begin(), edges.end());
+  std::sort(all.begin(), all.end(), [](const WeightedEdge& a, const WeightedEdge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+  for (const auto& e : all) out.add_edge_unchecked(e.u, e.v, e.weight);
+  return out;
+}
+
+/// Baseline: one global node-based map, pivots scanned in order.
+template <typename NameFn, typename DegreeFn, typename PivotNeighborsFn>
+WeightedGraph project_reference_impl(std::size_t side_count, NameFn&& side_name,
+                                     DegreeFn&& side_degree, std::size_t pivot_count,
+                                     PivotNeighborsFn&& pivot_neighbors,
+                                     const ProjectionOptions& options) {
+  WeightedGraph out;
+  for (VertexId v = 0; v < side_count; ++v) out.add_vertex(side_name(v));
+
   std::unordered_map<std::uint64_t, std::uint32_t> intersections;
   for (VertexId pivot = 0; pivot < pivot_count; ++pivot) {
     const auto neighbors = pivot_neighbors(pivot);
@@ -71,6 +172,13 @@ WeightedGraph project_left(const BipartiteGraph& g, const ProjectionOptions& opt
       g.left_count(), [&g](VertexId v) -> const std::string& { return g.left_names().name(v); },
       [&g](VertexId v) { return g.left_degree(v); }, g.right_count(),
       [&g](VertexId p) { return g.right_neighbors(p); }, options);
+}
+
+WeightedGraph project_right_reference(const BipartiteGraph& g, const ProjectionOptions& options) {
+  return project_reference_impl(
+      g.right_count(), [&g](VertexId v) -> const std::string& { return g.right_names().name(v); },
+      [&g](VertexId v) { return g.right_degree(v); }, g.left_count(),
+      [&g](VertexId p) { return g.left_neighbors(p); }, options);
 }
 
 }  // namespace dnsembed::graph

@@ -14,6 +14,14 @@
 // incremented; Jaccard follows from intersection and the two degrees. Cost
 // is sum over pivots of deg², so an optional max_pivot_degree cap skips hub
 // pivots (which contribute near-zero similarity anyway but dominate cost).
+//
+// Engine: pair counting runs on a sharded flat-hash engine. Workers scan
+// contiguous pivot ranges and route each packed (u, v) key into one of T
+// worker-local util::FlatCounter shards chosen from the key hash; a second
+// parallel pass merges each shard across workers and emits edges. Because
+// intersection counts are exact integers and the edge list is sorted by
+// (u, v) before emission, the output WeightedGraph is identical for every
+// thread count.
 #pragma once
 
 #include <cstddef>
@@ -43,14 +51,26 @@ struct ProjectionOptions {
   /// paper's pruning rules applied hubs are already gone, so the default
   /// keeps exact Jaccard.
   std::size_t max_pivot_degree = 0;
+
+  /// Worker threads for pair counting: 1 = run inline on the calling
+  /// thread, 0 = one per hardware thread. The result is deterministic —
+  /// the same WeightedGraph (same edges, same order) for every value.
+  std::size_t threads = 1;
 };
 
 /// Project onto the right vertex set. Every right vertex appears in the
 /// result (possibly isolated); result vertex ids equal the bipartite right
-/// ids and names are preserved.
+/// ids and names are preserved. Edges are emitted sorted by (u, v).
 WeightedGraph project_right(const BipartiteGraph& g, const ProjectionOptions& options = {});
 
 /// Project onto the left vertex set (ids equal the bipartite left ids).
 WeightedGraph project_left(const BipartiteGraph& g, const ProjectionOptions& options = {});
+
+/// Single-threaded std::unordered_map baseline, kept as the correctness
+/// reference for the sharded engine (tests compare edge-for-edge after
+/// sorting) and as the benchmark baseline. Ignores options.threads; edge
+/// order follows map iteration order.
+WeightedGraph project_right_reference(const BipartiteGraph& g,
+                                      const ProjectionOptions& options = {});
 
 }  // namespace dnsembed::graph

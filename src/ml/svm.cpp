@@ -5,10 +5,13 @@
 #include <istream>
 #include <limits>
 #include <list>
+#include <memory>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
+
+#include "util/thread_pool.hpp"
 
 namespace dnsembed::ml {
 
@@ -40,11 +43,15 @@ double kernel_value(const SvmConfig& config, std::span<const double> a,
   return 0.0;
 }
 
-/// LRU cache of kernel matrix rows: K(i, *) for training points.
+/// LRU cache of kernel matrix rows: K(i, *) for training points. Row fill
+/// is O(n · dim) per miss — the training hot path — so misses are filled
+/// in parallel when a pool is supplied (each column independent, so the
+/// result is identical to the serial fill).
 class KernelCache {
  public:
-  KernelCache(const Matrix& x, const SvmConfig& config)
-      : x_{x}, config_{config}, capacity_{std::max<std::size_t>(2, config.cache_rows)} {}
+  KernelCache(const Matrix& x, const SvmConfig& config, util::ThreadPool* pool = nullptr)
+      : x_{x}, config_{config}, pool_{pool},
+        capacity_{std::max<std::size_t>(2, config.cache_rows)} {}
 
   std::span<const double> row(std::size_t i) {
     const auto it = rows_.find(i);
@@ -60,8 +67,15 @@ class KernelCache {
     Entry entry;
     entry.values.resize(x_.rows());
     const auto xi = x_.row(i);
-    for (std::size_t j = 0; j < x_.rows(); ++j) {
-      entry.values[j] = kernel_value(config_, xi, x_.row(j));
+    const auto fill = [&](std::size_t lo, std::size_t hi, std::size_t) {
+      for (std::size_t j = lo; j < hi; ++j) {
+        entry.values[j] = kernel_value(config_, xi, x_.row(j));
+      }
+    };
+    if (pool_ != nullptr) {
+      pool_->parallel_for(0, x_.rows(), fill);
+    } else {
+      fill(0, x_.rows(), 0);
     }
     lru_.push_front(i);
     entry.lru_it = lru_.begin();
@@ -77,6 +91,7 @@ class KernelCache {
 
   const Matrix& x_;
   const SvmConfig& config_;
+  util::ThreadPool* pool_;
   std::size_t capacity_;
   std::unordered_map<std::size_t, Entry> rows_;
   std::list<std::size_t> lru_;
@@ -111,7 +126,10 @@ SvmModel train_svm(const Dataset& train, const SvmConfig& config) {
   // with Q_ij = y_i y_j K_ij. gradient[i] = (Q a)_i - 1.
   std::vector<double> alpha(n, 0.0);
   std::vector<double> gradient(n, -1.0);
-  KernelCache cache{train.x, config};
+  const std::size_t threads = std::min(util::resolve_threads(config.threads), n);
+  std::unique_ptr<util::ThreadPool> pool;
+  if (threads > 1) pool = std::make_unique<util::ThreadPool>(threads);
+  KernelCache cache{train.x, config, pool.get()};
 
   const std::size_t max_iter = config.max_iterations != 0
                                    ? config.max_iterations
@@ -266,9 +284,17 @@ SvmModel SvmModel::load(std::istream& in) {
 }
 
 std::vector<double> SvmModel::decision_values(const Matrix& x) const {
-  std::vector<double> out;
-  out.reserve(x.rows());
-  for (std::size_t i = 0; i < x.rows(); ++i) out.push_back(decision_value(x.row(i)));
+  std::vector<double> out(x.rows());
+  const std::size_t threads = std::min(util::resolve_threads(config_.threads), x.rows());
+  const auto score = [&](std::size_t lo, std::size_t hi, std::size_t) {
+    for (std::size_t i = lo; i < hi; ++i) out[i] = decision_value(x.row(i));
+  };
+  if (threads > 1) {
+    util::ThreadPool pool{threads};
+    pool.parallel_for(0, x.rows(), score);
+  } else {
+    score(0, x.rows(), 0);
+  }
   return out;
 }
 

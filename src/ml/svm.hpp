@@ -30,6 +30,11 @@ struct SvmConfig {
   std::size_t max_iterations = 0;
   /// Kernel row cache size in rows (bounds memory at cache_rows * n).
   std::size_t cache_rows = 2048;
+  /// Worker threads for kernel-row fill during training and for batch
+  /// scoring (decision_values): 1 = serial, 0 = one per hardware thread.
+  /// Results are identical for every value (each matrix entry / row is
+  /// computed independently). Not persisted by save()/load().
+  std::size_t threads = 1;
 };
 
 /// Trained model: support vectors with signed coefficients and the bias.
@@ -41,6 +46,8 @@ class SvmModel {
   /// Hard 0/1 prediction at the given decision threshold.
   int predict(std::span<const double> x, double threshold = 0.0) const;
 
+  /// Batch scoring, parallelized across rows when config.threads != 1
+  /// (the training config's threads knob is carried into the model).
   std::vector<double> decision_values(const Matrix& x) const;
 
   std::size_t support_vector_count() const noexcept { return coef_.size(); }

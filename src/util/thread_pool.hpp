@@ -1,6 +1,15 @@
 // Fixed-size thread pool with a parallel_for helper, used by the LINE
-// trainer and the projection builder to spread work across cores while
-// keeping determinism controllable (per-worker RNG streams).
+// trainer (per-worker RNG streams), the sharded one-mode projection engine
+// (graph/projection.cpp), and the SVM kernel-fill / batch-scoring paths
+// (ml/svm.cpp) to spread work across cores.
+//
+// Determinism contract: parallel_for splits [begin, end) into at most
+// size() contiguous chunks and calls fn(chunk_begin, chunk_end, chunk_index).
+// chunk_index is the 0-based index of the contiguous chunk — NOT the id of
+// the OS thread that happens to execute it — and the partition depends only
+// on (begin, end, size()). Worker-local state indexed by chunk_index
+// therefore receives an identical work assignment on every run with the
+// same pool size; only the execution interleaving varies.
 #pragma once
 
 #include <condition_variable>
@@ -13,6 +22,14 @@
 #include <vector>
 
 namespace dnsembed::util {
+
+/// Resolve a user-facing thread-count knob: 0 = one per hardware thread
+/// (at least 1), anything else is taken literally.
+inline std::size_t resolve_threads(std::size_t requested) noexcept {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
 
 class ThreadPool {
  public:
