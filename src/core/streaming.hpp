@@ -4,11 +4,19 @@
 // Domains flagged before their blacklist entry exists are early detections,
 // the operational win the paper's intro promises ("detecting ... during the
 // very early stage of their operations").
+//
+// The detector is restartable: save_checkpoint() serializes the sliding
+// window and all bookkeeping, and a freshly constructed detector that
+// load_checkpoint()s the same state resumes the stream bit-identically
+// (same alerts, same scores) — a crash or redeploy loses nothing.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <functional>
+#include <iosfwd>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -29,6 +37,19 @@ struct StreamingConfig {
   /// Alert threshold: the score quantile of *benign-labeled* training
   /// domains that may be exceeded (false-positive budget).
   double alert_fpr = 0.01;
+
+  /// Degradation guards: a day retrains only when the window yields at
+  /// least this many modeled domains / confirmed malicious labels — thin
+  /// or empty days are recorded (day_records()) and skipped instead of
+  /// producing a degenerate model.
+  std::size_t min_train_domains = 20;
+  std::size_t min_malicious_labels = 5;
+
+  /// Optional threat-feed override, e.g. fault::make_faulty_label_feed:
+  /// called as (domain, first_seen_day, today) and returns whether the
+  /// feed has published `domain` as of `today`. When unset, the default
+  /// feed is VT confirmation after label_delay_days.
+  std::function<bool(std::string_view, std::size_t, std::size_t)> label_feed;
 
   BehaviorModelConfig behavior;
   std::size_t embedding_dimension = 24;
@@ -53,6 +74,20 @@ struct DomainAlert {
   double score = 0.0;
 };
 
+/// Per-day observability record: what the detector did with each day's
+/// traffic, including why a retrain was skipped (degradation audit trail).
+struct StreamingDayRecord {
+  std::size_t day = 0;
+  std::size_t entries = 0;         // entries fed for this day
+  std::size_t window_entries = 0;  // entries across the whole window
+  std::size_t kept_domains = 0;    // domains surviving graph pruning
+  std::size_t labeled = 0;         // labels available that day
+  std::size_t scored = 0;          // unlabeled domains scored
+  std::size_t alerts = 0;          // alerts raised that day
+  bool retrained = false;
+  std::string skip_reason;         // empty when retrained
+};
+
 /// Feed one day of traffic at a time; the detector rebuilds its window
 /// graphs, re-embeds, retrains on the labels available *as of that day*,
 /// and raises alerts for unflagged domains scoring above the calibrated
@@ -69,6 +104,7 @@ class StreamingDetector {
 
   std::size_t days_processed() const noexcept { return day_; }
   const std::vector<DomainAlert>& alerts() const noexcept { return alerts_; }
+  const std::vector<StreamingDayRecord>& day_records() const noexcept { return days_; }
 
   /// First day each domain was seen / flagged (flagged only if alerted).
   const std::unordered_map<std::string, std::size_t>& first_seen() const noexcept {
@@ -78,8 +114,20 @@ class StreamingDetector {
     return first_flagged_;
   }
 
+  /// Serialize the detector state (day index, window entries, first-seen /
+  /// first-flagged maps, alerts, day records) as a versioned text
+  /// checkpoint. Scores round-trip by bit pattern, so a restored detector
+  /// continues bit-identically.
+  void save_checkpoint(std::ostream& out) const;
+
+  /// Restore state saved by save_checkpoint into this detector (construct
+  /// it with the same config/truth/vt as the saving run). Throws
+  /// std::runtime_error on a malformed or version-mismatched checkpoint.
+  void load_checkpoint(std::istream& in);
+
  private:
-  void retrain_and_score();
+  bool label_available(const std::string& domain, std::size_t first_seen_day) const;
+  void retrain_and_score(StreamingDayRecord& record);
 
   StreamingConfig config_;
   const trace::GroundTruth* truth_;
@@ -90,6 +138,7 @@ class StreamingDetector {
   std::unordered_map<std::string, std::size_t> first_seen_;   // by e2LD
   std::unordered_map<std::string, std::size_t> first_flagged_;
   std::vector<DomainAlert> alerts_;
+  std::vector<StreamingDayRecord> days_;
 };
 
 }  // namespace dnsembed::core

@@ -1,5 +1,7 @@
 #include "dns/capture_io.hpp"
 
+#include <exception>
+
 #include "dns/packet.hpp"
 #include "dns/packetize.hpp"
 #include "dns/pcap.hpp"
@@ -61,16 +63,27 @@ std::size_t export_pcap(std::ostream& out, std::span<const LogEntry> entries,
   return writer.packets_written();
 }
 
-CaptureImportResult import_pcap(std::istream& in, const DhcpTable* dhcp) {
-  DnsCollector collector{dhcp};
-  PcapReader reader{in};
-  while (const auto packet = reader.next()) {
-    if (const auto datagram = decapsulate(packet->data)) {
-      collector.on_datagram(packet->ts_sec, *datagram);
+CaptureImportResult import_pcap(std::istream& in, const DhcpTable* dhcp,
+                                const CaptureImportOptions& options) {
+  CaptureImportResult result;
+  DnsCollector collector{dhcp, options.collector_timeout_seconds, options.max_pending};
+  try {
+    PcapReader reader{in};
+    while (const auto packet = reader.next()) {
+      ++result.packets;
+      if (const auto datagram = decapsulate(packet->data)) {
+        collector.on_datagram(packet->ts_sec, *datagram);
+      } else {
+        ++result.undecoded_frames;
+      }
     }
+  } catch (const std::exception& e) {
+    // Malformed framing mid-file: keep everything parsed so far and report
+    // the damage instead of discarding the capture.
+    result.truncated = true;
+    result.error = e.what();
   }
   collector.flush_all();
-  CaptureImportResult result;
   result.stats = collector.stats();
   result.entries = collector.take_entries();
   return result;

@@ -45,14 +45,33 @@ class EntryPacketWriter {
   std::shared_ptr<Impl> impl_;  // shared so the writer stays copyable
 };
 
+struct CaptureImportOptions {
+  /// Collector knobs (see DnsCollector).
+  std::int64_t collector_timeout_seconds = 30;
+  std::size_t max_pending = DnsCollector::kDefaultMaxPending;
+};
+
 struct CaptureImportResult {
   std::vector<LogEntry> entries;
   DnsCollector::Stats stats;
+  /// Pcap records successfully framed (whether or not they decoded).
+  std::size_t packets = 0;
+  /// Frames that were not well-formed Ethernet/IPv4/UDP (dropped before
+  /// the collector; DNS-level failures are stats.malformed instead).
+  std::size_t undecoded_frames = 0;
+  /// True when the capture ended with a framing error (bad header,
+  /// truncated record, ...) instead of a clean EOF. Entries parsed up to
+  /// the fault are still returned; `error` holds the detail.
+  bool truncated = false;
+  std::string error;
 };
 
 /// Parse a pcap capture back into joined entries. `dhcp` may be null
-/// (hosts stay IP strings). Throws std::runtime_error on malformed pcap
-/// framing; malformed inner packets are only counted.
-CaptureImportResult import_pcap(std::istream& in, const DhcpTable* dhcp = nullptr);
+/// (hosts stay IP strings). Never throws on malformed pcap framing:
+/// parsing stops at the fault and the partial result carries
+/// truncated=true plus the error detail, so a crashed capture still
+/// yields every entry that preceded the damage.
+CaptureImportResult import_pcap(std::istream& in, const DhcpTable* dhcp = nullptr,
+                                const CaptureImportOptions& options = {});
 
 }  // namespace dnsembed::dns

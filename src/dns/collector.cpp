@@ -10,8 +10,9 @@ namespace {
 constexpr std::uint16_t kDnsPort = 53;
 }
 
-DnsCollector::DnsCollector(const DhcpTable* dhcp, std::int64_t timeout_seconds)
-    : dhcp_{dhcp}, timeout_{timeout_seconds} {}
+DnsCollector::DnsCollector(const DhcpTable* dhcp, std::int64_t timeout_seconds,
+                           std::size_t max_pending)
+    : dhcp_{dhcp}, timeout_{timeout_seconds}, max_pending_{std::max<std::size_t>(max_pending, 1)} {}
 
 std::string DnsCollector::host_for(Ipv4 client, std::int64_t ts) const {
   if (dhcp_ != nullptr) {
@@ -46,6 +47,15 @@ void DnsCollector::emit(const Key& key, const PendingQuery& query, const Message
   completed_.push_back(std::move(entry));
 }
 
+void DnsCollector::evict_oldest() {
+  const auto oldest = by_seq_.begin();
+  const auto it = pending_.find(*oldest->second);
+  emit(it->first, it->second, nullptr);
+  ++stats_.evicted;
+  by_seq_.erase(oldest);
+  pending_.erase(it);
+}
+
 void DnsCollector::on_datagram(std::int64_t ts, const UdpDatagram& datagram) {
   const bool to_server = datagram.dst_port == kDnsPort;
   const bool from_server = datagram.src_port == kDnsPort;
@@ -63,7 +73,17 @@ void DnsCollector::on_datagram(std::int64_t ts, const UdpDatagram& datagram) {
   if (to_server && !message->is_response) {
     ++stats_.query_packets;
     Key key{datagram.src_ip.value(), datagram.src_port, message->id, question.name};
-    pending_[std::move(key)] = PendingQuery{ts, question.type};
+    const auto [it, inserted] = pending_.try_emplace(std::move(key));
+    if (!inserted) {
+      // Retransmission of a still-pending query: the newer sighting wins
+      // (its timestamp resets the expiry clock and its seq the eviction
+      // order), and the replaced one is accounted as a duplicate.
+      ++stats_.duplicate_queries;
+      by_seq_.erase(it->second.seq);
+    }
+    it->second = PendingQuery{ts, question.type, next_seq_++};
+    by_seq_.emplace(it->second.seq, &it->first);
+    while (pending_.size() > max_pending_) evict_oldest();
     return;
   }
   if (from_server && message->is_response) {
@@ -75,6 +95,7 @@ void DnsCollector::on_datagram(std::int64_t ts, const UdpDatagram& datagram) {
       return;
     }
     emit(key, it->second, &*message);
+    by_seq_.erase(it->second.seq);
     pending_.erase(it);
     ++stats_.matched;
     return;
@@ -88,6 +109,7 @@ void DnsCollector::flush(std::int64_t now) {
     if (now - it->second.ts >= timeout_) {
       emit(it->first, it->second, nullptr);
       ++stats_.expired_queries;
+      by_seq_.erase(it->second.seq);
       it = pending_.erase(it);
     } else {
       ++it;
@@ -101,6 +123,7 @@ void DnsCollector::flush_all() {
     ++stats_.expired_queries;
   }
   pending_.clear();
+  by_seq_.clear();
 }
 
 std::vector<LogEntry> DnsCollector::take_entries() { return std::move(completed_); }

@@ -7,6 +7,16 @@
 // Unanswered queries are expired after a timeout and emitted with
 // RCode::kServFail and no answers — the query still evidences host-domain
 // interaction for the HDBG.
+//
+// The pending-query table is bounded (max_pending): a flood of unanswered
+// queries evicts the oldest pending entries (emitted as unanswered, counted
+// in Stats::evicted) instead of growing memory without bound. Every
+// datagram lands in exactly one Stats bucket, and every accepted query
+// resolves to exactly one outcome, so:
+//   query_packets == matched + expired_queries + evicted
+//                    + duplicate_queries + pending()
+//   response_packets == matched + orphan_responses
+//   total datagrams == query_packets + response_packets + malformed + ignored
 #pragma once
 
 #include <cstdint>
@@ -28,14 +38,20 @@ class DnsCollector {
     std::size_t query_packets = 0;
     std::size_t response_packets = 0;
     std::size_t matched = 0;
-    std::size_t orphan_responses = 0;  // response with no pending query
-    std::size_t expired_queries = 0;   // queries that never got an answer
-    std::size_t malformed = 0;         // datagrams that failed to parse
-    std::size_t ignored = 0;           // not DNS (wrong ports)
+    std::size_t orphan_responses = 0;   // response with no pending query
+    std::size_t expired_queries = 0;    // queries that never got an answer
+    std::size_t malformed = 0;          // datagrams that failed to parse
+    std::size_t ignored = 0;            // not DNS (wrong ports)
+    std::size_t evicted = 0;            // oldest pending dropped at the cap
+    std::size_t duplicate_queries = 0;  // retransmission replaced a pending query
   };
 
+  static constexpr std::size_t kDefaultMaxPending = 1'000'000;
+
   /// dhcp may be null: hosts are then identified by client IP string.
-  explicit DnsCollector(const DhcpTable* dhcp = nullptr, std::int64_t timeout_seconds = 30);
+  /// max_pending bounds the pending-query table (>= 1).
+  explicit DnsCollector(const DhcpTable* dhcp = nullptr, std::int64_t timeout_seconds = 30,
+                        std::size_t max_pending = kDefaultMaxPending);
 
   /// Feed one captured datagram with its capture timestamp.
   void on_datagram(std::int64_t ts, const UdpDatagram& datagram);
@@ -51,6 +67,7 @@ class DnsCollector {
 
   const Stats& stats() const noexcept { return stats_; }
   std::size_t pending() const noexcept { return pending_.size(); }
+  std::size_t max_pending() const noexcept { return max_pending_; }
 
  private:
   struct Key {
@@ -65,14 +82,20 @@ class DnsCollector {
   struct PendingQuery {
     std::int64_t ts = 0;
     QType qtype = QType::kA;
+    std::uint64_t seq = 0;  // arrival order, for oldest-first eviction
   };
 
   std::string host_for(Ipv4 client, std::int64_t ts) const;
   void emit(const Key& key, const PendingQuery& query, const Message* response);
+  void evict_oldest();
 
   const DhcpTable* dhcp_;
   std::int64_t timeout_;
+  std::size_t max_pending_;
+  std::uint64_t next_seq_ = 0;
   std::map<Key, PendingQuery> pending_;
+  // Arrival-ordered index into pending_ (std::map keys are address-stable).
+  std::map<std::uint64_t, const Key*> by_seq_;
   std::vector<LogEntry> completed_;
   Stats stats_;
 };

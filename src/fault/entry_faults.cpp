@@ -1,0 +1,63 @@
+#include "fault/entry_faults.hpp"
+
+#include <string>
+#include <utility>
+
+#include "util/rng.hpp"
+
+namespace dnsembed::fault {
+
+namespace {
+constexpr std::uint64_t kEntrySalt = 0x656e7472790002ULL;
+
+// A device whose lease churned re-appears under a per-period synthetic
+// identity: the DHCP join saw a different (unleased) address, so the host
+// key changes each churn period instead of staying stable.
+std::string churned_host(const dns::LogEntry& entry, std::int64_t period) {
+  const std::int64_t bucket = period > 0 ? entry.timestamp / period : 0;
+  return entry.host + "?churn" + std::to_string(bucket);
+}
+
+}  // namespace
+
+std::vector<dns::LogEntry> apply_entry_faults(std::vector<dns::LogEntry> entries,
+                                              const FaultPlan& plan, FaultStats* stats) {
+  util::Rng rng{plan.seed ^ kEntrySalt};
+  FaultStats local;
+  std::vector<dns::LogEntry> out;
+  out.reserve(entries.size());
+  for (auto& entry : entries) {
+    ++local.entries_in;
+    if (rng.bernoulli(plan.entry_drop_rate)) {
+      ++local.entries_dropped;
+      continue;
+    }
+    const bool duplicate = rng.bernoulli(plan.entry_duplicate_rate);
+    if (rng.bernoulli(plan.dhcp_churn_rate)) {
+      entry.host = churned_host(entry, plan.dhcp_churn_period);
+      ++local.entries_churned;
+    }
+    if (rng.bernoulli(plan.timestamp_skew_rate)) {
+      entry.timestamp += rng.uniform_int(-plan.timestamp_skew_max, plan.timestamp_skew_max);
+      if (entry.timestamp < 0) entry.timestamp = 0;
+      ++local.skewed;
+    }
+    if (duplicate) {
+      ++local.entries_duplicated;
+      out.push_back(entry);
+    }
+    out.push_back(std::move(entry));
+  }
+  local.entries_out = out.size();
+  if (stats != nullptr) {
+    stats->entries_in += local.entries_in;
+    stats->entries_out += local.entries_out;
+    stats->entries_dropped += local.entries_dropped;
+    stats->entries_duplicated += local.entries_duplicated;
+    stats->entries_churned += local.entries_churned;
+    stats->skewed += local.skewed;
+  }
+  return out;
+}
+
+}  // namespace dnsembed::fault

@@ -1,0 +1,21 @@
+// Entry-level fault channels for the joined-log path: drop or duplicate
+// log entries and model DHCP churn (a device losing its lease mid-trace,
+// splintering its queries across fresh synthetic identities). Deterministic
+// for a fixed plan seed.
+#pragma once
+
+#include <vector>
+
+#include "dns/log_record.hpp"
+#include "fault/plan.hpp"
+
+namespace dnsembed::fault {
+
+/// Apply the plan's entry channels in order (drop, duplicate, churn,
+/// timestamp skew). Entries keep their relative order; duplicates are
+/// emitted adjacent to the original.
+std::vector<dns::LogEntry> apply_entry_faults(std::vector<dns::LogEntry> entries,
+                                              const FaultPlan& plan,
+                                              FaultStats* stats = nullptr);
+
+}  // namespace dnsembed::fault

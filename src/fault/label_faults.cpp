@@ -1,0 +1,60 @@
+#include "fault/label_faults.hpp"
+
+namespace dnsembed::fault {
+
+namespace {
+
+// FNV-1a, salted; the same domain always lands in the same feed bucket.
+std::uint64_t domain_hash(std::string_view domain, std::uint64_t salt) noexcept {
+  std::uint64_t h = 1469598103934665603ULL ^ salt;
+  for (const char c : domain) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  // Final avalanche (SplitMix64 tail) so low bits are well mixed.
+  h ^= h >> 30;
+  h *= 0xbf58476d1ce4e5b9ULL;
+  h ^= h >> 27;
+  return h;
+}
+
+double unit_interval(std::uint64_t h) noexcept {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+constexpr std::uint64_t kBlackholeSalt = 0x626c61636b686f00ULL;
+constexpr std::uint64_t kDelaySalt = 0x64656c6179000000ULL;
+
+}  // namespace
+
+FaultyLabelFeed::FaultyLabelFeed(const intel::VirusTotalSim& vt, std::size_t base_delay_days,
+                                 const FaultPlan& plan)
+    : vt_{&vt}, base_delay_days_{base_delay_days}, plan_{plan} {}
+
+bool FaultyLabelFeed::blackholed(std::string_view domain) const {
+  return unit_interval(domain_hash(domain, plan_.seed ^ kBlackholeSalt)) <
+         plan_.label_blackhole_rate;
+}
+
+std::size_t FaultyLabelFeed::extra_delay_days(std::string_view domain) const {
+  if (plan_.label_extra_delay_max == 0) return 0;
+  return domain_hash(domain, plan_.seed ^ kDelaySalt) % (plan_.label_extra_delay_max + 1);
+}
+
+bool FaultyLabelFeed::published(std::string_view domain, std::size_t first_seen_day,
+                                std::size_t today) const {
+  if (blackholed(domain)) return false;
+  const std::size_t delay = base_delay_days_ + extra_delay_days(domain);
+  if (today < first_seen_day + delay) return false;
+  return vt_->confirmed(domain);
+}
+
+LabelFeedFn make_faulty_label_feed(const intel::VirusTotalSim& vt,
+                                   std::size_t base_delay_days, const FaultPlan& plan) {
+  FaultyLabelFeed feed{vt, base_delay_days, plan};
+  return [feed](std::string_view domain, std::size_t first_seen_day, std::size_t today) {
+    return feed.published(domain, first_seen_day, today);
+  };
+}
+
+}  // namespace dnsembed::fault

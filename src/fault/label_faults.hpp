@@ -1,0 +1,48 @@
+// Intelligence-feed fault channels: a threat feed that lags or black-holes
+// VirusTotal confirmations. Produces the label-availability predicate the
+// streaming detector consumes (core::StreamingConfig::label_feed), so fault
+// sweeps can measure detection quality under delayed / incomplete intel
+// without the detector knowing it is being tested.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "fault/plan.hpp"
+#include "intel/virustotal.hpp"
+
+namespace dnsembed::fault {
+
+/// Signature expected by core::StreamingConfig::label_feed: was `domain`
+/// (first seen on `first_seen_day`) published by the feed as of `today`?
+using LabelFeedFn = std::function<bool(std::string_view domain, std::size_t first_seen_day,
+                                       std::size_t today)>;
+
+/// Per-domain feed behavior under `plan`, deterministic in (seed, domain):
+///  - black-holed domains are never published;
+///  - the rest publish after base_delay_days plus a hash-derived extra lag
+///    in [0, plan.label_extra_delay_max] days, gated on VT confirmation.
+class FaultyLabelFeed {
+ public:
+  FaultyLabelFeed(const intel::VirusTotalSim& vt, std::size_t base_delay_days,
+                  const FaultPlan& plan);
+
+  bool published(std::string_view domain, std::size_t first_seen_day,
+                 std::size_t today) const;
+
+  bool blackholed(std::string_view domain) const;
+  std::size_t extra_delay_days(std::string_view domain) const;
+
+ private:
+  const intel::VirusTotalSim* vt_;
+  std::size_t base_delay_days_;
+  FaultPlan plan_;
+};
+
+/// Bind a FaultyLabelFeed into the std::function form the streaming
+/// detector's config accepts.
+LabelFeedFn make_faulty_label_feed(const intel::VirusTotalSim& vt,
+                                   std::size_t base_delay_days, const FaultPlan& plan);
+
+}  // namespace dnsembed::fault

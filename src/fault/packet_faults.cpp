@@ -1,0 +1,106 @@
+#include "fault/packet_faults.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace dnsembed::fault {
+
+namespace {
+// Channel Rng streams are derived from the plan seed with fixed salts so
+// adding a channel later does not perturb the others.
+constexpr std::uint64_t kPacketSalt = 0x7061636b65740001ULL;
+constexpr std::uint64_t kCutSalt = 0x6361707463757400ULL;
+}  // namespace
+
+PacketFaultInjector::PacketFaultInjector(const FaultPlan& plan)
+    : plan_{plan}, rng_{plan.seed ^ kPacketSalt} {}
+
+void PacketFaultInjector::emit(dns::PcapPacket packet, std::vector<dns::PcapPacket>& out) {
+  ++stats_.packets_out;
+  out.push_back(std::move(packet));
+}
+
+void PacketFaultInjector::push(dns::PcapPacket packet, std::vector<dns::PcapPacket>& out) {
+  ++stats_.packets_in;
+
+  // One more packet has arrived at the reorder point: age the packets held
+  // from earlier pushes and release the due ones, oldest first.
+  for (std::size_t i = 0; i < held_.size();) {
+    if (--held_[i].remaining == 0) {
+      emit(std::move(held_[i].packet), out);
+      held_.erase(held_.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+
+  if (rng_.bernoulli(plan_.drop_rate)) {
+    ++stats_.dropped;
+    return;
+  }
+
+  const bool duplicate = rng_.bernoulli(plan_.duplicate_rate);
+
+  if (!packet.data.empty() && rng_.bernoulli(plan_.truncate_rate)) {
+    // Keep at least one byte so the record header stays self-consistent.
+    const auto keep = 1 + rng_.uniform_index(packet.data.size());
+    if (keep < packet.data.size()) {
+      packet.data.resize(keep);
+      ++stats_.truncated;
+    }
+  }
+  if (!packet.data.empty() && rng_.bernoulli(plan_.corrupt_rate)) {
+    const auto flips = 1 + rng_.uniform_index(std::max<std::size_t>(plan_.corrupt_max_bytes, 1));
+    for (std::size_t i = 0; i < flips; ++i) {
+      const auto pos = rng_.uniform_index(packet.data.size());
+      packet.data[pos] ^= static_cast<std::uint8_t>(1 + rng_.uniform_index(255));
+    }
+    ++stats_.corrupted;
+  }
+  if (rng_.bernoulli(plan_.timestamp_skew_rate)) {
+    packet.ts_sec += rng_.uniform_int(-plan_.timestamp_skew_max, plan_.timestamp_skew_max);
+    ++stats_.skewed;
+  }
+
+  if (duplicate) {
+    ++stats_.duplicated;
+    emit(packet, out);  // duplicate goes out in place; the original may reorder
+  }
+
+  if (plan_.reorder_window > 0 && rng_.bernoulli(plan_.reorder_rate)) {
+    ++stats_.reordered;
+    held_.push_back(Held{std::move(packet), 1 + rng_.uniform_index(plan_.reorder_window)});
+  } else {
+    emit(std::move(packet), out);
+  }
+}
+
+void PacketFaultInjector::finish(std::vector<dns::PcapPacket>& out) {
+  for (auto& held : held_) emit(std::move(held.packet), out);
+  held_.clear();
+}
+
+std::vector<dns::PcapPacket> apply_packet_faults(std::span<const dns::PcapPacket> packets,
+                                                 const FaultPlan& plan, FaultStats* stats) {
+  PacketFaultInjector injector{plan};
+  std::vector<dns::PcapPacket> out;
+  out.reserve(packets.size());
+  for (const auto& packet : packets) injector.push(packet, out);
+  injector.finish(out);
+  if (stats != nullptr) *stats = injector.stats();
+  return out;
+}
+
+std::string apply_capture_cut(std::string pcap_bytes, const FaultPlan& plan,
+                              FaultStats* stats) {
+  constexpr std::size_t kGlobalHeaderBytes = 24;
+  util::Rng rng{plan.seed ^ kCutSalt};
+  if (pcap_bytes.size() > kGlobalHeaderBytes + 1 && rng.bernoulli(plan.capture_cut_rate)) {
+    const std::size_t span = pcap_bytes.size() - kGlobalHeaderBytes - 1;
+    pcap_bytes.resize(kGlobalHeaderBytes + 1 + rng.uniform_index(span));
+    if (stats != nullptr) ++stats->capture_cut;
+  }
+  return pcap_bytes;
+}
+
+}  // namespace dnsembed::fault

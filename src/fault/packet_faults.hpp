@@ -1,0 +1,56 @@
+// Packet-level fault channels: wrap any stream of pcap records and apply
+// the FaultPlan's drop / duplicate / truncate / corrupt / skew / reorder
+// channels deterministically. The same plan (same seed) always yields the
+// same faulted stream, so a failure observed in a sweep replays exactly.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "dns/pcap.hpp"
+#include "fault/plan.hpp"
+#include "util/rng.hpp"
+
+namespace dnsembed::fault {
+
+/// Streaming injector. Feed packets in capture order with push(); faulted
+/// packets come out via the `out` argument (zero, one, or several per
+/// push, since drops consume and reorder releases held packets). Call
+/// finish() once at end of stream to flush the reorder buffer.
+class PacketFaultInjector {
+ public:
+  explicit PacketFaultInjector(const FaultPlan& plan);
+
+  void push(dns::PcapPacket packet, std::vector<dns::PcapPacket>& out);
+  void finish(std::vector<dns::PcapPacket>& out);
+
+  const FaultStats& stats() const noexcept { return stats_; }
+
+ private:
+  void emit(dns::PcapPacket packet, std::vector<dns::PcapPacket>& out);
+
+  struct Held {
+    dns::PcapPacket packet;
+    std::size_t remaining = 0;  // packets to let pass before release
+  };
+
+  FaultPlan plan_;
+  util::Rng rng_;
+  std::vector<Held> held_;
+  FaultStats stats_;
+};
+
+/// Convenience wrapper over the streaming injector for in-memory captures.
+std::vector<dns::PcapPacket> apply_packet_faults(std::span<const dns::PcapPacket> packets,
+                                                 const FaultPlan& plan,
+                                                 FaultStats* stats = nullptr);
+
+/// Apply the capture_cut channel to serialized pcap bytes: with probability
+/// plan.capture_cut_rate, remove a uniform suffix (cut lands after the
+/// 24-byte global header, so the reader sees a mid-record truncation).
+/// Returns the possibly-cut bytes; counts into stats->capture_cut.
+std::string apply_capture_cut(std::string pcap_bytes, const FaultPlan& plan,
+                              FaultStats* stats = nullptr);
+
+}  // namespace dnsembed::fault

@@ -1,0 +1,59 @@
+#include "fault/plan.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dnsembed::fault {
+
+namespace {
+
+double scale_rate(double rate, double severity) {
+  return std::clamp(rate * severity, 0.0, 1.0);
+}
+
+void append_rate(std::string& out, const char* name, double rate) {
+  if (rate <= 0.0) return;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s%s=%g", out.empty() ? "" : " ", name, rate);
+  out += buf;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::scaled(double severity) const {
+  FaultPlan plan = *this;
+  plan.drop_rate = scale_rate(drop_rate, severity);
+  plan.duplicate_rate = scale_rate(duplicate_rate, severity);
+  plan.truncate_rate = scale_rate(truncate_rate, severity);
+  plan.corrupt_rate = scale_rate(corrupt_rate, severity);
+  plan.timestamp_skew_rate = scale_rate(timestamp_skew_rate, severity);
+  plan.reorder_rate = scale_rate(reorder_rate, severity);
+  plan.capture_cut_rate = scale_rate(capture_cut_rate, severity);
+  plan.entry_drop_rate = scale_rate(entry_drop_rate, severity);
+  plan.entry_duplicate_rate = scale_rate(entry_duplicate_rate, severity);
+  plan.dhcp_churn_rate = scale_rate(dhcp_churn_rate, severity);
+  plan.label_blackhole_rate = scale_rate(label_blackhole_rate, severity);
+  return plan;
+}
+
+std::string FaultPlan::describe() const {
+  std::string out;
+  append_rate(out, "drop", drop_rate);
+  append_rate(out, "dup", duplicate_rate);
+  append_rate(out, "trunc", truncate_rate);
+  append_rate(out, "corrupt", corrupt_rate);
+  append_rate(out, "skew", timestamp_skew_rate);
+  append_rate(out, "reorder", reorder_rate);
+  append_rate(out, "cut", capture_cut_rate);
+  append_rate(out, "edrop", entry_drop_rate);
+  append_rate(out, "edup", entry_duplicate_rate);
+  append_rate(out, "churn", dhcp_churn_rate);
+  append_rate(out, "blackhole", label_blackhole_rate);
+  if (label_extra_delay_max > 0) {
+    append_rate(out, "extra-delay", static_cast<double>(label_extra_delay_max));
+  }
+  if (out.empty()) out = "no-faults";
+  return out;
+}
+
+}  // namespace dnsembed::fault

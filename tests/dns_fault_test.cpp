@@ -1,0 +1,188 @@
+// Robustness tests for the ingestion layer proper: the bounded pending
+// table (flood eviction), duplicated/reordered datagram accounting, and
+// the partial-result import_pcap contract under truncated captures.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dns/capture_io.hpp"
+#include "dns/collector.hpp"
+#include "dns/packet.hpp"
+#include "dns/packetize.hpp"
+#include "dns/pcap.hpp"
+#include "dns/wire.hpp"
+
+namespace dnsembed::dns {
+namespace {
+
+LogEntry make_entry(std::int64_t ts, const std::string& host, const std::string& qname) {
+  LogEntry e;
+  e.timestamp = ts;
+  e.host = host;
+  e.qname = qname;
+  e.ttl = 300;
+  e.addresses = {Ipv4{93, 184, 216, 34}};
+  return e;
+}
+
+UdpDatagram lone_query(std::uint16_t port, std::uint16_t txn, const std::string& qname) {
+  const auto [q, r] = packetize(make_entry(1, "h", qname), Ipv4{10, 0, 0, 1}, port, txn);
+  return q;
+}
+
+TEST(CollectorFlood, PendingTableIsBoundedWithOldestFirstEviction) {
+  DnsCollector collector{nullptr, 30, 100};
+  EXPECT_EQ(collector.max_pending(), 100u);
+  for (int i = 0; i < 1000; ++i) {
+    collector.on_datagram(i, lone_query(static_cast<std::uint16_t>(10000 + i),
+                                        static_cast<std::uint16_t>(i + 1),
+                                        "flood" + std::to_string(i) + ".ws"));
+    EXPECT_LE(collector.pending(), 100u);
+  }
+  const auto& s = collector.stats();
+  EXPECT_EQ(s.query_packets, 1000u);
+  EXPECT_EQ(s.evicted, 900u);
+  EXPECT_EQ(collector.pending(), 100u);
+  // Evicted queries are still emitted (unanswered), not silently lost.
+  const auto entries = collector.take_entries();
+  EXPECT_EQ(entries.size(), 900u);
+  for (const auto& entry : entries) EXPECT_EQ(entry.rcode, RCode::kServFail);
+  // Accounting identity.
+  EXPECT_EQ(s.query_packets,
+            s.matched + s.expired_queries + s.evicted + s.duplicate_queries +
+                collector.pending());
+}
+
+TEST(CollectorFlood, EvictsOldestNotNewest) {
+  DnsCollector collector{nullptr, 30, 2};
+  const auto [qa, ra] = packetize(make_entry(1, "h", "a.com"), Ipv4{10, 0, 0, 1}, 1111, 1);
+  const auto [qb, rb] = packetize(make_entry(2, "h", "b.com"), Ipv4{10, 0, 0, 1}, 2222, 2);
+  const auto [qc, rc] = packetize(make_entry(3, "h", "c.com"), Ipv4{10, 0, 0, 1}, 3333, 3);
+  collector.on_datagram(1, qa);
+  collector.on_datagram(2, qb);
+  collector.on_datagram(3, qc);  // evicts a.com (oldest)
+  EXPECT_EQ(collector.stats().evicted, 1u);
+  collector.on_datagram(4, ra);  // a.com's answer arrives too late: orphan
+  collector.on_datagram(5, rb);
+  collector.on_datagram(6, rc);
+  EXPECT_EQ(collector.stats().matched, 2u);
+  EXPECT_EQ(collector.stats().orphan_responses, 1u);
+  const auto entries = collector.take_entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].qname, "a.com");  // evicted first
+  EXPECT_EQ(entries[0].rcode, RCode::kServFail);
+}
+
+TEST(CollectorFlood, RefreshedQueryIsNotEvictionFodder) {
+  // A retransmitted query must refresh its eviction position: with cap 2,
+  // re-sending A makes B the oldest.
+  DnsCollector collector{nullptr, 30, 2};
+  const auto [qa, ra] = packetize(make_entry(1, "h", "a.com"), Ipv4{10, 0, 0, 1}, 1111, 1);
+  const auto [qb, rb] = packetize(make_entry(2, "h", "b.com"), Ipv4{10, 0, 0, 1}, 2222, 2);
+  const auto [qc, rc] = packetize(make_entry(3, "h", "c.com"), Ipv4{10, 0, 0, 1}, 3333, 3);
+  collector.on_datagram(1, qa);
+  collector.on_datagram(2, qb);
+  collector.on_datagram(3, qa);  // retransmission refreshes A
+  EXPECT_EQ(collector.stats().duplicate_queries, 1u);
+  collector.on_datagram(4, qc);  // evicts B now
+  EXPECT_EQ(collector.stats().evicted, 1u);
+  const auto evicted = collector.take_entries();
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0].qname, "b.com");
+  collector.on_datagram(5, ra);
+  EXPECT_EQ(collector.stats().matched, 1u);  // refreshed A still matchable
+}
+
+TEST(CollectorReorder, ResponseBeforeQueryIsOrphanThenExpires) {
+  DnsCollector collector{nullptr, 30};
+  const auto [q, r] = packetize(make_entry(10, "h", "swap.net"), Ipv4{10, 0, 0, 2}, 4000, 9);
+  collector.on_datagram(10, r);  // reordered: response first
+  EXPECT_EQ(collector.stats().orphan_responses, 1u);
+  collector.on_datagram(11, q);
+  EXPECT_EQ(collector.pending(), 1u);
+  collector.flush(100);
+  const auto entries = collector.take_entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].rcode, RCode::kServFail);
+  const auto& s = collector.stats();
+  EXPECT_EQ(s.query_packets, s.matched + s.expired_queries + s.evicted +
+                                 s.duplicate_queries + collector.pending());
+  EXPECT_EQ(s.response_packets, s.matched + s.orphan_responses);
+}
+
+TEST(CollectorReorder, DuplicatedQueryAndResponseFullyAccounted) {
+  DnsCollector collector{nullptr, 30};
+  const auto [q, r] = packetize(make_entry(10, "h", "dup.net"), Ipv4{10, 0, 0, 2}, 4000, 9);
+  // Duplicated query, then duplicated response.
+  collector.on_datagram(10, q);
+  collector.on_datagram(10, q);
+  collector.on_datagram(11, r);
+  collector.on_datagram(11, r);
+  const auto& s = collector.stats();
+  EXPECT_EQ(s.query_packets, 2u);
+  EXPECT_EQ(s.response_packets, 2u);
+  EXPECT_EQ(s.duplicate_queries, 1u);
+  EXPECT_EQ(s.matched, 1u);
+  EXPECT_EQ(s.orphan_responses, 1u);  // second response found nothing pending
+  EXPECT_EQ(collector.pending(), 0u);
+  EXPECT_EQ(collector.take_entries().size(), 1u);
+  EXPECT_EQ(s.query_packets, s.matched + s.expired_queries + s.evicted +
+                                 s.duplicate_queries + collector.pending());
+  EXPECT_EQ(s.response_packets, s.matched + s.orphan_responses);
+}
+
+TEST(CaptureImport, TruncatedMidFileReturnsPartialResult) {
+  DhcpTable dhcp;
+  dhcp.add_lease({"dev-1", Ipv4{10, 20, 0, 5}, 0, 10000});
+  std::vector<LogEntry> originals;
+  for (int i = 0; i < 20; ++i) {
+    originals.push_back(make_entry(100 + i, "dev-1", "s" + std::to_string(i) + ".com"));
+  }
+  std::stringstream capture;
+  export_pcap(capture, originals, dhcp);
+  std::string bytes = capture.str();
+  bytes.resize(bytes.size() - 7);  // cut into the final record body
+
+  std::stringstream cut{bytes};
+  const auto imported = import_pcap(cut, &dhcp);
+  EXPECT_TRUE(imported.truncated);
+  EXPECT_FALSE(imported.error.empty());
+  EXPECT_GT(imported.packets, 0u);
+  // Everything before the damage survives: 19 full pairs + the cut pair's
+  // query (expired, since its response was destroyed).
+  EXPECT_EQ(imported.stats.matched, 19u);
+  EXPECT_EQ(imported.entries.size(), 20u);
+}
+
+TEST(CaptureImport, BadMagicReturnsEmptyTruncatedResultInsteadOfThrowing) {
+  std::stringstream junk{"this is not a pcap file, not even close....."};
+  const auto imported = import_pcap(junk);
+  EXPECT_TRUE(imported.truncated);
+  EXPECT_FALSE(imported.error.empty());
+  EXPECT_TRUE(imported.entries.empty());
+  EXPECT_EQ(imported.packets, 0u);
+}
+
+TEST(CaptureImport, MaxPendingOptionFlowsThroughToCollector) {
+  DhcpTable dhcp;
+  std::vector<LogEntry> originals;
+  for (int i = 0; i < 20; ++i) {
+    auto e = make_entry(100 + i, "10.20.0.5", "lone" + std::to_string(i) + ".com");
+    e.rcode = RCode::kServFail;  // exported as lone queries (never answered)
+    e.addresses.clear();
+    e.cnames.clear();
+    e.ttl = 0;
+    originals.push_back(std::move(e));
+  }
+  std::stringstream capture;
+  export_pcap(capture, originals, dhcp);
+  CaptureImportOptions options;
+  options.max_pending = 5;
+  const auto imported = import_pcap(capture, nullptr, options);
+  EXPECT_EQ(imported.stats.evicted, 15u);
+  EXPECT_EQ(imported.stats.expired_queries, 5u);
+  EXPECT_EQ(imported.entries.size(), 20u);  // nothing lost, all emitted
+}
+
+}  // namespace
+}  // namespace dnsembed::dns

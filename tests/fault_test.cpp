@@ -1,0 +1,325 @@
+// Tests for the fault-injection subsystem: plan scaling, the packet fault
+// channels (determinism, conservation, reorder semantics), entry faults,
+// capture cutting, the lagging/black-holed label feed, and the end-to-end
+// accounting identity of the collector under an injected fault storm.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "dns/capture_io.hpp"
+#include "dns/packet.hpp"
+#include "dns/packetize.hpp"
+#include "dns/pcap.hpp"
+#include "fault/entry_faults.hpp"
+#include "fault/label_faults.hpp"
+#include "fault/packet_faults.hpp"
+#include "fault/plan.hpp"
+#include "trace/ground_truth.hpp"
+
+namespace dnsembed::fault {
+namespace {
+
+std::vector<dns::PcapPacket> make_packets(std::size_t count) {
+  std::vector<dns::PcapPacket> packets;
+  for (std::size_t i = 0; i < count; ++i) {
+    dns::PcapPacket p;
+    p.ts_sec = static_cast<std::int64_t>(1000 + i);
+    p.data = {static_cast<std::uint8_t>(i & 0xFF), static_cast<std::uint8_t>((i >> 8) & 0xFF),
+              0xAB, 0xCD};
+    packets.push_back(std::move(p));
+  }
+  return packets;
+}
+
+TEST(FaultPlan, ScalingClampsRates) {
+  FaultPlan plan;
+  plan.drop_rate = 0.5;
+  plan.duplicate_rate = 0.8;
+  plan.label_blackhole_rate = 1.0;
+  const auto doubled = plan.scaled(4.0);
+  EXPECT_DOUBLE_EQ(doubled.drop_rate, 1.0);  // clamped
+  EXPECT_DOUBLE_EQ(doubled.duplicate_rate, 1.0);
+  const auto zero = plan.scaled(0.0);
+  EXPECT_DOUBLE_EQ(zero.drop_rate, 0.0);
+  EXPECT_DOUBLE_EQ(zero.label_blackhole_rate, 0.0);
+  const auto half = plan.scaled(0.5);
+  EXPECT_DOUBLE_EQ(half.drop_rate, 0.25);
+  EXPECT_EQ(zero.describe(), "no-faults");
+  EXPECT_NE(half.describe(), "no-faults");
+}
+
+TEST(PacketFaults, NoFaultPlanIsIdentity) {
+  const auto packets = make_packets(50);
+  FaultStats stats;
+  const auto out = apply_packet_faults(packets, FaultPlan{}, &stats);
+  EXPECT_EQ(out, packets);
+  EXPECT_EQ(stats.packets_in, 50u);
+  EXPECT_EQ(stats.packets_out, 50u);
+  EXPECT_EQ(stats.dropped + stats.duplicated + stats.truncated + stats.corrupted +
+                stats.skewed + stats.reordered,
+            0u);
+}
+
+TEST(PacketFaults, DeterministicForFixedSeed) {
+  const auto packets = make_packets(500);
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.drop_rate = 0.1;
+  plan.duplicate_rate = 0.1;
+  plan.truncate_rate = 0.1;
+  plan.corrupt_rate = 0.1;
+  plan.timestamp_skew_rate = 0.2;
+  plan.reorder_rate = 0.2;
+  FaultStats a_stats, b_stats;
+  const auto a = apply_packet_faults(packets, plan, &a_stats);
+  const auto b = apply_packet_faults(packets, plan, &b_stats);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a_stats.dropped, b_stats.dropped);
+  EXPECT_EQ(a_stats.reordered, b_stats.reordered);
+
+  plan.seed = 8;  // a different seed must fault differently
+  const auto c = apply_packet_faults(packets, plan);
+  EXPECT_NE(a, c);
+}
+
+TEST(PacketFaults, DropAndDuplicateConservation) {
+  const auto packets = make_packets(2000);
+  FaultPlan plan;
+  plan.drop_rate = 0.25;
+  plan.duplicate_rate = 0.25;
+  FaultStats stats;
+  const auto out = apply_packet_faults(packets, plan, &stats);
+  EXPECT_EQ(stats.packets_in, 2000u);
+  EXPECT_EQ(out.size(), 2000u - stats.dropped + stats.duplicated);
+  EXPECT_EQ(stats.packets_out, out.size());
+  EXPECT_GT(stats.dropped, 300u);  // ~500 expected
+  EXPECT_LT(stats.dropped, 700u);
+  EXPECT_GT(stats.duplicated, 300u);
+}
+
+TEST(PacketFaults, ReorderPreservesMultisetAndDisplacesPackets) {
+  const auto packets = make_packets(1000);
+  FaultPlan plan;
+  plan.reorder_rate = 0.3;
+  plan.reorder_window = 6;
+  FaultStats stats;
+  const auto out = apply_packet_faults(packets, plan, &stats);
+  ASSERT_EQ(out.size(), packets.size());
+  EXPECT_GT(stats.reordered, 0u);
+
+  // Same packets, different order.
+  auto sorted_in = packets;
+  auto sorted_out = out;
+  const auto by_bytes = [](const dns::PcapPacket& a, const dns::PcapPacket& b) {
+    return std::tie(a.ts_sec, a.data) < std::tie(b.ts_sec, b.data);
+  };
+  std::sort(sorted_in.begin(), sorted_in.end(), by_bytes);
+  std::sort(sorted_out.begin(), sorted_out.end(), by_bytes);
+  EXPECT_EQ(sorted_in, sorted_out);
+  EXPECT_NE(out, packets);
+}
+
+TEST(PacketFaults, TruncateAndCorruptBreakFramesDetectably) {
+  // Real encapsulated DNS frames: faults must surface as undecodable
+  // frames or malformed payloads downstream, never as crashes.
+  std::vector<dns::PcapPacket> packets;
+  for (int i = 0; i < 400; ++i) {
+    dns::LogEntry e;
+    e.timestamp = 100 + i;
+    e.host = "10.20.0.9";
+    e.qname = "site" + std::to_string(i % 13) + ".com";
+    e.ttl = 60;
+    e.addresses = {dns::Ipv4{93, 184, 216, 34}};
+    const auto [q, r] =
+        packetize(e, dns::Ipv4{10, 20, 0, 9}, static_cast<std::uint16_t>(30000 + i),
+                  static_cast<std::uint16_t>(i + 1));
+    dns::PcapPacket qp;
+    qp.ts_sec = e.timestamp;
+    qp.data = encapsulate(q);
+    packets.push_back(qp);
+    dns::PcapPacket rp;
+    rp.ts_sec = e.timestamp;
+    rp.data = encapsulate(r);
+    packets.push_back(rp);
+  }
+
+  FaultPlan plan;
+  plan.truncate_rate = 0.3;
+  plan.corrupt_rate = 0.3;
+  FaultStats stats;
+  const auto faulted = apply_packet_faults(packets, plan, &stats);
+  EXPECT_GT(stats.truncated, 0u);
+  EXPECT_GT(stats.corrupted, 0u);
+
+  std::stringstream capture;
+  {
+    dns::PcapWriter writer{capture};
+    for (const auto& p : faulted) writer.write(p);
+  }
+  const auto imported = dns::import_pcap(capture);
+  EXPECT_FALSE(imported.truncated);  // packet-level damage, framing intact
+  EXPECT_GT(imported.undecoded_frames + imported.stats.malformed, 0u);
+  EXPECT_GT(imported.stats.matched, 0u);  // clean pairs still get through
+}
+
+TEST(PacketFaults, CaptureCutRemovesSuffixKeepsHeader) {
+  std::stringstream capture;
+  {
+    dns::PcapWriter writer{capture};
+    for (const auto& p : make_packets(100)) writer.write(p);
+  }
+  const std::string original = capture.str();
+
+  FaultPlan plan;
+  plan.capture_cut_rate = 1.0;
+  FaultStats stats;
+  const auto cut = apply_capture_cut(original, plan, &stats);
+  EXPECT_EQ(stats.capture_cut, 1u);
+  EXPECT_LT(cut.size(), original.size());
+  EXPECT_GT(cut.size(), 24u);  // global header survives
+  EXPECT_EQ(cut, original.substr(0, cut.size()));
+
+  plan.capture_cut_rate = 0.0;
+  EXPECT_EQ(apply_capture_cut(original, plan, nullptr), original);
+}
+
+TEST(EntryFaults, DropDuplicateChurnDeterministic) {
+  std::vector<dns::LogEntry> entries;
+  for (int i = 0; i < 1000; ++i) {
+    dns::LogEntry e;
+    e.timestamp = i * 60;
+    e.host = "dev-" + std::to_string(i % 7);
+    e.qname = "q" + std::to_string(i % 31) + ".net";
+    entries.push_back(std::move(e));
+  }
+  FaultPlan plan;
+  plan.entry_drop_rate = 0.2;
+  plan.entry_duplicate_rate = 0.2;
+  plan.dhcp_churn_rate = 0.3;
+  plan.dhcp_churn_period = 600;
+  FaultStats stats;
+  const auto a = apply_entry_faults(entries, plan, &stats);
+  const auto b = apply_entry_faults(entries, plan, nullptr);
+  EXPECT_EQ(a, b);
+
+  EXPECT_EQ(stats.entries_in, 1000u);
+  EXPECT_EQ(stats.entries_out, a.size());
+  EXPECT_EQ(a.size(), 1000u - stats.entries_dropped + stats.entries_duplicated);
+  EXPECT_GT(stats.entries_dropped, 100u);
+  EXPECT_GT(stats.entries_duplicated, 100u);
+  EXPECT_GT(stats.entries_churned, 150u);
+
+  // Churned identities splinter per period but stay deterministic strings.
+  std::size_t churned_hosts = 0;
+  for (const auto& entry : a) {
+    if (entry.host.find("?churn") != std::string::npos) ++churned_hosts;
+  }
+  EXPECT_GE(churned_hosts, stats.entries_churned);  // duplicates may copy churned hosts
+}
+
+TEST(LabelFaults, BlackholeAndExtraDelay) {
+  trace::GroundTruth truth;
+  truth.add_benign("good.com");
+  trace::MalwareFamily family;
+  family.id = 0;
+  family.name = "fam";
+  for (int i = 0; i < 200; ++i) family.domains.push_back("bad" + std::to_string(i) + ".ws");
+  truth.add_family(family);
+  intel::VirusTotalConfig vt_config;
+  vt_config.evasion_rate = 0.0;  // keep the oracle itself out of the way
+  const intel::VirusTotalSim vt{truth, vt_config};
+
+  FaultPlan plan;
+  plan.label_blackhole_rate = 0.5;
+  plan.label_extra_delay_max = 4;
+  const FaultyLabelFeed feed{vt, 2, plan};
+
+  std::size_t blackholed = 0;
+  for (const auto& domain : truth.malicious_domains()) {
+    if (feed.blackholed(domain)) {
+      ++blackholed;
+      // Never published, no matter how late we ask.
+      EXPECT_FALSE(feed.published(domain, 0, 100));
+    } else if (vt.confirmed(domain)) {
+      const std::size_t delay = 2 + feed.extra_delay_days(domain);
+      EXPECT_FALSE(feed.published(domain, 0, delay - 1));
+      EXPECT_TRUE(feed.published(domain, 0, delay));
+      EXPECT_LE(feed.extra_delay_days(domain), 4u);
+    }
+  }
+  EXPECT_GT(blackholed, 50u);
+  EXPECT_LT(blackholed, 150u);
+
+  // The std::function binding behaves identically.
+  const auto fn = make_faulty_label_feed(vt, 2, plan);
+  for (const auto& domain : truth.malicious_domains()) {
+    EXPECT_EQ(fn(domain, 1, 9), feed.published(domain, 1, 9)) << domain;
+  }
+
+  // A no-fault plan is the plain delayed VT feed.
+  const FaultyLabelFeed clean{vt, 2, FaultPlan{}};
+  for (const auto& domain : truth.malicious_domains()) {
+    EXPECT_EQ(clean.published(domain, 3, 5), vt.confirmed(domain)) << domain;
+    EXPECT_FALSE(clean.published(domain, 3, 4));
+  }
+}
+
+TEST(FaultStorm, CollectorAccountsForEveryPacket) {
+  // Entries -> packets -> every fault channel at once -> collector. The
+  // stats identity must hold no matter what the storm did.
+  dns::DhcpTable dhcp;
+  dhcp.add_lease({"dev-1", dns::Ipv4{10, 20, 0, 5}, 0, 1'000'000});
+  std::vector<dns::LogEntry> originals;
+  for (int i = 0; i < 500; ++i) {
+    dns::LogEntry e;
+    e.timestamp = 100 + i * 5;
+    e.host = "dev-1";
+    e.qname = "d" + std::to_string(i % 40) + ".example.org";
+    e.ttl = 300;
+    e.addresses = {dns::Ipv4{198, 51, 100, static_cast<std::uint8_t>(i % 200)}};
+    originals.push_back(std::move(e));
+  }
+  std::stringstream capture;
+  dns::export_pcap(capture, originals, dhcp);
+  std::vector<dns::PcapPacket> packets;
+  {
+    dns::PcapReader reader{capture};
+    while (auto p = reader.next()) packets.push_back(*std::move(p));
+  }
+
+  FaultPlan plan;
+  plan.seed = 1234;
+  plan.drop_rate = 0.15;
+  plan.duplicate_rate = 0.15;
+  plan.truncate_rate = 0.1;
+  plan.corrupt_rate = 0.1;
+  plan.timestamp_skew_rate = 0.2;
+  plan.reorder_rate = 0.2;
+  FaultStats stats;
+  const auto faulted = apply_packet_faults(packets, plan, &stats);
+
+  dns::DnsCollector collector{&dhcp, 30, 64};  // small cap: exercise eviction
+  std::size_t delivered = 0;
+  for (const auto& packet : faulted) {
+    if (const auto datagram = dns::decapsulate(packet.data)) {
+      collector.on_datagram(packet.ts_sec, *datagram);
+      ++delivered;
+    }
+  }
+  const auto& s = collector.stats();
+  EXPECT_EQ(delivered, s.query_packets + s.response_packets + s.malformed + s.ignored);
+  EXPECT_EQ(s.query_packets, s.matched + s.expired_queries + s.evicted +
+                                 s.duplicate_queries + collector.pending());
+  EXPECT_EQ(s.response_packets, s.matched + s.orphan_responses);
+  collector.flush_all();
+  const auto& f = collector.stats();
+  EXPECT_EQ(f.query_packets,
+            f.matched + f.expired_queries + f.evicted + f.duplicate_queries);
+  EXPECT_EQ(collector.pending(), 0u);
+  EXPECT_GT(f.matched, 0u);
+}
+
+}  // namespace
+}  // namespace dnsembed::fault

@@ -7,28 +7,38 @@
 //   detect     embeddings + labels -> k-fold cross-validated ROC/AUC
 //   score      embeddings + labels -> decision values for given domains
 //   cluster    embeddings -> X-Means cluster assignments (CSV)
+//   faultsim   sweep fault-injection severities over the full ingest +
+//              streaming-detection chain; report degradation curves (JSON)
 //
 // Example session:
 //   dnsembed simulate --out trace.log --labels labels.csv --hosts 300 --days 5
 //   dnsembed embed    --log trace.log --out emb.csv --dim 32
 //   dnsembed detect   --embeddings emb.csv --labels labels.csv --kfold 10
 //   dnsembed cluster  --embeddings emb.csv --out clusters.csv
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/behavior.hpp"
 #include "core/clustering.hpp"
 #include "core/detector.hpp"
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
+#include "core/streaming.hpp"
 #include "graph/io.hpp"
 #include "dns/capture_io.hpp"
 #include "dns/log_io.hpp"
+#include "dns/pcap.hpp"
 #include "embed/embedder.hpp"
+#include "fault/entry_faults.hpp"
+#include "fault/label_faults.hpp"
+#include "fault/packet_faults.hpp"
+#include "fault/plan.hpp"
 #include "intel/labels.hpp"
 #include "ml/xmeans.hpp"
 #include "trace/generator.hpp"
@@ -62,6 +72,11 @@ commands:
   cluster   --embeddings FILE --out FILE [--kmin N] [--kmax N] [--seed N]
   report    --out report.md [--hosts N] [--days N] [--families N] [--seed N]
             (one-shot: simulate + model + embed + evaluate + cluster)
+  faultsim  --out report.json [--hosts N] [--days N] [--sites N] [--families N]
+            [--seed N] [--severities 0,0.25,0.5,1] [--samples N] [--window N]
+            [--label-delay N] [--kfold N] [--no-streaming]
+            (sweep fault severities over export -> faults -> import ->
+             detect; emit AUC / alert degradation curves as JSON)
 )");
   return 2;
 }
@@ -153,10 +168,16 @@ int cmd_convert(const util::ArgParser& args) {
   dns::LogWriter writer{out};
   for (const auto& entry : imported.entries) writer.write(entry);
   std::printf("parsed %zu entries (%zu matched, %zu orphan responses, %zu expired, "
-              "%zu malformed)\n",
+              "%zu evicted, %zu malformed)\n",
               imported.entries.size(), imported.stats.matched,
               imported.stats.orphan_responses, imported.stats.expired_queries,
-              imported.stats.malformed);
+              imported.stats.evicted, imported.stats.malformed);
+  if (imported.truncated) {
+    std::fprintf(stderr,
+                 "dnsembed: warning: capture truncated after %zu packets (%s); "
+                 "entries up to the damage were kept\n",
+                 imported.packets, imported.error.c_str());
+  }
   return 0;
 }
 
@@ -416,6 +437,234 @@ int cmd_cluster(const util::ArgParser& args) {
   return 0;
 }
 
+// -------------------------------------------------------------- faultsim
+
+/// One sweep point of the fault-injection harness.
+struct FaultSweepPoint {
+  double severity = 0.0;
+  std::string plan;
+  fault::FaultStats faults;
+  dns::CaptureImportResult import;
+  std::size_t packets_exported = 0;
+  std::size_t entries_final = 0;
+  std::size_t kept_domains = 0;
+  std::size_t labeled = 0;
+  bool auc_valid = false;
+  double auc = 0.0;
+  std::size_t alerts = 0;
+  std::size_t alerts_malicious = 0;
+  std::size_t retrained_days = 0;
+};
+
+void write_faultsim_json(std::ostream& out, const trace::TraceConfig& trace,
+                         const std::vector<FaultSweepPoint>& sweep) {
+  const auto boolean = [](bool b) { return b ? "true" : "false"; };
+  out << "{\n  \"trace\": {\"hosts\": " << trace.hosts << ", \"days\": " << trace.days
+      << ", \"benign_sites\": " << trace.benign_sites
+      << ", \"malware_families\": " << trace.malware_families
+      << ", \"seed\": " << trace.seed << "},\n  \"sweep\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const auto& p = sweep[i];
+    out << "    {\"severity\": " << p.severity << ", \"plan\": \"" << p.plan << "\",\n"
+        << "     \"packets_exported\": " << p.packets_exported
+        << ", \"packets_after_faults\": " << p.faults.packets_out
+        << ", \"dropped\": " << p.faults.dropped
+        << ", \"duplicated\": " << p.faults.duplicated
+        << ", \"truncated\": " << p.faults.truncated
+        << ", \"corrupted\": " << p.faults.corrupted
+        << ", \"skewed\": " << p.faults.skewed
+        << ", \"reordered\": " << p.faults.reordered
+        << ", \"capture_cut\": " << p.faults.capture_cut << ",\n"
+        << "     \"import\": {\"packets\": " << p.import.packets
+        << ", \"undecoded_frames\": " << p.import.undecoded_frames
+        << ", \"matched\": " << p.import.stats.matched
+        << ", \"orphan_responses\": " << p.import.stats.orphan_responses
+        << ", \"expired\": " << p.import.stats.expired_queries
+        << ", \"evicted\": " << p.import.stats.evicted
+        << ", \"duplicate_queries\": " << p.import.stats.duplicate_queries
+        << ", \"malformed\": " << p.import.stats.malformed
+        << ", \"capture_truncated\": " << boolean(p.import.truncated) << "},\n"
+        << "     \"entries\": " << p.entries_final
+        << ", \"churned\": " << p.faults.entries_churned
+        << ", \"kept_domains\": " << p.kept_domains
+        << ", \"labeled\": " << p.labeled << ", \"auc\": ";
+    if (p.auc_valid) {
+      out << p.auc;
+    } else {
+      out << "null";
+    }
+    out << ",\n     \"alerts\": " << p.alerts
+        << ", \"alerts_malicious\": " << p.alerts_malicious << ", \"alert_precision\": ";
+    if (p.alerts > 0) {
+      out << static_cast<double>(p.alerts_malicious) / static_cast<double>(p.alerts);
+    } else {
+      out << "null";
+    }
+    out << ", \"retrained_days\": " << p.retrained_days << "}";
+    out << (i + 1 < sweep.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+}
+
+int cmd_faultsim(const util::ArgParser& args) {
+  const auto out_path = args.get("--out");
+  if (!out_path) return fail("faultsim: --out is required");
+
+  trace::TraceConfig trace_config;
+  trace_config.hosts = static_cast<std::size_t>(args.get_int_or("--hosts", 60));
+  trace_config.days = static_cast<std::size_t>(args.get_int_or("--days", 3));
+  trace_config.benign_sites = static_cast<std::size_t>(args.get_int_or("--sites", 300));
+  trace_config.malware_families =
+      static_cast<std::size_t>(args.get_int_or("--families", 6));
+  trace_config.seed = static_cast<std::uint64_t>(args.get_int_or("--seed", 42));
+  // Keep victim cohorts feasible for small host populations.
+  trace_config.max_victims = std::min(trace_config.max_victims, trace_config.hosts / 2);
+  trace_config.min_victims = std::min(trace_config.min_victims, trace_config.max_victims);
+
+  const auto samples = static_cast<std::size_t>(args.get_int_or("--samples", 300'000));
+  const auto window_days = static_cast<std::size_t>(args.get_int_or("--window", 2));
+  const auto label_delay = static_cast<std::size_t>(args.get_int_or("--label-delay", 2));
+  const auto kfold = static_cast<std::size_t>(args.get_int_or("--kfold", 3));
+  const bool streaming = !args.get("--no-streaming").has_value() &&
+                         args.get_or("--streaming", "1") != "0";
+
+  std::vector<double> severities;
+  for (const auto& token : util::split(args.get_or("--severities", "0,0.25,0.5,1"), ',')) {
+    severities.push_back(std::stod(token));
+  }
+
+  // The campus trace under test (entries + DHCP history + ground truth).
+  util::Stopwatch watch;
+  trace::CollectingSink sink;
+  const auto trace_result = trace::generate_trace(trace_config, sink);
+  const intel::VirusTotalSim vt{trace_result.truth, intel::VirusTotalConfig{}};
+  std::printf("trace: %zu entries, %zu benign / %zu malicious domains (%.1fs)\n",
+              sink.dns().size(), trace_result.truth.benign_count(),
+              trace_result.truth.malicious_count(), watch.seconds());
+
+  // Severity 1 of every channel; scaled() interpolates the sweep.
+  fault::FaultPlan base;
+  base.seed = trace_config.seed + 17;
+  base.drop_rate = 0.15;
+  base.duplicate_rate = 0.15;
+  base.truncate_rate = 0.08;
+  base.corrupt_rate = 0.08;
+  base.timestamp_skew_rate = 0.15;
+  base.reorder_rate = 0.15;
+  base.capture_cut_rate = 0.25;
+  base.dhcp_churn_rate = 0.15;
+  base.label_blackhole_rate = 0.3;
+  base.label_extra_delay_max = 3;
+
+  std::vector<FaultSweepPoint> sweep;
+  for (const double severity : severities) {
+    FaultSweepPoint point;
+    point.severity = severity;
+    auto plan = base.scaled(severity);
+    plan.label_extra_delay_max =
+        static_cast<std::size_t>(static_cast<double>(base.label_extra_delay_max) * severity);
+    point.plan = plan.describe();
+
+    // entries -> pcap -> packet faults -> capture cut -> import.
+    std::stringstream exported;
+    point.packets_exported = dns::export_pcap(exported, sink.dns(), trace_result.dhcp);
+    std::vector<dns::PcapPacket> packets;
+    {
+      dns::PcapReader reader{exported};
+      while (auto packet = reader.next()) packets.push_back(*std::move(packet));
+    }
+    const auto faulted = fault::apply_packet_faults(packets, plan, &point.faults);
+    std::stringstream rewritten;
+    {
+      dns::PcapWriter writer{rewritten};
+      for (const auto& packet : faulted) writer.write(packet);
+    }
+    std::stringstream damaged{
+        fault::apply_capture_cut(std::move(rewritten).str(), plan, &point.faults)};
+    point.import = dns::import_pcap(damaged, &trace_result.dhcp);
+
+    // Entry-level channels (DHCP churn) on the surviving entries.
+    auto entries =
+        fault::apply_entry_faults(std::move(point.import.entries), plan, &point.faults);
+    point.import.entries.clear();
+    point.entries_final = entries.size();
+
+    // Offline detection quality: behavior model -> embeddings -> k-fold AUC.
+    core::GraphBuilderSink graphs;
+    for (const auto& entry : entries) graphs.on_dns(entry);
+    core::BehaviorModelConfig behavior;
+    behavior.query_projection.min_similarity = 0.1;
+    behavior.ip_projection.min_similarity = 0.1;
+    behavior.temporal_projection.min_similarity = 0.1;
+    auto model = core::build_behavior_model(graphs.take_hdbg(), graphs.take_dibg(),
+                                            graphs.take_dtbg(), behavior);
+    point.kept_domains = model.kept_domains.size();
+    if (model.kept_domains.size() >= 20) {
+      embed::EmbedConfig ec;
+      ec.dimension = 16;
+      ec.seed = trace_config.seed + 1;
+      ec.line.total_samples = samples;
+      ec.line.threads = 1;
+      const auto q = embed::embed_graph(model.query_similarity, ec);
+      ec.seed += 1;
+      const auto i = embed::embed_graph(model.ip_similarity, ec);
+      ec.seed += 1;
+      const auto t = embed::embed_graph(model.temporal_similarity, ec);
+      const auto combined =
+          embed::EmbeddingMatrix::concat(model.kept_domains, {&q, &i, &t});
+      const auto labels = intel::build_labeled_set(model.kept_domains, trace_result.truth,
+                                                   vt, intel::LabelingConfig{});
+      point.labeled = labels.size();
+      if (labels.malicious_count() >= 2 && labels.malicious_count() < labels.size()) {
+        const auto eval = core::evaluate_svm(core::make_dataset(combined, labels),
+                                             svm_from_args(args), kfold, 1);
+        point.auc_valid = true;
+        point.auc = eval.auc;
+      }
+    }
+
+    // Streaming detection under the same plan's lagging threat feed.
+    if (streaming) {
+      std::vector<std::vector<dns::LogEntry>> by_day(trace_config.days);
+      for (auto& entry : entries) {
+        auto day = static_cast<std::size_t>(std::max<std::int64_t>(entry.timestamp, 0) / 86400);
+        if (day >= by_day.size()) day = by_day.size() - 1;
+        by_day[day].push_back(std::move(entry));
+      }
+      core::StreamingConfig sc;
+      sc.window_days = window_days;
+      sc.label_delay_days = label_delay;
+      sc.embedding.line.total_samples = samples;
+      sc.embedding.line.threads = 1;
+      sc.label_feed = fault::make_faulty_label_feed(vt, label_delay, plan);
+      core::StreamingDetector detector{sc, trace_result.truth, vt};
+      for (const auto& day : by_day) detector.advance_day(day);
+      point.alerts = detector.alerts().size();
+      for (const auto& alert : detector.alerts()) {
+        if (trace_result.truth.is_malicious(alert.domain)) ++point.alerts_malicious;
+      }
+      for (const auto& record : detector.day_records()) {
+        if (record.retrained) ++point.retrained_days;
+      }
+    }
+
+    std::printf("severity %.3g: %zu->%zu packets, %zu entries, auc %s, %zu alerts "
+                "(%zu malicious) [%s] (%.1fs)\n",
+                severity, point.packets_exported, point.faults.packets_out,
+                point.entries_final,
+                point.auc_valid ? std::to_string(point.auc).c_str() : "n/a", point.alerts,
+                point.alerts_malicious, point.plan.c_str(), watch.seconds());
+    sweep.push_back(std::move(point));
+  }
+
+  std::ofstream out{*out_path};
+  if (!out) return fail("cannot open " + *out_path);
+  write_faultsim_json(out, trace_config, sweep);
+  std::printf("degradation report written to %s (%.1fs)\n", out_path->c_str(),
+              watch.seconds());
+  return 0;
+}
+
 // ---------------------------------------------------------------- report
 
 int cmd_report(const util::ArgParser& args) {
@@ -464,6 +713,7 @@ int main(int argc, char** argv) {
     if (*command == "score") return cmd_score(args);
     if (*command == "cluster") return cmd_cluster(args);
     if (*command == "report") return cmd_report(args);
+    if (*command == "faultsim") return cmd_faultsim(args);
   } catch (const std::exception& e) {
     return fail(e.what());
   }
