@@ -1,0 +1,208 @@
+// Observability overhead microbench. The obs design promises that
+// instrumentation left compiled into hot loops costs at most one predicted
+// branch per event when no sink is configured (metrics disabled). This
+// binary measures that directly and FAILS (nonzero exit) when the
+// enabled-but-unsinked overhead on the pair-counting workload exceeds 3%,
+// so a regression in the disabled path cannot land silently.
+//
+// Two measurements:
+//  1. The gate: a FlatCounter pair-counting kernel (the projection inner
+//     loop's memory behavior) with a per-event obs::Counter::add beside it,
+//     metrics disabled, vs the identical kernel with no obs call at all.
+//     This is stricter than production, which only instruments per pivot.
+//  2. Informational: full project_right() wall time with metrics disabled
+//     vs enabled, at production (per-pivot) instrumentation granularity.
+//
+// Results land in BENCH_obs.json (override with DNSEMBED_BENCH_JSON).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "graph/bipartite.hpp"
+#include "graph/projection.hpp"
+#include "obs/metrics.hpp"
+#include "util/flat_counter.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace dnsembed;
+
+constexpr std::size_t kKeys = 1 << 20;
+
+std::vector<std::uint64_t> random_keys(std::size_t n, std::uint64_t seed) {
+  util::Rng rng{seed};
+  std::vector<std::uint64_t> keys(n);
+  for (auto& key : keys) key = rng() % (n / 4);  // ~4 hits per key
+  return keys;
+}
+
+/// The projection inner loop's shape: hash + probe + increment per key.
+/// noinline so both variants compare the same codegen boundary.
+__attribute__((noinline)) std::size_t loop_plain(const std::vector<std::uint64_t>& keys,
+                                                 util::FlatCounter& table) {
+  for (const auto key : keys) table.increment_unchecked(key);
+  return table.size();
+}
+
+__attribute__((noinline)) std::size_t loop_instrumented(
+    const std::vector<std::uint64_t>& keys, util::FlatCounter& table) {
+  static obs::Counter& counter = obs::metrics().counter("bench.obs.pair_events");
+  for (const auto key : keys) {
+    counter.add(1);  // one guarded event per key: the worst-case density
+    table.increment_unchecked(key);
+  }
+  return table.size();
+}
+
+double best_wall_ms(const std::function<void()>& fn, int reps = 5) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    util::Stopwatch watch;
+    fn();
+    best = std::min(best, watch.millis());
+  }
+  return best;
+}
+
+void BM_PairCountPlain(benchmark::State& state) {
+  const auto keys = random_keys(kKeys, 1);
+  for (auto _ : state) {
+    util::FlatCounter table{kKeys / 4};
+    table.ensure(keys.size());
+    benchmark::DoNotOptimize(loop_plain(keys, table));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kKeys));
+}
+BENCHMARK(BM_PairCountPlain);
+
+void BM_PairCountInstrumentedDisabled(benchmark::State& state) {
+  obs::set_metrics_enabled(false);
+  const auto keys = random_keys(kKeys, 1);
+  for (auto _ : state) {
+    util::FlatCounter table{kKeys / 4};
+    table.ensure(keys.size());
+    benchmark::DoNotOptimize(loop_instrumented(keys, table));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kKeys));
+}
+BENCHMARK(BM_PairCountInstrumentedDisabled);
+
+void BM_PairCountInstrumentedEnabled(benchmark::State& state) {
+  obs::set_metrics_enabled(true);
+  const auto keys = random_keys(kKeys, 1);
+  for (auto _ : state) {
+    util::FlatCounter table{kKeys / 4};
+    table.ensure(keys.size());
+    benchmark::DoNotOptimize(loop_instrumented(keys, table));
+  }
+  obs::set_metrics_enabled(false);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kKeys));
+}
+BENCHMARK(BM_PairCountInstrumentedEnabled);
+
+graph::BipartiteGraph random_bipartite(std::size_t hosts, std::size_t domains,
+                                       std::size_t edges, std::uint64_t seed) {
+  util::Rng rng{seed};
+  graph::BipartiteGraph g;
+  for (std::size_t e = 0; e < edges; ++e) {
+    g.add_edge("h" + std::to_string(rng.uniform_index(hosts)),
+               "d" + std::to_string(rng.uniform_index(domains)));
+  }
+  g.finalize();
+  return g;
+}
+
+/// Gate + BENCH_obs.json. Returns nonzero when the disabled-path overhead
+/// on the pair-count kernel exceeds the 3% budget.
+int write_obs_json() {
+  const char* path = std::getenv("DNSEMBED_BENCH_JSON");
+  if (path == nullptr) path = "BENCH_obs.json";
+  constexpr double kBudget = 0.03;
+
+  const auto keys = random_keys(kKeys, 1);
+  const auto run = [&](auto&& loop) {
+    return best_wall_ms([&] {
+      util::FlatCounter table{kKeys / 4};
+      table.ensure(keys.size());
+      benchmark::DoNotOptimize(loop(keys, table));
+    });
+  };
+
+  obs::set_metrics_enabled(false);
+  const double plain_ms = run(loop_plain);
+  const double disabled_ms = run(loop_instrumented);
+  obs::set_metrics_enabled(true);
+  const double enabled_ms = run(loop_instrumented);
+  obs::set_metrics_enabled(false);
+
+  // Informational: the production projection with per-pivot instrumentation.
+  const auto g = random_bipartite(200, 1000, 100000, 2);
+  graph::ProjectionOptions options;
+  options.threads = 1;
+  const double project_disabled_ms =
+      best_wall_ms([&] { benchmark::DoNotOptimize(graph::project_right(g, options)); }, 3);
+  obs::set_metrics_enabled(true);
+  const double project_enabled_ms =
+      best_wall_ms([&] { benchmark::DoNotOptimize(graph::project_right(g, options)); }, 3);
+  obs::set_metrics_enabled(false);
+
+  const double disabled_overhead = disabled_ms / plain_ms - 1.0;
+  const double enabled_overhead = enabled_ms / plain_ms - 1.0;
+  const double project_overhead = project_enabled_ms / project_disabled_ms - 1.0;
+
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "micro_obs: cannot write %s\n", path);
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"events\": %zu,\n"
+               "  \"pair_count_plain_ms\": %.3f,\n"
+               "  \"pair_count_instrumented_disabled_ms\": %.3f,\n"
+               "  \"pair_count_instrumented_enabled_ms\": %.3f,\n"
+               "  \"disabled_overhead\": %.4f,\n"
+               "  \"enabled_overhead\": %.4f,\n"
+               "  \"project_right_disabled_ms\": %.3f,\n"
+               "  \"project_right_enabled_ms\": %.3f,\n"
+               "  \"project_right_enabled_overhead\": %.4f,\n"
+               "  \"budget\": %.2f\n"
+               "}\n",
+               kKeys, plain_ms, disabled_ms, enabled_ms, disabled_overhead,
+               enabled_overhead, project_disabled_ms, project_enabled_ms,
+               project_overhead, kBudget);
+  std::fclose(out);
+
+  std::printf("wrote %s\n", path);
+  std::printf("disabled-path overhead: %.2f%% (budget %.0f%%); enabled: %.2f%%; "
+              "project_right enabled: %.2f%%\n",
+              disabled_overhead * 100.0, kBudget * 100.0, enabled_overhead * 100.0,
+              project_overhead * 100.0);
+  if (disabled_overhead > kBudget) {
+    std::fprintf(stderr,
+                 "micro_obs: FAIL: disabled instrumentation costs %.2f%% on the "
+                 "pair-count loop (budget %.0f%%)\n",
+                 disabled_overhead * 100.0, kBudget * 100.0);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return write_obs_json();
+}

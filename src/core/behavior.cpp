@@ -2,6 +2,8 @@
 
 #include <unordered_set>
 
+#include "obs/span.hpp"
+
 namespace dnsembed::core {
 
 GraphBuilderSink::GraphBuilderSink(std::int64_t bucket_seconds, const dns::PublicSuffixList& psl)
@@ -42,6 +44,7 @@ BehaviorModel build_behavior_model(graph::BipartiteGraph hdbg, graph::BipartiteG
   dibg.finalize();
   dtbg.finalize();
 
+  OBS_SPAN("behavior.model");
   // Pruning rules 1-2 are defined on host behavior, i.e. on the HDBG.
   const auto keep_mask = graph::right_degree_keep_mask(hdbg, config.prune);
   std::unordered_set<std::string> kept;
@@ -67,9 +70,18 @@ BehaviorModel build_behavior_model(graph::BipartiteGraph hdbg, graph::BipartiteG
     model.kept_domains.push_back(model.hdbg.right_names().name(r));
   }
 
-  model.query_similarity = graph::project_right(model.hdbg, config.query_projection);
-  model.ip_similarity = graph::project_right(model.dibg, config.ip_projection);
-  model.temporal_similarity = graph::project_right(model.dtbg, config.temporal_projection);
+  {
+    OBS_SPAN("behavior.project.query");
+    model.query_similarity = graph::project_right(model.hdbg, config.query_projection);
+  }
+  {
+    OBS_SPAN("behavior.project.ip");
+    model.ip_similarity = graph::project_right(model.dibg, config.ip_projection);
+  }
+  {
+    OBS_SPAN("behavior.project.temporal");
+    model.temporal_similarity = graph::project_right(model.dtbg, config.temporal_projection);
+  }
   return model;
 }
 

@@ -1,7 +1,8 @@
 #include "core/pipeline.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/log.hpp"
-#include "util/stopwatch.hpp"
 
 namespace dnsembed::core {
 
@@ -19,72 +20,116 @@ class FlowStore final : public trace::TraceSink {
   std::vector<trace::NetflowRecord> flows_;
 };
 
+/// Collects the raw entries (streaming-detector replays need them per day).
+class EntryStore final : public trace::TraceSink {
+ public:
+  void on_dns(const dns::LogEntry& entry) override { entries_.push_back(entry); }
+
+  std::vector<dns::LogEntry> take() && { return std::move(entries_); }
+
+ private:
+  std::vector<dns::LogEntry> entries_;
+};
+
 }  // namespace
 
 PipelineResult run_pipeline(const PipelineConfig& config) {
-  util::Stopwatch watch;
+  obs::StageSpan pipeline_span{"pipeline.run"};
   PipelineResult result;
 
   GraphBuilderSink graphs;
   FlowStore flow_store;
+  EntryStore entry_store;
   {
+    obs::StageSpan span{"pipeline.trace"};
     std::vector<trace::TraceSink*> sinks{&graphs};
     if (config.keep_flows) sinks.push_back(&flow_store);
+    if (config.keep_entries) sinks.push_back(&entry_store);
     trace::TeeSink tee{sinks};
     result.trace = trace::generate_trace(config.trace, tee);
   }
-  util::log_info() << "pipeline: trace " << result.trace.dns_events << " dns events in "
-                   << watch.seconds() << "s";
+  util::log_info() << "pipeline: trace " << result.trace.dns_events << " dns events";
+  obs::metrics().gauge("pipeline.trace.dns_events").set(
+      static_cast<std::int64_t>(result.trace.dns_events));
   if (config.keep_flows) result.flows = std::move(flow_store).take();
+  if (config.keep_entries) result.entries = std::move(entry_store).take();
 
-  watch.reset();
-  BehaviorModelConfig behavior = config.behavior;
-  behavior.query_projection.threads = config.projection_threads;
-  behavior.ip_projection.threads = config.projection_threads;
-  behavior.temporal_projection.threads = config.projection_threads;
-  result.model = build_behavior_model(graphs.take_hdbg(), graphs.take_dibg(),
-                                      graphs.take_dtbg(), behavior);
+  {
+    obs::StageSpan span{"pipeline.behavior"};
+    BehaviorModelConfig behavior = config.behavior;
+    behavior.query_projection.threads = config.projection_threads;
+    behavior.ip_projection.threads = config.projection_threads;
+    behavior.temporal_projection.threads = config.projection_threads;
+    result.model = build_behavior_model(graphs.take_hdbg(), graphs.take_dibg(),
+                                        graphs.take_dtbg(), behavior);
+  }
   util::log_info() << "pipeline: behavior model (" << result.model.kept_domains.size()
                    << " domains; q/i/t edges " << result.model.query_similarity.edge_count()
                    << "/" << result.model.ip_similarity.edge_count() << "/"
-                   << result.model.temporal_similarity.edge_count() << ") in "
-                   << watch.seconds() << "s";
+                   << result.model.temporal_similarity.edge_count() << ")";
+  auto& registry = obs::metrics();
+  registry.gauge("pipeline.behavior.kept_domains")
+      .set(static_cast<std::int64_t>(result.model.kept_domains.size()));
+  registry.gauge("pipeline.behavior.query_edges")
+      .set(static_cast<std::int64_t>(result.model.query_similarity.edge_count()));
+  registry.gauge("pipeline.behavior.ip_edges")
+      .set(static_cast<std::int64_t>(result.model.ip_similarity.edge_count()));
+  registry.gauge("pipeline.behavior.temporal_edges")
+      .set(static_cast<std::int64_t>(result.model.temporal_similarity.edge_count()));
 
-  watch.reset();
-  embed::EmbedConfig embed_config = config.embedding;
-  embed_config.dimension = config.embedding_dimension;
-  embed_config.seed = config.seed;
-  result.query_embedding = embed::embed_graph(result.model.query_similarity, embed_config);
-  embed_config.seed = config.seed + 1;
-  result.ip_embedding = embed::embed_graph(result.model.ip_similarity, embed_config);
-  embed_config.seed = config.seed + 2;
-  result.temporal_embedding =
-      embed::embed_graph(result.model.temporal_similarity, embed_config);
-  result.combined_embedding = embed::EmbeddingMatrix::concat(
-      result.model.kept_domains,
-      {&result.query_embedding, &result.ip_embedding, &result.temporal_embedding});
-  util::log_info() << "pipeline: embeddings (3x" << config.embedding_dimension << ") in "
-                   << watch.seconds() << "s";
+  {
+    obs::StageSpan span{"pipeline.embed"};
+    embed::EmbedConfig embed_config = config.embedding;
+    embed_config.dimension = config.embedding_dimension;
+    embed_config.seed = config.seed;
+    {
+      OBS_SPAN("pipeline.embed.query");
+      result.query_embedding = embed::embed_graph(result.model.query_similarity, embed_config);
+    }
+    embed_config.seed = config.seed + 1;
+    {
+      OBS_SPAN("pipeline.embed.ip");
+      result.ip_embedding = embed::embed_graph(result.model.ip_similarity, embed_config);
+    }
+    embed_config.seed = config.seed + 2;
+    {
+      OBS_SPAN("pipeline.embed.temporal");
+      result.temporal_embedding =
+          embed::embed_graph(result.model.temporal_similarity, embed_config);
+    }
+    result.combined_embedding = embed::EmbeddingMatrix::concat(
+        result.model.kept_domains,
+        {&result.query_embedding, &result.ip_embedding, &result.temporal_embedding});
+  }
+  util::log_info() << "pipeline: embeddings (3x" << config.embedding_dimension << ")";
 
-  const intel::VirusTotalSim vt{result.trace.truth, config.virustotal};
-  result.labels =
-      build_labeled_set(result.model.kept_domains, result.trace.truth, vt, config.labeling);
+  {
+    obs::StageSpan span{"pipeline.labels"};
+    const intel::VirusTotalSim vt{result.trace.truth, config.virustotal};
+    result.labels =
+        build_labeled_set(result.model.kept_domains, result.trace.truth, vt, config.labeling);
+  }
   util::log_info() << "pipeline: labeled set " << result.labels.size() << " ("
                    << result.labels.malicious_count() << " malicious)";
+  registry.gauge("pipeline.labels.labeled").set(static_cast<std::int64_t>(result.labels.size()));
+  registry.gauge("pipeline.labels.malicious")
+      .set(static_cast<std::int64_t>(result.labels.malicious_count()));
   return result;
 }
 
 ChannelEvaluations evaluate_channels(const PipelineResult& result,
                                      const PipelineConfig& config) {
+  obs::StageSpan span{"pipeline.svm"};
   ChannelEvaluations evals;
-  const auto run = [&](const embed::EmbeddingMatrix& embedding) {
+  const auto run = [&](const char* channel, const embed::EmbeddingMatrix& embedding) {
+    OBS_SPAN(channel);
     return evaluate_svm(make_dataset(embedding, result.labels), config.svm, config.kfold,
                         config.seed);
   };
-  evals.query = run(result.query_embedding);
-  evals.ip = run(result.ip_embedding);
-  evals.temporal = run(result.temporal_embedding);
-  evals.combined = run(result.combined_embedding);
+  evals.query = run("pipeline.svm.query", result.query_embedding);
+  evals.ip = run("pipeline.svm.ip", result.ip_embedding);
+  evals.temporal = run("pipeline.svm.temporal", result.temporal_embedding);
+  evals.combined = run("pipeline.svm.combined", result.combined_embedding);
   return evals;
 }
 

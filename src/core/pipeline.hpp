@@ -44,6 +44,10 @@ struct PipelineConfig {
   /// Retain netflow records for cluster traffic analysis (§7.2.2).
   bool keep_flows = true;
 
+  /// Retain the raw DNS log entries (streaming-detector replays split
+  /// them by day; off by default — full traces are large).
+  bool keep_entries = false;
+
   std::uint64_t seed = 1;
 
   PipelineConfig() {
@@ -67,6 +71,7 @@ struct PipelineResult {
   embed::EmbeddingMatrix combined_embedding;  // R^{3k}, rows = kept_domains
   intel::LabeledSet labels;
   std::vector<trace::NetflowRecord> flows;
+  std::vector<dns::LogEntry> entries;  // only when keep_entries
 };
 
 /// Run trace generation through embedding + labeling. Detection and

@@ -10,6 +10,8 @@
 #include "core/detector.hpp"
 #include "dns/log_io.hpp"
 #include "intel/labels.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace dnsembed::core {
 
@@ -142,6 +144,7 @@ bool StreamingDetector::label_available(const std::string& domain,
 }
 
 void StreamingDetector::advance_day(const std::vector<dns::LogEntry>& entries) {
+  obs::StageSpan day_span{"core.streaming.day", util::LogLevel::kDebug};
   for (const auto& entry : entries) {
     first_seen_.try_emplace(psl_->e2ld_or_self(entry.qname), day_);
   }
@@ -153,8 +156,35 @@ void StreamingDetector::advance_day(const std::vector<dns::LogEntry>& entries) {
   record.entries = entries.size();
   for (const auto& day_entries : window_) record.window_entries += day_entries.size();
   retrain_and_score(record);
+  record_day_metrics(record);
   days_.push_back(std::move(record));
   ++day_;
+}
+
+void StreamingDetector::record_day_metrics(const StreamingDayRecord& record) const {
+  static obs::Counter& alerts = obs::metrics().counter("core.streaming.alerts");
+  static obs::Counter& retrains = obs::metrics().counter("core.streaming.retrains");
+  static obs::Counter& skips = obs::metrics().counter("core.streaming.retrain_skips");
+  static obs::Counter& scored = obs::metrics().counter("core.streaming.scored");
+  alerts.add(record.alerts);
+  scored.add(record.scored);
+  if (record.retrained) {
+    retrains.add(1);
+  } else {
+    skips.add(1);
+  }
+  // One snapshot row per simulated day, exported under "records" in the
+  // metrics JSON so faultsim/report outputs can chart the run day by day.
+  obs::metrics().append_record(
+      "streaming.day", {{"day", static_cast<double>(record.day)},
+                        {"entries", static_cast<double>(record.entries)},
+                        {"window_entries", static_cast<double>(record.window_entries)},
+                        {"kept_domains", static_cast<double>(record.kept_domains)},
+                        {"labeled", static_cast<double>(record.labeled)},
+                        {"scored", static_cast<double>(record.scored)},
+                        {"alerts", static_cast<double>(record.alerts)},
+                        {"retrained", record.retrained ? 1.0 : 0.0},
+                        {"skipped", record.skip_reason.empty() ? 0.0 : 1.0}});
 }
 
 void StreamingDetector::retrain_and_score(StreamingDayRecord& record) {

@@ -128,6 +128,7 @@ class StreamingDetector {
  private:
   bool label_available(const std::string& domain, std::size_t first_seen_day) const;
   void retrain_and_score(StreamingDayRecord& record);
+  void record_day_metrics(const StreamingDayRecord& record) const;
 
   StreamingConfig config_;
   const trace::GroundTruth* truth_;

@@ -5,6 +5,8 @@
 #include "dns/packet.hpp"
 #include "dns/packetize.hpp"
 #include "dns/pcap.hpp"
+#include "obs/metrics.hpp"
+#include "util/log.hpp"
 
 namespace dnsembed::dns {
 
@@ -65,16 +67,25 @@ std::size_t export_pcap(std::ostream& out, std::span<const LogEntry> entries,
 
 CaptureImportResult import_pcap(std::istream& in, const DhcpTable* dhcp,
                                 const CaptureImportOptions& options) {
+  static obs::Counter& packets_counter = obs::metrics().counter("dns.import.packets");
+  static obs::Counter& undecoded_counter = obs::metrics().counter("dns.import.undecoded_frames");
+  static obs::Counter& truncated_counter = obs::metrics().counter("dns.import.truncated_captures");
+  static util::LimitedLogger undecoded_log{8};
+
   CaptureImportResult result;
   DnsCollector collector{dhcp, options.collector_timeout_seconds, options.max_pending};
   try {
     PcapReader reader{in};
     while (const auto packet = reader.next()) {
       ++result.packets;
+      packets_counter.add(1);
       if (const auto datagram = decapsulate(packet->data)) {
         collector.on_datagram(packet->ts_sec, *datagram);
       } else {
         ++result.undecoded_frames;
+        undecoded_counter.add(1);
+        undecoded_log.warn() << "import_pcap: undecoded frame #" << result.packets << " ("
+                             << packet->data.size() << " bytes, not IPv4/UDP)";
       }
     }
   } catch (const std::exception& e) {
@@ -82,6 +93,9 @@ CaptureImportResult import_pcap(std::istream& in, const DhcpTable* dhcp,
     // the damage instead of discarding the capture.
     result.truncated = true;
     result.error = e.what();
+    truncated_counter.add(1);
+    util::log_warn() << "import_pcap: capture truncated after " << result.packets
+                     << " packets: " << e.what();
   }
   collector.flush_all();
   result.stats = collector.stats();

@@ -3,11 +3,19 @@
 #include <algorithm>
 
 #include "dns/wire.hpp"
+#include "obs/metrics.hpp"
+#include "util/log.hpp"
 
 namespace dnsembed::dns {
 
 namespace {
 constexpr std::uint16_t kDnsPort = 53;
+
+// Per-packet sites are rate-limited: a hostile or damaged capture must not
+// turn the log into a firehose, but the first few sightings are gold for
+// triage. Full totals live in Stats and the obs counters.
+util::LimitedLogger g_malformed_log{8};
+util::LimitedLogger g_evicted_log{4};
 }
 
 DnsCollector::DnsCollector(const DhcpTable* dhcp, std::int64_t timeout_seconds,
@@ -48,30 +56,48 @@ void DnsCollector::emit(const Key& key, const PendingQuery& query, const Message
 }
 
 void DnsCollector::evict_oldest() {
+  static obs::Counter& evicted = obs::metrics().counter("dns.collector.evicted");
   const auto oldest = by_seq_.begin();
   const auto it = pending_.find(*oldest->second);
+  g_evicted_log.warn() << "collector: pending-query table full (" << max_pending_
+                       << "), evicting oldest query for " << it->first.qname;
   emit(it->first, it->second, nullptr);
   ++stats_.evicted;
+  evicted.add(1);
   by_seq_.erase(oldest);
   pending_.erase(it);
 }
 
 void DnsCollector::on_datagram(std::int64_t ts, const UdpDatagram& datagram) {
+  // One relaxed add per datagram (the per-packet hot path).
+  static obs::Counter& queries = obs::metrics().counter("dns.collector.query_packets");
+  static obs::Counter& responses = obs::metrics().counter("dns.collector.response_packets");
+  static obs::Counter& matched = obs::metrics().counter("dns.collector.matched");
+  static obs::Counter& orphans = obs::metrics().counter("dns.collector.orphan_responses");
+  static obs::Counter& malformed = obs::metrics().counter("dns.collector.malformed");
+  static obs::Counter& ignored = obs::metrics().counter("dns.collector.ignored");
+  static obs::Counter& duplicates = obs::metrics().counter("dns.collector.duplicate_queries");
+
   const bool to_server = datagram.dst_port == kDnsPort;
   const bool from_server = datagram.src_port == kDnsPort;
   if (!to_server && !from_server) {
     ++stats_.ignored;
+    ignored.add(1);
     return;
   }
   const auto message = decode(datagram.payload);
   if (!message || message->questions.empty()) {
     ++stats_.malformed;
+    malformed.add(1);
+    g_malformed_log.warn() << "collector: malformed DNS datagram at ts " << ts << " ("
+                           << datagram.payload.size() << " bytes)";
     return;
   }
   const auto& question = message->questions.front();
 
   if (to_server && !message->is_response) {
     ++stats_.query_packets;
+    queries.add(1);
     Key key{datagram.src_ip.value(), datagram.src_port, message->id, question.name};
     const auto [it, inserted] = pending_.try_emplace(std::move(key));
     if (!inserted) {
@@ -79,6 +105,7 @@ void DnsCollector::on_datagram(std::int64_t ts, const UdpDatagram& datagram) {
       // (its timestamp resets the expiry clock and its seq the eviction
       // order), and the replaced one is accounted as a duplicate.
       ++stats_.duplicate_queries;
+      duplicates.add(1);
       by_seq_.erase(it->second.seq);
     }
     it->second = PendingQuery{ts, question.type, next_seq_++};
@@ -88,20 +115,24 @@ void DnsCollector::on_datagram(std::int64_t ts, const UdpDatagram& datagram) {
   }
   if (from_server && message->is_response) {
     ++stats_.response_packets;
+    responses.add(1);
     const Key key{datagram.dst_ip.value(), datagram.dst_port, message->id, question.name};
     const auto it = pending_.find(key);
     if (it == pending_.end()) {
       ++stats_.orphan_responses;
+      orphans.add(1);
       return;
     }
     emit(key, it->second, &*message);
     by_seq_.erase(it->second.seq);
     pending_.erase(it);
     ++stats_.matched;
+    matched.add(1);
     return;
   }
   // Query arriving from port 53 or response heading to it: misdirected.
   ++stats_.ignored;
+  ignored.add(1);
 }
 
 void DnsCollector::flush(std::int64_t now) {

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "embed/alias.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dnsembed::embed {
@@ -60,10 +62,17 @@ void run_sgd(TrainContext& ctx, std::vector<float>& vertex, std::vector<float>& 
   const std::size_t total = ctx.steps;
   const double lr_floor = config.initial_lr * config.min_lr_fraction;
 
+  // One relaxed add per SGD sample: an LINE step does O(dim * negatives)
+  // flops, so the sharded counter disappears into it; disabled runs pay a
+  // predicted branch.
+  static obs::Counter& samples_counter = obs::metrics().counter("embed.line.samples");
+
   const auto worker = [&](std::size_t begin, std::size_t end, std::uint64_t seed) {
+    OBS_SPAN(second_order ? "embed.line.worker.order2" : "embed.line.worker.order1");
     util::Rng rng{seed};
     std::vector<double> grad(dim);
     for (std::size_t step = begin; step < end; ++step) {
+      samples_counter.add(1);
       const double progress = static_cast<double>(step) / static_cast<double>(total);
       const double lr = std::max(lr_floor, config.initial_lr * (1.0 - progress));
 
@@ -127,6 +136,7 @@ std::vector<float> train_order(TrainContext& ctx, std::size_t dim, bool second_o
 }  // namespace
 
 EmbeddingMatrix train_line(const graph::WeightedGraph& g, const LineConfig& config) {
+  OBS_SPAN("embed.line.train");
   if (config.dimension == 0) throw std::invalid_argument{"train_line: zero dimension"};
   if (config.order == LineOrder::kBoth && config.dimension < 2) {
     throw std::invalid_argument{"train_line: dimension too small to split"};

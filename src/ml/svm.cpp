@@ -11,6 +11,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dnsembed::ml {
@@ -54,11 +56,17 @@ class KernelCache {
         capacity_{std::max<std::size_t>(2, config.cache_rows)} {}
 
   std::span<const double> row(std::size_t i) {
+    // Kernel-fill hot path: one relaxed add per row event (hit or fill),
+    // never per kernel value.
+    static obs::Counter& hits = obs::metrics().counter("ml.svm.kernel_cache_hits");
+    static obs::Counter& fills = obs::metrics().counter("ml.svm.kernel_rows_filled");
     const auto it = rows_.find(i);
     if (it != rows_.end()) {
+      hits.add(1);
       lru_.splice(lru_.begin(), lru_, it->second.lru_it);
       return it->second.values;
     }
+    fills.add(1);
     if (rows_.size() >= capacity_) {
       const std::size_t victim = lru_.back();
       lru_.pop_back();
@@ -100,6 +108,7 @@ class KernelCache {
 }  // namespace
 
 SvmModel train_svm(const Dataset& train, const SvmConfig& config) {
+  OBS_SPAN("ml.svm.train");
   train.validate();
   const std::size_t n = train.size();
   if (n < 2) throw std::invalid_argument{"train_svm: need at least 2 rows"};
@@ -284,6 +293,9 @@ SvmModel SvmModel::load(std::istream& in) {
 }
 
 std::vector<double> SvmModel::decision_values(const Matrix& x) const {
+  OBS_SPAN("ml.svm.batch_score");
+  static obs::Counter& scored = obs::metrics().counter("ml.svm.scored_rows");
+  scored.add(x.rows());
   std::vector<double> out(x.rows());
   const std::size_t threads = std::min(util::resolve_threads(config_.threads), x.rows());
   const auto score = [&](std::size_t lo, std::size_t hi, std::size_t) {

@@ -1,0 +1,149 @@
+#include "obs/export.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <string>
+
+namespace dnsembed::obs {
+
+namespace {
+
+/// JSON-friendly number formatting: integers print without a decimal
+/// point, everything else as shortest-ish %.6g (histogram sums are
+/// micro-unit precise, 6 significant digits is plenty).
+std::string number(double value) {
+  if (std::isfinite(value) && value == std::floor(value) && std::fabs(value) < 9e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  return buf;
+}
+
+std::string quoted(const std::string& text) {
+  std::string out;
+  out.reserve(text.size() + 2);
+  out.push_back('"');
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+/// Prometheus metric name: "graph.projection.pairs" ->
+/// "dnsembed_graph_projection_pairs".
+std::string prom_name(const std::string& name) {
+  std::string out = "dnsembed_";
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot) {
+  out << "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    " << quoted(snapshot.counters[i].first) << ": "
+        << snapshot.counters[i].second;
+  }
+  out << (snapshot.counters.empty() ? "},\n" : "\n  },\n");
+
+  out << "  \"gauges\": {";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    out << (i == 0 ? "\n" : ",\n") << "    " << quoted(snapshot.gauges[i].first) << ": "
+        << snapshot.gauges[i].second;
+  }
+  out << (snapshot.gauges.empty() ? "},\n" : "\n  },\n");
+
+  out << "  \"histograms\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& h = snapshot.histograms[i];
+    out << (i == 0 ? "\n" : ",\n") << "    " << quoted(h.name) << ": {\"bounds\": [";
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      out << (b == 0 ? "" : ", ") << number(h.bounds[b]);
+    }
+    out << "], \"buckets\": [";
+    for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+      out << (b == 0 ? "" : ", ") << h.buckets[b];
+    }
+    out << "], \"count\": " << h.count << ", \"sum\": " << number(h.sum) << "}";
+  }
+  out << (snapshot.histograms.empty() ? "},\n" : "\n  },\n");
+
+  out << "  \"records\": [";
+  for (std::size_t i = 0; i < snapshot.records.size(); ++i) {
+    const auto& record = snapshot.records[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"name\": " << quoted(record.name);
+    for (const auto& [key, value] : record.fields) {
+      out << ", " << quoted(key) << ": " << number(value);
+    }
+    out << "}";
+  }
+  out << (snapshot.records.empty() ? "]\n" : "\n  ]\n");
+  out << "}\n";
+}
+
+void write_prometheus(std::ostream& out, const MetricsSnapshot& snapshot) {
+  for (const auto& [name, value] : snapshot.counters) {
+    const auto prom = prom_name(name);
+    out << "# TYPE " << prom << " counter\n" << prom << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const auto prom = prom_name(name);
+    out << "# TYPE " << prom << " gauge\n" << prom << " " << value << "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    const auto prom = prom_name(h.name);
+    out << "# TYPE " << prom << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      cumulative += h.buckets[b];
+      out << prom << "_bucket{le=\"" << number(h.bounds[b]) << "\"} " << cumulative << "\n";
+    }
+    out << prom << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    out << prom << "_sum " << number(h.sum) << "\n";
+    out << prom << "_count " << h.count << "\n";
+  }
+}
+
+void write_chrome_trace(std::ostream& out, const std::vector<SpanEvent>& events,
+                        const TraceWriteOptions& options) {
+  out << "{\"traceEvents\": [";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const auto& event = events[i];
+    const double ts = options.zero_times ? 0.0 : static_cast<double>(event.begin_ns) / 1e3;
+    const double dur =
+        options.zero_times ? 0.0
+                           : static_cast<double>(event.end_ns - event.begin_ns) / 1e3;
+    char buf[64];
+    out << (i == 0 ? "\n" : ",\n") << "  {\"name\": " << quoted(event.name)
+        << ", \"ph\": \"X\", \"pid\": 1, \"tid\": " << event.tid;
+    std::snprintf(buf, sizeof(buf), ", \"ts\": %.3f, \"dur\": %.3f", ts, dur);
+    out << buf << ", \"args\": {\"seq\": " << event.seq << "}}";
+  }
+  out << (events.empty() ? "], " : "\n], ");
+  out << "\"displayTimeUnit\": \"ms\"}\n";
+}
+
+}  // namespace dnsembed::obs

@@ -1,0 +1,39 @@
+// Telemetry exporters:
+//  - write_metrics_json: one JSON document with counters, gauges,
+//    histograms, and appended records — machine-readable run telemetry
+//    (`dnsembed ... --metrics-out FILE`).
+//  - write_prometheus: Prometheus text exposition (counters, gauges, and
+//    histograms with cumulative `le` buckets; records have no Prometheus
+//    shape and are skipped). Metric names are sanitized and prefixed
+//    "dnsembed_".
+//  - write_chrome_trace: Chrome trace_event JSON (array-of-"X"-events
+//    form), loadable at ui.perfetto.dev or chrome://tracing
+//    (`--trace-out FILE`).
+//
+// All exports are deterministic modulo wall-clock fields: metrics are
+// sorted by name, records and trace events keep their global order, and
+// TraceWriteOptions::zero_times zeroes ts/dur so tests can golden-file the
+// trace shape.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace dnsembed::obs {
+
+void write_metrics_json(std::ostream& out, const MetricsSnapshot& snapshot);
+
+void write_prometheus(std::ostream& out, const MetricsSnapshot& snapshot);
+
+struct TraceWriteOptions {
+  /// Zero every ts/dur field (golden-file tests).
+  bool zero_times = false;
+};
+
+void write_chrome_trace(std::ostream& out, const std::vector<SpanEvent>& events,
+                        const TraceWriteOptions& options = {});
+
+}  // namespace dnsembed::obs

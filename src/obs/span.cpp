@@ -1,0 +1,119 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/metrics.hpp"
+
+namespace dnsembed::obs {
+
+namespace {
+
+thread_local void* t_buffer = nullptr;  // SpanRecorder::ThreadBuffer*
+
+}  // namespace
+
+SpanRecorder& SpanRecorder::instance() {
+  static SpanRecorder recorder;
+  return recorder;
+}
+
+SpanRecorder::SpanRecorder() : epoch_{std::chrono::steady_clock::now()} {}
+
+void SpanRecorder::set_enabled(bool enabled) {
+  if (enabled && !trace_enabled()) {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    bool empty = true;
+    for (const auto& buffer : buffers_) empty = empty && buffer->events.empty();
+    if (empty) epoch_ = std::chrono::steady_clock::now();
+  }
+  g_trace_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+void SpanRecorder::clear() {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  for (auto& buffer : buffers_) buffer->events.clear();
+  seq_.store(0, std::memory_order_relaxed);
+  epoch_ = std::chrono::steady_clock::now();
+}
+
+std::uint64_t SpanRecorder::now_ns() const noexcept {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now() - epoch_)
+                                        .count());
+}
+
+SpanRecorder::ThreadBuffer& SpanRecorder::buffer_for_this_thread() {
+  if (t_buffer == nullptr) {
+    const std::lock_guard<std::mutex> lock{mutex_};
+    buffers_.push_back(std::make_unique<ThreadBuffer>());
+    buffers_.back()->tid = static_cast<std::uint32_t>(buffers_.size());
+    t_buffer = buffers_.back().get();
+  }
+  return *static_cast<ThreadBuffer*>(t_buffer);
+}
+
+void SpanRecorder::record(std::string name, std::uint64_t begin_ns, std::uint64_t end_ns,
+                          std::uint64_t seq) {
+  auto& buffer = buffer_for_this_thread();
+  SpanEvent event;
+  event.name = std::move(name);
+  event.begin_ns = begin_ns;
+  event.end_ns = end_ns;
+  event.tid = buffer.tid;
+  event.seq = seq;
+  buffer.events.push_back(std::move(event));
+}
+
+std::vector<SpanEvent> SpanRecorder::sorted_events() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  std::vector<SpanEvent> events;
+  for (const auto& buffer : buffers_) {
+    events.insert(events.end(), buffer->events.begin(), buffer->events.end());
+  }
+  std::sort(events.begin(), events.end(),
+            [](const SpanEvent& a, const SpanEvent& b) { return a.seq < b.seq; });
+  return events;
+}
+
+void Span::open(const char* name) {
+  auto& recorder = SpanRecorder::instance();
+  name_ = name;
+  seq_ = recorder.next_seq();
+  begin_ns_ = recorder.now_ns();
+}
+
+void Span::close() {
+  auto& recorder = SpanRecorder::instance();
+  recorder.record(name_, begin_ns_, recorder.now_ns(), seq_);
+}
+
+StageSpan::StageSpan(std::string name, util::LogLevel level)
+    : name_{std::move(name)}, level_{level}, start_{std::chrono::steady_clock::now()} {
+  if (trace_enabled()) {
+    auto& recorder = SpanRecorder::instance();
+    traced_ = true;
+    seq_ = recorder.next_seq();
+    begin_ns_ = recorder.now_ns();
+  }
+}
+
+double StageSpan::seconds() const noexcept {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start_).count();
+}
+
+StageSpan::~StageSpan() {
+  const double elapsed = seconds();
+  if (traced_) {
+    auto& recorder = SpanRecorder::instance();
+    recorder.record(name_, begin_ns_, recorder.now_ns(), seq_);
+  }
+  if (metrics_enabled()) {
+    metrics().latency_histogram(name_ + ".seconds").observe(elapsed);
+  }
+  char line[160];
+  std::snprintf(line, sizeof(line), "%s: %.2fs", name_.c_str(), elapsed);
+  util::log_line(level_, line);
+}
+
+}  // namespace dnsembed::obs

@@ -1,6 +1,5 @@
 #include "util/log.hpp"
 
-#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <mutex>
@@ -33,10 +32,33 @@ double elapsed_seconds() noexcept {
 void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 LogLevel log_level() noexcept { return g_level.load(); }
 
+std::optional<LogLevel> parse_log_level(std::string_view name) noexcept {
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn" || name == "warning") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  return std::nullopt;
+}
+
 void log_line(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  const double elapsed = elapsed_seconds();
+  const char* level_tag = tag(level);
+  // One lock for the whole message keeps a multi-line warning contiguous;
+  // every line gets the prefix so grep-driven triage never loses context.
   const std::lock_guard<std::mutex> lock{g_mutex};
-  std::fprintf(stderr, "[%9.3f] %s %s\n", elapsed_seconds(), tag(level), message.c_str());
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t end = message.find('\n', start);
+    const std::size_t len = (end == std::string::npos ? message.size() : end) - start;
+    // A trailing '\n' ends the message; it does not open an empty line.
+    if (len != 0 || start == 0 || end != std::string::npos) {
+      std::fprintf(stderr, "[%9.3f] %s %.*s\n", elapsed, level_tag, static_cast<int>(len),
+                   message.c_str() + start);
+    }
+    if (end == std::string::npos) break;
+    start = end + 1;
+  }
 }
 
 }  // namespace dnsembed::util

@@ -1,39 +1,55 @@
 // Leveled stderr logging. Kept intentionally tiny: experiments are
-// command-line binaries; structured logging would be overkill.
+// command-line binaries; structured telemetry lives in src/obs.
 #pragma once
 
+#include <atomic>
+#include <cstddef>
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace dnsembed::util {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
 /// Global minimum level (defaults to kInfo). Not thread-isolated by design:
-/// set once at startup.
+/// set once at startup (the CLI wires --log-level / DNSEMBED_LOG to this).
 void set_log_level(LogLevel level) noexcept;
 LogLevel log_level() noexcept;
 
-/// Emit one line to stderr with a level tag and elapsed-time prefix.
+/// "debug" | "info" | "warn" | "error" -> level; nullopt otherwise.
+std::optional<LogLevel> parse_log_level(std::string_view name) noexcept;
+
+/// Emit one message to stderr with a level tag and elapsed-time prefix.
+/// Multi-line messages get the prefix on every line, so grep/Perfetto
+/// triage never sees an orphan continuation line.
 void log_line(LogLevel level, const std::string& message);
 
 namespace detail {
 
 class LogStream {
  public:
-  explicit LogStream(LogLevel level) : level_{level} {}
+  explicit LogStream(LogLevel level, bool active = true, const char* epilogue = nullptr)
+      : level_{level}, active_{active}, epilogue_{epilogue} {}
   LogStream(const LogStream&) = delete;
   LogStream& operator=(const LogStream&) = delete;
-  ~LogStream() { log_line(level_, stream_.str()); }
+  ~LogStream() {
+    if (!active_) return;
+    if (epilogue_ != nullptr) stream_ << epilogue_;
+    log_line(level_, stream_.str());
+  }
 
   template <typename T>
   LogStream& operator<<(const T& value) {
-    stream_ << value;
+    if (active_) stream_ << value;
     return *this;
   }
 
  private:
   LogLevel level_;
+  bool active_;
+  const char* epilogue_;
   std::ostringstream stream_;
 };
 
@@ -43,5 +59,34 @@ inline detail::LogStream log_debug() { return detail::LogStream{LogLevel::kDebug
 inline detail::LogStream log_info() { return detail::LogStream{LogLevel::kInfo}; }
 inline detail::LogStream log_warn() { return detail::LogStream{LogLevel::kWarn}; }
 inline detail::LogStream log_error() { return detail::LogStream{LogLevel::kError}; }
+
+/// Rate-limited warning stream for per-packet/per-entry sites: the first
+/// `max_lines` calls log normally (the last one notes the suppression),
+/// later calls are inert — operator<< arguments are not even formatted.
+/// Declare one `static LimitedLogger` per call site; `seen()` still counts
+/// every call, so totals remain available to metrics/tests.
+///
+///   static util::LimitedLogger malformed_log{8};
+///   malformed_log.warn() << "collector: malformed datagram at ts " << ts;
+class LimitedLogger {
+ public:
+  explicit LimitedLogger(std::size_t max_lines) noexcept : max_{max_lines} {}
+
+  detail::LogStream warn() { return stream(LogLevel::kWarn); }
+  detail::LogStream stream(LogLevel level) {
+    const std::size_t n = count_.fetch_add(1, std::memory_order_relaxed);
+    if (n + 1 < max_) return detail::LogStream{level};
+    if (n + 1 == max_) {
+      return detail::LogStream{level, true, " (further similar warnings suppressed)"};
+    }
+    return detail::LogStream{level, false};
+  }
+
+  std::size_t seen() const noexcept { return count_.load(std::memory_order_relaxed); }
+
+ private:
+  std::size_t max_;
+  std::atomic<std::size_t> count_{0};
+};
 
 }  // namespace dnsembed::util

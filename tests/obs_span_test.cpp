@@ -1,0 +1,117 @@
+// Span tracer: nesting/ordering, disabled inertness, StageSpan side
+// effects, and a golden Chrome-trace export with timestamps zeroed.
+#include "obs/span.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace obs = dnsembed::obs;
+
+namespace {
+
+class ObsSpanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::SpanRecorder::instance().set_enabled(true);
+    obs::SpanRecorder::instance().clear();
+  }
+  void TearDown() override {
+    obs::SpanRecorder::instance().set_enabled(false);
+    obs::SpanRecorder::instance().clear();
+  }
+};
+
+TEST_F(ObsSpanTest, DisabledSpansRecordNothing) {
+  obs::SpanRecorder::instance().set_enabled(false);
+  {
+    OBS_SPAN("ignored.outer");
+    OBS_SPAN("ignored.inner");
+  }
+  EXPECT_TRUE(obs::SpanRecorder::instance().sorted_events().empty());
+}
+
+TEST_F(ObsSpanTest, NestedSpansOrderParentsBeforeChildren) {
+  {
+    obs::Span outer{"outer"};
+    { obs::Span inner{"inner.first"}; }
+    { obs::Span inner{"inner.second"}; }
+  }
+  const auto events = obs::SpanRecorder::instance().sorted_events();
+  ASSERT_EQ(events.size(), 3u);
+  // Ordered by open sequence, not close order: the parent precedes the
+  // children it encloses even though it closed last.
+  EXPECT_EQ(events[0].name, "outer");
+  EXPECT_EQ(events[1].name, "inner.first");
+  EXPECT_EQ(events[2].name, "inner.second");
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[1].seq, 1u);
+  EXPECT_EQ(events[2].seq, 2u);
+  // Children nest inside the parent's time range on the same thread.
+  for (const auto& event : events) {
+    EXPECT_EQ(event.tid, events[0].tid);
+    EXPECT_LE(event.begin_ns, event.end_ns);
+    EXPECT_GE(event.begin_ns, events[0].begin_ns);
+    EXPECT_LE(event.end_ns, events[0].end_ns);
+  }
+}
+
+TEST_F(ObsSpanTest, GoldenChromeTraceWithZeroedTimes) {
+  {
+    obs::Span outer{"pipeline.run"};
+    { obs::Span inner{"pipeline.trace"}; }
+    { obs::Span inner{"pipeline.behavior"}; }
+  }
+  std::ostringstream out;
+  obs::TraceWriteOptions options;
+  options.zero_times = true;
+  obs::write_chrome_trace(out, obs::SpanRecorder::instance().sorted_events(), options);
+  const std::string tid = std::to_string(
+      obs::SpanRecorder::instance().sorted_events().front().tid);
+  const std::string expected =
+      "{\"traceEvents\": [\n"
+      "  {\"name\": \"pipeline.run\", \"ph\": \"X\", \"pid\": 1, \"tid\": " + tid +
+      ", \"ts\": 0.000, \"dur\": 0.000, \"args\": {\"seq\": 0}},\n"
+      "  {\"name\": \"pipeline.trace\", \"ph\": \"X\", \"pid\": 1, \"tid\": " + tid +
+      ", \"ts\": 0.000, \"dur\": 0.000, \"args\": {\"seq\": 1}},\n"
+      "  {\"name\": \"pipeline.behavior\", \"ph\": \"X\", \"pid\": 1, \"tid\": " + tid +
+      ", \"ts\": 0.000, \"dur\": 0.000, \"args\": {\"seq\": 2}}\n"
+      "], \"displayTimeUnit\": \"ms\"}\n";
+  EXPECT_EQ(out.str(), expected);
+}
+
+TEST_F(ObsSpanTest, EmptyTraceIsStillValidJson) {
+  std::ostringstream out;
+  obs::write_chrome_trace(out, {});
+  EXPECT_EQ(out.str(), "{\"traceEvents\": [], \"displayTimeUnit\": \"ms\"}\n");
+}
+
+TEST_F(ObsSpanTest, StageSpanEmitsTraceEventAndLatencyHistogram) {
+  obs::set_metrics_enabled(true);
+  auto& histogram = obs::metrics().latency_histogram("test.stage.seconds");
+  histogram.reset();
+  const auto before = histogram.count();
+  { obs::StageSpan stage{"test.stage"}; }
+  obs::set_metrics_enabled(false);
+
+  const auto events = obs::SpanRecorder::instance().sorted_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "test.stage");
+  EXPECT_EQ(histogram.count(), before + 1);
+}
+
+TEST_F(ObsSpanTest, ClearResetsSequenceNumbers) {
+  { obs::Span span{"before.clear"}; }
+  obs::SpanRecorder::instance().clear();
+  { obs::Span span{"after.clear"}; }
+  const auto events = obs::SpanRecorder::instance().sorted_events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "after.clear");
+  EXPECT_EQ(events[0].seq, 0u);
+}
+
+}  // namespace

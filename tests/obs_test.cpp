@@ -1,0 +1,222 @@
+// Metrics registry: bucket boundary semantics, cross-thread merge,
+// disabled no-ops, records, and both exporter formats.
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.hpp"
+
+namespace obs = dnsembed::obs;
+
+namespace {
+
+/// Every test toggles the global flag; restore it so test order never
+/// matters within this binary.
+class ObsMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { obs::set_metrics_enabled(true); }
+  void TearDown() override { obs::set_metrics_enabled(false); }
+};
+
+TEST_F(ObsMetricsTest, CounterAccumulatesAndResets) {
+  auto& counter = obs::metrics().counter("test.counter.basic");
+  counter.reset();
+  counter.add();
+  counter.add(41);
+  EXPECT_EQ(counter.total(), 42u);
+  counter.reset();
+  EXPECT_EQ(counter.total(), 0u);
+}
+
+TEST_F(ObsMetricsTest, DisabledMutationsAreNoOps) {
+  auto& counter = obs::metrics().counter("test.counter.disabled");
+  auto& gauge = obs::metrics().gauge("test.gauge.disabled");
+  auto& histogram =
+      obs::metrics().histogram("test.histogram.disabled", obs::Registry::size_bounds());
+  counter.reset();
+  gauge.reset();
+  histogram.reset();
+
+  obs::set_metrics_enabled(false);
+  counter.add(7);
+  gauge.set(7);
+  histogram.observe(7.0);
+  EXPECT_EQ(counter.total(), 0u);
+  EXPECT_EQ(gauge.value(), 0);
+  EXPECT_EQ(histogram.count(), 0u);
+}
+
+TEST_F(ObsMetricsTest, RegistryReturnsSameHandleForSameName) {
+  auto& a = obs::metrics().counter("test.counter.identity");
+  auto& b = obs::metrics().counter("test.counter.identity");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST_F(ObsMetricsTest, HistogramBucketBoundariesAreLeInclusive) {
+  const std::vector<double> bounds{1.0, 4.0, 16.0};
+  auto& histogram = obs::metrics().histogram("test.histogram.le", bounds);
+  histogram.reset();
+
+  histogram.observe(0.5);   // <= 1
+  histogram.observe(1.0);   // <= 1: le buckets include the bound itself
+  histogram.observe(1.001); // <= 4
+  histogram.observe(4.0);   // <= 4
+  histogram.observe(16.0);  // <= 16
+  histogram.observe(17.0);  // overflow
+  histogram.observe(1e9);   // overflow
+
+  const auto buckets = histogram.bucket_counts();
+  ASSERT_EQ(buckets.size(), bounds.size() + 1);
+  EXPECT_EQ(buckets[0], 2u);
+  EXPECT_EQ(buckets[1], 2u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 2u);
+  EXPECT_EQ(histogram.count(), 7u);
+}
+
+TEST_F(ObsMetricsTest, HistogramSumIsMicroUnitAccurate) {
+  const std::vector<double> bounds{10.0};
+  auto& histogram = obs::metrics().histogram("test.histogram.sum", bounds);
+  histogram.reset();
+  histogram.observe(1.25);
+  histogram.observe(2.5);
+  EXPECT_NEAR(histogram.sum(), 3.75, 1e-5);
+}
+
+TEST_F(ObsMetricsTest, GaugeSetWinsOverAdd) {
+  auto& gauge = obs::metrics().gauge("test.gauge.basic");
+  gauge.reset();
+  gauge.add(10);
+  gauge.set(3);
+  gauge.add(-5);
+  EXPECT_EQ(gauge.value(), -2);
+}
+
+TEST_F(ObsMetricsTest, CounterMergesAcrossThreads) {
+  auto& counter = obs::metrics().counter("test.counter.threads");
+  counter.reset();
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 10'000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&counter] {
+      for (std::size_t i = 0; i < kPerThread; ++i) counter.add(1);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.total(), kThreads * kPerThread);
+}
+
+TEST_F(ObsMetricsTest, HistogramMergesAcrossThreads) {
+  const std::vector<double> bounds{10.0, 100.0};
+  auto& histogram = obs::metrics().histogram("test.histogram.threads", bounds);
+  histogram.reset();
+  constexpr std::size_t kThreads = 6;
+  constexpr std::size_t kPerThread = 5'000;
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&histogram] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        histogram.observe(static_cast<double>(i % 3 == 0 ? 5 : 50));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  const auto buckets = histogram.bucket_counts();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(histogram.count(), kThreads * kPerThread);
+  EXPECT_EQ(buckets[0] + buckets[1], kThreads * kPerThread);
+  EXPECT_EQ(buckets[2], 0u);
+}
+
+TEST_F(ObsMetricsTest, SnapshotSortsMetricsAndKeepsRecordOrder) {
+  obs::metrics().counter("test.order.zzz").add(1);
+  obs::metrics().counter("test.order.aaa").add(2);
+  obs::metrics().append_record("test.record", {{"first", 1.0}});
+  obs::metrics().append_record("test.record", {{"second", 2.0}});
+
+  const auto snapshot = obs::metrics().snapshot();
+  std::size_t aaa = snapshot.counters.size();
+  std::size_t zzz = snapshot.counters.size();
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (snapshot.counters[i].first == "test.order.aaa") aaa = i;
+    if (snapshot.counters[i].first == "test.order.zzz") zzz = i;
+  }
+  ASSERT_LT(aaa, snapshot.counters.size());
+  ASSERT_LT(zzz, snapshot.counters.size());
+  EXPECT_LT(aaa, zzz);
+
+  std::vector<const dnsembed::obs::MetricRecord*> records;
+  for (const auto& record : snapshot.records) {
+    if (record.name == "test.record") records.push_back(&record);
+  }
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0]->fields[0].first, "first");
+  EXPECT_EQ(records[1]->fields[0].first, "second");
+}
+
+TEST_F(ObsMetricsTest, JsonExportParsesShape) {
+  obs::MetricsSnapshot snapshot;
+  snapshot.counters.push_back({"a.count", 3});
+  snapshot.gauges.push_back({"a.gauge", -7});
+  obs::HistogramSnapshot h;
+  h.name = "a.hist";
+  h.bounds = {1.0, 4.0};
+  h.buckets = {2, 0, 1};
+  h.count = 3;
+  h.sum = 9.5;
+  snapshot.histograms.push_back(h);
+  snapshot.records.push_back({"day", {{"alerts", 2.0}}});
+
+  std::ostringstream out;
+  obs::write_metrics_json(out, snapshot);
+  const std::string expected =
+      "{\n"
+      "  \"counters\": {\n    \"a.count\": 3\n  },\n"
+      "  \"gauges\": {\n    \"a.gauge\": -7\n  },\n"
+      "  \"histograms\": {\n"
+      "    \"a.hist\": {\"bounds\": [1, 4], \"buckets\": [2, 0, 1], \"count\": 3, "
+      "\"sum\": 9.5}\n  },\n"
+      "  \"records\": [\n    {\"name\": \"day\", \"alerts\": 2}\n  ]\n"
+      "}\n";
+  EXPECT_EQ(out.str(), expected);
+}
+
+TEST_F(ObsMetricsTest, PrometheusExportIsCumulative) {
+  obs::MetricsSnapshot snapshot;
+  obs::HistogramSnapshot h;
+  h.name = "a.hist";
+  h.bounds = {1.0, 4.0};
+  h.buckets = {2, 1, 3};
+  h.count = 6;
+  h.sum = 12.0;
+  snapshot.histograms.push_back(h);
+
+  std::ostringstream out;
+  obs::write_prometheus(out, snapshot);
+  const std::string expected =
+      "# TYPE dnsembed_a_hist histogram\n"
+      "dnsembed_a_hist_bucket{le=\"1\"} 2\n"
+      "dnsembed_a_hist_bucket{le=\"4\"} 3\n"
+      "dnsembed_a_hist_bucket{le=\"+Inf\"} 6\n"
+      "dnsembed_a_hist_sum 12\n"
+      "dnsembed_a_hist_count 6\n";
+  EXPECT_EQ(out.str(), expected);
+}
+
+TEST_F(ObsMetricsTest, DefaultBoundsAreStrictlyIncreasing) {
+  for (const auto bounds :
+       {obs::Registry::latency_seconds_bounds(), obs::Registry::size_bounds()}) {
+    ASSERT_GE(bounds.size(), 2u);
+    for (std::size_t i = 1; i < bounds.size(); ++i) {
+      EXPECT_LT(bounds[i - 1], bounds[i]);
+    }
+  }
+}
+
+}  // namespace

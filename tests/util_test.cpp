@@ -2,6 +2,7 @@
 // sampling, string helpers, CSV round-trips, stats, interner, thread pool.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <set>
 #include <sstream>
@@ -9,6 +10,7 @@
 
 #include "util/csv.hpp"
 #include "util/interner.hpp"
+#include "util/log.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
@@ -301,6 +303,55 @@ TEST(ThreadPool, PropagatesTaskExceptions) {
   ThreadPool pool{1};
   auto fut = pool.submit([] { throw std::runtime_error{"boom"}; });
   EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(Log, ParseLogLevel) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_FALSE(parse_log_level("verbose").has_value());
+  EXPECT_FALSE(parse_log_level("").has_value());
+}
+
+TEST(Log, MultiLineMessagesPrefixEveryLine) {
+  testing::internal::CaptureStderr();
+  log_line(LogLevel::kWarn, "first\nsecond\n\nfourth");
+  const std::string captured = testing::internal::GetCapturedStderr();
+
+  std::istringstream in{captured};
+  std::string line;
+  std::size_t lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_NE(line.find("WARN"), std::string::npos) << line;
+  }
+  // Four lines out (the empty middle line keeps its prefix), none orphaned.
+  EXPECT_EQ(lines, 4u);
+  EXPECT_NE(captured.find("first"), std::string::npos);
+  EXPECT_NE(captured.find("fourth"), std::string::npos);
+}
+
+TEST(Log, TrailingNewlineDoesNotEmitEmptyLine) {
+  testing::internal::CaptureStderr();
+  log_line(LogLevel::kWarn, "only\n");
+  const std::string captured = testing::internal::GetCapturedStderr();
+  EXPECT_EQ(std::count(captured.begin(), captured.end(), '\n'), 1);
+}
+
+TEST(Log, LimitedLoggerSuppressesAfterMax) {
+  LimitedLogger limited{3};
+  testing::internal::CaptureStderr();
+  for (int i = 0; i < 10; ++i) limited.warn() << "warning " << i;
+  const std::string captured = testing::internal::GetCapturedStderr();
+
+  EXPECT_EQ(std::count(captured.begin(), captured.end(), '\n'), 3);
+  EXPECT_NE(captured.find("warning 0"), std::string::npos);
+  EXPECT_NE(captured.find("warning 2 (further similar warnings suppressed)"),
+            std::string::npos);
+  EXPECT_EQ(captured.find("warning 3"), std::string::npos);
+  EXPECT_EQ(limited.seen(), 10u);
 }
 
 }  // namespace

@@ -17,6 +17,7 @@
 //   dnsembed cluster  --embeddings emb.csv --out clusters.csv
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -41,6 +42,9 @@
 #include "fault/plan.hpp"
 #include "intel/labels.hpp"
 #include "ml/xmeans.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "trace/generator.hpp"
 #include "trace/pcap_sink.hpp"
 #include "util/args.hpp"
@@ -70,13 +74,23 @@ commands:
   score     --embeddings FILE --domains a.com,b.net
             (--model MODEL | --labels FILE [--svm-c X] [--svm-gamma X])
   cluster   --embeddings FILE --out FILE [--kmin N] [--kmax N] [--seed N]
-  report    --out report.md [--hosts N] [--days N] [--families N] [--seed N]
-            (one-shot: simulate + model + embed + evaluate + cluster)
+  report    --out report.md [--hosts N] [--days N] [--sites N] [--families N]
+            [--seed N] [--samples N] [--no-streaming]
+            (one-shot: simulate + model + embed + evaluate + cluster +
+             streaming replay)
   faultsim  --out report.json [--hosts N] [--days N] [--sites N] [--families N]
             [--seed N] [--severities 0,0.25,0.5,1] [--samples N] [--window N]
             [--label-delay N] [--kfold N] [--no-streaming]
             (sweep fault severities over export -> faults -> import ->
              detect; emit AUC / alert degradation curves as JSON)
+
+global options (any command):
+  --log-level debug|info|warn|error   minimum stderr log level
+                                      (env fallback: DNSEMBED_LOG)
+  --metrics-out FILE                  write a metrics snapshot on exit
+  --metrics-format json|prom          snapshot format (default: json)
+  --trace-out FILE                    write Chrome trace_event JSON on exit
+                                      (load in Perfetto / chrome://tracing)
 )");
   return 2;
 }
@@ -454,6 +468,7 @@ struct FaultSweepPoint {
   std::size_t alerts = 0;
   std::size_t alerts_malicious = 0;
   std::size_t retrained_days = 0;
+  std::vector<core::StreamingDayRecord> days;
 };
 
 void write_faultsim_json(std::ostream& out, const trace::TraceConfig& trace,
@@ -500,7 +515,18 @@ void write_faultsim_json(std::ostream& out, const trace::TraceConfig& trace,
     } else {
       out << "null";
     }
-    out << ", \"retrained_days\": " << p.retrained_days << "}";
+    out << ", \"retrained_days\": " << p.retrained_days << ",\n     \"days\": [";
+    for (std::size_t d = 0; d < p.days.size(); ++d) {
+      const auto& r = p.days[d];
+      out << (d == 0 ? "\n" : ",\n")
+          << "       {\"day\": " << r.day << ", \"entries\": " << r.entries
+          << ", \"window_entries\": " << r.window_entries
+          << ", \"kept_domains\": " << r.kept_domains << ", \"labeled\": " << r.labeled
+          << ", \"scored\": " << r.scored << ", \"alerts\": " << r.alerts
+          << ", \"retrained\": " << boolean(r.retrained) << ", \"skip_reason\": \""
+          << r.skip_reason << "\"}";
+    }
+    out << (p.days.empty() ? "]}" : "\n     ]}");
     out << (i + 1 < sweep.size() ? ",\n" : "\n");
   }
   out << "  ]\n}\n";
@@ -525,8 +551,7 @@ int cmd_faultsim(const util::ArgParser& args) {
   const auto window_days = static_cast<std::size_t>(args.get_int_or("--window", 2));
   const auto label_delay = static_cast<std::size_t>(args.get_int_or("--label-delay", 2));
   const auto kfold = static_cast<std::size_t>(args.get_int_or("--kfold", 3));
-  const bool streaming = !args.get("--no-streaming").has_value() &&
-                         args.get_or("--streaming", "1") != "0";
+  const bool streaming = !args.has("--no-streaming") && args.get_or("--streaming", "1") != "0";
 
   std::vector<double> severities;
   for (const auto& token : util::split(args.get_or("--severities", "0,0.25,0.5,1"), ',')) {
@@ -646,6 +671,7 @@ int cmd_faultsim(const util::ArgParser& args) {
       for (const auto& record : detector.day_records()) {
         if (record.retrained) ++point.retrained_days;
       }
+      point.days = detector.day_records();
     }
 
     std::printf("severity %.3g: %zu->%zu packets, %zu entries, auc %s, %zu alerts "
@@ -670,6 +696,7 @@ int cmd_faultsim(const util::ArgParser& args) {
 int cmd_report(const util::ArgParser& args) {
   const auto out_path = args.get("--out");
   if (!out_path) return fail("report: --out is required");
+  const bool streaming = !args.has("--no-streaming");
   core::PipelineConfig config;
   config.trace.hosts = static_cast<std::size_t>(args.get_int_or("--hosts", 200));
   config.trace.days = static_cast<std::size_t>(args.get_int_or("--days", 4));
@@ -678,11 +705,13 @@ int cmd_report(const util::ArgParser& args) {
       static_cast<std::size_t>(args.get_int_or("--families", 8));
   config.trace.seed = static_cast<std::uint64_t>(args.get_int_or("--seed", 42));
   config.embedding_dimension = 24;
-  config.embedding.line.total_samples = 2'000'000;
+  config.embedding.line.total_samples =
+      static_cast<std::size_t>(args.get_int_or("--samples", 2'000'000));
   config.svm = svm_from_args(args);
   config.kfold = 5;
   config.xmeans.k_min = 8;
   config.xmeans.k_max = 64;
+  config.keep_entries = streaming;  // the streaming replay needs the raw log
 
   const auto result = core::run_pipeline(config);
   const auto evals = core::evaluate_channels(result, config);
@@ -692,8 +721,104 @@ int cmd_report(const util::ArgParser& args) {
   std::ofstream out{*out_path};
   if (!out) return fail("cannot open " + *out_path);
   core::write_detection_report(out, result, evals, clusters);
+
+  if (streaming) {
+    // Replay the same trace through the sliding-window detector, one
+    // simulated day at a time; each day appends a "streaming.day" record
+    // to the metrics registry and a row to the report.
+    obs::StageSpan span{"pipeline.streaming"};
+    std::vector<std::vector<dns::LogEntry>> by_day(std::max<std::size_t>(config.trace.days, 1));
+    for (const auto& entry : result.entries) {
+      auto day = static_cast<std::size_t>(std::max<std::int64_t>(entry.timestamp, 0) / 86400);
+      if (day >= by_day.size()) day = by_day.size() - 1;
+      by_day[day].push_back(entry);
+    }
+    core::StreamingConfig sc;
+    sc.embedding.line.total_samples = config.embedding.line.total_samples;
+    sc.seed = config.trace.seed;
+    const intel::VirusTotalSim vt{result.trace.truth, config.virustotal};
+    core::StreamingDetector detector{sc, result.trace.truth, vt};
+    for (const auto& day : by_day) detector.advance_day(day);
+
+    std::size_t alerts_malicious = 0;
+    for (const auto& alert : detector.alerts()) {
+      if (result.trace.truth.is_malicious(alert.domain)) ++alerts_malicious;
+    }
+    out << "\n## Streaming detection\n\n"
+        << "Sliding-window replay: window " << sc.window_days << " days, label delay "
+        << sc.label_delay_days << " days, alert FPR budget " << sc.alert_fpr << ".\n\n"
+        << "| day | entries | window | kept | labeled | scored | alerts | status |\n"
+        << "|----:|--------:|-------:|-----:|--------:|-------:|-------:|--------|\n";
+    for (const auto& r : detector.day_records()) {
+      out << "| " << r.day << " | " << r.entries << " | " << r.window_entries << " | "
+          << r.kept_domains << " | " << r.labeled << " | " << r.scored << " | " << r.alerts
+          << " | " << (r.retrained ? "retrained" : r.skip_reason) << " |\n";
+    }
+    out << "\n" << detector.alerts().size() << " alerts total, " << alerts_malicious
+        << " on truly malicious domains.\n";
+    std::printf("streaming replay: %zu days, %zu alerts (%zu malicious)\n",
+                detector.day_records().size(), detector.alerts().size(), alerts_malicious);
+  }
+
   std::printf("report written to %s (combined AUC %.4f, %zu clusters)\n",
               out_path->c_str(), evals.combined.auc, clusters.k);
+  return 0;
+}
+
+int dispatch(const util::ArgParser& args, const std::string& command) {
+  if (command == "simulate") return cmd_simulate(args);
+  if (command == "convert") return cmd_convert(args);
+  if (command == "graphs") return cmd_graphs(args);
+  if (command == "embed") return cmd_embed(args);
+  if (command == "detect") return cmd_detect(args);
+  if (command == "train") return cmd_train(args);
+  if (command == "score") return cmd_score(args);
+  if (command == "cluster") return cmd_cluster(args);
+  if (command == "report") return cmd_report(args);
+  if (command == "faultsim") return cmd_faultsim(args);
+  std::fprintf(stderr, "dnsembed: unknown command '%s'\n", command.c_str());
+  return usage();
+}
+
+/// Apply the global --log-level / --metrics-out / --trace-out options.
+/// Returns nonzero (after printing the problem) on a bad value.
+int apply_global_options(const util::ArgParser& args) {
+  if (const auto arg = args.get("--log-level")) {
+    const auto level = util::parse_log_level(*arg);
+    if (!level) return fail("unknown --log-level '" + *arg + "' (debug|info|warn|error)");
+    util::set_log_level(*level);
+  } else if (const char* env = std::getenv("DNSEMBED_LOG")) {
+    const auto level = util::parse_log_level(env);
+    if (!level) return fail(std::string{"unknown DNSEMBED_LOG level '"} + env + "'");
+    util::set_log_level(*level);
+  }
+  const std::string format = args.get_or("--metrics-format", "json");
+  if (format != "json" && format != "prom") {
+    return fail("unknown --metrics-format '" + format + "' (json|prom)");
+  }
+  if (args.get("--metrics-out")) obs::set_metrics_enabled(true);
+  if (args.get("--trace-out")) obs::SpanRecorder::instance().set_enabled(true);
+  return 0;
+}
+
+/// Flush metrics/trace sinks. Runs even when the command failed: the
+/// counters accumulated up to the failure are what a postmortem needs.
+int write_telemetry(const util::ArgParser& args) {
+  if (const auto path = args.get("--metrics-out")) {
+    std::ofstream out{*path};
+    if (!out) return fail("cannot open " + *path);
+    const auto snapshot = obs::metrics().snapshot();
+    if (args.get_or("--metrics-format", "json") == "prom") {
+      obs::write_prometheus(out, snapshot);
+    } else {
+      obs::write_metrics_json(out, snapshot);
+    }
+  }
+  if (const auto path = args.get("--trace-out")) {
+    std::ofstream out{*path};
+    if (!out) return fail("cannot open " + *path);
+    obs::write_chrome_trace(out, obs::SpanRecorder::instance().sorted_events());
+  }
   return 0;
 }
 
@@ -703,20 +828,15 @@ int main(int argc, char** argv) {
   const util::ArgParser args{argc, argv};
   const auto command = args.positional(0);
   if (!command) return usage();
+  if (const int rc = apply_global_options(args); rc != 0) return rc;
+  int rc;
   try {
-    if (*command == "simulate") return cmd_simulate(args);
-    if (*command == "convert") return cmd_convert(args);
-    if (*command == "graphs") return cmd_graphs(args);
-    if (*command == "embed") return cmd_embed(args);
-    if (*command == "detect") return cmd_detect(args);
-    if (*command == "train") return cmd_train(args);
-    if (*command == "score") return cmd_score(args);
-    if (*command == "cluster") return cmd_cluster(args);
-    if (*command == "report") return cmd_report(args);
-    if (*command == "faultsim") return cmd_faultsim(args);
+    rc = dispatch(args, *command);
   } catch (const std::exception& e) {
-    return fail(e.what());
+    rc = fail(e.what());
   }
-  std::fprintf(stderr, "dnsembed: unknown command '%s'\n", command->c_str());
-  return usage();
+  if (const int telemetry_rc = write_telemetry(args); telemetry_rc != 0 && rc == 0) {
+    rc = telemetry_rc;
+  }
+  return rc;
 }
