@@ -1,0 +1,204 @@
+// Crash-safe I/O overhead microbench. The durability layer promises that
+// atomic_write_file (temp file + fsync + rename + directory fsync) stays
+// within 10% of a raw durable write (ofstream-style write + fsync) on bulk
+// payloads — the artifacts it protects (similarity graphs, embeddings) are
+// tens of megabytes, so the commit machinery (temp file, rename, metadata
+// fsync, any extra payload copy) must amortize. This binary measures both
+// paths on a 64 MB payload and FAILS (nonzero exit) when the overhead
+// exceeds the budget, so a regression in the commit path cannot land
+// silently.
+//
+// The baseline deliberately includes the data fsync: a plain buffered
+// ofstream write only dirties the page cache, so on a disk-backed
+// filesystem no durable writer can come within 10% of it — that non-durable
+// number is reported as informational context instead of gated.
+//
+// Also measured (informational, no gate): the 64 KB small-artifact case,
+// where the fixed cost dominates by design, and the artifact-container
+// wrapper (checksum + header) on the bulk payload.
+//
+// Results land in BENCH_fsio.json (override with DNSEMBED_BENCH_JSON).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fcntl.h>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <unistd.h>
+
+#include "util/artifact.hpp"
+#include "util/fsio.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace dnsembed;
+
+constexpr std::size_t kBulkBytes = 64u << 20;   // 64 MB
+constexpr std::size_t kSmallBytes = 64u << 10;  // 64 KB
+constexpr double kBudget = 0.10;
+
+std::string random_payload(std::size_t bytes, std::uint64_t seed) {
+  util::Rng rng{seed};
+  std::string payload(bytes, '\0');
+  for (std::size_t i = 0; i + 8 <= bytes; i += 8) {
+    const auto word = rng();
+    std::memcpy(payload.data() + i, &word, sizeof(word));
+  }
+  return payload;
+}
+
+std::string scratch_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+void raw_write(const std::string& path, const std::string& payload) {
+  std::ofstream out{path, std::ios::binary | std::ios::trunc};
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out.flush();
+}
+
+/// The durability-equivalent baseline: one write of the payload followed by
+/// a data fsync, with none of the atomic-commit machinery.
+void raw_durable_write(const std::string& path, const std::string& payload) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) std::abort();
+  std::size_t off = 0;
+  while (off < payload.size()) {
+    const auto n = ::write(fd, payload.data() + off, payload.size() - off);
+    if (n <= 0) std::abort();
+    off += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) std::abort();
+  ::close(fd);
+}
+
+double best_wall_ms(const std::function<void()>& fn, int reps = 5) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    util::Stopwatch watch;
+    fn();
+    best = std::min(best, watch.millis());
+  }
+  return best;
+}
+
+void BM_RawOfstream64M(benchmark::State& state) {
+  const auto payload = random_payload(kBulkBytes, 1);
+  const auto path = scratch_path("dnsembed_bench_raw.bin");
+  for (auto _ : state) raw_write(path, payload);
+  std::filesystem::remove(path);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBulkBytes));
+}
+BENCHMARK(BM_RawOfstream64M);
+
+void BM_RawDurable64M(benchmark::State& state) {
+  const auto payload = random_payload(kBulkBytes, 1);
+  const auto path = scratch_path("dnsembed_bench_durable.bin");
+  for (auto _ : state) raw_durable_write(path, payload);
+  std::filesystem::remove(path);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBulkBytes));
+}
+BENCHMARK(BM_RawDurable64M);
+
+void BM_AtomicWrite64M(benchmark::State& state) {
+  const auto payload = random_payload(kBulkBytes, 1);
+  const auto path = scratch_path("dnsembed_bench_atomic.bin");
+  for (auto _ : state) util::fsio::atomic_write_file(path, payload);
+  std::filesystem::remove(path);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kBulkBytes));
+}
+BENCHMARK(BM_AtomicWrite64M);
+
+/// Gate + BENCH_fsio.json. Returns nonzero when atomic-write overhead on
+/// the 64 MB payload exceeds the 10% budget.
+int write_fsio_json() {
+  const char* path = std::getenv("DNSEMBED_BENCH_JSON");
+  if (path == nullptr) path = "BENCH_fsio.json";
+
+  const auto bulk = random_payload(kBulkBytes, 1);
+  const auto small = random_payload(kSmallBytes, 2);
+  const auto raw_path = scratch_path("dnsembed_bench_raw.bin");
+  const auto durable_path = scratch_path("dnsembed_bench_durable.bin");
+  const auto atomic_path = scratch_path("dnsembed_bench_atomic.bin");
+  const auto artifact_path = scratch_path("dnsembed_bench_artifact.bin");
+
+  const double raw_bulk_ms = best_wall_ms([&] { raw_write(raw_path, bulk); });
+  const double durable_bulk_ms =
+      best_wall_ms([&] { raw_durable_write(durable_path, bulk); });
+  const double atomic_bulk_ms =
+      best_wall_ms([&] { util::fsio::atomic_write_file(atomic_path, bulk); });
+  const double artifact_bulk_ms =
+      best_wall_ms([&] { util::save_artifact(artifact_path, "bench", bulk); });
+  const double durable_small_ms =
+      best_wall_ms([&] { raw_durable_write(durable_path, small); });
+  const double atomic_small_ms =
+      best_wall_ms([&] { util::fsio::atomic_write_file(atomic_path, small); });
+
+  std::filesystem::remove(raw_path);
+  std::filesystem::remove(durable_path);
+  std::filesystem::remove(atomic_path);
+  std::filesystem::remove(artifact_path);
+
+  const double bulk_overhead = atomic_bulk_ms / durable_bulk_ms - 1.0;
+  const double artifact_overhead = artifact_bulk_ms / durable_bulk_ms - 1.0;
+  const double small_overhead = atomic_small_ms / durable_small_ms - 1.0;
+
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "micro_fsio: cannot write %s\n", path);
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"bulk_bytes\": %zu,\n"
+               "  \"raw_ofstream_nosync_ms\": %.3f,\n"
+               "  \"raw_durable_ms\": %.3f,\n"
+               "  \"atomic_write_ms\": %.3f,\n"
+               "  \"artifact_write_ms\": %.3f,\n"
+               "  \"atomic_overhead\": %.4f,\n"
+               "  \"artifact_overhead\": %.4f,\n"
+               "  \"small_bytes\": %zu,\n"
+               "  \"small_raw_durable_ms\": %.3f,\n"
+               "  \"small_atomic_ms\": %.3f,\n"
+               "  \"small_overhead\": %.4f,\n"
+               "  \"budget\": %.2f\n"
+               "}\n",
+               kBulkBytes, raw_bulk_ms, durable_bulk_ms, atomic_bulk_ms,
+               artifact_bulk_ms, bulk_overhead, artifact_overhead, kSmallBytes,
+               durable_small_ms, atomic_small_ms, small_overhead, kBudget);
+  std::fclose(out);
+
+  std::printf("wrote %s\n", path);
+  std::printf("atomic-write overhead on %zu MB: %.2f%% vs durable raw write "
+              "(budget %.0f%%); with container: %.2f%%; no-sync ofstream baseline: "
+              "%.3f ms; small-file (64 KB, informational): %.2f%%\n",
+              kBulkBytes >> 20, bulk_overhead * 100.0, kBudget * 100.0,
+              artifact_overhead * 100.0, raw_bulk_ms, small_overhead * 100.0);
+  if (bulk_overhead > kBudget) {
+    std::fprintf(stderr,
+                 "micro_fsio: FAIL: atomic write costs %.2f%% over a durable raw "
+                 "write on the bulk payload (budget %.0f%%)\n",
+                 bulk_overhead * 100.0, kBudget * 100.0);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return write_fsio_json();
+}

@@ -1,0 +1,551 @@
+#include "core/run.hpp"
+
+#include <charconv>
+#include <condition_variable>
+#include <cstdlib>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <thread>
+
+#include "core/behavior.hpp"
+#include "core/clustering.hpp"
+#include "core/report.hpp"
+#include "graph/io.hpp"
+#include "intel/labels.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "trace/generator.hpp"
+#include "util/artifact.hpp"
+#include "util/hash.hpp"
+#include "util/log.hpp"
+#include "util/stopwatch.hpp"
+
+namespace dnsembed::core {
+
+StageDeadlineExceeded::StageDeadlineExceeded(std::string stage)
+    : std::runtime_error{"stage '" + stage + "' exceeded its deadline"},
+      stage_{std::move(stage)} {}
+
+namespace {
+
+// ---------------------------------------------------------------- layout
+
+/// Artifact files per stage. kind == nullptr marks a raw (non-container)
+/// file whose digest is still tracked in the manifest (the report).
+struct ArtifactSpec {
+  const char* file;
+  const char* kind;
+};
+
+struct StageSpec {
+  const char* name;
+  std::vector<ArtifactSpec> artifacts;
+};
+
+const std::vector<StageSpec>& stage_specs() {
+  static const std::vector<StageSpec> specs{
+      {"trace",
+       {{"hdbg.bg", "bipartite-graph"},
+        {"dibg.bg", "bipartite-graph"},
+        {"dtbg.bg", "bipartite-graph"},
+        {"truth.gt", "ground-truth"},
+        {"trace.stats", "trace-stats"}}},
+      {"behavior",
+       {{"kept.domains", "domain-list"},
+        {"query_sim.wg", "weighted-graph"},
+        {"ip_sim.wg", "weighted-graph"},
+        {"temporal_sim.wg", "weighted-graph"}}},
+      {"embed",
+       {{"query.emb", "embedding"},
+        {"ip.emb", "embedding"},
+        {"temporal.emb", "embedding"},
+        {"combined.emb", "embedding"}}},
+      {"labels", {{"labeled.set", "labeled-set"}}},
+      {"report", {{"report.md", nullptr}}},
+  };
+  return specs;
+}
+
+std::string join(const std::string& dir, const char* file) { return dir + "/" + file; }
+
+// ------------------------------------------------------- small payloads
+
+struct TraceStats {
+  std::size_t dns_events = 0;
+  std::size_t nxdomain_events = 0;
+  std::size_t flow_events = 0;
+};
+
+std::string trace_stats_payload(const TraceStats& stats) {
+  std::ostringstream out;
+  out << "dns_events " << stats.dns_events << "\nnxdomain_events " << stats.nxdomain_events
+      << "\nflow_events " << stats.flow_events << "\n";
+  return out.str();
+}
+
+[[noreturn]] void corrupt_payload(const std::string& path, std::string reason) {
+  util::fsio::note_corrupt_detected();
+  throw util::CorruptArtifact{path, std::move(reason)};
+}
+
+TraceStats parse_trace_stats(const std::string& payload, const std::string& path) {
+  std::istringstream in{payload};
+  TraceStats stats;
+  std::string key;
+  if (!(in >> key >> stats.dns_events) || key != "dns_events") {
+    corrupt_payload(path, "trace-stats: bad dns_events");
+  }
+  if (!(in >> key >> stats.nxdomain_events) || key != "nxdomain_events") {
+    corrupt_payload(path, "trace-stats: bad nxdomain_events");
+  }
+  if (!(in >> key >> stats.flow_events) || key != "flow_events") {
+    corrupt_payload(path, "trace-stats: bad flow_events");
+  }
+  return stats;
+}
+
+std::string domain_list_payload(const std::vector<std::string>& domains) {
+  std::string out = "domains " + std::to_string(domains.size()) + "\n";
+  for (const auto& domain : domains) {
+    out += domain;
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<std::string> parse_domain_list(const std::string& payload, const std::string& path) {
+  std::istringstream in{payload};
+  std::string key;
+  std::size_t count = 0;
+  if (!(in >> key >> count) || key != "domains") {
+    corrupt_payload(path, "domain-list: bad header");
+  }
+  std::vector<std::string> out;
+  out.reserve(count);
+  std::string domain;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!(in >> domain)) corrupt_payload(path, "domain-list: truncated");
+    out.push_back(domain);
+  }
+  return out;
+}
+
+// -------------------------------------------------------------- manifest
+
+struct ManifestEntry {
+  std::string file;
+  std::string digest;
+};
+
+struct StageRecord {
+  std::string name;
+  std::vector<ManifestEntry> artifacts;
+};
+
+struct Manifest {
+  std::string config_hash;
+  std::vector<StageRecord> stages;
+};
+
+constexpr const char* kManifestFile = "manifest.run";
+
+std::string manifest_payload(const Manifest& manifest) {
+  std::string out = "config " + manifest.config_hash + "\n";
+  for (const auto& stage : manifest.stages) {
+    out += "stage " + stage.name + " " + std::to_string(stage.artifacts.size()) + "\n";
+    for (const auto& entry : stage.artifacts) {
+      out += "artifact " + entry.file + " " + entry.digest + "\n";
+    }
+  }
+  return out;
+}
+
+Manifest parse_manifest_payload(const std::string& payload, const std::string& path) {
+  std::istringstream in{payload};
+  Manifest manifest;
+  std::string word;
+  if (!(in >> word >> manifest.config_hash) || word != "config" ||
+      manifest.config_hash.size() != 16) {
+    corrupt_payload(path, "manifest: bad config line");
+  }
+  while (in >> word) {
+    if (word != "stage") corrupt_payload(path, "manifest: expected stage record");
+    StageRecord record;
+    std::size_t count = 0;
+    if (!(in >> record.name >> count)) corrupt_payload(path, "manifest: bad stage header");
+    for (std::size_t i = 0; i < count; ++i) {
+      ManifestEntry entry;
+      if (!(in >> word >> entry.file >> entry.digest) || word != "artifact" ||
+          entry.digest.size() != 16) {
+        corrupt_payload(path, "manifest: bad artifact row");
+      }
+      record.artifacts.push_back(std::move(entry));
+    }
+    manifest.stages.push_back(std::move(record));
+  }
+  return manifest;
+}
+
+void save_manifest(const std::string& workdir, const Manifest& manifest) {
+  util::save_artifact(join(workdir, kManifestFile), "run-manifest",
+                      manifest_payload(manifest));
+}
+
+/// Manifest from a previous run, if one exists and validates; nullopt
+/// otherwise (missing file, torn container, unparseable payload — all mean
+/// "nothing trustworthy to resume from", never a fatal error).
+std::optional<Manifest> try_load_manifest(const std::string& workdir) {
+  const auto path = join(workdir, kManifestFile);
+  try {
+    return parse_manifest_payload(util::load_artifact(path, "run-manifest"), path);
+  } catch (const util::CorruptArtifact& e) {
+    util::log_warn() << "run: manifest corrupt (" << e.reason() << "); starting fresh";
+    return std::nullopt;
+  } catch (const util::fsio::IoError&) {
+    return std::nullopt;  // typically ENOENT on a first run
+  }
+}
+
+// ------------------------------------------------------------ validation
+
+std::string file_digest(const std::string& bytes) {
+  return util::hex64(util::xxhash64(bytes));
+}
+
+/// A recorded stage is reusable iff its artifact list matches the spec and
+/// every file is present, digest-identical, and (for containers) passes
+/// full container validation.
+bool stage_artifacts_valid(const std::string& workdir, const StageRecord& record,
+                           const StageSpec& spec) {
+  if (record.artifacts.size() != spec.artifacts.size()) return false;
+  for (std::size_t i = 0; i < spec.artifacts.size(); ++i) {
+    const auto& want = spec.artifacts[i];
+    const auto& have = record.artifacts[i];
+    if (have.file != want.file) return false;
+    const auto path = join(workdir, want.file);
+    std::string bytes;
+    try {
+      bytes = util::fsio::read_file(path);
+    } catch (const util::fsio::IoError&) {
+      return false;  // missing or unreadable -> recompute
+    }
+    if (file_digest(bytes) != have.digest) {
+      util::fsio::note_corrupt_detected();
+      util::log_warn() << "run: artifact " << path << " digest mismatch; recomputing stage '"
+                       << record.name << "'";
+      return false;
+    }
+    if (want.kind != nullptr) {
+      try {
+        util::validate_artifact_bytes(bytes, want.kind, path);
+      } catch (const util::CorruptArtifact& e) {
+        util::log_warn() << "run: artifact " << path << " corrupt (" << e.reason()
+                         << "); recomputing stage '" << record.name << "'";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+// -------------------------------------------------------------- watchdog
+
+/// Arms a deadline timer for one stage. Cancellation is cooperative: the
+/// stage driver polls expired() at artifact commits and substep boundaries
+/// (atomic artifact writes mean cancellation never leaves torn files).
+class StageWatchdog {
+ public:
+  StageWatchdog(const char* stage, double seconds) : stage_{stage} {
+    if (seconds <= 0.0) return;
+    const auto budget = std::chrono::duration<double>{seconds};
+    timer_ = std::thread{[this, budget] {
+      std::unique_lock lock{mutex_};
+      if (!cv_.wait_for(lock, budget, [this] { return disarmed_; })) {
+        expired_.store(true, std::memory_order_relaxed);
+      }
+    }};
+  }
+
+  ~StageWatchdog() {
+    {
+      std::lock_guard lock{mutex_};
+      disarmed_ = true;
+    }
+    cv_.notify_all();
+    if (timer_.joinable()) timer_.join();
+  }
+
+  void check() const {
+    if (expired_.load(std::memory_order_relaxed)) throw StageDeadlineExceeded{stage_};
+  }
+
+ private:
+  std::string stage_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool disarmed_ = false;
+  std::atomic<bool> expired_{false};
+  std::thread timer_;
+};
+
+// ---------------------------------------------------------- stage driver
+
+class StageDriver {
+ public:
+  StageDriver(const RunOptions& options, Manifest manifest)
+      : options_{options}, manifest_{std::move(manifest)} {}
+
+  /// Record a just-committed artifact's digest, fire the crash hook, and
+  /// poll the deadline.
+  void committed(const char* file, const StageWatchdog& watchdog) {
+    const auto path = join(options_.workdir, file);
+    pending_.push_back({file, file_digest(util::fsio::read_file(path))});
+    if (!options_.crash_after_artifact.empty() && options_.crash_after_artifact == file) {
+      util::log_warn() << "run: crash hook firing after " << file;
+      std::_Exit(137);
+    }
+    watchdog.check();
+  }
+
+  /// Run or skip one stage. `body` receives (watchdog) and must commit every
+  /// artifact in the stage's spec via committed().
+  void stage(const StageSpec& spec, RunSummary& summary,
+             const std::function<void(const StageWatchdog&)>& body) {
+    util::Stopwatch watch;
+    if (const auto* record = reusable_record(spec.name)) {
+      if (stage_artifacts_valid(options_.workdir, *record, spec)) {
+        obs::metrics().counter("pipeline.stage.resumed").add(1);
+        ++summary.resumed_stages;
+        summary.stages.push_back({spec.name, true, watch.seconds()});
+        util::log_info() << "run: stage '" << spec.name << "' resumed from artifacts";
+        completed_.push_back(*record);
+        return;
+      }
+    }
+    obs::StageSpan span{std::string{"run."} + spec.name};
+    StageWatchdog watchdog{spec.name, options_.stage_deadline_seconds};
+    watchdog.check();
+    pending_.clear();
+    body(watchdog);
+    completed_.push_back({spec.name, std::move(pending_)});
+    pending_ = {};
+    // Rewrite the manifest after every stage: a crash between stages loses
+    // at most the stage in flight.
+    save_manifest(options_.workdir, {config_hash(), completed_});
+    summary.stages.push_back({spec.name, false, watch.seconds()});
+    util::log_info() << "run: stage '" << spec.name << "' completed in " << watch.seconds()
+                     << "s";
+  }
+
+  std::string config_hash() const { return hash_pipeline_config(options_.config); }
+
+ private:
+  /// The previous run's record for this stage, when resume applies to it.
+  const StageRecord* reusable_record(const char* name) const {
+    if (!options_.resume) return nullptr;
+    if (manifest_.config_hash != config_hash()) return nullptr;
+    // Stages are only reusable in prefix order behind already-valid ones:
+    // a recomputed earlier stage is deterministic, so identical artifacts
+    // keep later digests valid — but a *failed* validation earlier means
+    // later stages were built from inputs we no longer trust.
+    const std::size_t position = completed_.size();
+    if (position >= manifest_.stages.size()) return nullptr;
+    if (manifest_.stages[position].name != name) return nullptr;
+    for (std::size_t i = 0; i < position; ++i) {
+      if (completed_[i].name != manifest_.stages[i].name ||
+          !equal_entries(completed_[i].artifacts, manifest_.stages[i].artifacts)) {
+        return nullptr;
+      }
+    }
+    return &manifest_.stages[position];
+  }
+
+  static bool equal_entries(const std::vector<ManifestEntry>& a,
+                            const std::vector<ManifestEntry>& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i].file != b[i].file || a[i].digest != b[i].digest) return false;
+    }
+    return true;
+  }
+
+  const RunOptions& options_;
+  Manifest manifest_;                  // from the previous run (may be empty)
+  std::vector<StageRecord> completed_; // this run, in order
+  std::vector<ManifestEntry> pending_; // artifacts of the stage in flight
+};
+
+}  // namespace
+
+// ---------------------------------------------------------- config hash
+
+std::string hash_pipeline_config(const PipelineConfig& config) {
+  std::ostringstream out;
+  out.precision(17);
+  out << "run-config 1";
+  out << " trace=" << config.trace.seed << ',' << config.trace.campaign_seed << ','
+      << config.trace.hosts << ',' << config.trace.days << ',' << config.trace.benign_sites
+      << ',' << config.trace.malware_families;
+  out << " prune=" << config.behavior.prune.min_left_degree << ','
+      << config.behavior.prune.max_left_fraction;
+  out << " proj=" << config.behavior.query_projection.min_similarity << ','
+      << config.behavior.ip_projection.min_similarity << ','
+      << config.behavior.temporal_projection.min_similarity;
+  out << " embed=" << static_cast<int>(config.embedding.method) << ','
+      << config.embedding_dimension << ',' << config.embedding.line.total_samples << ','
+      << config.seed;
+  out << " labeling=" << config.labeling.malicious_fraction << ',' << config.labeling.seed;
+  out << " svm=" << static_cast<int>(config.svm.kernel) << ',' << config.svm.c << ','
+      << config.svm.gamma << ',' << config.kfold;
+  out << " xmeans=" << config.xmeans.k_min << ',' << config.xmeans.k_max << ','
+      << config.xmeans.seed;
+  return util::hex64(util::xxhash64(out.str()));
+}
+
+// ------------------------------------------------------------------ run
+
+RunSummary run_resumable(const RunOptions& options) {
+  if (options.workdir.empty()) throw std::invalid_argument{"run_resumable: empty workdir"};
+  obs::StageSpan run_span{"run.pipeline"};
+  util::fsio::create_directories(options.workdir);
+
+  Manifest previous;
+  if (options.resume) {
+    if (auto loaded = try_load_manifest(options.workdir)) previous = std::move(*loaded);
+  }
+  StageDriver driver{options, std::move(previous)};
+  const auto& specs = stage_specs();
+  const auto path = [&](const char* file) { return join(options.workdir, file); };
+
+  RunSummary summary;
+  summary.report_path = path("report.md");
+  const PipelineConfig& config = options.config;
+
+  // trace: synthesize the campus capture into the three bipartite graphs
+  // plus the ground-truth registry.
+  driver.stage(specs[0], summary, [&](const StageWatchdog& watchdog) {
+    GraphBuilderSink graphs;
+    const auto trace_result = trace::generate_trace(config.trace, graphs);
+    watchdog.check();
+    graph::save_bipartite_file(path("hdbg.bg"), graphs.take_hdbg());
+    driver.committed("hdbg.bg", watchdog);
+    graph::save_bipartite_file(path("dibg.bg"), graphs.take_dibg());
+    driver.committed("dibg.bg", watchdog);
+    graph::save_bipartite_file(path("dtbg.bg"), graphs.take_dtbg());
+    driver.committed("dtbg.bg", watchdog);
+    trace::save_ground_truth_file(path("truth.gt"), trace_result.truth);
+    driver.committed("truth.gt", watchdog);
+    util::save_artifact(path("trace.stats"), "trace-stats",
+                        trace_stats_payload({trace_result.dns_events,
+                                             trace_result.nxdomain_events,
+                                             trace_result.flow_events}));
+    driver.committed("trace.stats", watchdog);
+  });
+
+  // behavior: prune + project the reloaded bipartite graphs.
+  driver.stage(specs[1], summary, [&](const StageWatchdog& watchdog) {
+    auto hdbg = graph::load_bipartite_file(path("hdbg.bg"));
+    auto dibg = graph::load_bipartite_file(path("dibg.bg"));
+    auto dtbg = graph::load_bipartite_file(path("dtbg.bg"));
+    watchdog.check();
+    BehaviorModelConfig behavior = config.behavior;
+    behavior.query_projection.threads = config.projection_threads;
+    behavior.ip_projection.threads = config.projection_threads;
+    behavior.temporal_projection.threads = config.projection_threads;
+    auto model =
+        build_behavior_model(std::move(hdbg), std::move(dibg), std::move(dtbg), behavior);
+    watchdog.check();
+    util::save_artifact(path("kept.domains"), "domain-list",
+                        domain_list_payload(model.kept_domains));
+    driver.committed("kept.domains", watchdog);
+    graph::save_weighted_file(path("query_sim.wg"), model.query_similarity);
+    driver.committed("query_sim.wg", watchdog);
+    graph::save_weighted_file(path("ip_sim.wg"), model.ip_similarity);
+    driver.committed("ip_sim.wg", watchdog);
+    graph::save_weighted_file(path("temporal_sim.wg"), model.temporal_similarity);
+    driver.committed("temporal_sim.wg", watchdog);
+  });
+
+  // embed: one embedding per reloaded similarity graph (seed, seed+1,
+  // seed+2 as in run_pipeline), then the concatenated vector.
+  driver.stage(specs[2], summary, [&](const StageWatchdog& watchdog) {
+    const auto kept = parse_domain_list(
+        util::load_artifact(path("kept.domains"), "domain-list"), path("kept.domains"));
+    embed::EmbedConfig embed_config = config.embedding;
+    embed_config.dimension = config.embedding_dimension;
+
+    embed_config.seed = config.seed;
+    const auto query =
+        embed::embed_graph(graph::load_weighted_file(path("query_sim.wg")), embed_config);
+    query.save_file(path("query.emb"));
+    driver.committed("query.emb", watchdog);
+
+    embed_config.seed = config.seed + 1;
+    const auto ip =
+        embed::embed_graph(graph::load_weighted_file(path("ip_sim.wg")), embed_config);
+    ip.save_file(path("ip.emb"));
+    driver.committed("ip.emb", watchdog);
+
+    embed_config.seed = config.seed + 2;
+    const auto temporal =
+        embed::embed_graph(graph::load_weighted_file(path("temporal_sim.wg")), embed_config);
+    temporal.save_file(path("temporal.emb"));
+    driver.committed("temporal.emb", watchdog);
+
+    embed::EmbeddingMatrix::concat(kept, {&query, &ip, &temporal})
+        .save_file(path("combined.emb"));
+    driver.committed("combined.emb", watchdog);
+  });
+
+  // labels: ground truth + simulated VirusTotal over the kept domains.
+  driver.stage(specs[3], summary, [&](const StageWatchdog& watchdog) {
+    const auto truth = trace::load_ground_truth_file(path("truth.gt"));
+    const auto kept = parse_domain_list(
+        util::load_artifact(path("kept.domains"), "domain-list"), path("kept.domains"));
+    watchdog.check();
+    const intel::VirusTotalSim vt{truth, config.virustotal};
+    intel::save_labeled_file(path("labeled.set"),
+                             intel::build_labeled_set(kept, truth, vt, config.labeling));
+    driver.committed("labeled.set", watchdog);
+  });
+
+  // report: per-channel SVM evaluation + clustering over the persisted
+  // artifacts only (nothing carried in memory from earlier stages).
+  driver.stage(specs[4], summary, [&](const StageWatchdog& watchdog) {
+    PipelineResult result;
+    result.trace.truth = trace::load_ground_truth_file(path("truth.gt"));
+    const auto stats = parse_trace_stats(
+        util::load_artifact(path("trace.stats"), "trace-stats"), path("trace.stats"));
+    result.trace.dns_events = stats.dns_events;
+    result.trace.nxdomain_events = stats.nxdomain_events;
+    result.trace.flow_events = stats.flow_events;
+    result.model.kept_domains = parse_domain_list(
+        util::load_artifact(path("kept.domains"), "domain-list"), path("kept.domains"));
+    result.model.query_similarity = graph::load_weighted_file(path("query_sim.wg"));
+    result.model.ip_similarity = graph::load_weighted_file(path("ip_sim.wg"));
+    result.model.temporal_similarity = graph::load_weighted_file(path("temporal_sim.wg"));
+    result.query_embedding = embed::EmbeddingMatrix::load_file(path("query.emb"));
+    result.ip_embedding = embed::EmbeddingMatrix::load_file(path("ip.emb"));
+    result.temporal_embedding = embed::EmbeddingMatrix::load_file(path("temporal.emb"));
+    result.combined_embedding = embed::EmbeddingMatrix::load_file(path("combined.emb"));
+    result.labels = intel::load_labeled_file(path("labeled.set"));
+    watchdog.check();
+
+    const auto evals = evaluate_channels(result, config);
+    watchdog.check();
+    const auto clusters = cluster_domains(result.combined_embedding,
+                                          result.model.kept_domains, result.trace.truth,
+                                          config.xmeans);
+    watchdog.check();
+    std::ostringstream report;
+    write_detection_report(report, result, evals, clusters);
+    util::fsio::atomic_write_file(path("report.md"), report.str());
+    driver.committed("report.md", watchdog);
+  });
+
+  return summary;
+}
+
+}  // namespace dnsembed::core

@@ -5,9 +5,11 @@
 #include <cstring>
 #include <istream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 #include "core/detector.hpp"
+#include "util/artifact.hpp"
 #include "dns/log_io.hpp"
 #include "intel/labels.hpp"
 #include "obs/metrics.hpp"
@@ -362,6 +364,22 @@ void StreamingDetector::load_checkpoint(std::istream& in) {
 
   if (checkpoint_line(in, "end") != "end") {
     throw std::runtime_error{"checkpoint: missing end marker"};
+  }
+}
+
+void StreamingDetector::save_checkpoint_file(const std::string& path) const {
+  std::ostringstream payload;
+  save_checkpoint(payload);
+  util::save_artifact(path, "streaming-checkpoint", payload.str());
+}
+
+void StreamingDetector::load_checkpoint_file(const std::string& path) {
+  std::istringstream payload{util::load_artifact(path, "streaming-checkpoint")};
+  try {
+    load_checkpoint(payload);
+  } catch (const std::runtime_error& e) {
+    util::fsio::note_corrupt_detected();
+    throw util::CorruptArtifact{path, e.what()};
   }
 }
 

@@ -125,6 +125,13 @@ class StreamingDetector {
   /// std::runtime_error on a malformed or version-mismatched checkpoint.
   void load_checkpoint(std::istream& in);
 
+  /// Durable checkpoint persistence (kind "streaming-checkpoint"): the text
+  /// form above wrapped in an atomic, checksummed artifact container, so a
+  /// crash mid-save never destroys the previous checkpoint and damage
+  /// surfaces as util::CorruptArtifact instead of a half-restored detector.
+  void save_checkpoint_file(const std::string& path) const;
+  void load_checkpoint_file(const std::string& path);
+
  private:
   bool label_available(const std::string& domain, std::size_t first_seen_day) const;
   void retrain_and_score(StreamingDayRecord& record);

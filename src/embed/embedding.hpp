@@ -47,9 +47,20 @@ class EmbeddingMatrix {
   static EmbeddingMatrix concat(const std::vector<std::string>& names,
                                 const std::vector<const EmbeddingMatrix*>& parts);
 
-  /// CSV persistence: "name,v0,v1,..." one row per line.
+  /// CSV persistence: "name,v0,v1,..." one row per line. Decimal rendering
+  /// is lossy — interop/inspection only, not a durable intermediate.
   void save_csv(const std::string& path) const;
   static EmbeddingMatrix load_csv(const std::string& path);
+
+  /// Durable artifact persistence (atomic + checksummed, coordinates stored
+  /// by float bit pattern for exact round-trips). load_file throws
+  /// util::CorruptArtifact on a damaged container or payload.
+  void save_file(const std::string& path) const;
+  static EmbeddingMatrix load_file(const std::string& path);
+
+  /// Artifact payload codec, exposed for the loader fuzz tests.
+  std::string payload() const;
+  static EmbeddingMatrix parse_payload(std::string_view payload, const std::string& context);
 
  private:
   void rebuild_index();

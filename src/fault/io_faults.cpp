@@ -1,0 +1,51 @@
+#include "fault/io_faults.hpp"
+
+#include <algorithm>
+#include <cerrno>
+
+namespace dnsembed::fault {
+
+std::size_t truncate_at_random_offset(std::string& bytes, util::Rng& rng) {
+  if (bytes.empty()) return 0;
+  const auto cut = static_cast<std::size_t>(rng.uniform_index(bytes.size()));
+  bytes.resize(cut);
+  return cut;
+}
+
+void flip_random_bits(std::string& bytes, util::Rng& rng, std::size_t bits) {
+  if (bytes.empty()) return;
+  for (std::size_t k = 0; k < bits; ++k) {
+    const auto pos = static_cast<std::size_t>(rng.uniform_index(bytes.size()));
+    const auto bit = static_cast<unsigned>(rng.uniform_index(8));
+    bytes[pos] = static_cast<char>(static_cast<unsigned char>(bytes[pos]) ^ (1u << bit));
+  }
+}
+
+IoFaultChannel::IoFaultChannel(const FaultPlan& plan)
+    : plan_{plan}, rng_{plan.seed ^ 0x10FA017C4A11EDULL} {}
+
+int IoFaultChannel::on_io(util::fsio::Op, std::string_view, std::size_t) {
+  if (plan_.io_error_rate <= 0.0 || !rng_.bernoulli(plan_.io_error_rate)) return 0;
+  ++stats_.errors_injected;
+  return EIO;  // classified transient by fsio: retried with backoff
+}
+
+bool IoFaultChannel::mutate_payload(std::string_view, std::string& payload) {
+  bool mutated = false;
+  if (plan_.io_torn_write_rate > 0.0 && rng_.bernoulli(plan_.io_torn_write_rate)) {
+    truncate_at_random_offset(payload, rng_);
+    ++stats_.torn_writes;
+    mutated = true;
+  }
+  if (plan_.io_bitflip_rate > 0.0 && rng_.bernoulli(plan_.io_bitflip_rate)) {
+    const std::size_t bits =
+        1 + static_cast<std::size_t>(
+                rng_.uniform_index(std::max<std::size_t>(plan_.io_bitflip_max_bits, 1)));
+    flip_random_bits(payload, rng_, bits);
+    ++stats_.bitflips;
+    mutated = true;
+  }
+  return mutated;
+}
+
+}  // namespace dnsembed::fault

@@ -1,0 +1,70 @@
+// Seeded artifact-I/O fault channel: interprets a FaultPlan's io_* rates as
+// a util::fsio::FaultInjector — transient EIO on primitive operations
+// (exercising the bounded-backoff retry path), torn-write truncation at a
+// random offset, and payload bit flips (both of which must be caught by the
+// artifact checksum on load, never by luck).
+//
+// Like the packet/entry/label channels, everything is derived from
+// plan.seed, so an I/O failure scenario is a reproducible test case. The
+// truncation / bit-flip mutators are exposed standalone so the loader fuzz
+// suite can damage serialized containers directly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "fault/plan.hpp"
+#include "util/fsio.hpp"
+#include "util/rng.hpp"
+
+namespace dnsembed::fault {
+
+/// Truncate `bytes` at a uniformly random offset in [0, size). No-op on an
+/// empty buffer. Returns the cut offset.
+std::size_t truncate_at_random_offset(std::string& bytes, util::Rng& rng);
+
+/// Flip `bits` random bits (uniform positions, with replacement). No-op on
+/// an empty buffer.
+void flip_random_bits(std::string& bytes, util::Rng& rng, std::size_t bits);
+
+/// Per-channel injection counters.
+struct IoFaultStats {
+  std::size_t errors_injected = 0;
+  std::size_t torn_writes = 0;
+  std::size_t bitflips = 0;
+};
+
+class IoFaultChannel final : public util::fsio::FaultInjector {
+ public:
+  explicit IoFaultChannel(const FaultPlan& plan);
+
+  int on_io(util::fsio::Op op, std::string_view path, std::size_t attempt) override;
+  bool mutate_payload(std::string_view path, std::string& payload) override;
+
+  const IoFaultStats& stats() const noexcept { return stats_; }
+
+ private:
+  FaultPlan plan_;
+  util::Rng rng_;
+  IoFaultStats stats_;
+};
+
+/// RAII installer: routes util::fsio through `channel` for the scope's
+/// lifetime, restoring the previous injector on destruction.
+class ScopedIoFaults {
+ public:
+  explicit ScopedIoFaults(util::fsio::FaultInjector* channel)
+      : previous_{util::fsio::fault_injector()} {
+    util::fsio::set_fault_injector(channel);
+  }
+  ~ScopedIoFaults() { util::fsio::set_fault_injector(previous_); }
+
+  ScopedIoFaults(const ScopedIoFaults&) = delete;
+  ScopedIoFaults& operator=(const ScopedIoFaults&) = delete;
+
+ private:
+  util::fsio::FaultInjector* previous_;
+};
+
+}  // namespace dnsembed::fault

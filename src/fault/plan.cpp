@@ -33,6 +33,9 @@ FaultPlan FaultPlan::scaled(double severity) const {
   plan.entry_duplicate_rate = scale_rate(entry_duplicate_rate, severity);
   plan.dhcp_churn_rate = scale_rate(dhcp_churn_rate, severity);
   plan.label_blackhole_rate = scale_rate(label_blackhole_rate, severity);
+  plan.io_error_rate = scale_rate(io_error_rate, severity);
+  plan.io_torn_write_rate = scale_rate(io_torn_write_rate, severity);
+  plan.io_bitflip_rate = scale_rate(io_bitflip_rate, severity);
   return plan;
 }
 
@@ -49,6 +52,9 @@ std::string FaultPlan::describe() const {
   append_rate(out, "edup", entry_duplicate_rate);
   append_rate(out, "churn", dhcp_churn_rate);
   append_rate(out, "blackhole", label_blackhole_rate);
+  append_rate(out, "io-err", io_error_rate);
+  append_rate(out, "io-torn", io_torn_write_rate);
+  append_rate(out, "io-flip", io_bitflip_rate);
   if (label_extra_delay_max > 0) {
     append_rate(out, "extra-delay", static_cast<double>(label_extra_delay_max));
   }

@@ -53,6 +53,23 @@ struct FaultPlan {
   /// on top of the detector's configured label delay.
   std::size_t label_extra_delay_max = 0;
 
+  // --- Artifact I/O channels (interpreted by fault::IoFaultChannel,
+  // injected into util::fsio). Rates are per primitive operation / per
+  // committed payload.
+  /// Probability that a primitive filesystem operation (open/write/fsync/
+  /// rename/read) fails with a transient EIO. Exercises the fsio retry
+  /// path; a payload survives as long as one attempt in the retry budget
+  /// succeeds.
+  double io_error_rate = 0.0;
+  /// Probability that a committed payload is truncated at a random offset
+  /// (torn write that slipped past the write path). Must be caught by the
+  /// artifact checksum on load.
+  double io_torn_write_rate = 0.0;
+  /// Probability that a committed payload has 1..io_bitflip_max_bits
+  /// random bits flipped (silent media corruption).
+  double io_bitflip_rate = 0.0;
+  std::size_t io_bitflip_max_bits = 8;
+
   /// Scale every rate by `severity` (clamped to [0, 1]); magnitudes
   /// (windows, byte counts, delays) are left untouched. severity 0 is a
   /// no-fault plan, 1 is the plan as written.

@@ -1,8 +1,10 @@
 #include "intel/labels.hpp"
 
 #include <algorithm>
+#include <charconv>
 #include <stdexcept>
 
+#include "util/artifact.hpp"
 #include "util/rng.hpp"
 
 namespace dnsembed::intel {
@@ -50,6 +52,74 @@ LabeledSet build_labeled_set(const std::vector<std::string>& candidates,
     out.labels.push_back(0);
   }
   return out;
+}
+
+namespace {
+
+[[noreturn]] void bad_labeled(const std::string& context, std::string reason) {
+  util::fsio::note_corrupt_detected();
+  throw util::CorruptArtifact{context, std::move(reason)};
+}
+
+}  // namespace
+
+std::string labeled_payload(const LabeledSet& labels) {
+  std::string out;
+  out += "domains " + std::to_string(labels.size()) + "\n";
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    out += labels.domains[i];
+    out += '\t';
+    out += labels.labels[i] == 1 ? '1' : '0';
+    out += '\n';
+  }
+  return out;
+}
+
+LabeledSet parse_labeled_payload(std::string_view payload, const std::string& context) {
+  std::size_t pos = 0;
+  const auto take_line = [&](std::string_view& line) {
+    if (pos >= payload.size()) return false;
+    const auto nl = payload.find('\n', pos);
+    line = payload.substr(pos, nl == std::string_view::npos ? std::string_view::npos : nl - pos);
+    pos = nl == std::string_view::npos ? payload.size() : nl + 1;
+    return true;
+  };
+
+  std::string_view line;
+  if (!take_line(line) || line.substr(0, 8) != "domains ") {
+    bad_labeled(context, "labeled payload: missing header");
+  }
+  std::size_t count = 0;
+  const auto count_text = line.substr(8);
+  const auto [ptr, ec] =
+      std::from_chars(count_text.data(), count_text.data() + count_text.size(), count);
+  if (ec != std::errc{} || ptr != count_text.data() + count_text.size()) {
+    bad_labeled(context, "labeled payload: bad domain count");
+  }
+
+  LabeledSet out;
+  out.domains.reserve(count);
+  out.labels.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!take_line(line)) bad_labeled(context, "labeled payload: truncated");
+    const auto tab = line.find('\t');
+    if (tab == std::string_view::npos || tab == 0 || tab + 2 != line.size() ||
+        (line[tab + 1] != '0' && line[tab + 1] != '1')) {
+      bad_labeled(context, "labeled payload: bad row " + std::to_string(i));
+    }
+    out.domains.emplace_back(line.substr(0, tab));
+    out.labels.push_back(line[tab + 1] == '1' ? 1 : 0);
+  }
+  if (pos != payload.size()) bad_labeled(context, "labeled payload: trailing bytes");
+  return out;
+}
+
+void save_labeled_file(const std::string& path, const LabeledSet& labels) {
+  util::save_artifact(path, "labeled-set", labeled_payload(labels));
+}
+
+LabeledSet load_labeled_file(const std::string& path) {
+  return parse_labeled_payload(util::load_artifact(path, "labeled-set"), path);
 }
 
 }  // namespace dnsembed::intel

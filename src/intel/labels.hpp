@@ -6,6 +6,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "intel/virustotal.hpp"
@@ -34,5 +35,13 @@ struct LabeledSet {
 LabeledSet build_labeled_set(const std::vector<std::string>& candidates,
                              const trace::GroundTruth& truth, const VirusTotalSim& vt,
                              const LabelingConfig& config);
+
+/// Durable artifact persistence for labeled sets (kind "labeled-set"):
+/// atomic, checksummed, exact round-trip of domain order and labels.
+/// load_labeled_file throws util::CorruptArtifact on damage.
+std::string labeled_payload(const LabeledSet& labels);
+LabeledSet parse_labeled_payload(std::string_view payload, const std::string& context);
+void save_labeled_file(const std::string& path, const LabeledSet& labels);
+LabeledSet load_labeled_file(const std::string& path);
 
 }  // namespace dnsembed::intel

@@ -1,7 +1,13 @@
 #include "ml/scaler.hpp"
 
 #include <cmath>
+#include <istream>
+#include <ostream>
+#include <sstream>
 #include <stdexcept>
+
+#include "util/artifact.hpp"
+#include "util/bithex.hpp"
 
 namespace dnsembed::ml {
 
@@ -41,6 +47,52 @@ Matrix StandardScaler::transform(const Matrix& x) const {
     }
   }
   return out;
+}
+
+void StandardScaler::save(std::ostream& out) const {
+  if (!fitted_) throw std::logic_error{"StandardScaler::save before fit"};
+  out << "dnsembed-scaler 1\n" << means_.size() << '\n';
+  for (std::size_t j = 0; j < means_.size(); ++j) {
+    out << util::double_to_hex(means_[j]) << ' ' << util::double_to_hex(stddevs_[j]) << '\n';
+  }
+}
+
+StandardScaler StandardScaler::load(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  std::size_t dims = 0;
+  if (!(in >> magic >> version >> dims) || magic != "dnsembed-scaler" || version != 1) {
+    throw std::runtime_error{"StandardScaler::load: bad header"};
+  }
+  StandardScaler scaler;
+  scaler.means_.resize(dims);
+  scaler.stddevs_.resize(dims);
+  std::string mean_hex;
+  std::string stddev_hex;
+  for (std::size_t j = 0; j < dims; ++j) {
+    if (!(in >> mean_hex >> stddev_hex) || !util::hex_to_double(mean_hex, scaler.means_[j]) ||
+        !util::hex_to_double(stddev_hex, scaler.stddevs_[j])) {
+      throw std::runtime_error{"StandardScaler::load: bad statistics row " + std::to_string(j)};
+    }
+  }
+  scaler.fitted_ = true;
+  return scaler;
+}
+
+void StandardScaler::save_file(const std::string& path) const {
+  std::ostringstream payload;
+  save(payload);
+  util::save_artifact(path, "scaler", payload.str());
+}
+
+StandardScaler StandardScaler::load_file(const std::string& path) {
+  std::istringstream payload{util::load_artifact(path, "scaler")};
+  try {
+    return load(payload);
+  } catch (const std::runtime_error& e) {
+    util::fsio::note_corrupt_detected();
+    throw util::CorruptArtifact{path, e.what()};
+  }
 }
 
 }  // namespace dnsembed::ml

@@ -3,6 +3,8 @@
 // (TTL seconds vs ratios), so the SVM/tree comparisons standardize first.
 #pragma once
 
+#include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "ml/dataset.hpp"
@@ -26,6 +28,17 @@ class StandardScaler {
 
   const std::vector<double>& means() const noexcept { return means_; }
   const std::vector<double>& stddevs() const noexcept { return stddevs_; }
+
+  /// Persist / restore fitted statistics. The text form stores each
+  /// mean/stddev by bit pattern (hex), so transform() after load is
+  /// bit-identical to transform() before save.
+  void save(std::ostream& out) const;
+  static StandardScaler load(std::istream& in);
+
+  /// Durable artifact persistence (atomic + checksummed). load_file throws
+  /// util::CorruptArtifact on a damaged container or payload.
+  void save_file(const std::string& path) const;
+  static StandardScaler load_file(const std::string& path);
 
  private:
   std::vector<double> means_;

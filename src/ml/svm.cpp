@@ -13,6 +13,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "util/artifact.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dnsembed::ml {
@@ -290,6 +291,22 @@ SvmModel SvmModel::load(std::istream& in) {
     }
   }
   return model;
+}
+
+void SvmModel::save_file(const std::string& path) const {
+  std::ostringstream payload;
+  save(payload);
+  util::save_artifact(path, "svm-model", payload.str());
+}
+
+SvmModel SvmModel::load_file(const std::string& path) {
+  std::istringstream payload{util::load_artifact(path, "svm-model")};
+  try {
+    return load(payload);
+  } catch (const std::runtime_error& e) {
+    util::fsio::note_corrupt_detected();
+    throw util::CorruptArtifact{path, e.what()};
+  }
 }
 
 std::vector<double> SvmModel::decision_values(const Matrix& x) const {

@@ -7,6 +7,7 @@
 #include <cstddef>
 #include <iosfwd>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "ml/dataset.hpp"
@@ -58,6 +59,12 @@ class SvmModel {
   /// C, gamma, bias; one support vector per line with its coefficient).
   void save(std::ostream& out) const;
   static SvmModel load(std::istream& in);
+
+  /// Durable artifact persistence: the text format above wrapped in an
+  /// atomic, checksummed container. load_file throws util::CorruptArtifact
+  /// on a damaged container or unparseable payload.
+  void save_file(const std::string& path) const;
+  static SvmModel load_file(const std::string& path);
 
  private:
   friend SvmModel train_svm(const Dataset& train, const SvmConfig& config);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/fsio.hpp"
+
 namespace dnsembed::obs {
 
 void set_metrics_enabled(bool enabled) noexcept {
@@ -125,8 +127,18 @@ void Registry::append_record(std::string_view name,
 MetricsSnapshot Registry::snapshot() const {
   const std::lock_guard<std::mutex> lock{mutex_};
   MetricsSnapshot snap;
-  snap.counters.reserve(counters_.size());
+  snap.counters.reserve(counters_.size() + 4);
   for (const auto& c : counters_) snap.counters.emplace_back(c->name(), c->total());
+  // The fsio layer (src/util) cannot depend on obs, so it keeps its own
+  // always-on durability counters; republish them here so every metrics
+  // export shows the I/O retry / atomic-commit / corruption picture.
+  {
+    const auto io = util::fsio::stats();
+    snap.counters.emplace_back("io.retries", io.retries);
+    snap.counters.emplace_back("io.atomic_renames", io.atomic_renames);
+    snap.counters.emplace_back("io.faults_injected", io.faults_injected);
+    snap.counters.emplace_back("artifact.corrupt_detected", io.corrupt_detected);
+  }
   snap.gauges.reserve(gauges_.size());
   for (const auto& g : gauges_) snap.gauges.emplace_back(g->name(), g->value());
   snap.histograms.reserve(histograms_.size());
@@ -154,6 +166,7 @@ void Registry::reset_values() {
   for (const auto& g : gauges_) g->reset();
   for (const auto& h : histograms_) h->reset();
   records_.clear();
+  util::fsio::reset_stats();
 }
 
 }  // namespace dnsembed::obs

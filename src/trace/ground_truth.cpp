@@ -1,6 +1,11 @@
 #include "trace/ground_truth.hpp"
 
+#include <istream>
+#include <ostream>
+#include <sstream>
 #include <stdexcept>
+
+#include "util/artifact.hpp"
 
 namespace dnsembed::trace {
 
@@ -54,6 +59,104 @@ std::vector<std::string> GroundTruth::malicious_domains() const {
     for (const auto& domain : family.domains) out.push_back(domain);
   }
   return out;
+}
+
+namespace {
+
+[[noreturn]] void bad_truth(const std::string& what) {
+  throw std::runtime_error{"GroundTruth load: " + what};
+}
+
+void expect_header(std::istream& in, const char* keyword, std::size_t& count) {
+  std::string word;
+  if (!(in >> word >> count) || word != keyword) {
+    bad_truth(std::string{"missing '"} + keyword + "' section");
+  }
+}
+
+std::string read_token(std::istream& in, const char* what) {
+  std::string token;
+  if (!(in >> token)) bad_truth(std::string{"truncated "} + what);
+  return token;
+}
+
+}  // namespace
+
+void save_ground_truth(std::ostream& out, const GroundTruth& truth) {
+  out << "dnsembed-truth 1\n";
+  out << "benign " << truth.benign_domains().size() << '\n';
+  for (const auto& domain : truth.benign_domains()) out << domain << '\n';
+  out << "families " << truth.families().size() << '\n';
+  for (const auto& family : truth.families()) {
+    out << "family " << family.id << ' ' << static_cast<int>(family.kind) << ' ' << family.port
+        << ' ' << family.name << '\n';
+    out << "domains " << family.domains.size() << '\n';
+    for (const auto& domain : family.domains) out << domain << '\n';
+    out << "ips " << family.ips.size() << '\n';
+    for (const auto ip : family.ips) out << ip.value() << '\n';
+    out << "victims " << family.victims.size() << '\n';
+    for (const auto& victim : family.victims) out << victim << '\n';
+  }
+}
+
+GroundTruth load_ground_truth(std::istream& in) {
+  std::string magic;
+  int version = 0;
+  if (!(in >> magic >> version) || magic != "dnsembed-truth" || version != 1) {
+    bad_truth("bad header");
+  }
+  GroundTruth truth;
+  std::size_t benign_count = 0;
+  expect_header(in, "benign", benign_count);
+  for (std::size_t i = 0; i < benign_count; ++i) {
+    truth.add_benign(read_token(in, "benign list"));
+  }
+  std::size_t family_count = 0;
+  expect_header(in, "families", family_count);
+  for (std::size_t f = 0; f < family_count; ++f) {
+    MalwareFamily family;
+    std::string word;
+    int kind = 0;
+    if (!(in >> word >> family.id >> kind >> family.port) || word != "family" || kind < 0 ||
+        kind > static_cast<int>(FamilyKind::kApt)) {
+      bad_truth("bad family record " + std::to_string(f));
+    }
+    family.kind = static_cast<FamilyKind>(kind);
+    family.name = read_token(in, "family name");
+    std::size_t count = 0;
+    expect_header(in, "domains", count);
+    for (std::size_t i = 0; i < count; ++i) {
+      family.domains.push_back(read_token(in, "family domains"));
+    }
+    expect_header(in, "ips", count);
+    for (std::size_t i = 0; i < count; ++i) {
+      std::uint32_t value = 0;
+      if (!(in >> value)) bad_truth("truncated family ips");
+      family.ips.emplace_back(value);
+    }
+    expect_header(in, "victims", count);
+    for (std::size_t i = 0; i < count; ++i) {
+      family.victims.push_back(read_token(in, "family victims"));
+    }
+    truth.add_family(std::move(family));
+  }
+  return truth;
+}
+
+void save_ground_truth_file(const std::string& path, const GroundTruth& truth) {
+  std::ostringstream payload;
+  save_ground_truth(payload, truth);
+  util::save_artifact(path, "ground-truth", payload.str());
+}
+
+GroundTruth load_ground_truth_file(const std::string& path) {
+  std::istringstream payload{util::load_artifact(path, "ground-truth")};
+  try {
+    return load_ground_truth(payload);
+  } catch (const std::exception& e) {  // add_family rejects duplicates with logic_error
+    util::fsio::note_corrupt_detected();
+    throw util::CorruptArtifact{path, e.what()};
+  }
 }
 
 }  // namespace dnsembed::trace

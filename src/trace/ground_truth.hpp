@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -67,5 +68,17 @@ class GroundTruth {
   std::unordered_map<std::string, std::size_t> malicious_index_;  // domain -> family id
   std::unordered_map<std::string, bool> known_;
 };
+
+/// Text serialization of the registry (benign list + families with their
+/// infrastructure), preserving registration order exactly so a reloaded
+/// truth drives labeling deterministically. load throws std::runtime_error
+/// on malformed input.
+void save_ground_truth(std::ostream& out, const GroundTruth& truth);
+GroundTruth load_ground_truth(std::istream& in);
+
+/// Durable artifact persistence (kind "ground-truth"): atomic, checksummed.
+/// load_ground_truth_file throws util::CorruptArtifact on damage.
+void save_ground_truth_file(const std::string& path, const GroundTruth& truth);
+GroundTruth load_ground_truth_file(const std::string& path);
 
 }  // namespace dnsembed::trace

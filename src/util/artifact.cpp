@@ -1,0 +1,109 @@
+#include "util/artifact.hpp"
+
+#include <charconv>
+
+#include "util/hash.hpp"
+
+namespace dnsembed::util {
+
+namespace {
+
+[[noreturn]] void corrupt(const std::string& path, std::string reason) {
+  fsio::note_corrupt_detected();
+  throw CorruptArtifact{path, std::move(reason)};
+}
+
+}  // namespace
+
+CorruptArtifact::CorruptArtifact(std::string path, std::string reason)
+    : std::runtime_error{"corrupt artifact '" + path + "': " + reason},
+      path_{std::move(path)},
+      reason_{std::move(reason)} {}
+
+std::string payload_digest(std::string_view payload) { return hex64(xxhash64(payload)); }
+
+std::string make_artifact(std::string_view kind, std::string_view payload) {
+  std::string out;
+  out.reserve(payload.size() + 64);
+  out.append(kArtifactMagic);
+  out.push_back(' ');
+  out.append(std::to_string(kArtifactVersion));
+  out.push_back(' ');
+  out.append(kind);
+  out.push_back(' ');
+  out.append(std::to_string(payload.size()));
+  out.push_back(' ');
+  out.append(payload_digest(payload));
+  out.push_back('\n');
+  out.append(payload);
+  return out;
+}
+
+void save_artifact(const std::string& path, std::string_view kind, std::string_view payload,
+                   const fsio::RetryPolicy& policy) {
+  fsio::atomic_write_file(path, make_artifact(kind, payload), policy);
+}
+
+std::string validate_artifact_bytes(std::string_view bytes, std::string_view kind,
+                                    const std::string& path) {
+  const auto newline = bytes.find('\n');
+  if (newline == std::string_view::npos) corrupt(path, "missing header line");
+  const std::string_view header = bytes.substr(0, newline);
+  const std::string_view payload = bytes.substr(newline + 1);
+
+  // Header fields: magic version kind bytes digest.
+  std::string_view fields[5];
+  std::size_t field_count = 0;
+  std::size_t start = 0;
+  while (field_count < 5 && start <= header.size()) {
+    const auto space = header.find(' ', start);
+    const auto end = space == std::string_view::npos ? header.size() : space;
+    fields[field_count++] = header.substr(start, end - start);
+    if (space == std::string_view::npos) break;
+    start = space + 1;
+  }
+  if (field_count != 5) corrupt(path, "malformed header");
+  if (fields[0] != kArtifactMagic) corrupt(path, "bad magic");
+
+  int version = 0;
+  {
+    const auto [ptr, ec] =
+        std::from_chars(fields[1].data(), fields[1].data() + fields[1].size(), version);
+    if (ec != std::errc{} || ptr != fields[1].data() + fields[1].size()) {
+      corrupt(path, "bad version field");
+    }
+  }
+  if (version != kArtifactVersion) {
+    corrupt(path, "unsupported format version " + std::to_string(version));
+  }
+  if (fields[2] != kind) {
+    corrupt(path, "kind mismatch: expected '" + std::string{kind} + "', found '" +
+                      std::string{fields[2]} + "'");
+  }
+
+  std::size_t declared = 0;
+  {
+    const auto [ptr, ec] =
+        std::from_chars(fields[3].data(), fields[3].data() + fields[3].size(), declared);
+    if (ec != std::errc{} || ptr != fields[3].data() + fields[3].size()) {
+      corrupt(path, "bad length field");
+    }
+  }
+  if (declared != payload.size()) {
+    corrupt(path, "length mismatch: header declares " + std::to_string(declared) +
+                      " bytes, file holds " + std::to_string(payload.size()));
+  }
+
+  std::uint64_t declared_digest = 0;
+  if (!parse_hex64(fields[4], declared_digest)) corrupt(path, "bad checksum field");
+  if (xxhash64(payload) != declared_digest) corrupt(path, "checksum mismatch");
+
+  return std::string{payload};
+}
+
+std::string load_artifact(const std::string& path, std::string_view kind,
+                          const fsio::RetryPolicy& policy) {
+  return validate_artifact_bytes(fsio::read_file(path, policy), kind, path);
+}
+
+}  // namespace dnsembed::util

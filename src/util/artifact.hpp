@@ -1,0 +1,68 @@
+// Versioned, checksummed artifact container — the on-disk envelope for
+// every durable intermediate the pipeline produces (similarity graphs,
+// embedding matrices, model dumps, labeled sets, streaming checkpoints,
+// run manifests).
+//
+// Layout (one header line, then the raw payload bytes):
+//
+//   dnsembed-artifact <version> <kind> <payload-bytes> <xxh64-hex>\n
+//   <payload>
+//
+// load_artifact validates magic, version, declared kind, payload length,
+// and the XXH64 checksum before a single payload byte reaches a parser, so
+// torn writes, truncation, and bit flips surface as one typed
+// CorruptArtifact error instead of a crash or a silently wrong load.
+// Writes go through fsio::atomic_write_file, so a crash mid-save never
+// destroys the previous good artifact.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "util/fsio.hpp"
+
+namespace dnsembed::util {
+
+inline constexpr std::string_view kArtifactMagic = "dnsembed-artifact";
+inline constexpr int kArtifactVersion = 1;
+
+/// An artifact failed validation (bad magic/version/kind, length mismatch,
+/// checksum mismatch, or a payload that does not parse as its kind).
+class CorruptArtifact : public std::runtime_error {
+ public:
+  CorruptArtifact(std::string path, std::string reason);
+
+  const std::string& path() const noexcept { return path_; }
+  const std::string& reason() const noexcept { return reason_; }
+
+ private:
+  std::string path_;
+  std::string reason_;
+};
+
+/// XXH64 of the payload as 16 lowercase hex digits — the digest recorded in
+/// artifact headers and run manifests.
+std::string payload_digest(std::string_view payload);
+
+/// Serialize header + payload (for callers that need the raw container
+/// bytes, e.g. the loader fuzz tests).
+std::string make_artifact(std::string_view kind, std::string_view payload);
+
+/// Atomically write `payload` wrapped in a validated container.
+void save_artifact(const std::string& path, std::string_view kind, std::string_view payload,
+                   const fsio::RetryPolicy& policy = {});
+
+/// Read and fully validate; returns the payload. Throws CorruptArtifact on
+/// any validation failure (also counted in fsio stats as
+/// artifact.corrupt_detected) and fsio::IoError when the file cannot be
+/// read at all.
+std::string load_artifact(const std::string& path, std::string_view kind,
+                          const fsio::RetryPolicy& policy = {});
+
+/// Validate in-memory container bytes (shared by load_artifact and tests).
+/// `path` is used for error reporting only.
+std::string validate_artifact_bytes(std::string_view bytes, std::string_view kind,
+                                    const std::string& path);
+
+}  // namespace dnsembed::util

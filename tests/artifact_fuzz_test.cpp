@@ -1,0 +1,202 @@
+// Loader fuzz suite: every durable artifact loader in the pipeline is fed
+// seeded random damage (truncation at arbitrary offsets, bit flips over the
+// whole container — header and payload alike) and must either reject the
+// bytes with a typed util::CorruptArtifact or, when the damage bounced the
+// container back to its original bytes, load the original value. No crash,
+// no silent misload, no other exception type.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/streaming.hpp"
+#include "embed/embedding.hpp"
+#include "fault/io_faults.hpp"
+#include "graph/bipartite.hpp"
+#include "graph/io.hpp"
+#include "graph/weighted_graph.hpp"
+#include "intel/labels.hpp"
+#include "ml/scaler.hpp"
+#include "ml/svm.hpp"
+#include "trace/generator.hpp"
+#include "trace/ground_truth.hpp"
+#include "util/artifact.hpp"
+#include "util/fsio.hpp"
+#include "util/rng.hpp"
+
+namespace dnsembed {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr int kRoundsPerMode = 48;
+
+/// Writes `pristine` with seeded damage applied, then calls `load` and
+/// checks the contract: CorruptArtifact on real damage, clean load when the
+/// damage was a no-op. Any other exception (or a crash) fails the test.
+void fuzz_loader(const std::string& name, const std::string& pristine,
+                 const std::function<void(const std::string&)>& load) {
+  const auto path =
+      (fs::temp_directory_path() / ("dnsembed_fuzz_" + name + ".art")).string();
+  util::Rng rng{0xF022 + std::hash<std::string>{}(name)};
+
+  std::size_t rejected = 0;
+  for (int round = 0; round < 2 * kRoundsPerMode; ++round) {
+    std::string damaged = pristine;
+    if (round < kRoundsPerMode) {
+      fault::truncate_at_random_offset(damaged, rng);
+    } else {
+      fault::flip_random_bits(damaged, rng, 1 + round % 8);
+    }
+    util::fsio::atomic_write_file(path, damaged);
+    try {
+      load(path);
+      EXPECT_EQ(damaged, pristine)
+          << name << " round " << round << ": damaged container loaded cleanly";
+    } catch (const util::CorruptArtifact& e) {
+      ++rejected;
+      EXPECT_FALSE(e.reason().empty()) << name << " round " << round;
+    }
+    // Any other exception type escapes and fails the test.
+  }
+  EXPECT_GT(rejected, 0u) << name << ": no damage was ever detected";
+  fs::remove(path);
+}
+
+std::string artifact_bytes_of(const std::function<void(const std::string&)>& save) {
+  const auto path = (fs::temp_directory_path() / "dnsembed_fuzz_seed.art").string();
+  save(path);
+  auto bytes = util::fsio::read_file(path);
+  fs::remove(path);
+  return bytes;
+}
+
+TEST(ArtifactFuzz, WeightedGraph) {
+  graph::WeightedGraph g;
+  g.add_edge("alpha.test", "beta.test", 0.75);
+  g.add_edge("beta.test", "gamma.test", 0.125);
+  g.add_edge("alpha.test", "gamma.test", 1.0 / 3.0);
+  const auto pristine =
+      artifact_bytes_of([&](const std::string& p) { graph::save_weighted_file(p, g); });
+  fuzz_loader("weighted", pristine,
+              [](const std::string& p) { (void)graph::load_weighted_file(p); });
+}
+
+TEST(ArtifactFuzz, BipartiteGraph) {
+  graph::BipartiteGraph g;
+  g.add_edge("host-1", "alpha.test");
+  g.add_edge("host-1", "beta.test");
+  g.add_edge("host-2", "alpha.test");
+  g.finalize();
+  const auto pristine =
+      artifact_bytes_of([&](const std::string& p) { graph::save_bipartite_file(p, g); });
+  fuzz_loader("bipartite", pristine,
+              [](const std::string& p) { (void)graph::load_bipartite_file(p); });
+}
+
+TEST(ArtifactFuzz, Embedding) {
+  embed::EmbeddingMatrix m{{"alpha.test", "beta.test", "gamma.test"}, 4};
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    auto row = m.row(i);
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      row[j] = static_cast<float>(i) - 0.25f * static_cast<float>(j);
+    }
+  }
+  const auto pristine =
+      artifact_bytes_of([&](const std::string& p) { m.save_file(p); });
+  fuzz_loader("embedding", pristine,
+              [](const std::string& p) { (void)embed::EmbeddingMatrix::load_file(p); });
+}
+
+TEST(ArtifactFuzz, SvmModel) {
+  ml::Dataset data;
+  data.x = ml::Matrix{8, 2};
+  for (std::size_t i = 0; i < 8; ++i) {
+    data.x.at(i, 0) = i < 4 ? -1.0 - 0.1 * static_cast<double>(i) : 1.0;
+    data.x.at(i, 1) = i < 4 ? -0.5 : 0.5 + 0.1 * static_cast<double>(i);
+    data.y.push_back(i < 4 ? 0 : 1);
+  }
+  const auto model = ml::train_svm(data, ml::SvmConfig{});
+  const auto pristine =
+      artifact_bytes_of([&](const std::string& p) { model.save_file(p); });
+  fuzz_loader("svm", pristine,
+              [](const std::string& p) { (void)ml::SvmModel::load_file(p); });
+}
+
+TEST(ArtifactFuzz, Scaler) {
+  ml::Matrix x{4, 3};
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      x.at(i, j) = static_cast<double>(i * 3 + j) * 0.37 - 1.0;
+    }
+  }
+  ml::StandardScaler scaler;
+  scaler.fit(x);
+  const auto pristine =
+      artifact_bytes_of([&](const std::string& p) { scaler.save_file(p); });
+  fuzz_loader("scaler", pristine,
+              [](const std::string& p) { (void)ml::StandardScaler::load_file(p); });
+}
+
+TEST(ArtifactFuzz, LabeledSet) {
+  intel::LabeledSet labels;
+  labels.domains = {"alpha.test", "beta.test", "gamma.test", "delta.test"};
+  labels.labels = {0, 1, 0, 1};
+  const auto pristine = artifact_bytes_of(
+      [&](const std::string& p) { intel::save_labeled_file(p, labels); });
+  fuzz_loader("labels", pristine,
+              [](const std::string& p) { (void)intel::load_labeled_file(p); });
+}
+
+TEST(ArtifactFuzz, GroundTruth) {
+  trace::GroundTruth truth;
+  truth.add_benign("good-1.test");
+  truth.add_benign("good-2.test");
+  trace::MalwareFamily family;
+  family.id = 0;
+  family.kind = trace::FamilyKind::kDgaCnc;
+  family.name = "family00-dga";
+  family.domains = {"evil-1.test", "evil-2.test"};
+  family.ips = {dns::Ipv4{10, 0, 0, 1}, dns::Ipv4{10, 0, 0, 2}};
+  family.victims = {"host-3"};
+  family.port = 443;
+  truth.add_family(std::move(family));
+  const auto pristine = artifact_bytes_of(
+      [&](const std::string& p) { trace::save_ground_truth_file(p, truth); });
+  fuzz_loader("truth", pristine,
+              [](const std::string& p) { (void)trace::load_ground_truth_file(p); });
+}
+
+TEST(ArtifactFuzz, StreamingCheckpoint) {
+  trace::TraceConfig trace_config;
+  trace_config.seed = 21;
+  trace_config.hosts = 40;
+  trace_config.days = 2;
+  trace_config.benign_sites = 150;
+  trace_config.malware_families = 4;
+  trace_config.min_victims = 3;
+  trace_config.max_victims = 8;
+  trace::CollectingSink sink;
+  const auto result = trace::generate_trace(trace_config, sink);
+  const intel::VirusTotalSim vt{result.truth, intel::VirusTotalConfig{}};
+
+  core::StreamingConfig config;
+  config.window_days = 2;
+  config.embedding.line.total_samples = 50'000;
+  config.embedding.line.threads = 1;
+  core::StreamingDetector detector{config, result.truth, vt};
+  detector.advance_day(sink.dns());
+
+  const auto pristine = artifact_bytes_of(
+      [&](const std::string& p) { detector.save_checkpoint_file(p); });
+  fuzz_loader("checkpoint", pristine, [&](const std::string& p) {
+    core::StreamingDetector fresh{config, result.truth, vt};
+    fresh.load_checkpoint_file(p);
+  });
+}
+
+}  // namespace
+}  // namespace dnsembed

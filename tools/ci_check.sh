@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# One-shot local CI: the checks a change must pass before it lands.
+#
+#   1. tier-1: default preset build + full ctest suite
+#   2. robustness label (fault injection, loader fuzz, crash recovery)
+#      under Address+UB sanitizers
+#   3. concurrency label (parallel projection, hogwild, sharded metrics)
+#      under ThreadSanitizer
+#
+# Usage: tools/ci_check.sh [--skip-sanitizers]
+# Runs from any directory; build trees land in <repo>/build[-asan|-tsan].
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$repo"
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+skip_sanitizers=0
+[[ "${1:-}" == "--skip-sanitizers" ]] && skip_sanitizers=1
+
+step() { printf '\n==== %s ====\n' "$*"; }
+
+step "tier-1: configure + build (default preset)"
+cmake --preset default >/dev/null
+cmake --build --preset default -j "$jobs"
+
+step "tier-1: full test suite"
+ctest --preset default -j "$jobs"
+
+if [[ "$skip_sanitizers" == 1 ]]; then
+  step "sanitizer passes skipped (--skip-sanitizers)"
+  exit 0
+fi
+
+step "robustness label under ASan/UBSan"
+cmake --preset asan >/dev/null
+cmake --build --preset asan -j "$jobs"
+ctest --preset asan -j "$jobs"
+
+step "concurrency label under TSan"
+cmake --preset tsan >/dev/null
+cmake --build --preset tsan -j "$jobs"
+ctest --preset tsan -j "$jobs"
+
+step "all checks passed"

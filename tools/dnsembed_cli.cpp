@@ -3,21 +3,33 @@
 //
 //   simulate   generate a campus trace (log, optional pcap, labels CSV)
 //   convert    parse a pcap capture into the joined log format
-//   embed      log -> similarity graphs -> LINE embeddings (CSV)
+//   embed      log -> similarity graphs -> LINE embeddings (artifact file)
 //   detect     embeddings + labels -> k-fold cross-validated ROC/AUC
 //   score      embeddings + labels -> decision values for given domains
 //   cluster    embeddings -> X-Means cluster assignments (CSV)
+//   run        resumable end-to-end pipeline under a --workdir (crash-safe
+//              stage artifacts + manifest; --resume skips valid stages)
 //   faultsim   sweep fault-injection severities over the full ingest +
 //              streaming-detection chain; report degradation curves (JSON)
 //
+// Durable intermediates (embeddings, models, labeled sets, run artifacts)
+// are written atomically as versioned, checksummed containers; loaders
+// reject damage with a "corrupt artifact" error instead of misparsing.
+//
+// Exit codes: 0 success, 1 runtime failure, 2 usage, 3 cannot open an
+// input file (message carries filename + errno), 4 stage deadline.
+//
 // Example session:
 //   dnsembed simulate --out trace.log --labels labels.csv --hosts 300 --days 5
-//   dnsembed embed    --log trace.log --out emb.csv --dim 32
-//   dnsembed detect   --embeddings emb.csv --labels labels.csv --kfold 10
-//   dnsembed cluster  --embeddings emb.csv --out clusters.csv
+//   dnsembed embed    --log trace.log --out emb.bin --dim 32
+//   dnsembed detect   --embeddings emb.bin --labels labels.csv --kfold 10
+//   dnsembed run      --workdir run1 --hosts 300 --days 5 && \
+//   dnsembed run      --workdir run1 --resume   # no-op: all stages valid
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -30,6 +42,7 @@
 #include "core/detector.hpp"
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
+#include "core/run.hpp"
 #include "core/streaming.hpp"
 #include "graph/io.hpp"
 #include "dns/capture_io.hpp"
@@ -37,6 +50,7 @@
 #include "dns/pcap.hpp"
 #include "embed/embedder.hpp"
 #include "fault/entry_faults.hpp"
+#include "fault/io_faults.hpp"
 #include "fault/label_faults.hpp"
 #include "fault/packet_faults.hpp"
 #include "fault/plan.hpp"
@@ -48,6 +62,7 @@
 #include "trace/generator.hpp"
 #include "trace/pcap_sink.hpp"
 #include "util/args.hpp"
+#include "util/artifact.hpp"
 #include "util/csv.hpp"
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
@@ -78,11 +93,20 @@ commands:
             [--seed N] [--samples N] [--no-streaming]
             (one-shot: simulate + model + embed + evaluate + cluster +
              streaming replay)
+  run       --workdir DIR [--resume] [--stage-deadline SECONDS] [--hosts N]
+            [--days N] [--sites N] [--families N] [--seed N] [--dim N]
+            [--samples N] [--kfold N] [--svm-c X] [--svm-gamma X]
+            (resumable pipeline: each stage commits atomic checksummed
+             artifacts + a manifest under DIR; --resume skips stages whose
+             artifacts still validate and recomputes anything missing,
+             corrupt, or built under a different config; final output is
+             DIR/report.md. exit 4 = a stage exceeded --stage-deadline)
   faultsim  --out report.json [--hosts N] [--days N] [--sites N] [--families N]
             [--seed N] [--severities 0,0.25,0.5,1] [--samples N] [--window N]
             [--label-delay N] [--kfold N] [--no-streaming]
             (sweep fault severities over export -> faults -> import ->
-             detect; emit AUC / alert degradation curves as JSON)
+             detect; also drives the artifact I/O fault channel: transient
+             EIO, torn writes, payload bit flips; emit degradation JSON)
 
 global options (any command):
   --log-level debug|info|warn|error   minimum stderr log level
@@ -91,6 +115,8 @@ global options (any command):
   --metrics-format json|prom          snapshot format (default: json)
   --trace-out FILE                    write Chrome trace_event JSON on exit
                                       (load in Perfetto / chrome://tracing)
+
+exit codes: 0 ok, 1 failure, 2 usage, 3 unreadable input file, 4 deadline
 )");
   return 2;
 }
@@ -98,6 +124,22 @@ global options (any command):
 int fail(const std::string& message) {
   std::fprintf(stderr, "dnsembed: %s\n", message.c_str());
   return 1;
+}
+
+constexpr int kExitInputError = 3;
+constexpr int kExitDeadline = 4;
+
+/// Probe an input file before handing it to a parser. Returns 0 when it
+/// opens; otherwise reports the filename and errno and returns the
+/// dedicated input-error exit code so scripts can distinguish "file
+/// missing/unreadable" from a pipeline failure.
+int check_input(const std::string& path) {
+  std::ifstream probe{path};
+  if (probe) return 0;
+  const int err = errno;
+  std::fprintf(stderr, "dnsembed: cannot open input '%s': %s (errno %d)\n", path.c_str(),
+               std::strerror(err), err);
+  return kExitInputError;
 }
 
 // ------------------------------------------------------------- simulate
@@ -149,8 +191,10 @@ int cmd_simulate(const util::ArgParser& args) {
   }
 
   if (const auto labels_path = args.get("--labels")) {
-    std::ofstream labels_out{*labels_path};
-    if (!labels_out) return fail("cannot open " + *labels_path);
+    // CSV payload inside a checksummed container, committed atomically: the
+    // rows stay grep-able, and a torn write can't masquerade as a shorter
+    // (but valid-looking) label file.
+    std::ostringstream labels_out;
     util::CsvWriter csv{labels_out};
     csv.write_row({"domain", "label", "family"});
     for (const auto& domain : result.truth.benign_domains()) {
@@ -161,6 +205,7 @@ int cmd_simulate(const util::ArgParser& args) {
         csv.write_row({domain, "1", family.name});
       }
     }
+    util::save_artifact(*labels_path, "label-csv", labels_out.str());
     std::printf("wrote %zu labels to %s\n",
                 result.truth.benign_count() + result.truth.malicious_count(),
                 labels_path->c_str());
@@ -174,6 +219,7 @@ int cmd_convert(const util::ArgParser& args) {
   const auto pcap_path = args.get("--pcap");
   const auto out_path = args.get("--out");
   if (!pcap_path || !out_path) return fail("convert: --pcap and --out are required");
+  if (const int rc = check_input(*pcap_path)) return rc;
   std::ifstream in{*pcap_path, std::ios::binary};
   if (!in) return fail("cannot open " + *pcap_path);
   const auto imported = dns::import_pcap(in);
@@ -211,6 +257,7 @@ int cmd_graphs(const util::ArgParser& args) {
   const auto log_path = args.get("--log");
   const auto prefix = args.get("--out-prefix");
   if (!log_path || !prefix) return fail("graphs: --log and --out-prefix are required");
+  if (const int rc = check_input(*log_path)) return rc;
 
   auto graphs = read_log_graphs(*log_path);
   core::BehaviorModelConfig behavior;
@@ -250,6 +297,7 @@ int cmd_embed(const util::ArgParser& args) {
   const auto log_path = args.get("--log");
   const auto out_path = args.get("--out");
   if (!log_path || !out_path) return fail("embed: --log and --out are required");
+  if (const int rc = check_input(*log_path)) return rc;
 
   auto graphs = read_log_graphs(*log_path);
 
@@ -288,7 +336,7 @@ int cmd_embed(const util::ArgParser& args) {
   config.seed += 1;
   const auto t = embed::embed_graph(model.temporal_similarity, config);
   const auto combined = embed::EmbeddingMatrix::concat(model.kept_domains, {&q, &i, &t});
-  combined.save_csv(*out_path);
+  combined.save_file(*out_path);  // atomic, checksummed, bit-exact
   std::printf("wrote %zux%zu embeddings to %s (%.1fs)\n", combined.size(),
               combined.dimension(), out_path->c_str(), watch.seconds());
   return 0;
@@ -297,8 +345,18 @@ int cmd_embed(const util::ArgParser& args) {
 // --------------------------------------------------------------- labels
 
 intel::LabeledSet read_labels(const std::string& path, const embed::EmbeddingMatrix& embedding) {
+  // `simulate` writes labels as a checksummed "label-csv" artifact; plain
+  // CSV files (hand-written or from other tools) still load unchanged.
+  std::string text = util::fsio::read_file(path);
+  if (text.rfind(util::kArtifactMagic, 0) == 0) {
+    text = util::validate_artifact_bytes(text, "label-csv", path);
+  }
   intel::LabeledSet labels;
-  for (const auto& row : util::read_csv_file(path)) {
+  std::istringstream in{text};
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto row = util::parse_csv_line(line);
     if (row.size() < 2 || row[0] == "domain") continue;
     if (!embedding.index_of(row[0])) continue;  // only domains we can score
     labels.domains.push_back(row[0]);
@@ -322,7 +380,9 @@ int cmd_detect(const util::ArgParser& args) {
   if (!embeddings_path || !labels_path) {
     return fail("detect: --embeddings and --labels are required");
   }
-  const auto embedding = embed::EmbeddingMatrix::load_csv(*embeddings_path);
+  if (const int rc = check_input(*embeddings_path)) return rc;
+  if (const int rc = check_input(*labels_path)) return rc;
+  const auto embedding = embed::EmbeddingMatrix::load_file(*embeddings_path);
   const auto labels = read_labels(*labels_path, embedding);
   if (labels.size() < 20 || labels.malicious_count() == 0 ||
       labels.malicious_count() == labels.size()) {
@@ -360,12 +420,12 @@ int cmd_train(const util::ArgParser& args) {
   if (!embeddings_path || !labels_path || !out_path) {
     return fail("train: --embeddings, --labels and --out are required");
   }
-  const auto embedding = embed::EmbeddingMatrix::load_csv(*embeddings_path);
+  if (const int rc = check_input(*embeddings_path)) return rc;
+  if (const int rc = check_input(*labels_path)) return rc;
+  const auto embedding = embed::EmbeddingMatrix::load_file(*embeddings_path);
   const auto labels = read_labels(*labels_path, embedding);
   const auto model = ml::train_svm(core::make_dataset(embedding, labels), svm_from_args(args));
-  std::ofstream out{*out_path};
-  if (!out) return fail("cannot open " + *out_path);
-  model.save(out);
+  model.save_file(*out_path);
   std::printf("trained on %zu domains (%zu malicious); %zu support vectors; model "
               "written to %s\n",
               labels.size(), labels.malicious_count(), model.support_vector_count(),
@@ -381,7 +441,8 @@ int cmd_score(const util::ArgParser& args) {
   if (!embeddings_path || !domains_arg) {
     return fail("score: --embeddings and --domains are required");
   }
-  const auto embedding = embed::EmbeddingMatrix::load_csv(*embeddings_path);
+  if (const int rc = check_input(*embeddings_path)) return rc;
+  const auto embedding = embed::EmbeddingMatrix::load_file(*embeddings_path);
 
   // Scoring source: a pre-trained model file, or train-on-the-fly.
   ml::SvmModel loaded_model;
@@ -389,10 +450,10 @@ int cmd_score(const util::ArgParser& args) {
   std::optional<core::DomainDetector> fresh;
   intel::LabeledSet labels;
   if (const auto model_path = args.get("--model")) {
-    std::ifstream in{*model_path};
-    if (!in) return fail("cannot open " + *model_path);
-    loaded_model = ml::SvmModel::load(in);
+    if (const int rc = check_input(*model_path)) return rc;
+    loaded_model = ml::SvmModel::load_file(*model_path);
   } else if (const auto labels_path = args.get("--labels")) {
+    if (const int rc = check_input(*labels_path)) return rc;
     labels = read_labels(*labels_path, embedding);
     fresh.emplace(embedding, labels, svm_from_args(args));
     detector = &*fresh;
@@ -425,7 +486,8 @@ int cmd_cluster(const util::ArgParser& args) {
   const auto embeddings_path = args.get("--embeddings");
   const auto out_path = args.get("--out");
   if (!embeddings_path || !out_path) return fail("cluster: --embeddings and --out required");
-  const auto embedding = embed::EmbeddingMatrix::load_csv(*embeddings_path);
+  if (const int rc = check_input(*embeddings_path)) return rc;
+  const auto embedding = embed::EmbeddingMatrix::load_file(*embeddings_path);
 
   ml::Matrix x{embedding.size(), embedding.dimension()};
   for (std::size_t i = 0; i < embedding.size(); ++i) {
@@ -469,6 +531,12 @@ struct FaultSweepPoint {
   std::size_t alerts_malicious = 0;
   std::size_t retrained_days = 0;
   std::vector<core::StreamingDayRecord> days;
+  // Artifact save/load round trips under the plan's io channel.
+  std::size_t io_trials = 0;
+  std::size_t io_save_failures = 0;
+  std::size_t io_corrupt_detected = 0;
+  std::size_t io_roundtrips_ok = 0;
+  fault::IoFaultStats io_faults;
 };
 
 void write_faultsim_json(std::ostream& out, const trace::TraceConfig& trace,
@@ -515,7 +583,13 @@ void write_faultsim_json(std::ostream& out, const trace::TraceConfig& trace,
     } else {
       out << "null";
     }
-    out << ", \"retrained_days\": " << p.retrained_days << ",\n     \"days\": [";
+    out << ", \"retrained_days\": " << p.retrained_days << ",\n     \"io\": {\"trials\": "
+        << p.io_trials << ", \"save_failures\": " << p.io_save_failures
+        << ", \"corrupt_detected\": " << p.io_corrupt_detected
+        << ", \"roundtrips_ok\": " << p.io_roundtrips_ok
+        << ", \"errors_injected\": " << p.io_faults.errors_injected
+        << ", \"torn_writes\": " << p.io_faults.torn_writes
+        << ", \"bitflips\": " << p.io_faults.bitflips << "},\n     \"days\": [";
     for (std::size_t d = 0; d < p.days.size(); ++d) {
       const auto& r = p.days[d];
       out << (d == 0 ? "\n" : ",\n")
@@ -580,6 +654,9 @@ int cmd_faultsim(const util::ArgParser& args) {
   base.dhcp_churn_rate = 0.15;
   base.label_blackhole_rate = 0.3;
   base.label_extra_delay_max = 3;
+  base.io_error_rate = 0.3;
+  base.io_torn_write_rate = 0.15;
+  base.io_bitflip_rate = 0.15;
 
   std::vector<FaultSweepPoint> sweep;
   for (const double severity : severities) {
@@ -674,6 +751,39 @@ int cmd_faultsim(const util::ArgParser& args) {
       point.days = detector.day_records();
     }
 
+    // Artifact durability under the same plan's io channel: save/load round
+    // trips through fsio with injected EIO, torn writes, and bit flips. A
+    // failure must surface as IoError or CorruptArtifact — a round trip that
+    // "succeeds" must return the exact payload written.
+    {
+      fault::IoFaultChannel channel{plan};
+      fault::ScopedIoFaults io_guard{&channel};
+      const std::string trial_path = *out_path + ".io-trial";
+      for (std::size_t trial = 0; trial < 24; ++trial) {
+        ++point.io_trials;
+        std::string payload = "io-trial " + std::to_string(trial) + " severity " +
+                              std::to_string(severity) + "\n";
+        payload.append((trial * 977) % 4096, static_cast<char>('a' + trial % 26));
+        try {
+          util::save_artifact(trial_path, "io-trial", payload);
+        } catch (const util::fsio::IoError&) {
+          ++point.io_save_failures;
+          continue;
+        }
+        try {
+          if (util::load_artifact(trial_path, "io-trial") == payload) {
+            ++point.io_roundtrips_ok;
+          }
+        } catch (const util::CorruptArtifact&) {
+          ++point.io_corrupt_detected;
+        } catch (const util::fsio::IoError&) {
+          ++point.io_save_failures;
+        }
+      }
+      point.io_faults = channel.stats();
+      std::remove(trial_path.c_str());
+    }
+
     std::printf("severity %.3g: %zu->%zu packets, %zu entries, auc %s, %zu alerts "
                 "(%zu malicious) [%s] (%.1fs)\n",
                 severity, point.packets_exported, point.faults.packets_out,
@@ -765,6 +875,57 @@ int cmd_report(const util::ArgParser& args) {
   return 0;
 }
 
+// ------------------------------------------------------------------- run
+
+int cmd_run(const util::ArgParser& args) {
+  const auto workdir = args.get("--workdir");
+  if (!workdir) return fail("run: --workdir is required");
+
+  core::RunOptions options;
+  options.workdir = *workdir;
+  options.resume = args.has("--resume");
+  options.stage_deadline_seconds = args.get_double_or("--stage-deadline", 0.0);
+  if (const auto crash = args.get("--crash-after")) options.crash_after_artifact = *crash;
+
+  auto& config = options.config;
+  config.trace.hosts = static_cast<std::size_t>(args.get_int_or("--hosts", 200));
+  config.trace.days = static_cast<std::size_t>(args.get_int_or("--days", 4));
+  config.trace.benign_sites = static_cast<std::size_t>(args.get_int_or("--sites", 1000));
+  config.trace.malware_families =
+      static_cast<std::size_t>(args.get_int_or("--families", 8));
+  config.trace.seed = static_cast<std::uint64_t>(args.get_int_or("--seed", 42));
+  config.embedding_dimension = static_cast<std::size_t>(args.get_int_or("--dim", 24));
+  config.embedding.line.total_samples =
+      static_cast<std::size_t>(args.get_int_or("--samples", 2'000'000));
+  // Hogwild SGD with >1 thread is nondeterministic; the resumable runner
+  // promises bit-identical reports across interrupt/resume, so embedding
+  // runs single-threaded here (projections/SVM stay parallel — they are
+  // deterministic for any thread count).
+  config.embedding.line.threads = 1;
+  config.svm = svm_from_args(args);
+  config.kfold = static_cast<std::size_t>(args.get_int_or("--kfold", 5));
+  config.xmeans.k_min = 8;
+  config.xmeans.k_max = 64;
+
+  try {
+    util::Stopwatch watch;
+    const auto summary = core::run_resumable(options);
+    for (const auto& stage : summary.stages) {
+      std::printf("stage %-10s %s (%.1fs)\n", stage.name.c_str(),
+                  stage.resumed ? "resumed " : "computed", stage.seconds);
+    }
+    std::printf("report written to %s (%zu/%zu stages resumed, %.1fs)\n",
+                summary.report_path.c_str(), summary.resumed_stages, summary.stages.size(),
+                watch.seconds());
+    return 0;
+  } catch (const core::StageDeadlineExceeded& e) {
+    std::fprintf(stderr, "dnsembed: %s (committed artifacts remain valid; rerun with "
+                         "--resume to continue)\n",
+                 e.what());
+    return kExitDeadline;
+  }
+}
+
 int dispatch(const util::ArgParser& args, const std::string& command) {
   if (command == "simulate") return cmd_simulate(args);
   if (command == "convert") return cmd_convert(args);
@@ -775,6 +936,7 @@ int dispatch(const util::ArgParser& args, const std::string& command) {
   if (command == "score") return cmd_score(args);
   if (command == "cluster") return cmd_cluster(args);
   if (command == "report") return cmd_report(args);
+  if (command == "run") return cmd_run(args);
   if (command == "faultsim") return cmd_faultsim(args);
   std::fprintf(stderr, "dnsembed: unknown command '%s'\n", command.c_str());
   return usage();
