@@ -17,6 +17,7 @@
 #include "graph/projection.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -134,8 +135,10 @@ void write_projection_json() {
     const double items_per_s = static_cast<double>(kEdges) / (rows[i].wall_ms / 1e3);
     std::fprintf(out,
                  "  {\"name\": \"%s\", \"edges\": %zu, \"threads\": %zu, "
-                 "\"wall_ms\": %.3f, \"items_per_s\": %.0f}%s\n",
-                 rows[i].name.c_str(), kEdges, rows[i].threads, rows[i].wall_ms, items_per_s,
+                 "\"effective_threads\": %zu, \"wall_ms\": %.3f, "
+                 "\"items_per_s\": %.0f}%s\n",
+                 rows[i].name.c_str(), kEdges, rows[i].threads,
+                 util::resolve_threads(rows[i].threads), rows[i].wall_ms, items_per_s,
                  i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "]\n");

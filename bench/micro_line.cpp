@@ -1,0 +1,226 @@
+// Microbenchmarks for the SIMD math-kernel layer and the deterministic
+// parallel LINE trainer.
+//
+// After the google-benchmark run, BENCH_line.json (override the path with
+// DNSEMBED_BENCH_JSON) records best-of-N wall times for LINE training at
+// scalar vs the widest SIMD rung, across thread counts and dimensions, with
+// the effective OS worker count next to the requested one. In full mode the
+// binary FAILS (nonzero exit) when the SIMD path is not at least 1.5x the
+// scalar path at dim=128 — the acceptance gate for the kernel layer.
+//
+// Smoke mode (DNSEMBED_BENCH_SMOKE=1): tiny step count, no speedup gate
+// (timings are noise at that scale) — it exists so CI catches dispatch
+// regressions fast: both rungs must train to finite embeddings and the
+// forced rung must actually be selected.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "embed/line.hpp"
+#include "graph/weighted_graph.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace dnsembed;
+
+bool smoke_mode() {
+  const char* env = std::getenv("DNSEMBED_BENCH_SMOKE");
+  return env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+}
+
+graph::WeightedGraph random_graph(std::size_t vertices, std::size_t edges,
+                                  std::uint64_t seed) {
+  util::Rng rng{seed};
+  graph::WeightedGraph g;
+  for (std::size_t v = 0; v < vertices; ++v) g.add_vertex("v" + std::to_string(v));
+  for (std::size_t e = 0; e < edges; ++e) {
+    const auto u = static_cast<graph::VertexId>(rng.uniform_index(vertices));
+    auto w = static_cast<graph::VertexId>(rng.uniform_index(vertices));
+    if (u == w) w = static_cast<graph::VertexId>((w + 1) % vertices);
+    g.add_edge_unchecked(u, w, rng.uniform(0.5, 2.0));
+  }
+  return g;
+}
+
+embed::LineConfig line_config(std::size_t dim, std::size_t threads, std::size_t samples) {
+  embed::LineConfig config;
+  config.dimension = dim;
+  config.total_samples = samples;
+  config.threads = threads;
+  config.seed = 42;
+  return config;
+}
+
+// --------------------------------------------------------------- gbench
+
+void BM_SimdDotF32(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const auto level = static_cast<util::simd::Level>(state.range(1));
+  if (!util::simd::level_supported(level)) {
+    state.SkipWithError("level unsupported on this CPU");
+    return;
+  }
+  const auto prev = util::simd::active_level();
+  util::simd::force_level(level);
+  util::Rng rng{7};
+  std::vector<float> a(dim);
+  std::vector<float> b(dim);
+  for (auto& x : a) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (auto& x : b) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::simd::dot(a.data(), b.data(), dim));
+  }
+  util::simd::force_level(prev);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(dim));
+}
+BENCHMARK(BM_SimdDotF32)
+    ->Args({128, 0})
+    ->Args({128, 1})
+    ->Args({128, 2})
+    ->Args({1024, 0})
+    ->Args({1024, 2});
+
+void BM_LineTrain(benchmark::State& state) {
+  const auto dim = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const auto g = random_graph(1000, 20000, 3);
+  const auto config = line_config(dim, threads, 100000);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(embed::train_line(g, config));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(config.total_samples));
+}
+BENCHMARK(BM_LineTrain)->Args({128, 1})->Args({128, 4})->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------
+// BENCH_line.json: scalar vs SIMD x threads x dim for a fixed sample
+// budget, one JSON array of {name, simd, dim, threads, effective_threads,
+// wall_ms, samples_per_s} records.
+
+double best_wall_ms(const std::function<void()>& fn, int reps = 3) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    util::Stopwatch watch;
+    fn();
+    best = std::min(best, watch.millis());
+  }
+  return best;
+}
+
+bool finite_embedding(const embed::EmbeddingMatrix& m) {
+  for (std::size_t v = 0; v < m.size(); ++v) {
+    for (const float x : m.row(v)) {
+      if (!std::isfinite(x)) return false;
+    }
+  }
+  return true;
+}
+
+int write_line_json() {
+  const char* path = std::getenv("DNSEMBED_BENCH_JSON");
+  if (path == nullptr) path = "BENCH_line.json";
+  const bool smoke = smoke_mode();
+  const std::size_t samples = smoke ? 30000 : 600000;
+  const auto g = random_graph(1000, 20000, 3);
+
+  const util::simd::Level best_level = util::simd::active_level();
+  const std::vector<util::simd::Level> levels =
+      best_level == util::simd::Level::kScalar
+          ? std::vector<util::simd::Level>{util::simd::Level::kScalar}
+          : std::vector<util::simd::Level>{util::simd::Level::kScalar, best_level};
+
+  struct Row {
+    util::simd::Level level;
+    std::size_t dim;
+    std::size_t threads;
+    double wall_ms;
+  };
+  std::vector<Row> rows;
+  for (const util::simd::Level level : levels) {
+    if (util::simd::force_level(level) != level) {
+      std::fprintf(stderr, "micro_line: FAIL: could not force %s rung\n",
+                   util::simd::level_name(level));
+      return 1;
+    }
+    for (const std::size_t dim : {std::size_t{16}, std::size_t{128}}) {
+      for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+        const auto config = line_config(dim, threads, samples);
+        embed::EmbeddingMatrix last;
+        const double ms =
+            best_wall_ms([&] { last = embed::train_line(g, config); }, smoke ? 1 : 3);
+        if (!finite_embedding(last)) {
+          std::fprintf(stderr, "micro_line: FAIL: non-finite embedding at %s dim=%zu\n",
+                       util::simd::level_name(level), dim);
+          return 1;
+        }
+        rows.push_back({level, dim, threads, ms});
+      }
+    }
+  }
+  util::simd::force_level(best_level);
+
+  std::FILE* out = std::fopen(path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "micro_line: cannot write %s\n", path);
+    return 1;
+  }
+  std::fprintf(out, "[\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    std::fprintf(out,
+                 "  {\"name\": \"line_train\", \"simd\": \"%s\", \"dim\": %zu, "
+                 "\"threads\": %zu, \"effective_threads\": %zu, \"samples\": %zu, "
+                 "\"wall_ms\": %.3f, \"samples_per_s\": %.0f}%s\n",
+                 util::simd::level_name(r.level), r.dim, r.threads,
+                 util::resolve_threads(r.threads), samples, r.wall_ms,
+                 static_cast<double>(samples) / (r.wall_ms / 1e3),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "]\n");
+  std::fclose(out);
+  std::printf("wrote %s (%s mode, active rung %s)\n", path, smoke ? "smoke" : "full",
+              util::simd::level_name(best_level));
+
+  if (smoke || best_level == util::simd::Level::kScalar) return 0;
+
+  // Gate: SIMD must carry its weight where the flops live.
+  const auto wall_at = [&](util::simd::Level level, std::size_t dim, std::size_t threads) {
+    for (const Row& r : rows) {
+      if (r.level == level && r.dim == dim && r.threads == threads) return r.wall_ms;
+    }
+    return -1.0;
+  };
+  const double scalar_ms = wall_at(util::simd::Level::kScalar, 128, 1);
+  const double simd_ms = wall_at(best_level, 128, 1);
+  const double speedup = scalar_ms / simd_ms;
+  std::printf("dim=128 T=1: scalar %.1f ms, %s %.1f ms -> %.2fx (gate: >= 1.5x)\n",
+              scalar_ms, util::simd::level_name(best_level), simd_ms, speedup);
+  if (speedup < 1.5) {
+    std::fprintf(stderr, "micro_line: FAIL: %s is only %.2fx scalar at dim=128 "
+                         "(gate 1.5x)\n",
+                 util::simd::level_name(best_level), speedup);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  if (!smoke_mode()) benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return write_line_json();
+}

@@ -8,6 +8,7 @@
 #include "embed/alias.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dnsembed::embed {
@@ -43,6 +44,24 @@ const SigmoidTable& sigmoid() {
   return table;
 }
 
+/// Murmur3-style 64-bit finalizer: full-avalanche mix for counter-based
+/// per-sample seeds. SplitMix64 reseeding alone would hand adjacent step
+/// indices overlapping state windows; the finalizer decorrelates them.
+constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Seed for SGD step `step`: a pure function of (base seed, step index), so
+/// the sample sequence is identical for every thread count and partition.
+constexpr std::uint64_t sample_seed(std::uint64_t base, std::uint64_t step) noexcept {
+  return mix64(base ^ mix64(step + 0x9e3779b97f4a7c15ULL));
+}
+
 struct TrainContext {
   const graph::WeightedGraph& g;
   const LineConfig& config;
@@ -51,9 +70,33 @@ struct TrainContext {
   std::size_t steps = 0;
 };
 
+/// Pending updates routed to one destination shard by one logical lane:
+/// keys[i] = (vertex << 1) | is_context, deltas holds dim floats per key in
+/// the order the steps emitted them.
+struct DeltaShard {
+  std::vector<std::uint32_t> keys;
+  std::vector<float> deltas;
+
+  void clear() noexcept {
+    keys.clear();
+    deltas.clear();
+  }
+};
+
 /// One SGD objective pass (first- or second-order) writing `dim`-wide rows
-/// into `vertex` (and using `context` when second_order). Hogwild when
-/// config.threads > 1.
+/// into `vertex` (and using `context` when second_order).
+///
+/// Deterministically parallel: steps run in fixed-size batches. Within a
+/// batch every step draws from its own counter-based Rng (sample_seed), reads
+/// the embedding state frozen at the last barrier, and emits its updates as
+/// delta entries routed to destination shards (shard = vertex % lanes). At
+/// the barrier, shard s is applied by walking lanes in order and each lane's
+/// entries in emission order — i.e. ascending global step order per
+/// destination row. Every float add therefore lands in the same order no
+/// matter how many OS threads ran the batch, how the batch was partitioned,
+/// or how many shards exist: the result is bit-identical for any
+/// config.threads, which is what lets run --resume train LINE multi-threaded
+/// and still byte-match an uninterrupted run.
 void run_sgd(TrainContext& ctx, std::vector<float>& vertex, std::vector<float>& context,
              std::size_t dim, bool second_order) {
   const auto& g = ctx.g;
@@ -61,18 +104,43 @@ void run_sgd(TrainContext& ctx, std::vector<float>& vertex, std::vector<float>& 
   const auto edges = g.edges();
   const std::size_t total = ctx.steps;
   const double lr_floor = config.initial_lr * config.min_lr_fraction;
+  const std::uint64_t base_seed =
+      config.seed ^ (second_order ? 0xA5A5A5A5ULL : 0x5A5A5A5AULL);
 
   // One relaxed add per SGD sample: an LINE step does O(dim * negatives)
   // flops, so the sharded counter disappears into it; disabled runs pay a
   // predicted branch.
   static obs::Counter& samples_counter = obs::metrics().counter("embed.line.samples");
 
-  const auto worker = [&](std::size_t begin, std::size_t end, std::uint64_t seed) {
-    OBS_SPAN(second_order ? "embed.line.worker.order2" : "embed.line.worker.order1");
-    util::Rng rng{seed};
-    std::vector<double> grad(dim);
-    for (std::size_t step = begin; step < end; ++step) {
+  // Logical lanes come from the config knob, not the pool size: a 4-lane run
+  // on a 1-core box exercises the same buffers, shard routing, and apply
+  // order as on a 4-core box, so determinism tests are never vacuous. 0
+  // means one lane per hardware thread (output is identical either way).
+  const std::size_t lanes =
+      config.threads != 0 ? config.threads : util::resolve_threads(0);
+  // Updates within a batch read the last barrier's state, so per-row
+  // staleness is roughly batch_size * (negatives + 2) / vertex_count
+  // accumulated stale steps. Tying the batch to the vertex count keeps that
+  // ratio constant: small dense test graphs take many cheap barriers while
+  // big graphs amortize barriers over 4096-step batches.
+  const std::size_t batch_size =
+      std::clamp<std::size_t>(g.vertex_count() / 4, 64, 4096);
+
+  std::vector<std::vector<DeltaShard>> buffers(lanes, std::vector<DeltaShard>(lanes));
+  std::vector<std::vector<float>> grads(lanes, std::vector<float>(dim));
+
+  const auto compute_lane = [&](std::size_t lane, std::size_t b0, std::size_t b1) {
+    const std::size_t n = b1 - b0;
+    const std::size_t chunk = (n + lanes - 1) / lanes;
+    const std::size_t lo = b0 + lane * chunk;
+    const std::size_t hi = std::min(b1, lo + chunk);
+    if (lo >= hi) return;
+    auto& shards = buffers[lane];
+    float* const grad = grads[lane].data();
+    const float* const tgt_base = second_order ? context.data() : vertex.data();
+    for (std::size_t step = lo; step < hi; ++step) {
       samples_counter.add(1);
+      util::Rng rng{sample_seed(base_seed, step)};
       const double progress = static_cast<double>(step) / static_cast<double>(total);
       const double lr = std::max(lr_floor, config.initial_lr * (1.0 - progress));
 
@@ -82,8 +150,8 @@ void run_sgd(TrainContext& ctx, std::vector<float>& vertex, std::vector<float>& 
       const graph::VertexId src = flip ? edge.v : edge.u;
       const graph::VertexId dst = flip ? edge.u : edge.v;
 
-      float* const src_vec = vertex.data() + static_cast<std::size_t>(src) * dim;
-      std::fill(grad.begin(), grad.end(), 0.0);
+      const float* const src_vec = vertex.data() + static_cast<std::size_t>(src) * dim;
+      std::fill_n(grad, dim, 0.0f);
 
       for (std::size_t k = 0; k <= config.negatives; ++k) {
         graph::VertexId target = 0;
@@ -95,26 +163,57 @@ void run_sgd(TrainContext& ctx, std::vector<float>& vertex, std::vector<float>& 
           target = static_cast<graph::VertexId>(ctx.noise_sampler.sample(rng));
           if (target == dst || target == src) continue;
         }
-        float* const tgt_vec = (second_order ? context.data() : vertex.data()) +
-                               static_cast<std::size_t>(target) * dim;
-        double dot = 0.0;
-        for (std::size_t d = 0; d < dim; ++d) dot += static_cast<double>(src_vec[d]) * tgt_vec[d];
-        const double coeff = (label - sigmoid()(dot)) * lr;
-        for (std::size_t d = 0; d < dim; ++d) {
-          grad[d] += coeff * tgt_vec[d];
-          tgt_vec[d] += static_cast<float>(coeff * src_vec[d]);
-        }
+        const float* const tgt_vec = tgt_base + static_cast<std::size_t>(target) * dim;
+        const double dot = util::simd::dot(src_vec, tgt_vec, dim);
+        const auto coeff = static_cast<float>((label - sigmoid()(dot)) * lr);
+        util::simd::axpy(coeff, tgt_vec, grad, dim);
+        DeltaShard& ds = shards[target % lanes];
+        ds.keys.push_back((static_cast<std::uint32_t>(target) << 1) |
+                          (second_order ? 1u : 0u));
+        ds.deltas.resize(ds.deltas.size() + dim);
+        util::simd::scale(coeff, src_vec, ds.deltas.data() + ds.deltas.size() - dim, dim);
       }
-      for (std::size_t d = 0; d < dim; ++d) src_vec[d] += static_cast<float>(grad[d]);
+      DeltaShard& ds = shards[src % lanes];
+      ds.keys.push_back(static_cast<std::uint32_t>(src) << 1);
+      ds.deltas.insert(ds.deltas.end(), grad, grad + dim);
     }
   };
 
-  if (config.threads <= 1) {
-    worker(0, total, config.seed ^ (second_order ? 0xA5A5A5A5ULL : 0x5A5A5A5AULL));
-  } else {
-    util::ThreadPool pool{config.threads};
-    pool.parallel_for(0, total, [&](std::size_t lo, std::size_t hi, std::size_t w) {
-      worker(lo, hi, config.seed + w * 0x9e3779b97f4a7c15ULL + (second_order ? 1 : 0));
+  const auto apply_shard = [&](std::size_t shard) {
+    for (std::size_t lane = 0; lane < lanes; ++lane) {
+      DeltaShard& ds = buffers[lane][shard];
+      for (std::size_t i = 0; i < ds.keys.size(); ++i) {
+        const std::uint32_t key = ds.keys[i];
+        float* const dst = ((key & 1u) ? context.data() : vertex.data()) +
+                           static_cast<std::size_t>(key >> 1) * dim;
+        util::simd::axpy(1.0f, ds.deltas.data() + i * dim, dst, dim);
+      }
+      ds.clear();
+    }
+  };
+
+  const char* const span_name =
+      second_order ? "embed.line.worker.order2" : "embed.line.worker.order1";
+
+  if (lanes == 1) {
+    OBS_SPAN(span_name);
+    for (std::size_t b0 = 0; b0 < total; b0 += batch_size) {
+      compute_lane(0, b0, std::min(total, b0 + batch_size));
+      apply_shard(0);
+    }
+    return;
+  }
+
+  util::ThreadPool pool{config.threads};  // OS workers capped at hardware
+  for (std::size_t b0 = 0; b0 < total; b0 += batch_size) {
+    const std::size_t b1 = std::min(total, b0 + batch_size);
+    pool.parallel_for(0, lanes, [&](std::size_t wlo, std::size_t whi, std::size_t) {
+      OBS_SPAN(span_name);
+      for (std::size_t lane = wlo; lane < whi; ++lane) compute_lane(lane, b0, b1);
+    });
+    // Barrier: parallel_for joined, every lane's deltas are complete.
+    pool.parallel_for(0, lanes, [&](std::size_t slo, std::size_t shi, std::size_t) {
+      for (std::size_t shard = slo; shard < shi; ++shard) apply_shard(shard);
     });
   }
 }

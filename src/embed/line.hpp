@@ -45,7 +45,11 @@ struct LineConfig {
   /// vertex degrees (0.75 from word2vec/LINE).
   double noise_power = 0.75;
 
-  /// Worker threads (hogwild-style lock-free SGD). 1 = deterministic.
+  /// Logical SGD lanes (deterministic batch-synchronous parallelism). The
+  /// trained embedding is bit-identical for every value: samples draw from
+  /// counter-based per-step seeds and batched updates are applied at
+  /// barriers in global step order per destination row, so this knob only
+  /// changes throughput. OS workers are capped at the hardware thread count.
   std::size_t threads = 1;
 
   std::uint64_t seed = 1;

@@ -6,6 +6,7 @@
 
 #include "embed/alias.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace dnsembed::embed {
 
@@ -55,7 +56,7 @@ EmbeddingMatrix train_sgns(const graph::WeightedGraph& g,
   const std::size_t total_positions = corpus_tokens * config.epochs;
   const double lr_floor = config.initial_lr * config.min_lr_fraction;
   std::size_t position = 0;
-  std::vector<double> grad(dim);
+  std::vector<float> grad(dim);
 
   for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
     for (const auto& walk : walks) {
@@ -70,7 +71,7 @@ EmbeddingMatrix train_sgns(const graph::WeightedGraph& g,
         float* const center_vec = vertex.data() + static_cast<std::size_t>(center) * dim;
         for (std::size_t ctx_idx = lo; ctx_idx < hi; ++ctx_idx) {
           if (ctx_idx == center_idx) continue;
-          std::fill(grad.begin(), grad.end(), 0.0);
+          std::fill(grad.begin(), grad.end(), 0.0f);
           for (std::size_t k = 0; k <= config.negatives; ++k) {
             graph::VertexId target = 0;
             double label = 0.0;
@@ -82,17 +83,11 @@ EmbeddingMatrix train_sgns(const graph::WeightedGraph& g,
               if (target == walk[ctx_idx]) continue;
             }
             float* const tgt = context.data() + static_cast<std::size_t>(target) * dim;
-            double dot = 0.0;
-            for (std::size_t d = 0; d < dim; ++d) {
-              dot += static_cast<double>(center_vec[d]) * tgt[d];
-            }
-            const double coeff = (label - fast_sigmoid(dot)) * lr;
-            for (std::size_t d = 0; d < dim; ++d) {
-              grad[d] += coeff * tgt[d];
-              tgt[d] += static_cast<float>(coeff * center_vec[d]);
-            }
+            const double dot = util::simd::dot(center_vec, tgt, dim);
+            const auto coeff = static_cast<float>((label - fast_sigmoid(dot)) * lr);
+            util::simd::fused_sigmoid_step(coeff, center_vec, tgt, grad.data(), dim);
           }
-          for (std::size_t d = 0; d < dim; ++d) center_vec[d] += static_cast<float>(grad[d]);
+          util::simd::axpy(1.0f, grad.data(), center_vec, dim);
         }
       }
     }

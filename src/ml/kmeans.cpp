@@ -5,16 +5,12 @@
 #include <stdexcept>
 
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace dnsembed::ml {
 
 double squared_l2(std::span<const double> a, std::span<const double> b) noexcept {
-  double s = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    s += d * d;
-  }
-  return s;
+  return util::simd::squared_l2(a, b);
 }
 
 namespace {

@@ -14,34 +14,20 @@
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "util/artifact.hpp"
+#include "util/simd.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dnsembed::ml {
 
 namespace {
 
-double dot(std::span<const double> a, std::span<const double> b) noexcept {
-  double s = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
-  return s;
-}
-
-double squared_distance(std::span<const double> a, std::span<const double> b) noexcept {
-  double s = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    s += d * d;
-  }
-  return s;
-}
-
 double kernel_value(const SvmConfig& config, std::span<const double> a,
                     std::span<const double> b) noexcept {
   switch (config.kernel) {
     case SvmKernel::kRbf:
-      return std::exp(-config.gamma * squared_distance(a, b));
+      return std::exp(-config.gamma * util::simd::squared_l2(a, b));
     case SvmKernel::kLinear:
-      return dot(a, b);
+      return util::simd::dot(a, b);
   }
   return 0.0;
 }

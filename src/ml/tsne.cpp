@@ -6,8 +6,8 @@
 #include <stdexcept>
 #include <vector>
 
-#include "ml/kmeans.hpp"
 #include "util/rng.hpp"
+#include "util/simd.hpp"
 
 namespace dnsembed::ml {
 
@@ -61,7 +61,7 @@ Matrix tsne(const Matrix& x, const TsneConfig& config) {
   std::vector<std::vector<double>> dist2(n, std::vector<double>(n, 0.0));
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = i + 1; j < n; ++j) {
-      const double d = squared_l2(x.row(i), x.row(j));
+      const double d = util::simd::squared_l2(x.row(i), x.row(j));
       dist2[i][j] = d;
       dist2[j][i] = d;
     }
@@ -113,7 +113,7 @@ Matrix tsne(const Matrix& x, const TsneConfig& config) {
     double q_total = 0.0;
     for (std::size_t i = 0; i < n; ++i) {
       for (std::size_t j = i + 1; j < n; ++j) {
-        const double d2 = squared_l2(y.row(i), y.row(j));
+        const double d2 = util::simd::squared_l2(y.row(i), y.row(j));
         const double num = 1.0 / (1.0 + d2);
         q_num[i][j] = num;
         q_num[j][i] = num;

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "util/simd.hpp"
+
 namespace dnsembed::ml {
 
 double kmeans_bic(const Matrix& x, const Matrix& centroids,
@@ -17,7 +19,7 @@ double kmeans_bic(const Matrix& x, const Matrix& centroids,
   double rss = 0.0;
   std::vector<std::size_t> counts(centroids.rows(), 0);
   for (std::size_t i = 0; i < x.rows(); ++i) {
-    rss += squared_l2(x.row(i), centroids.row(assignment[i]));
+    rss += util::simd::squared_l2(x.row(i), centroids.row(assignment[i]));
     ++counts[assignment[i]];
   }
   // MLE of the shared spherical variance; clamp for degenerate fits.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/fsio.hpp"
+#include "util/simd.hpp"
 
 namespace dnsembed::obs {
 
@@ -139,8 +140,13 @@ MetricsSnapshot Registry::snapshot() const {
     snap.counters.emplace_back("io.faults_injected", io.faults_injected);
     snap.counters.emplace_back("artifact.corrupt_detected", io.corrupt_detected);
   }
-  snap.gauges.reserve(gauges_.size());
+  snap.gauges.reserve(gauges_.size() + 1);
   for (const auto& g : gauges_) snap.gauges.emplace_back(g->name(), g->value());
+  // Same inversion as the fsio counters above: the SIMD dispatch layer lives
+  // in src/util, so republish the resolved rung here instead of having util
+  // push it.
+  snap.gauges.emplace_back("simd.level",
+                           static_cast<std::int64_t>(util::simd::active_level()));
   snap.histograms.reserve(histograms_.size());
   for (const auto& h : histograms_) {
     HistogramSnapshot hs;

@@ -5,7 +5,7 @@
 namespace dnsembed::util {
 
 ThreadPool::ThreadPool(std::size_t threads) {
-  if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+  threads = resolve_threads(threads);
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });

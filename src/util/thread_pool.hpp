@@ -12,6 +12,7 @@
 // same pool size; only the execution interleaving varies.
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -24,16 +25,21 @@
 namespace dnsembed::util {
 
 /// Resolve a user-facing thread-count knob: 0 = one per hardware thread
-/// (at least 1), anything else is taken literally.
+/// (at least 1); explicit requests are capped at the hardware thread count.
+/// Oversubscribing a CPU-bound pool only adds context-switch overhead —
+/// BENCH_projection.json measured T=8 running 2x slower than T=1 on a
+/// single-core container before the cap.
 inline std::size_t resolve_threads(std::size_t requested) noexcept {
-  if (requested != 0) return requested;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
+  const unsigned hw_raw = std::thread::hardware_concurrency();
+  const std::size_t hw = hw_raw == 0 ? 1 : hw_raw;
+  if (requested == 0) return hw;
+  return std::min(requested, hw);
 }
 
 class ThreadPool {
  public:
-  /// threads == 0 means hardware_concurrency (at least 1).
+  /// Worker count goes through resolve_threads(): 0 means one per hardware
+  /// thread, explicit values are capped at the hardware thread count.
   explicit ThreadPool(std::size_t threads = 0);
   ~ThreadPool();
 

@@ -29,9 +29,9 @@ RunOptions small_options(const std::string& workdir) {
   config.trace.max_victims = 8;
   config.embedding_dimension = 8;
   config.embedding.line.total_samples = 50'000;
-  // Bit-identical resume requires a deterministic trainer; hogwild with
-  // more than one thread is not.
-  config.embedding.line.threads = 1;
+  // Multi-lane on purpose: bit-identical resume must hold while LINE trains
+  // in parallel (deterministic batch-synchronous SGD).
+  config.embedding.line.threads = 4;
   config.kfold = 3;
   config.xmeans.k_min = 4;
   config.xmeans.k_max = 16;

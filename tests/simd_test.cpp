@@ -1,0 +1,237 @@
+// Parity fuzz for the util/simd dispatch ladder: every rung the CPU
+// supports must agree with the scalar reference — within 1 ulp of the
+// returned float for the double-accumulated reductions (dot, squared_l2),
+// bit-exactly for the element-wise float kernels (axpy, scale,
+// fused_sigmoid_step). Inputs sweep random data plus the usual traps:
+// denormals, signed zeros, large magnitudes, and lengths that exercise
+// every vector-width remainder path.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+#include "util/simd.hpp"
+
+namespace dnsembed::util::simd {
+namespace {
+
+using detail::axpy_f32_scalar;
+using detail::dot_f32_scalar;
+using detail::dot_f64_scalar;
+using detail::fused_step_scalar;
+using detail::scale_f32_scalar;
+using detail::squared_l2_f32_scalar;
+using detail::squared_l2_f64_scalar;
+
+struct Rung {
+  Level level;
+  float (*dot_f32)(const float*, const float*, std::size_t) noexcept;
+  double (*dot_f64)(const double*, const double*, std::size_t) noexcept;
+  float (*sql2_f32)(const float*, const float*, std::size_t) noexcept;
+  double (*sql2_f64)(const double*, const double*, std::size_t) noexcept;
+  void (*axpy)(float, const float*, float*, std::size_t) noexcept;
+  void (*scale)(float, const float*, float*, std::size_t) noexcept;
+  void (*fused)(float, const float*, float*, float*, std::size_t) noexcept;
+};
+
+std::vector<Rung> supported_rungs() {
+  std::vector<Rung> rungs;
+#if defined(__x86_64__) || defined(__i386__)
+  if (level_supported(Level::kSse2)) {
+    rungs.push_back({Level::kSse2, detail::dot_f32_sse2, detail::dot_f64_sse2,
+                     detail::squared_l2_f32_sse2, detail::squared_l2_f64_sse2,
+                     detail::axpy_f32_sse2, detail::scale_f32_sse2, detail::fused_step_sse2});
+  }
+  if (level_supported(Level::kAvx2)) {
+    rungs.push_back({Level::kAvx2, detail::dot_f32_avx2, detail::dot_f64_avx2,
+                     detail::squared_l2_f32_avx2, detail::squared_l2_f64_avx2,
+                     detail::axpy_f32_avx2, detail::scale_f32_avx2, detail::fused_step_avx2});
+  }
+#endif
+  return rungs;
+}
+
+/// Distance in representable values between two floats of the same sign
+/// ordering (monotonic bit mapping; equal bits -> 0, adjacent -> 1).
+std::uint32_t ulp_distance(float a, float b) {
+  std::uint32_t ia = 0;
+  std::uint32_t ib = 0;
+  std::memcpy(&ia, &a, 4);
+  std::memcpy(&ib, &b, 4);
+  const auto order = [](std::uint32_t u) -> std::int64_t {
+    return (u & 0x80000000u) ? -static_cast<std::int64_t>(u & 0x7fffffffu)
+                             : static_cast<std::int64_t>(u & 0x7fffffffu);
+  };
+  const std::int64_t diff = order(ia) - order(ib);
+  return static_cast<std::uint32_t>(diff < 0 ? -diff : diff);
+}
+
+/// Fuzz vector mixing magnitudes from denormal to ~1e18 with signed zeros.
+template <typename T>
+std::vector<T> fuzz_vector(util::Rng& rng, std::size_t n) {
+  std::vector<T> v(n);
+  for (auto& x : v) {
+    const double u = rng.uniform();
+    if (u < 0.05) {
+      x = rng.bernoulli(0.5) ? T(0.0) : T(-0.0);
+    } else if (u < 0.15) {
+      // Denormal floats: smallest positive subnormal scaled up a little.
+      x = static_cast<T>(std::numeric_limits<float>::denorm_min() *
+                         (1.0 + 15.0 * rng.uniform()) * (rng.bernoulli(0.5) ? 1.0 : -1.0));
+    } else if (u < 0.25) {
+      x = static_cast<T>(rng.uniform(-1.0, 1.0) * 1e18);
+    } else {
+      x = static_cast<T>(rng.uniform(-8.0, 8.0));
+    }
+  }
+  return v;
+}
+
+// Lengths covering empty input, scalar tails, and full vector widths.
+constexpr std::size_t kLengths[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 64, 67, 128};
+
+TEST(SimdParity, FloatReductionsWithinOneUlp) {
+  const auto rungs = supported_rungs();
+  util::Rng rng{20260806};
+  for (int round = 0; round < 200; ++round) {
+    for (const std::size_t n : kLengths) {
+      const auto a = fuzz_vector<float>(rng, n);
+      const auto b = fuzz_vector<float>(rng, n);
+      const float ref_dot = dot_f32_scalar(a.data(), b.data(), n);
+      const float ref_sql2 = squared_l2_f32_scalar(a.data(), b.data(), n);
+      for (const auto& rung : rungs) {
+        const float got_dot = rung.dot_f32(a.data(), b.data(), n);
+        const float got_sql2 = rung.sql2_f32(a.data(), b.data(), n);
+        EXPECT_LE(ulp_distance(got_dot, ref_dot), 1u)
+            << level_name(rung.level) << " dot n=" << n << " got=" << got_dot
+            << " ref=" << ref_dot;
+        EXPECT_LE(ulp_distance(got_sql2, ref_sql2), 1u)
+            << level_name(rung.level) << " squared_l2 n=" << n << " got=" << got_sql2
+            << " ref=" << ref_sql2;
+      }
+    }
+  }
+}
+
+TEST(SimdParity, DoubleReductionsMatchToReassociationTolerance) {
+  const auto rungs = supported_rungs();
+  util::Rng rng{987654321};
+  for (int round = 0; round < 100; ++round) {
+    for (const std::size_t n : kLengths) {
+      const auto a = fuzz_vector<double>(rng, n);
+      const auto b = fuzz_vector<double>(rng, n);
+      const double ref_dot = dot_f64_scalar(a.data(), b.data(), n);
+      const double ref_sql2 = squared_l2_f64_scalar(a.data(), b.data(), n);
+      // Reassociation error bound: n * eps * sum of term magnitudes.
+      double dot_scale = 0.0;
+      double sql2_scale = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        dot_scale += std::fabs(a[i] * b[i]);
+        sql2_scale += (a[i] - b[i]) * (a[i] - b[i]);
+      }
+      const double eps = static_cast<double>(n + 1) * 4.0 *
+                         std::numeric_limits<double>::epsilon();
+      for (const auto& rung : rungs) {
+        EXPECT_NEAR(rung.dot_f64(a.data(), b.data(), n), ref_dot, eps * dot_scale + 1e-300)
+            << level_name(rung.level) << " dot n=" << n;
+        EXPECT_NEAR(rung.sql2_f64(a.data(), b.data(), n), ref_sql2,
+                    eps * sql2_scale + 1e-300)
+            << level_name(rung.level) << " squared_l2 n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdParity, ElementwiseKernelsBitIdentical) {
+  const auto rungs = supported_rungs();
+  util::Rng rng{0xC0FFEE};
+  for (int round = 0; round < 200; ++round) {
+    for (const std::size_t n : kLengths) {
+      const auto x = fuzz_vector<float>(rng, n);
+      const auto y0 = fuzz_vector<float>(rng, n);
+      const auto grad0 = fuzz_vector<float>(rng, n);
+      const auto alpha = static_cast<float>(rng.uniform(-2.0, 2.0));
+
+      auto y_ref = y0;
+      axpy_f32_scalar(alpha, x.data(), y_ref.data(), n);
+      std::vector<float> scaled_ref(n);
+      scale_f32_scalar(alpha, x.data(), scaled_ref.data(), n);
+      auto tgt_ref = y0;
+      auto grad_ref = grad0;
+      fused_step_scalar(alpha, x.data(), tgt_ref.data(), grad_ref.data(), n);
+
+      for (const auto& rung : rungs) {
+        auto y = y0;
+        rung.axpy(alpha, x.data(), y.data(), n);
+        EXPECT_EQ(std::memcmp(y.data(), y_ref.data(), n * sizeof(float)), 0)
+            << level_name(rung.level) << " axpy n=" << n;
+
+        std::vector<float> scaled(n);
+        rung.scale(alpha, x.data(), scaled.data(), n);
+        EXPECT_EQ(std::memcmp(scaled.data(), scaled_ref.data(), n * sizeof(float)), 0)
+            << level_name(rung.level) << " scale n=" << n;
+
+        auto tgt = y0;
+        auto grad = grad0;
+        rung.fused(alpha, x.data(), tgt.data(), grad.data(), n);
+        EXPECT_EQ(std::memcmp(tgt.data(), tgt_ref.data(), n * sizeof(float)), 0)
+            << level_name(rung.level) << " fused tgt n=" << n;
+        EXPECT_EQ(std::memcmp(grad.data(), grad_ref.data(), n * sizeof(float)), 0)
+            << level_name(rung.level) << " fused grad n=" << n;
+      }
+    }
+  }
+}
+
+TEST(SimdDispatch, ScalarAlwaysSupportedAndForceFallsBackDownTheLadder) {
+  EXPECT_TRUE(level_supported(Level::kScalar));
+  const Level original = active_level();
+
+  const Level scalar = force_level(Level::kScalar);
+  EXPECT_EQ(scalar, Level::kScalar);
+  EXPECT_EQ(active_level(), Level::kScalar);
+
+  // Requesting the widest rung lands on the widest rung the CPU has.
+  const Level widest = force_level(Level::kAvx2);
+  EXPECT_TRUE(level_supported(widest));
+  EXPECT_EQ(active_level(), widest);
+
+  force_level(original);
+  EXPECT_EQ(active_level(), original);
+}
+
+TEST(SimdDispatch, ForcedRungsStillComputeCorrectly) {
+  const float a[5] = {1.0f, 2.0f, 3.0f, 4.0f, 5.0f};
+  const float b[5] = {5.0f, 4.0f, 3.0f, 2.0f, 1.0f};
+  const Level original = active_level();
+  for (const Level level : {Level::kScalar, Level::kSse2, Level::kAvx2}) {
+    if (!level_supported(level)) continue;
+    EXPECT_EQ(force_level(level), level);
+    EXPECT_FLOAT_EQ(dot(a, b, 5), 35.0f) << level_name(level);
+    EXPECT_FLOAT_EQ(squared_l2(a, b, 5), 40.0f) << level_name(level);
+  }
+  force_level(original);
+}
+
+TEST(SimdDispatch, LevelNamesAreStable) {
+  EXPECT_STREQ(level_name(Level::kScalar), "scalar");
+  EXPECT_STREQ(level_name(Level::kSse2), "sse2");
+  EXPECT_STREQ(level_name(Level::kAvx2), "avx2");
+}
+
+TEST(SimdDispatch, SnapshotPublishesSelectedLevelGauge) {
+  const auto snap = obs::Registry::instance().snapshot();
+  const auto it = std::find_if(snap.gauges.begin(), snap.gauges.end(),
+                               [](const auto& g) { return g.first == "simd.level"; });
+  ASSERT_NE(it, snap.gauges.end());
+  EXPECT_EQ(it->second, static_cast<std::int64_t>(active_level()));
+}
+
+}  // namespace
+}  // namespace dnsembed::util::simd

@@ -40,9 +40,9 @@ StreamingConfig detector_config() {
   config.window_days = 2;
   config.label_delay_days = 2;
   config.embedding.line.total_samples = 300'000;
-  // Bit-identical resume requires a deterministic trainer; hogwild with
-  // more than one thread is not.
-  config.embedding.line.threads = 1;
+  // Multi-lane on purpose: bit-identical resume must hold while LINE trains
+  // in parallel (deterministic batch-synchronous SGD).
+  config.embedding.line.threads = 4;
   return config;
 }
 

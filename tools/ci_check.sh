@@ -2,10 +2,15 @@
 # One-shot local CI: the checks a change must pass before it lands.
 #
 #   1. tier-1: default preset build + full ctest suite
-#   2. robustness label (fault injection, loader fuzz, crash recovery)
+#   2. simd label (kernel parity fuzz + LINE determinism) on the native
+#      dispatch rung, then the full tier-1 suite again with
+#      DNSEMBED_FORCE_SCALAR=1 so the scalar fallback stays correct
+#   3. micro_line smoke: dispatch must train finite embeddings on both the
+#      scalar and the widest rung (no timing gate at smoke scale)
+#   4. robustness label (fault injection, loader fuzz, crash recovery)
 #      under Address+UB sanitizers
-#   3. concurrency label (parallel projection, hogwild, sharded metrics)
-#      under ThreadSanitizer
+#   5. concurrency label (parallel projection, deterministic LINE barriers,
+#      sharded metrics) under ThreadSanitizer
 #
 # Usage: tools/ci_check.sh [--skip-sanitizers]
 # Runs from any directory; build trees land in <repo>/build[-asan|-tsan].
@@ -26,6 +31,15 @@ cmake --build --preset default -j "$jobs"
 
 step "tier-1: full test suite"
 ctest --preset default -j "$jobs"
+
+step "simd label (kernel parity + LINE determinism)"
+ctest --preset default -j "$jobs" -L simd
+
+step "tier-1 suite again with the scalar rung forced"
+DNSEMBED_FORCE_SCALAR=1 ctest --preset default -j "$jobs"
+
+step "micro_line smoke (dispatch sanity, no timing gate)"
+DNSEMBED_BENCH_SMOKE=1 DNSEMBED_BENCH_JSON="$(mktemp)" build/bench/micro_line
 
 if [[ "$skip_sanitizers" == 1 ]]; then
   step "sanitizer passes skipped (--skip-sanitizers)"

@@ -96,11 +96,15 @@ commands:
   run       --workdir DIR [--resume] [--stage-deadline SECONDS] [--hosts N]
             [--days N] [--sites N] [--families N] [--seed N] [--dim N]
             [--samples N] [--kfold N] [--svm-c X] [--svm-gamma X]
+            [--line-threads N]
             (resumable pipeline: each stage commits atomic checksummed
              artifacts + a manifest under DIR; --resume skips stages whose
              artifacts still validate and recomputes anything missing,
              corrupt, or built under a different config; final output is
-             DIR/report.md. exit 4 = a stage exceeded --stage-deadline)
+             DIR/report.md. exit 4 = a stage exceeded --stage-deadline.
+             LINE SGD is bit-identical for every --line-threads value
+             [0 = one per core], so parallel embedding keeps resumed
+             reports byte-identical)
   faultsim  --out report.json [--hosts N] [--days N] [--sites N] [--families N]
             [--seed N] [--severities 0,0.25,0.5,1] [--samples N] [--window N]
             [--label-delay N] [--kfold N] [--no-streaming]
@@ -897,11 +901,12 @@ int cmd_run(const util::ArgParser& args) {
   config.embedding_dimension = static_cast<std::size_t>(args.get_int_or("--dim", 24));
   config.embedding.line.total_samples =
       static_cast<std::size_t>(args.get_int_or("--samples", 2'000'000));
-  // Hogwild SGD with >1 thread is nondeterministic; the resumable runner
-  // promises bit-identical reports across interrupt/resume, so embedding
-  // runs single-threaded here (projections/SVM stay parallel — they are
-  // deterministic for any thread count).
-  config.embedding.line.threads = 1;
+  // LINE's batch-synchronous SGD is bit-identical for every lane count
+  // (counter-based per-sample seeds + fixed-order barrier application), so
+  // the resumable runner's byte-identical-report promise no longer requires
+  // a single-threaded embedding stage.
+  config.embedding.line.threads =
+      static_cast<std::size_t>(args.get_int_or("--line-threads", 0));
   config.svm = svm_from_args(args);
   config.kfold = static_cast<std::size_t>(args.get_int_or("--kfold", 5));
   config.xmeans.k_min = 8;
