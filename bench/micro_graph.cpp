@@ -1,18 +1,32 @@
 // Microbenchmarks: bipartite graph construction and one-mode Jaccard
-// projection at several scales, including the sharded flat-hash engine at
-// several thread counts against the map-based reference.
+// projection at several scales — the sharded flat-hash engine at several
+// thread counts against the map-based reference, and the minhash/LSH
+// sketched backend against exact counting on a million-edge clustered
+// graph.
 //
 // After the google-benchmark run, a machine-readable perf record is written
 // to BENCH_projection.json (override the path with DNSEMBED_BENCH_JSON) so
-// successive PRs can track the projection throughput trajectory.
+// successive PRs can track the projection throughput trajectory. The full
+// run also enforces three regression gates (exit 1 on violation):
+//   - scaling: sharded T=max must stay within 0.9x of T=1 wall;
+//   - speed:   sketched must beat exact by >= 5x on the 1M-edge graph;
+//   - quality: downstream combined-channel AUC under the sketched backend
+//              must stay within 0.01 of exact on a small pipeline.
+//
+// Smoke mode (DNSEMBED_BENCH_SMOKE=1): tiny graphs, no gates, no
+// google-benchmark pass — just proves both backends produce edges and the
+// JSON writer works. `--sketched` restricts the smoke run to the sketched
+// backend (the CI hook).
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "core/pipeline.hpp"
 #include "graph/bipartite.hpp"
 #include "graph/projection.hpp"
 #include "util/rng.hpp"
@@ -87,10 +101,24 @@ void BM_ProjectRightThresholded(benchmark::State& state) {
 }
 BENCHMARK(BM_ProjectRightThresholded);
 
+void BM_ProjectRightSketched(benchmark::State& state) {
+  const auto g = random_bipartite(200, 1000, 100000, 2);
+  graph::ProjectionOptions options;
+  options.min_similarity = 0.1;
+  options.mode = graph::ProjectionMode::kSketched;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::project_right(g, options));
+  }
+}
+BENCHMARK(BM_ProjectRightSketched);
+
 // ---------------------------------------------------------------------
-// BENCH_projection.json: best-of-N wall times for the 100k-edge projection
-// across engines/thread counts, as one JSON array of
-// {name, edges, threads, wall_ms, items_per_s} records.
+// BENCH_projection.json + regression gates.
+
+bool smoke_mode() {
+  const char* env = std::getenv("DNSEMBED_BENCH_SMOKE");
+  return env != nullptr && env[0] != '\0' && !(env[0] == '0' && env[1] == '\0');
+}
 
 double best_wall_ms(const std::function<void()>& fn, int reps = 3) {
   double best = 1e300;
@@ -102,57 +130,237 @@ double best_wall_ms(const std::function<void()>& fn, int reps = 3) {
   return best;
 }
 
-void write_projection_json() {
+/// The sketched backend's target workload: a few hundred "background" hosts
+/// of huge degree touching random domains (each contributes deg² pair-count
+/// work to the exact engine yet near-zero candidates, because random pairs
+/// have tiny Jaccard), plus many small host/domain communities whose
+/// in-cluster pairs have J ≈ 0.5 and survive the similarity floor. The
+/// exact engine's cost is dominated by counting pairs the threshold then
+/// throws away; the sketch never looks at them.
+graph::BipartiteGraph clustered_bipartite(std::size_t clusters, std::size_t cluster_domains,
+                                          std::size_t cluster_hosts,
+                                          std::size_t background_hosts,
+                                          std::size_t background_edges, std::uint64_t seed) {
+  util::Rng rng{seed};
+  graph::BipartiteGraph g;
+  for (std::size_t c = 0; c < clusters; ++c) {
+    for (std::size_t h = 0; h < cluster_hosts; ++h) {
+      const std::string host = "ch" + std::to_string(c) + "_" + std::to_string(h);
+      for (std::size_t d = 0; d < cluster_domains; ++d) {
+        g.add_edge(host, "d" + std::to_string(c * cluster_domains + d));
+      }
+    }
+  }
+  const std::size_t total_domains = clusters * cluster_domains;
+  for (std::size_t e = 0; e < background_edges; ++e) {
+    g.add_edge("bh" + std::to_string(rng.uniform_index(background_hosts)),
+               "d" + std::to_string(rng.uniform_index(total_domains)));
+  }
+  g.finalize();
+  return g;
+}
+
+/// Downstream quality probe for the AUC gate: the full small pipeline
+/// (trace -> behavior -> embed -> labels -> SVM) with the given projection
+/// backend; returns the combined-channel ROC AUC.
+double combined_auc(graph::ProjectionMode mode) {
+  core::PipelineConfig config;
+  config.trace.hosts = 60;
+  config.trace.days = 2;
+  config.trace.benign_sites = 300;
+  config.trace.malware_families = 6;
+  config.embedding_dimension = 8;
+  config.embedding.line.total_samples = 150'000;
+  config.embedding.line.threads = 1;
+  config.kfold = 3;
+  config.keep_flows = false;
+  config.projection_mode = mode;
+  // Library-default sketch parameters (rows = 2 per band): the A/B measures
+  // exactly what a user opting into --projection-mode sketched gets. The
+  // similarity floor matches the defaults' design point (near-total
+  // candidate recall above J ~ 0.3); below that floor r = 2 banding
+  // intentionally sheds weak pairs, so an A/B at e.g. 0.1 would compare
+  // two different graphs rather than two backends.
+  for (auto* proj : {&config.behavior.query_projection, &config.behavior.ip_projection,
+                     &config.behavior.temporal_projection}) {
+    proj->min_similarity = 0.3;
+  }
+  const auto result = core::run_pipeline(config);
+  return core::evaluate_channels(result, config).combined.auc;
+}
+
+struct Row {
+  std::string name;
+  std::size_t edges = 0;
+  std::size_t threads = 1;
+  double wall_ms = 0.0;
+  std::string extra;  // preformatted JSON fragment, e.g. ", \"recall\": 0.99"
+};
+
+bool write_rows(const std::vector<Row>& rows) {
   const char* path = std::getenv("DNSEMBED_BENCH_JSON");
   if (path == nullptr) path = "BENCH_projection.json";
-  constexpr std::size_t kEdges = 100000;
-  const auto g = random_bipartite(200, 1000, kEdges, 2);
-
-  struct Row {
-    std::string name;
-    std::size_t threads;
-    double wall_ms;
-  };
-  std::vector<Row> rows;
-  rows.push_back({"project_right_reference/100k", 1, best_wall_ms([&] {
-                    benchmark::DoNotOptimize(graph::project_right_reference(g));
-                  })});
-  for (const std::size_t threads : {1, 2, 4, 8}) {
-    graph::ProjectionOptions options;
-    options.threads = threads;
-    rows.push_back({"project_right_sharded/100k", threads, best_wall_ms([&] {
-                      benchmark::DoNotOptimize(graph::project_right(g, options));
-                    })});
-  }
-
   std::FILE* out = std::fopen(path, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "micro_graph: cannot write %s\n", path);
-    return;
+    return false;
   }
   std::fprintf(out, "[\n");
   for (std::size_t i = 0; i < rows.size(); ++i) {
-    const double items_per_s = static_cast<double>(kEdges) / (rows[i].wall_ms / 1e3);
+    const double items_per_s =
+        rows[i].wall_ms > 0.0 ? static_cast<double>(rows[i].edges) / (rows[i].wall_ms / 1e3)
+                              : 0.0;
     std::fprintf(out,
                  "  {\"name\": \"%s\", \"edges\": %zu, \"threads\": %zu, "
                  "\"effective_threads\": %zu, \"wall_ms\": %.3f, "
-                 "\"items_per_s\": %.0f}%s\n",
-                 rows[i].name.c_str(), kEdges, rows[i].threads,
+                 "\"items_per_s\": %.0f%s}%s\n",
+                 rows[i].name.c_str(), rows[i].edges, rows[i].threads,
                  util::resolve_threads(rows[i].threads), rows[i].wall_ms, items_per_s,
-                 i + 1 < rows.size() ? "," : "");
+                 rows[i].extra.c_str(), i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(out, "]\n");
   std::fclose(out);
   std::printf("wrote %s\n", path);
+  return true;
+}
+
+int run_smoke(bool sketched_only) {
+  const auto g = clustered_bipartite(100, 10, 3, 50, 5000, 7);
+  const std::size_t edges = g.edge_count();
+  graph::ProjectionOptions options;
+  options.min_similarity = 0.3;
+  std::vector<Row> rows;
+  if (!sketched_only) {
+    rows.push_back({"project_right_exact/smoke", edges, 1,
+                    best_wall_ms([&] { benchmark::DoNotOptimize(graph::project_right(g, options)); }, 1),
+                    ""});
+  }
+  options.mode = graph::ProjectionMode::kSketched;
+  graph::WeightedGraph sketched;
+  rows.push_back({"project_right_sketched/smoke", edges, 1,
+                  best_wall_ms([&] { sketched = graph::project_right(g, options); }, 1), ""});
+  if (sketched.edge_count() == 0) {
+    std::fprintf(stderr, "micro_graph: smoke FAIL — sketched projection emitted no edges\n");
+    return 1;
+  }
+  std::printf("smoke: sketched projection emitted %zu edges over %zu vertices\n",
+              sketched.edge_count(), sketched.vertex_count());
+  if (!write_rows(rows)) return 1;
+  return 0;
+}
+
+int run_full() {
+  std::vector<Row> rows;
+  bool ok = true;
+  const auto gate = [&](bool pass, const char* what) {
+    if (!pass) {
+      std::fprintf(stderr, "micro_graph: GATE FAIL — %s\n", what);
+      ok = false;
+    }
+  };
+
+  // --- Scaling gate on the 100k random graph: T=max must stay within
+  // 0.9x of T=1 (effective threads are capped at the hardware count, so
+  // oversubscription can no longer tank the sharded engine).
+  constexpr std::size_t kEdges = 100000;
+  const auto random_g = random_bipartite(200, 1000, kEdges, 2);
+  rows.push_back({"project_right_reference/100k", kEdges, 1, best_wall_ms([&] {
+                    benchmark::DoNotOptimize(graph::project_right_reference(random_g));
+                  }),
+                  ""});
+  double wall_t1 = 0.0;
+  double wall_tmax = 0.0;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4},
+                                    std::size_t{8}, std::size_t{0}}) {
+    graph::ProjectionOptions options;
+    options.threads = threads;
+    const double wall = best_wall_ms(
+        [&] { benchmark::DoNotOptimize(graph::project_right(random_g, options)); });
+    rows.push_back({threads == 0 ? "project_right_sharded/100k/max"
+                                 : "project_right_sharded/100k",
+                    kEdges, threads, wall, ""});
+    if (threads == 1) wall_t1 = wall;
+    if (threads == 0) wall_tmax = wall;
+  }
+  gate(wall_tmax <= wall_t1 / 0.9,
+       "sharded T=max slower than 0.9x of T=1 (scaling regression)");
+
+  // --- Speed gate: exact vs sketched on the ~1M-edge clustered graph.
+  const auto big = clustered_bipartite(5000, 20, 5, 500, 500000, 7);
+  const std::size_t big_edges = big.edge_count();
+  std::printf("clustered graph: %zu edges, %zu domains, %zu hosts\n", big_edges,
+              big.right_count(), big.left_count());
+  graph::ProjectionOptions exact_options;
+  exact_options.min_similarity = 0.3;
+  graph::WeightedGraph exact_graph;
+  const double exact_wall =
+      best_wall_ms([&] { exact_graph = graph::project_right(big, exact_options); });
+  rows.push_back({"project_right_exact/1M_clustered", big_edges, 1, exact_wall, ""});
+
+  // Accuracy-vs-speed sweep over (signature_size, bands); recall is the
+  // fraction of exact edges recovered (sketched weights are exact, so with
+  // an identical similarity floor its edge set is a subset of exact's).
+  double default_wall = 0.0;
+  const std::pair<std::size_t, std::size_t> sweep[] = {{64, 32}, {128, 32}, {128, 64}, {256, 64}};
+  for (const auto& [signature, bands] : sweep) {
+    graph::ProjectionOptions options = exact_options;
+    options.mode = graph::ProjectionMode::kSketched;
+    options.sketch.signature_size = signature;
+    options.sketch.bands = bands;
+    graph::WeightedGraph sketched;
+    const double wall = best_wall_ms([&] { sketched = graph::project_right(big, options); });
+    const double recall = exact_graph.edge_count() == 0
+                              ? 1.0
+                              : static_cast<double>(sketched.edge_count()) /
+                                    static_cast<double>(exact_graph.edge_count());
+    char extra[160];
+    std::snprintf(extra, sizeof extra,
+                  ", \"signature\": %zu, \"bands\": %zu, \"recall\": %.4f", signature, bands,
+                  recall);
+    rows.push_back({"project_right_sketched/1M_clustered", big_edges, 1, wall, extra});
+    if (signature == 64 && bands == 32) default_wall = wall;
+  }
+  gate(default_wall * 5.0 <= exact_wall,
+       "default sketched projection (sig=64, bands=32) less than 5x faster than "
+       "exact on the 1M-edge graph");
+
+  // --- Quality gate: downstream combined-channel AUC, exact vs sketched.
+  const double auc_exact = combined_auc(graph::ProjectionMode::kExact);
+  const double auc_sketched = combined_auc(graph::ProjectionMode::kSketched);
+  {
+    char extra[96];
+    std::snprintf(extra, sizeof extra, ", \"auc_exact\": %.4f, \"auc_sketched\": %.4f",
+                  auc_exact, auc_sketched);
+    rows.push_back({"pipeline_auc/exact_vs_sketched", 0, 1, 0.0, extra});
+  }
+  const double auc_gap = auc_exact > auc_sketched ? auc_exact - auc_sketched
+                                                  : auc_sketched - auc_exact;
+  gate(auc_gap <= 0.01, "sketched downstream AUC drifted more than 0.01 from exact");
+
+  if (!write_rows(rows)) return 1;
+  std::printf("gates: scaling %.1fms(T=1) vs %.1fms(T=max); sketched %.1fms vs exact "
+              "%.1fms (%.1fx); auc %.4f vs %.4f\n",
+              wall_t1, wall_tmax, default_wall, exact_wall,
+              default_wall > 0.0 ? exact_wall / default_wall : 0.0, auc_exact, auc_sketched);
+  return ok ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool sketched_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--sketched") == 0) {
+      sketched_only = true;
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  if (smoke_mode()) return run_smoke(sketched_only);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  write_projection_json();
-  return 0;
+  return run_full();
 }

@@ -57,9 +57,12 @@ PipelineResult run_pipeline(const PipelineConfig& config) {
   {
     obs::StageSpan span{"pipeline.behavior"};
     BehaviorModelConfig behavior = config.behavior;
-    behavior.query_projection.threads = config.projection_threads;
-    behavior.ip_projection.threads = config.projection_threads;
-    behavior.temporal_projection.threads = config.projection_threads;
+    for (auto* proj : {&behavior.query_projection, &behavior.ip_projection,
+                       &behavior.temporal_projection}) {
+      proj->threads = config.projection_threads;
+      proj->mode = config.projection_mode;
+      proj->sketch = config.sketch;
+    }
     result.model = build_behavior_model(graphs.take_hdbg(), graphs.take_dibg(),
                                         graphs.take_dtbg(), behavior);
   }

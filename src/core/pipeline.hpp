@@ -28,6 +28,17 @@ struct PipelineConfig {
   /// every value, so this is purely a throughput knob.
   std::size_t projection_threads = 0;
 
+  /// Projection backend for the three one-mode projections, applied to all
+  /// three ProjectionOptions in `behavior` like projection_threads.
+  /// kSketched swaps exact pair counting for minhash/LSH candidate
+  /// generation with exact verification — the million-domain route. Unlike
+  /// projection_threads this changes the output (a high-recall subgraph),
+  /// so it participates in the resumable-run config hash.
+  graph::ProjectionMode projection_mode = graph::ProjectionMode::kExact;
+
+  /// Minhash/LSH parameters used when projection_mode == kSketched.
+  graph::SketchOptions sketch;
+
   /// Embedding size k per similarity graph; the combined vector is 3k
   /// (paper §6.1).
   std::size_t embedding_dimension = 32;

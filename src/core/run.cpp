@@ -54,14 +54,14 @@ const std::vector<StageSpec>& stage_specs() {
         {"trace.stats", "trace-stats"}}},
       {"behavior",
        {{"kept.domains", "domain-list"},
-        {"query_sim.wg", "weighted-graph"},
-        {"ip_sim.wg", "weighted-graph"},
-        {"temporal_sim.wg", "weighted-graph"}}},
+        {"query_sim.csr", "csr-graph"},
+        {"ip_sim.csr", "csr-graph"},
+        {"temporal_sim.csr", "csr-graph"}}},
       {"embed",
-       {{"query.emb", "embedding"},
-        {"ip.emb", "embedding"},
-        {"temporal.emb", "embedding"},
-        {"combined.emb", "embedding"}}},
+       {{"query.emb", "embedding-arena"},
+        {"ip.emb", "embedding-arena"},
+        {"temporal.emb", "embedding-arena"},
+        {"combined.emb", "embedding-arena"}}},
       {"labels", {{"labeled.set", "labeled-set"}}},
       {"report", {{"report.md", nullptr}}},
   };
@@ -384,7 +384,7 @@ class StageDriver {
 std::string hash_pipeline_config(const PipelineConfig& config) {
   std::ostringstream out;
   out.precision(17);
-  out << "run-config 1";
+  out << "run-config 2";
   out << " trace=" << config.trace.seed << ',' << config.trace.campaign_seed << ','
       << config.trace.hosts << ',' << config.trace.days << ',' << config.trace.benign_sites
       << ',' << config.trace.malware_families;
@@ -393,6 +393,12 @@ std::string hash_pipeline_config(const PipelineConfig& config) {
   out << " proj=" << config.behavior.query_projection.min_similarity << ','
       << config.behavior.ip_projection.min_similarity << ','
       << config.behavior.temporal_projection.min_similarity;
+  // The backend and sketch parameters change which edges the similarity
+  // graphs contain, so a mode/parameter switch must invalidate resumed
+  // stages (projection_threads, by contrast, is output-neutral).
+  out << " projmode=" << static_cast<int>(config.projection_mode) << ','
+      << config.sketch.signature_size << ',' << config.sketch.bands << ','
+      << config.sketch.bits << ',' << config.sketch.top_k << ',' << config.sketch.seed;
   out << " embed=" << static_cast<int>(config.embedding.method) << ','
       << config.embedding_dimension << ',' << config.embedding.line.total_samples << ','
       << config.seed;
@@ -451,25 +457,30 @@ RunSummary run_resumable(const RunOptions& options) {
     auto dtbg = graph::load_bipartite_file(path("dtbg.bg"));
     watchdog.check();
     BehaviorModelConfig behavior = config.behavior;
-    behavior.query_projection.threads = config.projection_threads;
-    behavior.ip_projection.threads = config.projection_threads;
-    behavior.temporal_projection.threads = config.projection_threads;
+    for (auto* proj : {&behavior.query_projection, &behavior.ip_projection,
+                       &behavior.temporal_projection}) {
+      proj->threads = config.projection_threads;
+      proj->mode = config.projection_mode;
+      proj->sketch = config.sketch;
+    }
     auto model =
         build_behavior_model(std::move(hdbg), std::move(dibg), std::move(dtbg), behavior);
     watchdog.check();
     util::save_artifact(path("kept.domains"), "domain-list",
                         domain_list_payload(model.kept_domains));
     driver.committed("kept.domains", watchdog);
-    graph::save_weighted_file(path("query_sim.wg"), model.query_similarity);
-    driver.committed("query_sim.wg", watchdog);
-    graph::save_weighted_file(path("ip_sim.wg"), model.ip_similarity);
-    driver.committed("ip_sim.wg", watchdog);
-    graph::save_weighted_file(path("temporal_sim.wg"), model.temporal_similarity);
-    driver.committed("temporal_sim.wg", watchdog);
+    graph::save_csr_file(path("query_sim.csr"), model.query_similarity);
+    driver.committed("query_sim.csr", watchdog);
+    graph::save_csr_file(path("ip_sim.csr"), model.ip_similarity);
+    driver.committed("ip_sim.csr", watchdog);
+    graph::save_csr_file(path("temporal_sim.csr"), model.temporal_similarity);
+    driver.committed("temporal_sim.csr", watchdog);
   });
 
-  // embed: one embedding per reloaded similarity graph (seed, seed+1,
-  // seed+2 as in run_pipeline), then the concatenated vector.
+  // embed: one embedding per similarity graph (seed, seed+1, seed+2 as in
+  // run_pipeline), then the concatenated vector. The CSR graphs are
+  // memory-mapped, not parsed: LINE's edge sampler reads the mapped
+  // sections in place.
   driver.stage(specs[2], summary, [&](const StageWatchdog& watchdog) {
     const auto kept = parse_domain_list(
         util::load_artifact(path("kept.domains"), "domain-list"), path("kept.domains"));
@@ -478,24 +489,24 @@ RunSummary run_resumable(const RunOptions& options) {
 
     embed_config.seed = config.seed;
     const auto query =
-        embed::embed_graph(graph::load_weighted_file(path("query_sim.wg")), embed_config);
-    query.save_file(path("query.emb"));
+        embed::embed_graph(graph::load_csr_file(path("query_sim.csr")), embed_config);
+    query.save_arena_file(path("query.emb"));
     driver.committed("query.emb", watchdog);
 
     embed_config.seed = config.seed + 1;
     const auto ip =
-        embed::embed_graph(graph::load_weighted_file(path("ip_sim.wg")), embed_config);
-    ip.save_file(path("ip.emb"));
+        embed::embed_graph(graph::load_csr_file(path("ip_sim.csr")), embed_config);
+    ip.save_arena_file(path("ip.emb"));
     driver.committed("ip.emb", watchdog);
 
     embed_config.seed = config.seed + 2;
     const auto temporal =
-        embed::embed_graph(graph::load_weighted_file(path("temporal_sim.wg")), embed_config);
-    temporal.save_file(path("temporal.emb"));
+        embed::embed_graph(graph::load_csr_file(path("temporal_sim.csr")), embed_config);
+    temporal.save_arena_file(path("temporal.emb"));
     driver.committed("temporal.emb", watchdog);
 
     embed::EmbeddingMatrix::concat(kept, {&query, &ip, &temporal})
-        .save_file(path("combined.emb"));
+        .save_arena_file(path("combined.emb"));
     driver.committed("combined.emb", watchdog);
   });
 
@@ -523,13 +534,14 @@ RunSummary run_resumable(const RunOptions& options) {
     result.trace.flow_events = stats.flow_events;
     result.model.kept_domains = parse_domain_list(
         util::load_artifact(path("kept.domains"), "domain-list"), path("kept.domains"));
-    result.model.query_similarity = graph::load_weighted_file(path("query_sim.wg"));
-    result.model.ip_similarity = graph::load_weighted_file(path("ip_sim.wg"));
-    result.model.temporal_similarity = graph::load_weighted_file(path("temporal_sim.wg"));
-    result.query_embedding = embed::EmbeddingMatrix::load_file(path("query.emb"));
-    result.ip_embedding = embed::EmbeddingMatrix::load_file(path("ip.emb"));
-    result.temporal_embedding = embed::EmbeddingMatrix::load_file(path("temporal.emb"));
-    result.combined_embedding = embed::EmbeddingMatrix::load_file(path("combined.emb"));
+    result.model.query_similarity = graph::from_csr(graph::load_csr_file(path("query_sim.csr")));
+    result.model.ip_similarity = graph::from_csr(graph::load_csr_file(path("ip_sim.csr")));
+    result.model.temporal_similarity =
+        graph::from_csr(graph::load_csr_file(path("temporal_sim.csr")));
+    result.query_embedding = embed::EmbeddingMatrix::load_arena_file(path("query.emb"));
+    result.ip_embedding = embed::EmbeddingMatrix::load_arena_file(path("ip.emb"));
+    result.temporal_embedding = embed::EmbeddingMatrix::load_arena_file(path("temporal.emb"));
+    result.combined_embedding = embed::EmbeddingMatrix::load_arena_file(path("combined.emb"));
     result.labels = intel::load_labeled_file(path("labeled.set"));
     watchdog.check();
 

@@ -4,7 +4,7 @@
 
 namespace dnsembed::embed {
 
-AliasTable::AliasTable(const std::vector<double>& weights) {
+AliasTable::AliasTable(std::span<const double> weights) {
   if (weights.empty()) throw std::invalid_argument{"AliasTable: empty weights"};
   double total = 0.0;
   for (const double w : weights) {

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -12,8 +13,11 @@ namespace dnsembed::embed {
 
 class AliasTable {
  public:
-  /// Build from non-negative weights (at least one must be positive).
-  explicit AliasTable(const std::vector<double>& weights);
+  /// Build from non-negative weights (at least one must be positive). The
+  /// span form reads straight from mapped arena sections (util/csr.hpp).
+  explicit AliasTable(std::span<const double> weights);
+  explicit AliasTable(const std::vector<double>& weights)
+      : AliasTable{std::span<const double>{weights}} {}
 
   /// Draw an index with probability proportional to its weight.
   std::size_t sample(util::Rng& rng) const noexcept;

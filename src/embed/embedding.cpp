@@ -8,6 +8,7 @@
 
 #include "util/artifact.hpp"
 #include "util/bithex.hpp"
+#include "util/csr.hpp"
 #include "util/csv.hpp"
 
 namespace dnsembed::embed {
@@ -225,6 +226,23 @@ void EmbeddingMatrix::save_file(const std::string& path) const {
 
 EmbeddingMatrix EmbeddingMatrix::load_file(const std::string& path) {
   return parse_payload(util::load_artifact(path, kEmbeddingKind), path);
+}
+
+void EmbeddingMatrix::save_arena_file(const std::string& path) const {
+  util::DenseMatrix::build(names_, dimension_, data_).save_file(path);
+}
+
+EmbeddingMatrix EmbeddingMatrix::load_arena_file(const std::string& path) {
+  const util::DenseMatrix m = util::DenseMatrix::load_file(path);
+  if (m.cols() == 0) bad_embedding(path, "embedding arena: zero dimension");
+  EmbeddingMatrix out;
+  try {
+    out = EmbeddingMatrix{m.names_copy(), m.cols()};
+  } catch (const std::invalid_argument& e) {
+    bad_embedding(path, e.what());
+  }
+  std::copy(m.data().begin(), m.data().end(), out.data_.begin());
+  return out;
 }
 
 void EmbeddingMatrix::rebuild_index() {

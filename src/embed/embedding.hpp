@@ -58,6 +58,13 @@ class EmbeddingMatrix {
   void save_file(const std::string& path) const;
   static EmbeddingMatrix load_file(const std::string& path);
 
+  /// Binary arena persistence (util/csr.hpp DenseMatrix, kind
+  /// "embedding-arena"): raw f32 sections, loaded via mmap with no
+  /// hex-text encode/parse — the pipeline's durable embedding form.
+  /// Round-trips bit-exactly like save_file/load_file.
+  void save_arena_file(const std::string& path) const;
+  static EmbeddingMatrix load_arena_file(const std::string& path);
+
   /// Artifact payload codec, exposed for the loader fuzz tests.
   std::string payload() const;
   static EmbeddingMatrix parse_payload(std::string_view payload, const std::string& context);

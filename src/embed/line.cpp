@@ -62,8 +62,14 @@ constexpr std::uint64_t sample_seed(std::uint64_t base, std::uint64_t step) noex
   return mix64(base ^ mix64(step + 0x9e3779b97f4a7c15ULL));
 }
 
+/// Everything run_sgd reads about the graph: the edge endpoints as
+/// struct-of-arrays (for a CSR arena these spans alias the mapped file —
+/// the sampler touches no deserialized copy) plus the samplers built over
+/// edge weights and noise degrees.
 struct TrainContext {
-  const graph::WeightedGraph& g;
+  std::span<const std::uint32_t> edge_u;
+  std::span<const std::uint32_t> edge_v;
+  std::size_t vertex_count = 0;
   const LineConfig& config;
   AliasTable edge_sampler;
   AliasTable noise_sampler;
@@ -99,9 +105,7 @@ struct DeltaShard {
 /// and still byte-match an uninterrupted run.
 void run_sgd(TrainContext& ctx, std::vector<float>& vertex, std::vector<float>& context,
              std::size_t dim, bool second_order) {
-  const auto& g = ctx.g;
   const auto& config = ctx.config;
-  const auto edges = g.edges();
   const std::size_t total = ctx.steps;
   const double lr_floor = config.initial_lr * config.min_lr_fraction;
   const std::uint64_t base_seed =
@@ -124,7 +128,7 @@ void run_sgd(TrainContext& ctx, std::vector<float>& vertex, std::vector<float>& 
   // ratio constant: small dense test graphs take many cheap barriers while
   // big graphs amortize barriers over 4096-step batches.
   const std::size_t batch_size =
-      std::clamp<std::size_t>(g.vertex_count() / 4, 64, 4096);
+      std::clamp<std::size_t>(ctx.vertex_count / 4, 64, 4096);
 
   std::vector<std::vector<DeltaShard>> buffers(lanes, std::vector<DeltaShard>(lanes));
   std::vector<std::vector<float>> grads(lanes, std::vector<float>(dim));
@@ -144,11 +148,11 @@ void run_sgd(TrainContext& ctx, std::vector<float>& vertex, std::vector<float>& 
       const double progress = static_cast<double>(step) / static_cast<double>(total);
       const double lr = std::max(lr_floor, config.initial_lr * (1.0 - progress));
 
-      const auto& edge = edges[ctx.edge_sampler.sample(rng)];
+      const std::size_t ei = ctx.edge_sampler.sample(rng);
       // Random orientation: the graph is undirected, LINE's updates are not.
       const bool flip = rng.bernoulli(0.5);
-      const graph::VertexId src = flip ? edge.v : edge.u;
-      const graph::VertexId dst = flip ? edge.u : edge.v;
+      const graph::VertexId src = flip ? ctx.edge_v[ei] : ctx.edge_u[ei];
+      const graph::VertexId dst = flip ? ctx.edge_u[ei] : ctx.edge_v[ei];
 
       const float* const src_vec = vertex.data() + static_cast<std::size_t>(src) * dim;
       std::fill_n(grad, dim, 0.0f);
@@ -220,7 +224,7 @@ void run_sgd(TrainContext& ctx, std::vector<float>& vertex, std::vector<float>& 
 
 /// Train one objective and return the raw (unnormalized) embedding block.
 std::vector<float> train_order(TrainContext& ctx, std::size_t dim, bool second_order) {
-  const std::size_t n = ctx.g.vertex_count();
+  const std::size_t n = ctx.vertex_count;
   std::vector<float> vertex(n * dim);
   std::vector<float> context;
   util::Rng rng{ctx.config.seed * 7919 + (second_order ? 1 : 0)};
@@ -235,6 +239,26 @@ std::vector<float> train_order(TrainContext& ctx, std::size_t dim, bool second_o
 }  // namespace
 
 EmbeddingMatrix train_line(const graph::WeightedGraph& g, const LineConfig& config) {
+  // Convert to the CSR form so both entry points run the same core: the
+  // edge struct-of-arrays preserves g.edges() order, so the edge sampler
+  // draws the identical sequence.
+  std::vector<std::uint32_t> edge_u;
+  std::vector<std::uint32_t> edge_v;
+  std::vector<double> edge_w;
+  edge_u.reserve(g.edge_count());
+  edge_v.reserve(g.edge_count());
+  edge_w.reserve(g.edge_count());
+  for (const auto& e : g.edges()) {
+    edge_u.push_back(e.u);
+    edge_v.push_back(e.v);
+    edge_w.push_back(e.weight);
+  }
+  return train_line(
+      util::CsrGraph::build(g.vertex_count(), edge_u, edge_v, edge_w, g.names().names()),
+      config);
+}
+
+EmbeddingMatrix train_line(const util::CsrGraph& g, const LineConfig& config) {
   OBS_SPAN("embed.line.train");
   if (config.dimension == 0) throw std::invalid_argument{"train_line: zero dimension"};
   if (config.order == LineOrder::kBoth && config.dimension < 2) {
@@ -242,19 +266,26 @@ EmbeddingMatrix train_line(const graph::WeightedGraph& g, const LineConfig& conf
   }
   if (config.initial_lr <= 0.0) throw std::invalid_argument{"train_line: non-positive lr"};
 
-  EmbeddingMatrix out{g.names().names(), config.dimension};
+  std::vector<std::string> names;
+  if (g.has_names()) {
+    names = g.names_copy();
+  } else {
+    names.reserve(g.vertex_count());
+    for (std::size_t v = 0; v < g.vertex_count(); ++v) names.push_back(std::to_string(v));
+  }
+  EmbeddingMatrix out{std::move(names), config.dimension};
   if (g.vertex_count() == 0) return out;
   if (g.edge_count() == 0) return out;  // all isolated -> all-zero rows
 
-  // Samplers shared by both objectives.
-  std::vector<double> edge_weights;
-  edge_weights.reserve(g.edge_count());
-  for (const auto& e : g.edges()) edge_weights.push_back(e.weight);
+  // Samplers shared by both objectives. Edge weights come straight from
+  // the arena's EDGW section; noise degrees from the WDEG section.
   std::vector<double> noise(g.vertex_count());
-  for (graph::VertexId v = 0; v < g.vertex_count(); ++v) {
-    noise[v] = std::pow(g.weighted_degree(v), config.noise_power);
+  for (std::size_t v = 0; v < g.vertex_count(); ++v) {
+    noise[v] = std::pow(g.weighted_degree(static_cast<std::uint32_t>(v)),
+                        config.noise_power);
   }
-  TrainContext ctx{g, config, AliasTable{edge_weights}, AliasTable{noise}, 0};
+  TrainContext ctx{g.edge_u(),           g.edge_v(),        g.vertex_count(), config,
+                   AliasTable{g.edge_w()}, AliasTable{noise}, 0};
   ctx.steps = config.total_samples != 0 ? config.total_samples
                                         : config.samples_per_edge * g.edge_count();
   ctx.steps = std::max<std::size_t>(ctx.steps, 1);
@@ -263,7 +294,7 @@ EmbeddingMatrix train_line(const graph::WeightedGraph& g, const LineConfig& conf
                                std::size_t offset) {
     for (std::size_t v = 0; v < g.vertex_count(); ++v) {
       auto dst = out.row(v);
-      if (g.degree(static_cast<graph::VertexId>(v)) == 0) continue;  // keep zeros
+      if (g.degree(static_cast<std::uint32_t>(v)) == 0) continue;  // keep zeros
       for (std::size_t d = 0; d < dim; ++d) dst[offset + d] = block[v * dim + d];
     }
   };

@@ -19,6 +19,7 @@
 
 #include "embed/embedding.hpp"
 #include "graph/weighted_graph.hpp"
+#include "util/csr.hpp"
 
 namespace dnsembed::embed {
 
@@ -63,6 +64,15 @@ struct LineConfig {
 /// zero vector (nothing can be learned for them). Throws
 /// std::invalid_argument for a config with zero dimension/negatives
 /// mismatch or a graph with vertices but dimension too small to split.
+/// Internally converts to the CSR form below, so both entry points share
+/// one training core and produce identical output for the same graph.
 EmbeddingMatrix train_line(const graph::WeightedGraph& g, const LineConfig& config);
+
+/// Train LINE directly on a CSR arena graph — the zero-copy pipeline path:
+/// the edge sampler indexes the contiguous edge struct-of-arrays straight
+/// out of the mapped artifact, and the noise distribution reads the
+/// precomputed weighted-degree section, so no per-vertex allocations or
+/// re-parse happen between artifact load and the first SGD step.
+EmbeddingMatrix train_line(const util::CsrGraph& g, const LineConfig& config);
 
 }  // namespace dnsembed::embed

@@ -195,4 +195,45 @@ BipartiteGraph load_bipartite_file(const std::string& path) {
   }
 }
 
+util::CsrGraph to_csr(const WeightedGraph& g) {
+  std::vector<std::uint32_t> edge_u;
+  std::vector<std::uint32_t> edge_v;
+  std::vector<double> edge_w;
+  edge_u.reserve(g.edge_count());
+  edge_v.reserve(g.edge_count());
+  edge_w.reserve(g.edge_count());
+  for (const auto& e : g.edges()) {
+    edge_u.push_back(e.u);
+    edge_v.push_back(e.v);
+    edge_w.push_back(e.weight);
+  }
+  return util::CsrGraph::build(g.vertex_count(), edge_u, edge_v, edge_w, g.names().names());
+}
+
+WeightedGraph from_csr(const util::CsrGraph& g) {
+  WeightedGraph out;
+  for (std::uint32_t v = 0; v < g.vertex_count(); ++v) {
+    if (g.has_names()) {
+      out.add_vertex(g.name(v));
+    } else {
+      out.add_vertex(std::to_string(v));
+    }
+  }
+  const auto eu = g.edge_u();
+  const auto ev = g.edge_v();
+  const auto ew = g.edge_w();
+  for (std::size_t i = 0; i < eu.size(); ++i) {
+    out.add_edge_unchecked(eu[i], ev[i], ew[i]);
+  }
+  return out;
+}
+
+void save_csr_file(const std::string& path, const WeightedGraph& g) {
+  to_csr(g).save_file(path);
+}
+
+util::CsrGraph load_csr_file(const std::string& path) {
+  return util::CsrGraph::load_file(path);
+}
+
 }  // namespace dnsembed::graph

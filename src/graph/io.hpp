@@ -8,6 +8,7 @@
 
 #include "graph/bipartite.hpp"
 #include "graph/weighted_graph.hpp"
+#include "util/csr.hpp"
 
 namespace dnsembed::graph {
 
@@ -44,5 +45,23 @@ WeightedGraph load_weighted_file(const std::string& path);
 
 void save_bipartite_file(const std::string& path, const BipartiteGraph& g);
 BipartiteGraph load_bipartite_file(const std::string& path);
+
+// --- CSR arena forms (util/csr.hpp). Binary struct-of-arrays payloads
+// with a memory-mapped zero-copy load path: the durable similarity-graph
+// format at million-domain scale. Weights round-trip by bit pattern (raw
+// f64 sections), so a reloaded graph reproduces embeddings bit-identically
+// just like the text artifact form.
+
+/// Convert to the CSR arena form. Edge order is preserved (LINE's edge
+/// sampler addresses edges positionally).
+util::CsrGraph to_csr(const WeightedGraph& g);
+
+/// Materialize a mutable WeightedGraph from a CSR arena (CSV export and
+/// other interop paths; the pipeline itself consumes CsrGraph directly).
+WeightedGraph from_csr(const util::CsrGraph& g);
+
+/// Atomic checksummed save / mmap zero-copy load of the CSR form.
+void save_csr_file(const std::string& path, const WeightedGraph& g);
+util::CsrGraph load_csr_file(const std::string& path);
 
 }  // namespace dnsembed::graph

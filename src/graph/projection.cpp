@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "graph/sketch.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "util/flat_counter.hpp"
@@ -14,20 +15,6 @@
 namespace dnsembed::graph {
 
 namespace {
-
-double set_similarity(SimilarityMeasure measure, std::size_t inter, std::size_t deg_u,
-                      std::size_t deg_v) noexcept {
-  switch (measure) {
-    case SimilarityMeasure::kJaccard:
-      return static_cast<double>(inter) / static_cast<double>(deg_u + deg_v - inter);
-    case SimilarityMeasure::kCosine:
-      return static_cast<double>(inter) /
-             std::sqrt(static_cast<double>(deg_u) * static_cast<double>(deg_v));
-    case SimilarityMeasure::kOverlap:
-      return static_cast<double>(inter) / static_cast<double>(std::min(deg_u, deg_v));
-  }
-  return 0.0;
-}
 
 /// Shard for a pair key, derived from the FIRST vertex of the pair only:
 /// the inner counting loop emits a run of keys (u, v0..vk) with ascending v
@@ -101,13 +88,36 @@ WeightedGraph project_impl(std::size_t side_count, NameFn&& side_name, DegreeFn&
   };
 
   // Pass 2: merge one shard index across all workers, then filter and emit.
+  // Each worker owns a contiguous shard range and its own output vector, so
+  // the merge pass is as lock-free as the count pass.
+  static obs::Counter& merge_keys_counter = obs::metrics().counter("graph.projection.merge_keys");
   std::vector<std::vector<WeightedEdge>> shard_edges(shards);
   const auto emit_shards = [&](std::size_t lo, std::size_t hi, std::size_t) {
     OBS_SPAN("graph.projection.emit");
     for (std::size_t s = lo; s < hi; ++s) {
-      util::FlatCounter merged = std::move(local[0][s]);
-      for (std::size_t w = 1; w < local.size(); ++w) merged.merge_from(local[w][s]);
+      // Size-aware merge: steal the LARGEST worker table as the base so the
+      // per-key reinsert cost is the sum of the SMALLER tables only, and
+      // reserve the worst-case union up front so the base rehashes at most
+      // once. (Starting blindly from worker 0 meant re-inserting nearly
+      // every key whenever a later worker held the dominant table, plus one
+      // rehash per doubling as the merge grew it.)
+      std::size_t base = 0;
+      std::size_t total = 0;
+      for (std::size_t w = 0; w < local.size(); ++w) {
+        total += local[w][s].size();
+        if (local[w][s].size() > local[base][s].size()) base = w;
+      }
+      util::FlatCounter merged = std::move(local[base][s]);
+      merged.reserve(total);
+      std::size_t reinserted = 0;
+      for (std::size_t w = 0; w < local.size(); ++w) {
+        if (w == base) continue;
+        reinserted += local[w][s].size();
+        merged.merge_from(std::move(local[w][s]));
+      }
+      merge_keys_counter.add(reinserted);
       auto& edges = shard_edges[s];
+      edges.reserve(merged.size());
       merged.for_each([&](std::uint64_t key, std::uint32_t inter) {
         const auto u = static_cast<VertexId>(key >> 32);
         const auto v = static_cast<VertexId>(key & 0xFFFFFFFFu);
@@ -179,6 +189,9 @@ WeightedGraph project_reference_impl(std::size_t side_count, NameFn&& side_name,
 }  // namespace
 
 WeightedGraph project_right(const BipartiteGraph& g, const ProjectionOptions& options) {
+  if (options.mode == ProjectionMode::kSketched) {
+    return project_sketched(g, /*right_side=*/true, options);
+  }
   return project_impl(
       g.right_count(), [&g](VertexId v) -> const std::string& { return g.right_names().name(v); },
       [&g](VertexId v) { return g.right_degree(v); }, g.left_count(),
@@ -186,6 +199,9 @@ WeightedGraph project_right(const BipartiteGraph& g, const ProjectionOptions& op
 }
 
 WeightedGraph project_left(const BipartiteGraph& g, const ProjectionOptions& options) {
+  if (options.mode == ProjectionMode::kSketched) {
+    return project_sketched(g, /*right_side=*/false, options);
+  }
   return project_impl(
       g.left_count(), [&g](VertexId v) -> const std::string& { return g.left_names().name(v); },
       [&g](VertexId v) { return g.left_degree(v); }, g.right_count(),

@@ -1,0 +1,354 @@
+#include "graph/sketch.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "util/flat_counter.hpp"
+#include "util/hash.hpp"
+#include "util/simd.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dnsembed::graph {
+
+namespace {
+
+/// Buckets larger than this are skipped instead of expanded into pairs: a
+/// bucket of m vertices costs m² candidate emissions, and buckets this big
+/// only arise from near-duplicate hub cliques or degenerate band keys whose
+/// pairs would be found through other bands anyway.
+constexpr std::size_t kMaxBucketVertices = 2048;
+
+/// Sentinel band key for vertices with no eligible pivots: their rows never
+/// enter a bucket (otherwise every empty vertex would collide with every
+/// other one and form a giant candidate clique).
+constexpr std::uint64_t kNoKey = ~std::uint64_t{0};
+
+/// Uniform view of the projection side (right_side picks which bipartite
+/// set gets projected); pivots are the opposite side.
+struct SideView {
+  const BipartiteGraph& g;
+  bool right_side;
+
+  std::size_t side_count() const { return right_side ? g.right_count() : g.left_count(); }
+  std::size_t pivot_count() const { return right_side ? g.left_count() : g.right_count(); }
+  std::span<const VertexId> side_neighbors(VertexId v) const {
+    return right_side ? g.right_neighbors(v) : g.left_neighbors(v);
+  }
+  std::size_t side_degree(VertexId v) const {
+    return right_side ? g.right_degree(v) : g.left_degree(v);
+  }
+  std::size_t pivot_degree(VertexId p) const {
+    return right_side ? g.left_degree(p) : g.right_degree(p);
+  }
+  const std::string& side_name(VertexId v) const {
+    return right_side ? g.right_names().name(v) : g.left_names().name(v);
+  }
+};
+
+void validate_sketch_options(const SketchOptions& s) {
+  if (s.signature_size == 0) {
+    throw std::invalid_argument{"sketch: signature_size must be at least 1"};
+  }
+  if (s.bands == 0 || s.bands > s.signature_size) {
+    throw std::invalid_argument{"sketch: bands must be in [1, signature_size]"};
+  }
+  if (s.bits == 0 || s.bits > 8) {
+    throw std::invalid_argument{"sketch: bits must be in [1, 8]"};
+  }
+}
+
+/// Run fn over [0, count) — inline when the caller resolved a single
+/// thread, else through the pool. fn(lo, hi, worker) with worker < threads.
+template <typename Fn>
+void run_ranges(util::ThreadPool* pool, std::size_t count, const Fn& fn) {
+  if (pool == nullptr) {
+    fn(0, count, 0);
+  } else {
+    pool->parallel_for(0, count, fn);
+  }
+}
+
+struct Sketch {
+  /// Row-major side_count x signature_size b-bit compressed entries.
+  std::vector<std::uint8_t> sig;
+  /// Eligible (non-hub) pivot count per side vertex; 0 means the vertex
+  /// never enters banding.
+  std::vector<std::uint32_t> eligible;
+};
+
+Sketch compute_sketch(const SideView& view, const ProjectionOptions& options,
+                      util::ThreadPool* pool, std::size_t threads) {
+  OBS_SPAN("graph.sketch.sign");
+  const SketchOptions& s = options.sketch;
+  const std::size_t k = s.signature_size;
+  const std::size_t side_count = view.side_count();
+  const std::size_t pivot_count = view.pivot_count();
+
+  const auto hub = [&](VertexId p) {
+    return options.max_pivot_degree != 0 && view.pivot_degree(p) > options.max_pivot_degree;
+  };
+
+  // Counter-based hash family: h_j(p) = low32(mix64(seed_j ^ mix64(p + 1))).
+  // No stored permutations — the whole family is a function of the seed, so
+  // signatures are reproducible from (seed, graph) alone.
+  std::vector<std::uint64_t> seeds(k);
+  for (std::size_t j = 0; j < k; ++j) seeds[j] = util::mix64(s.seed + j + 1);
+
+  // Per-pivot hash rows, precomputed once so the signature fold below is one
+  // SIMD min pass per bipartite incidence. Hub pivots keep a zero row that
+  // is never read.
+  std::vector<std::uint32_t> hash_rows(pivot_count * k);
+  run_ranges(pool, pivot_count, [&](std::size_t lo, std::size_t hi, std::size_t) {
+    for (std::size_t p = lo; p < hi; ++p) {
+      if (hub(static_cast<VertexId>(p))) continue;
+      const std::uint64_t mixed_pivot = util::mix64(static_cast<std::uint64_t>(p) + 1);
+      std::uint32_t* row = hash_rows.data() + p * k;
+      for (std::size_t j = 0; j < k; ++j) {
+        row[j] = static_cast<std::uint32_t>(util::mix64(seeds[j] ^ mixed_pivot));
+      }
+    }
+  });
+
+  // Domain-major fold: each worker owns a contiguous vertex range and a
+  // private scratch row, so the pass is race-free and the result depends
+  // only on (seed, graph) — bit-identical at every thread count.
+  Sketch out;
+  out.sig.assign(side_count * k, 0xFF);
+  out.eligible.assign(side_count, 0);
+  const std::uint32_t mask = s.bits == 8 ? 0xFFu : ((1u << s.bits) - 1u);
+  std::vector<std::vector<std::uint32_t>> scratch(threads, std::vector<std::uint32_t>(k));
+  run_ranges(pool, side_count, [&](std::size_t lo, std::size_t hi, std::size_t worker) {
+    std::uint32_t* row = scratch[worker].data();
+    for (std::size_t d = lo; d < hi; ++d) {
+      std::uint32_t eligible = 0;
+      std::fill(row, row + k, 0xFFFFFFFFu);
+      for (const VertexId p : view.side_neighbors(static_cast<VertexId>(d))) {
+        if (hub(p)) continue;
+        util::simd::min_u32(hash_rows.data() + static_cast<std::size_t>(p) * k, row, k);
+        ++eligible;
+      }
+      out.eligible[d] = eligible;
+      if (eligible == 0) continue;  // keep the all-0xFF marker row
+      std::uint8_t* dst = out.sig.data() + d * k;
+      for (std::size_t j = 0; j < k; ++j) {
+        dst[j] = static_cast<std::uint8_t>(row[j] & mask);
+      }
+    }
+  });
+  return out;
+}
+
+struct BandEntry {
+  std::uint64_t key;
+  std::uint32_t vertex;
+};
+
+/// Distinct candidate pairs packed as (u << 32) | v with u < v, sorted.
+std::vector<std::uint64_t> band_candidates(const Sketch& sketch, const SketchOptions& s,
+                                           std::size_t side_count, util::ThreadPool* pool) {
+  OBS_SPAN("graph.sketch.band");
+  static obs::Counter& candidates_counter = obs::metrics().counter("graph.sketch.candidates");
+  static obs::Counter& oversize_counter = obs::metrics().counter("graph.sketch.oversize_buckets");
+
+  const std::size_t k = s.signature_size;
+  const std::size_t rows = k / s.bands;
+
+  // One entry per (vertex, band); ineligible vertices get the sentinel key
+  // so they sort to the end and are skipped by the bucket scan.
+  std::vector<BandEntry> entries(side_count * s.bands);
+  run_ranges(pool, side_count, [&](std::size_t lo, std::size_t hi, std::size_t) {
+    for (std::size_t d = lo; d < hi; ++d) {
+      BandEntry* slot = entries.data() + d * s.bands;
+      if (sketch.eligible[d] == 0) {
+        for (std::size_t b = 0; b < s.bands; ++b) {
+          slot[b] = {kNoKey, static_cast<std::uint32_t>(d)};
+        }
+        continue;
+      }
+      const std::uint8_t* sig = sketch.sig.data() + d * k;
+      for (std::size_t b = 0; b < s.bands; ++b) {
+        // Band index folded into the hash seed: equal byte runs in
+        // DIFFERENT bands must not land in the same bucket.
+        const std::string_view slice{reinterpret_cast<const char*>(sig + b * rows), rows};
+        std::uint64_t key = util::xxhash64(slice, util::mix64(s.seed ^ (b + 1)));
+        if (key == kNoKey) --key;  // keep the sentinel unambiguous
+        slot[b] = {key, static_cast<std::uint32_t>(d)};
+      }
+    }
+  });
+
+  std::sort(entries.begin(), entries.end(), [](const BandEntry& a, const BandEntry& b) {
+    return a.key != b.key ? a.key < b.key : a.vertex < b.vertex;
+  });
+
+  // Bucket scan: each run of equal keys is one LSH bucket; every distinct
+  // vertex pair inside it becomes a candidate (deduplicated across bands by
+  // the FlatCounter — a pair colliding in three bands is verified once).
+  util::FlatCounter pairs;
+  std::size_t run_start = 0;
+  while (run_start < entries.size()) {
+    const std::uint64_t key = entries[run_start].key;
+    std::size_t run_end = run_start + 1;
+    while (run_end < entries.size() && entries[run_end].key == key) ++run_end;
+    const std::size_t m = run_end - run_start;
+    if (key != kNoKey && m >= 2) {
+      if (m > kMaxBucketVertices) {
+        oversize_counter.add(1);
+      } else {
+        for (std::size_t i = run_start; i < run_end; ++i) {
+          const std::uint64_t hi_key = static_cast<std::uint64_t>(entries[i].vertex) << 32;
+          for (std::size_t j = i + 1; j < run_end; ++j) {
+            if (entries[j].vertex == entries[i].vertex) continue;  // cross-band key collision
+            pairs.increment(hi_key | entries[j].vertex);
+          }
+        }
+      }
+    }
+    run_start = run_end;
+  }
+
+  std::vector<std::uint64_t> candidates;
+  candidates.reserve(pairs.size());
+  pairs.for_each([&](std::uint64_t key, std::uint32_t) { candidates.push_back(key); });
+  std::sort(candidates.begin(), candidates.end());
+  candidates_counter.add(candidates.size());
+  return candidates;
+}
+
+/// Keep an edge when it ranks in the top-k strongest of EITHER endpoint
+/// (kNN-graph union rule). Ties broken by neighbor id, so the prune is
+/// deterministic. Preserves the incoming edge order.
+void prune_top_k(std::vector<WeightedEdge>& edges, std::size_t side_count, std::size_t top_k) {
+  std::vector<std::vector<std::uint32_t>> incident(side_count);
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    incident[edges[i].u].push_back(static_cast<std::uint32_t>(i));
+    incident[edges[i].v].push_back(static_cast<std::uint32_t>(i));
+  }
+  std::vector<char> keep(edges.size(), 0);
+  for (std::size_t v = 0; v < side_count; ++v) {
+    auto& list = incident[v];
+    const auto other = [&](std::uint32_t idx) {
+      return edges[idx].u == v ? edges[idx].v : edges[idx].u;
+    };
+    const std::size_t kept = std::min(top_k, list.size());
+    std::partial_sort(list.begin(), list.begin() + kept, list.end(),
+                      [&](std::uint32_t a, std::uint32_t b) {
+                        if (edges[a].weight != edges[b].weight) {
+                          return edges[a].weight > edges[b].weight;
+                        }
+                        return other(a) < other(b);
+                      });
+    for (std::size_t i = 0; i < kept; ++i) keep[list[i]] = 1;
+  }
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    if (keep[i]) edges[w++] = edges[i];
+  }
+  edges.resize(w);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> minhash_signatures(const BipartiteGraph& g, bool right_side,
+                                             const ProjectionOptions& options) {
+  validate_sketch_options(options.sketch);
+  const SideView view{g, right_side};
+  std::size_t threads = util::resolve_threads(options.threads);
+  threads = std::min(threads, std::max<std::size_t>(1, view.side_count()));
+  if (threads == 1) {
+    return compute_sketch(view, options, nullptr, 1).sig;
+  }
+  util::ThreadPool pool{threads};
+  return compute_sketch(view, options, &pool, pool.size()).sig;
+}
+
+WeightedGraph project_sketched(const BipartiteGraph& g, bool right_side,
+                               const ProjectionOptions& options) {
+  validate_sketch_options(options.sketch);
+  const SideView view{g, right_side};
+  const std::size_t side_count = view.side_count();
+
+  WeightedGraph out;
+  for (VertexId v = 0; v < side_count; ++v) out.add_vertex(view.side_name(v));
+
+  std::size_t threads = util::resolve_threads(options.threads);
+  threads = std::min(threads, std::max<std::size_t>(1, side_count));
+  util::ThreadPool* pool = nullptr;
+  std::optional<util::ThreadPool> owned_pool;
+  if (threads > 1) {
+    owned_pool.emplace(threads);
+    pool = &*owned_pool;
+    threads = pool->size();
+  }
+
+  const Sketch sketch = compute_sketch(view, options, pool, threads);
+  const std::vector<std::uint64_t> candidates =
+      band_candidates(sketch, options.sketch, side_count, pool);
+
+  // Verification: exact intersection over the sorted bipartite adjacency,
+  // only for candidate pairs. Each candidate writes its own preallocated
+  // slot (weight 0 = rejected), so the pass is parallel yet deterministic.
+  static obs::Counter& verified_counter = obs::metrics().counter("graph.sketch.verified");
+  static obs::Counter& edges_counter = obs::metrics().counter("graph.sketch.edges");
+  std::vector<WeightedEdge> verified(candidates.size());
+  run_ranges(pool, candidates.size(), [&](std::size_t lo, std::size_t hi, std::size_t) {
+    OBS_SPAN("graph.sketch.verify");
+    for (std::size_t i = lo; i < hi; ++i) {
+      const auto u = static_cast<VertexId>(candidates[i] >> 32);
+      const auto v = static_cast<VertexId>(candidates[i] & 0xFFFFFFFFu);
+      const auto nu = view.side_neighbors(u);
+      const auto nv = view.side_neighbors(v);
+      // Two-pointer intersection; hub pivots are excluded from the count
+      // (matching the exact engine, which never visits them) while the
+      // denominators stay the FULL degrees — same lower-bound semantics.
+      std::size_t inter = 0;
+      std::size_t a = 0;
+      std::size_t b = 0;
+      while (a < nu.size() && b < nv.size()) {
+        if (nu[a] < nv[b]) {
+          ++a;
+        } else if (nv[b] < nu[a]) {
+          ++b;
+        } else {
+          if (options.max_pivot_degree == 0 ||
+              view.pivot_degree(nu[a]) <= options.max_pivot_degree) {
+            ++inter;
+          }
+          ++a;
+          ++b;
+        }
+      }
+      if (inter == 0) continue;
+      const double similarity =
+          set_similarity(options.measure, inter, view.side_degree(u), view.side_degree(v));
+      if (similarity >= options.min_similarity && similarity > 0.0) {
+        verified[i] = {u, v, similarity};
+      }
+    }
+  });
+  verified_counter.add(candidates.size());
+
+  // Candidates were sorted by packed (u, v), and both the compaction and the
+  // top-k prune preserve order, so the emitted edges are already (u, v)
+  // sorted — the same output contract as the exact engine.
+  std::vector<WeightedEdge> edges;
+  edges.reserve(verified.size());
+  for (const WeightedEdge& e : verified) {
+    if (e.weight > 0.0) edges.push_back(e);
+  }
+  if (options.sketch.top_k != 0) {
+    prune_top_k(edges, side_count, options.sketch.top_k);
+  }
+  for (const WeightedEdge& e : edges) out.add_edge_unchecked(e.u, e.v, e.weight);
+  edges_counter.add(edges.size());
+  return out;
+}
+
+}  // namespace dnsembed::graph

@@ -4,12 +4,10 @@
 #include <cmath>
 #include <istream>
 #include <limits>
-#include <list>
 #include <memory>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
@@ -36,60 +34,82 @@ double kernel_value(const SvmConfig& config, std::span<const double> a,
 /// is O(n · dim) per miss — the training hot path — so misses are filled
 /// in parallel when a pool is supplied (each column independent, so the
 /// result is identical to the serial fill).
+///
+/// Storage is ONE contiguous arena of capacity x n doubles plus two flat
+/// index arrays (row -> slot, slot -> row). The previous
+/// unordered_map<row, vector<double>> paid an allocation per miss and a
+/// hash probe plus pointer chase per hit; here a hit is a single array
+/// load and a miss overwrites its slot in place, so the SMO inner loop
+/// only ever touches flat memory. Eviction scans the slot ticks for the
+/// stalest row — O(capacity) per miss, noise next to the O(n · dim) fill.
 class KernelCache {
  public:
   KernelCache(const Matrix& x, const SvmConfig& config, util::ThreadPool* pool = nullptr)
       : x_{x}, config_{config}, pool_{pool},
-        capacity_{std::max<std::size_t>(2, config.cache_rows)} {}
+        capacity_{std::min(std::max<std::size_t>(2, config.cache_rows),
+                           std::max<std::size_t>(x.rows(), 2))},
+        arena_(capacity_ * x.rows()),
+        slot_row_(capacity_, kNone),
+        slot_tick_(capacity_, 0),
+        row_slot_(x.rows(), kNone) {}
 
   std::span<const double> row(std::size_t i) {
     // Kernel-fill hot path: one relaxed add per row event (hit or fill),
     // never per kernel value.
     static obs::Counter& hits = obs::metrics().counter("ml.svm.kernel_cache_hits");
     static obs::Counter& fills = obs::metrics().counter("ml.svm.kernel_rows_filled");
-    const auto it = rows_.find(i);
-    if (it != rows_.end()) {
+    const std::size_t n = x_.rows();
+    if (row_slot_[i] != kNone) {
       hits.add(1);
-      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
-      return it->second.values;
+      const std::size_t slot = row_slot_[i];
+      slot_tick_[slot] = ++tick_;
+      return {arena_.data() + slot * n, n};
     }
     fills.add(1);
-    if (rows_.size() >= capacity_) {
-      const std::size_t victim = lru_.back();
-      lru_.pop_back();
-      rows_.erase(victim);
+    // Victim: first free slot, else the least recently used one.
+    std::size_t slot = 0;
+    std::uint64_t stalest = std::numeric_limits<std::uint64_t>::max();
+    for (std::size_t s = 0; s < capacity_; ++s) {
+      if (slot_row_[s] == kNone) {
+        slot = s;
+        break;
+      }
+      if (slot_tick_[s] < stalest) {
+        stalest = slot_tick_[s];
+        slot = s;
+      }
     }
-    Entry entry;
-    entry.values.resize(x_.rows());
+    if (slot_row_[slot] != kNone) row_slot_[slot_row_[slot]] = kNone;
+    double* const dst = arena_.data() + slot * n;
     const auto xi = x_.row(i);
     const auto fill = [&](std::size_t lo, std::size_t hi, std::size_t) {
       for (std::size_t j = lo; j < hi; ++j) {
-        entry.values[j] = kernel_value(config_, xi, x_.row(j));
+        dst[j] = kernel_value(config_, xi, x_.row(j));
       }
     };
     if (pool_ != nullptr) {
-      pool_->parallel_for(0, x_.rows(), fill);
+      pool_->parallel_for(0, n, fill);
     } else {
-      fill(0, x_.rows(), 0);
+      fill(0, n, 0);
     }
-    lru_.push_front(i);
-    entry.lru_it = lru_.begin();
-    const auto [pos, inserted] = rows_.emplace(i, std::move(entry));
-    return pos->second.values;
+    slot_row_[slot] = i;
+    row_slot_[i] = slot;
+    slot_tick_[slot] = ++tick_;
+    return {dst, n};
   }
 
  private:
-  struct Entry {
-    std::vector<double> values;
-    std::list<std::size_t>::iterator lru_it;
-  };
+  static constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
 
   const Matrix& x_;
   const SvmConfig& config_;
   util::ThreadPool* pool_;
   std::size_t capacity_;
-  std::unordered_map<std::size_t, Entry> rows_;
-  std::list<std::size_t> lru_;
+  std::vector<double> arena_;            // capacity_ rows of n kernel values
+  std::vector<std::size_t> slot_row_;    // slot -> cached row id (kNone = free)
+  std::vector<std::uint64_t> slot_tick_; // slot -> last-use tick
+  std::vector<std::size_t> row_slot_;    // row id -> slot (kNone = not cached)
+  std::uint64_t tick_ = 0;
 };
 
 }  // namespace

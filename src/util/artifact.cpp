@@ -46,6 +46,11 @@ void save_artifact(const std::string& path, std::string_view kind, std::string_v
 
 std::string validate_artifact_bytes(std::string_view bytes, std::string_view kind,
                                     const std::string& path) {
+  return std::string{validate_artifact_view(bytes, kind, path)};
+}
+
+std::string_view validate_artifact_view(std::string_view bytes, std::string_view kind,
+                                        const std::string& path) {
   const auto newline = bytes.find('\n');
   if (newline == std::string_view::npos) corrupt(path, "missing header line");
   const std::string_view header = bytes.substr(0, newline);
@@ -98,12 +103,31 @@ std::string validate_artifact_bytes(std::string_view bytes, std::string_view kin
   if (!parse_hex64(fields[4], declared_digest)) corrupt(path, "bad checksum field");
   if (xxhash64(payload) != declared_digest) corrupt(path, "checksum mismatch");
 
-  return std::string{payload};
+  return payload;
 }
 
 std::string load_artifact(const std::string& path, std::string_view kind,
                           const fsio::RetryPolicy& policy) {
   return validate_artifact_bytes(fsio::read_file(path, policy), kind, path);
+}
+
+std::size_t artifact_payload_offset(std::string_view kind, std::size_t payload_size) noexcept {
+  // magic ' ' version ' ' kind ' ' size ' ' 16-hex-digest '\n'
+  std::size_t size_digits = 1;
+  for (std::size_t v = payload_size; v >= 10; v /= 10) ++size_digits;
+  std::size_t version_digits = 1;
+  for (int v = kArtifactVersion; v >= 10; v /= 10) ++version_digits;
+  return kArtifactMagic.size() + 1 + version_digits + 1 + kind.size() + 1 + size_digits + 1 +
+         16 + 1;
+}
+
+MappedArtifact map_artifact(const std::string& path, std::string_view kind,
+                            const fsio::RetryPolicy& policy) {
+  MappedArtifact artifact;
+  artifact.mapping_ = fsio::map_file(path, policy);
+  artifact.payload_ = validate_artifact_view(artifact.mapping_.bytes(), kind, path);
+  artifact.zero_copy_ = true;
+  return artifact;
 }
 
 }  // namespace dnsembed::util

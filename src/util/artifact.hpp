@@ -65,4 +65,43 @@ std::string load_artifact(const std::string& path, std::string_view kind,
 std::string validate_artifact_bytes(std::string_view bytes, std::string_view kind,
                                     const std::string& path);
 
+/// Zero-copy validation core: full validation (magic, version, kind,
+/// length, checksum), returning a view of the payload *inside* `bytes`.
+/// The caller owns keeping `bytes` alive — map_artifact does so via the
+/// file mapping; validate_artifact_bytes copies instead.
+std::string_view validate_artifact_view(std::string_view bytes, std::string_view kind,
+                                        const std::string& path);
+
+/// Byte offset at which the payload begins inside the container
+/// make_artifact(kind, payload) would produce for a payload of
+/// `payload_size` bytes (the header line plus its '\n'). Writers of
+/// alignment-sensitive payloads (util/csr.hpp arenas) use this to pick a
+/// pad so typed sections land 8-aligned in the file — and therefore
+/// 8-aligned in memory once mapped, since mmap bases are page-aligned.
+std::size_t artifact_payload_offset(std::string_view kind, std::size_t payload_size) noexcept;
+
+/// A validated artifact whose payload lives in a read-only file mapping —
+/// no payload bytes are copied on load. The payload view is valid for this
+/// object's lifetime. Consumers needing aligned typed access on top of the
+/// raw view (util/csr.hpp arenas) handle any residual misalignment
+/// themselves; zero_copy() reports whether the mapping path was used.
+class MappedArtifact {
+ public:
+  std::string_view payload() const noexcept { return payload_; }
+  bool zero_copy() const noexcept { return zero_copy_; }
+
+ private:
+  friend MappedArtifact map_artifact(const std::string& path, std::string_view kind,
+                                     const fsio::RetryPolicy& policy);
+  fsio::MappedFile mapping_;
+  std::string_view payload_;
+  bool zero_copy_ = false;
+};
+
+/// mmap + validate: the checksum pass streams the mapped bytes once, then
+/// the payload is served straight from the page cache with no copy. Throws
+/// CorruptArtifact / fsio::IoError exactly like load_artifact.
+MappedArtifact map_artifact(const std::string& path, std::string_view kind,
+                            const fsio::RetryPolicy& policy = {});
+
 }  // namespace dnsembed::util

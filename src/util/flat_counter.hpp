@@ -123,10 +123,28 @@ class FlatCounter {
     }
   }
 
-  /// Add every count from other into this table (saturating).
+  /// Add every count from other into this table (saturating). Rehashes at
+  /// most once, up front, to a capacity fitting the worst-case union size;
+  /// the per-key inserts then run unchecked.
   void merge_from(const FlatCounter& other) {
-    reserve(size_ + other.size_);
-    other.for_each([this](std::uint64_t key, std::uint32_t c) { increment(key, c); });
+    if (other.size_ == 0) return;
+    ensure(other.size_);
+    other.for_each([this](std::uint64_t key, std::uint32_t c) { increment_unchecked(key, c); });
+  }
+
+  /// Merge that may cannibalize other: an empty destination steals the
+  /// whole table (no rehash, no per-key work — the pass-2 shard merge hits
+  /// this on its first worker). Otherwise falls back to the copying merge.
+  /// other is left empty either way.
+  void merge_from(FlatCounter&& other) {
+    if (size_ == 0) {
+      slots_ = std::move(other.slots_);
+      size_ = other.size_;
+      shift_ = other.shift_;
+    } else {
+      merge_from(static_cast<const FlatCounter&>(other));
+    }
+    other.clear();
   }
 
   /// Ensure capacity for the given number of distinct keys without rehash.

@@ -1,6 +1,7 @@
 #include "util/fsio.hpp"
 
 #include <fcntl.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -272,6 +273,68 @@ std::string read_file(const std::string& path, const RetryPolicy& policy) {
   }
   throw IoError{last->op, path, last->error_code,
                 "read failed after " + std::to_string(attempts) + " attempts"};
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr && size_ != 0) {
+      ::munmap(const_cast<char*>(data_), size_);
+    }
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr && size_ != 0) ::munmap(const_cast<char*>(data_), size_);
+}
+
+MappedFile map_file(const std::string& path, const RetryPolicy& policy) {
+  std::optional<OpFailure> last;
+  const std::size_t attempts = std::max<std::size_t>(policy.max_attempts, 1);
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    last = std::nullopt;
+    if (const int err = injected_errno(Op::kOpen, path, attempt)) {
+      last = OpFailure{Op::kOpen, err};
+    }
+    int fd = -1;
+    if (!last) {
+      fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+      if (fd < 0) last = OpFailure{Op::kOpen, errno};
+    }
+    MappedFile mapped;
+    if (!last) {
+      if (const int err = injected_errno(Op::kRead, path, attempt)) {
+        last = OpFailure{Op::kRead, err};
+      } else {
+        struct stat st {};
+        if (::fstat(fd, &st) != 0) {
+          last = OpFailure{Op::kRead, errno};
+        } else if (st.st_size > 0) {
+          const auto size = static_cast<std::size_t>(st.st_size);
+          void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+          if (base == MAP_FAILED) {
+            last = OpFailure{Op::kRead, errno};
+          } else {
+            mapped.data_ = static_cast<const char*>(base);
+            mapped.size_ = size;
+          }
+        }
+      }
+    }
+    if (fd >= 0) ::close(fd);
+    if (!last) return mapped;
+    if (!is_transient_errno(last->error_code)) {
+      throw IoError{last->op, path, last->error_code, "mmap failed"};
+    }
+    if (attempt + 1 < attempts) {
+      counters().retries.fetch_add(1, std::memory_order_relaxed);
+      backoff_sleep(policy, path, attempt);
+    }
+  }
+  throw IoError{last->op, path, last->error_code,
+                "mmap failed after " + std::to_string(attempts) + " attempts"};
 }
 
 bool file_exists(const std::string& path) noexcept {

@@ -22,6 +22,7 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <utility>
 
 namespace dnsembed::util::fsio {
 
@@ -110,6 +111,34 @@ void atomic_write_file(const std::string& path, std::string_view payload,
 /// Read a whole file, retrying transient failures. Throws IoError on
 /// missing/unreadable paths.
 std::string read_file(const std::string& path, const RetryPolicy& policy = {});
+
+/// Read-only memory mapping of a whole file — the zero-copy load path for
+/// large artifacts (CSR graphs, embedding arenas). Movable; unmaps on
+/// destruction. bytes() stays valid for the mapping's lifetime and its
+/// base address is page-aligned, so any in-file alignment the writer
+/// arranged is preserved in memory.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  std::string_view bytes() const noexcept { return {data_, size_}; }
+
+ private:
+  friend MappedFile map_file(const std::string& path, const RetryPolicy& policy);
+  const char* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+/// mmap `path` read-only. Goes through the same Op::kOpen/Op::kRead fault
+/// injection and retry policy as read_file so the robustness suite can veto
+/// mapped loads too. An empty file yields an empty view. Throws IoError on
+/// failure.
+MappedFile map_file(const std::string& path, const RetryPolicy& policy = {});
 
 bool file_exists(const std::string& path) noexcept;
 

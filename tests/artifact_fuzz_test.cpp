@@ -111,6 +111,35 @@ TEST(ArtifactFuzz, Embedding) {
               [](const std::string& p) { (void)embed::EmbeddingMatrix::load_file(p); });
 }
 
+TEST(ArtifactFuzz, CsrGraphArena) {
+  // Binary mmap-loaded arena ("csr-graph"): damage must be caught by the
+  // container digest or the arena's structural validation, never by a
+  // fault on a mapped pointer.
+  graph::WeightedGraph g;
+  g.add_vertex("isolated.test");
+  g.add_edge("alpha.test", "beta.test", 0.75);
+  g.add_edge("beta.test", "gamma.test", 0.125);
+  g.add_edge("alpha.test", "gamma.test", 1.0 / 3.0);
+  const auto pristine =
+      artifact_bytes_of([&](const std::string& p) { graph::save_csr_file(p, g); });
+  fuzz_loader("csr_graph", pristine,
+              [](const std::string& p) { (void)graph::load_csr_file(p); });
+}
+
+TEST(ArtifactFuzz, EmbeddingArena) {
+  embed::EmbeddingMatrix m{{"alpha.test", "beta.test", "gamma.test"}, 4};
+  for (std::size_t i = 0; i < m.size(); ++i) {
+    auto row = m.row(i);
+    for (std::size_t j = 0; j < row.size(); ++j) {
+      row[j] = 0.5f * static_cast<float>(i) - 0.125f * static_cast<float>(j);
+    }
+  }
+  const auto pristine =
+      artifact_bytes_of([&](const std::string& p) { m.save_arena_file(p); });
+  fuzz_loader("embedding_arena", pristine,
+              [](const std::string& p) { (void)embed::EmbeddingMatrix::load_arena_file(p); });
+}
+
 TEST(ArtifactFuzz, SvmModel) {
   ml::Dataset data;
   data.x = ml::Matrix{8, 2};

@@ -233,8 +233,12 @@ TEST(ShardedProjection, MaxPivotDegreeActuallySkipsHubs) {
 
 TEST(ShardedProjection, LeftProjectionMatchesReferenceShape) {
   const auto g = random_bipartite(30, 50, 800, 17);
-  const auto serial = graph::project_left(g, {.threads = 1});
-  const auto threaded = graph::project_left(g, {.threads = 8});
+  graph::ProjectionOptions serial_options;
+  serial_options.threads = 1;
+  graph::ProjectionOptions threaded_options;
+  threaded_options.threads = 8;
+  const auto serial = graph::project_left(g, serial_options);
+  const auto threaded = graph::project_left(g, threaded_options);
   const std::vector<graph::WeightedEdge> a{serial.edges().begin(), serial.edges().end()};
   const std::vector<graph::WeightedEdge> b{threaded.edges().begin(), threaded.edges().end()};
   EXPECT_EQ(a, b);

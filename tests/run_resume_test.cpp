@@ -78,7 +78,7 @@ TEST_F(RunResumeTest, CorruptArtifactRecomputesOwningStage) {
   // Flip one byte mid-file: the digest check must catch it and re-run the
   // behavior stage; downstream stages revalidate against the regenerated
   // (identical) artifacts and stay resumed.
-  const auto victim = dir_ + "/ip_sim.wg";
+  const auto victim = dir_ + "/ip_sim.csr";
   auto bytes = util::fsio::read_file(victim);
   bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x20);
   util::fsio::atomic_write_file(victim, bytes);

@@ -1,0 +1,263 @@
+// CSR/dense-matrix arena tests: build invariants (sorted adjacency,
+// degrees, preserved edge order), input validation, payload round-trips,
+// mmap loads that are actually zero-copy, corruption rejection, and the
+// ArenaWriter/ArenaView section contract including the misaligned-body
+// fallback copy.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/io.hpp"
+#include "graph/weighted_graph.hpp"
+#include "util/artifact.hpp"
+#include "util/csr.hpp"
+#include "util/fsio.hpp"
+
+namespace dnsembed::util {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string temp_path(const std::string& name) {
+  return (fs::temp_directory_path() / ("dnsembed_csr_" + name)).string();
+}
+
+CsrGraph triangle_graph() {
+  // Triangle plus a pendant and an isolated vertex; edge order is scrambled
+  // relative to (u,v) order on purpose.
+  const std::vector<std::uint32_t> u = {2, 0, 1, 3};
+  const std::vector<std::uint32_t> v = {0, 1, 2, 1};
+  const std::vector<double> w = {0.5, 1.0, 0.25, 2.0};
+  const std::vector<std::string> names = {"a.test", "b.test", "c.test", "d.test", "lone.test"};
+  return CsrGraph::build(5, u, v, w, names);
+}
+
+// ---------------------------------------------------------------------
+// CsrGraph build invariants
+
+TEST(CsrGraph, BuildProducesSortedAdjacencyAndDegrees) {
+  const auto g = triangle_graph();
+  EXPECT_EQ(g.vertex_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 4u);
+
+  // Adjacency is sorted per vertex; both endpoints see each edge.
+  const std::vector<std::uint32_t> n0 = {1, 2};
+  const std::vector<std::uint32_t> n1 = {0, 2, 3};
+  EXPECT_EQ(std::vector<std::uint32_t>(g.neighbors(0).begin(), g.neighbors(0).end()), n0);
+  EXPECT_EQ(std::vector<std::uint32_t>(g.neighbors(1).begin(), g.neighbors(1).end()), n1);
+  EXPECT_EQ(g.degree(4), 0u);
+
+  // Neighbor weights line up with the sorted columns.
+  EXPECT_DOUBLE_EQ(g.neighbor_weights(0)[0], 1.0);   // 0-1
+  EXPECT_DOUBLE_EQ(g.neighbor_weights(0)[1], 0.5);   // 0-2
+  EXPECT_DOUBLE_EQ(g.weighted_degree(1), 1.0 + 0.25 + 2.0);
+  EXPECT_DOUBLE_EQ(g.weighted_degree(4), 0.0);
+  EXPECT_DOUBLE_EQ(g.total_weight(), 0.5 + 1.0 + 0.25 + 2.0);
+
+  // Edge arrays preserve input order verbatim (samplers index by position).
+  EXPECT_EQ(g.edge_u()[0], 2u);
+  EXPECT_EQ(g.edge_v()[0], 0u);
+  EXPECT_DOUBLE_EQ(g.edge_w()[3], 2.0);
+
+  ASSERT_TRUE(g.has_names());
+  EXPECT_EQ(g.name(0), "a.test");
+  EXPECT_EQ(g.name(4), "lone.test");
+}
+
+TEST(CsrGraph, BuildRejectsMalformedEdges) {
+  const std::vector<std::uint32_t> ok = {0};
+  const std::vector<double> w = {1.0};
+  const std::vector<std::uint32_t> self = {0};
+  EXPECT_THROW(CsrGraph::build(2, self, self, w), std::invalid_argument);
+
+  const std::vector<std::uint32_t> big = {7};
+  EXPECT_THROW(CsrGraph::build(2, ok, big, w), std::invalid_argument);
+
+  const std::vector<std::uint32_t> one = {1};
+  const std::vector<double> zero_w = {0.0};
+  EXPECT_THROW(CsrGraph::build(2, ok, one, zero_w), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// Round-trips
+
+void expect_same_graph(const CsrGraph& got, const CsrGraph& want) {
+  ASSERT_EQ(got.vertex_count(), want.vertex_count());
+  ASSERT_EQ(got.edge_count(), want.edge_count());
+  for (std::size_t e = 0; e < want.edge_count(); ++e) {
+    EXPECT_EQ(got.edge_u()[e], want.edge_u()[e]);
+    EXPECT_EQ(got.edge_v()[e], want.edge_v()[e]);
+    EXPECT_EQ(got.edge_w()[e], want.edge_w()[e]);
+  }
+  for (std::uint32_t vertex = 0; vertex < want.vertex_count(); ++vertex) {
+    ASSERT_EQ(got.degree(vertex), want.degree(vertex));
+    for (std::size_t i = 0; i < want.degree(vertex); ++i) {
+      EXPECT_EQ(got.neighbors(vertex)[i], want.neighbors(vertex)[i]);
+      EXPECT_EQ(got.neighbor_weights(vertex)[i], want.neighbor_weights(vertex)[i]);
+    }
+    EXPECT_EQ(got.weighted_degree(vertex), want.weighted_degree(vertex));
+    if (want.has_names()) {
+      EXPECT_EQ(got.name(vertex), want.name(vertex));
+    }
+  }
+}
+
+TEST(CsrGraph, PayloadRoundTrips) {
+  const auto g = triangle_graph();
+  const auto payload = g.payload();
+  const auto parsed = CsrGraph::from_payload(payload, "test");
+  expect_same_graph(parsed, g);
+}
+
+TEST(CsrGraph, FileRoundTripIsZeroCopy) {
+  const auto g = triangle_graph();
+  const auto path = temp_path("roundtrip.csr");
+  g.save_file(path);
+
+  const auto loaded = CsrGraph::load_file(path);
+  // The whole point of the arena: a mapped load reads straight out of the
+  // page cache, no per-element parse or copy.
+  EXPECT_TRUE(loaded.zero_copy());
+  expect_same_graph(loaded, g);
+  fs::remove(path);
+}
+
+TEST(CsrGraph, CorruptFileIsRejected) {
+  const auto g = triangle_graph();
+  const auto path = temp_path("corrupt.csr");
+  g.save_file(path);
+  auto bytes = fsio::read_file(path);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x10);
+  fsio::atomic_write_file(path, bytes);
+  EXPECT_THROW(CsrGraph::load_file(path), CorruptArtifact);
+  fs::remove(path);
+}
+
+TEST(CsrGraph, WeightedGraphConversionRoundTrips) {
+  graph::WeightedGraph g;
+  g.add_vertex("isolated.test");
+  g.add_edge("alpha.test", "beta.test", 0.75);
+  g.add_edge("beta.test", "gamma.test", 1.0 / 3.0);
+
+  const auto csr = graph::to_csr(g);
+  EXPECT_EQ(csr.vertex_count(), g.vertex_count());
+  EXPECT_EQ(csr.edge_count(), g.edges().size());
+
+  const auto back = graph::from_csr(csr);
+  ASSERT_EQ(back.vertex_count(), g.vertex_count());
+  ASSERT_EQ(back.edges().size(), g.edges().size());
+  for (std::size_t e = 0; e < g.edges().size(); ++e) {
+    EXPECT_EQ(back.edges()[e].u, g.edges()[e].u);
+    EXPECT_EQ(back.edges()[e].v, g.edges()[e].v);
+    EXPECT_EQ(back.edges()[e].weight, g.edges()[e].weight);
+  }
+  for (std::uint32_t vertex = 0; vertex < g.vertex_count(); ++vertex) {
+    EXPECT_EQ(back.names().name(vertex), g.names().name(vertex));
+  }
+}
+
+// ---------------------------------------------------------------------
+// DenseMatrix
+
+TEST(DenseMatrix, BuildAndFileRoundTripZeroCopy) {
+  const std::vector<std::string> names = {"r0.test", "r1.test", "r2.test"};
+  std::vector<float> data(names.size() * 4);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = 0.5f * static_cast<float>(i) - 1.0f;
+  }
+  const auto m = DenseMatrix::build(names, 4, data);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.row(1)[0], data[4]);
+  EXPECT_EQ(m.name(2), "r2.test");
+
+  const auto path = temp_path("dense.emb");
+  m.save_file(path);
+  const auto loaded = DenseMatrix::load_file(path);
+  EXPECT_TRUE(loaded.zero_copy());
+  ASSERT_EQ(loaded.rows(), m.rows());
+  ASSERT_EQ(loaded.cols(), m.cols());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    EXPECT_EQ(loaded.name(i), m.name(i));
+    for (std::size_t j = 0; j < m.cols(); ++j) EXPECT_EQ(loaded.row(i)[j], m.row(i)[j]);
+  }
+  fs::remove(path);
+}
+
+TEST(DenseMatrix, BuildRejectsShapeMismatch) {
+  const std::vector<std::string> names = {"r0.test"};
+  const std::vector<float> data = {1.0f, 2.0f, 3.0f};
+  EXPECT_THROW(DenseMatrix::build(names, 2, data), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------
+// ArenaWriter / ArenaView
+
+TEST(Arena, SectionsRoundTripAndMissingTagThrows) {
+  ArenaWriter writer;
+  const std::vector<std::uint64_t> numbers = {1, 2, 3};
+  const std::string blob = "hello";
+  writer.add_typed<std::uint64_t>(arena_tag("NUMS"), numbers);
+  writer.add(arena_tag("BLOB"), blob.data(), blob.size());
+
+  const auto payload = writer.payload("csr-graph");
+  const auto view = ArenaView::parse(payload, "test");
+  EXPECT_TRUE(view.has(arena_tag("NUMS")));
+  EXPECT_FALSE(view.has(arena_tag("GONE")));
+
+  const auto nums = view.typed<std::uint64_t>(arena_tag("NUMS"), "test");
+  ASSERT_EQ(nums.size(), 3u);
+  EXPECT_EQ(nums[2], 3u);
+  EXPECT_EQ(view.section(arena_tag("BLOB"), "test"), "hello");
+
+  EXPECT_THROW(view.section(arena_tag("GONE"), "test"), CorruptArtifact);
+  // BLOB is 5 bytes: not a multiple of u64.
+  EXPECT_THROW(view.typed<std::uint64_t>(arena_tag("BLOB"), "test"), CorruptArtifact);
+}
+
+TEST(Arena, MisalignedBodyFallsBackToOwnedCopy) {
+  ArenaWriter writer;
+  const std::vector<std::uint64_t> numbers = {7, 8};
+  writer.add_typed<std::uint64_t>(arena_tag("NUMS"), numbers);
+  const auto payload = writer.payload("csr-graph");
+
+  // Parse the same payload at all eight residues of an 8-aligned buffer:
+  // exactly one shift leaves the body 8-aligned in memory (zero-copy), the
+  // other seven must take the aligned fallback copy — and every one must
+  // decode the same data, no faults.
+  std::vector<std::uint64_t> storage((payload.size() + 8 + 7) / 8, 0);
+  auto* base = reinterpret_cast<char*>(storage.data());
+  std::size_t fallback_copies = 0;
+  for (std::size_t shift = 0; shift < 8; ++shift) {
+    std::memcpy(base + shift, payload.data(), payload.size());
+    const auto view =
+        ArenaView::parse(std::string_view{base + shift, payload.size()}, "test");
+    if (!view.zero_copy()) ++fallback_copies;
+    const auto nums = view.typed<std::uint64_t>(arena_tag("NUMS"), "test");
+    ASSERT_EQ(nums.size(), 2u) << "shift " << shift;
+    EXPECT_EQ(nums[0], 7u);
+    EXPECT_EQ(nums[1], 8u);
+  }
+  EXPECT_EQ(fallback_copies, 7u);
+}
+
+TEST(Arena, TruncatedBodyIsRejected) {
+  ArenaWriter writer;
+  const std::vector<std::uint64_t> numbers = {1, 2, 3, 4};
+  writer.add_typed<std::uint64_t>(arena_tag("NUMS"), numbers);
+  const auto payload = writer.payload("csr-graph");
+  for (const std::size_t keep : {std::size_t{0}, std::size_t{4}, payload.size() / 2}) {
+    EXPECT_THROW(ArenaView::parse(std::string_view{payload}.substr(0, keep), "test"),
+                 CorruptArtifact)
+        << "kept " << keep << " bytes";
+  }
+}
+
+}  // namespace
+}  // namespace dnsembed::util

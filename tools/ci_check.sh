@@ -5,11 +5,15 @@
 #   2. simd label (kernel parity fuzz + LINE determinism) on the native
 #      dispatch rung, then the full tier-1 suite again with
 #      DNSEMBED_FORCE_SCALAR=1 so the scalar fallback stays correct
-#   3. micro_line smoke: dispatch must train finite embeddings on both the
+#   3. projection label (exact sharded engine, sketched backend, CSR
+#      arenas) as its own gate, then the micro_graph --sketched smoke:
+#      the sketched path must emit a non-trivial similarity graph end to
+#      end at smoke scale (no timing gate)
+#   4. micro_line smoke: dispatch must train finite embeddings on both the
 #      scalar and the widest rung (no timing gate at smoke scale)
-#   4. robustness label (fault injection, loader fuzz, crash recovery)
+#   5. robustness label (fault injection, loader fuzz, crash recovery)
 #      under Address+UB sanitizers
-#   5. concurrency label (parallel projection, deterministic LINE barriers,
+#   6. concurrency label (parallel projection, deterministic LINE barriers,
 #      sharded metrics) under ThreadSanitizer
 #
 # Usage: tools/ci_check.sh [--skip-sanitizers]
@@ -37,6 +41,12 @@ ctest --preset default -j "$jobs" -L simd
 
 step "tier-1 suite again with the scalar rung forced"
 DNSEMBED_FORCE_SCALAR=1 ctest --preset default -j "$jobs"
+
+step "projection label (exact + sketched engines, CSR arenas)"
+ctest --preset default -j "$jobs" -L projection
+
+step "micro_graph --sketched smoke (sketched projection end to end)"
+DNSEMBED_BENCH_SMOKE=1 DNSEMBED_BENCH_JSON="$(mktemp)" build/bench/micro_graph --sketched
 
 step "micro_line smoke (dispatch sanity, no timing gate)"
 DNSEMBED_BENCH_SMOKE=1 DNSEMBED_BENCH_JSON="$(mktemp)" build/bench/micro_line

@@ -80,8 +80,12 @@ commands:
             [--families N] [--sites N] [--seed N] [--campaign-seed N]
   convert   --pcap FILE --out FILE
   graphs    --log FILE --out-prefix PATH [--min-similarity X]
+            [--projection-mode exact|sketched] [--sketch-signature N]
+            [--sketch-bands N] [--sketch-bits N] [--sketch-top-k N]
   embed     --log FILE --out FILE [--dim N] [--method line|deepwalk|node2vec]
             [--samples N] [--min-similarity X] [--threads N] [--seed N]
+            [--projection-mode exact|sketched] [--sketch-signature N]
+            [--sketch-bands N] [--sketch-bits N] [--sketch-top-k N]
   detect    --embeddings FILE --labels FILE [--kfold N] [--svm-c X]
             [--svm-gamma X] [--roc FILE]
   train     --embeddings FILE --labels FILE --out MODEL [--svm-c X]
@@ -97,6 +101,8 @@ commands:
             [--days N] [--sites N] [--families N] [--seed N] [--dim N]
             [--samples N] [--kfold N] [--svm-c X] [--svm-gamma X]
             [--line-threads N]
+            [--projection-mode exact|sketched] [--sketch-signature N]
+            [--sketch-bands N] [--sketch-bits N] [--sketch-top-k N]
             (resumable pipeline: each stage commits atomic checksummed
              artifacts + a manifest under DIR; --resume skips stages whose
              artifacts still validate and recomputes anything missing,
@@ -257,6 +263,48 @@ core::GraphBuilderSink read_log_graphs(const std::string& path) {
   return graphs;
 }
 
+/// Parse the projection-backend flags shared by graphs/embed/run. Returns 0
+/// and fills (mode, sketch) on success; a fail() exit code otherwise.
+int projection_from_args(const util::ArgParser& args, const char* command,
+                         graph::ProjectionMode& mode, graph::SketchOptions& sketch) {
+  const std::string text = args.get_or("--projection-mode", "exact");
+  if (text == "exact") {
+    mode = graph::ProjectionMode::kExact;
+  } else if (text == "sketched") {
+    mode = graph::ProjectionMode::kSketched;
+  } else {
+    return fail(std::string{command} + ": unknown --projection-mode " + text);
+  }
+  // Flag defaults are the library defaults so they cannot drift apart.
+  const graph::SketchOptions defaults;
+  sketch.signature_size = static_cast<std::size_t>(
+      args.get_int_or("--sketch-signature", static_cast<int>(defaults.signature_size)));
+  sketch.bands = static_cast<std::size_t>(
+      args.get_int_or("--sketch-bands", static_cast<int>(defaults.bands)));
+  sketch.bits = static_cast<std::size_t>(
+      args.get_int_or("--sketch-bits", static_cast<int>(defaults.bits)));
+  sketch.top_k = static_cast<std::size_t>(
+      args.get_int_or("--sketch-top-k", static_cast<int>(defaults.top_k)));
+  return 0;
+}
+
+/// Apply the shared min-similarity and projection-backend flags to all
+/// three similarity projections.
+int behavior_from_args(const util::ArgParser& args, const char* command,
+                       core::BehaviorModelConfig& behavior) {
+  graph::ProjectionMode mode = graph::ProjectionMode::kExact;
+  graph::SketchOptions sketch;
+  if (const int rc = projection_from_args(args, command, mode, sketch)) return rc;
+  const double min_sim = args.get_double_or("--min-similarity", 0.1);
+  for (auto* proj : {&behavior.query_projection, &behavior.ip_projection,
+                     &behavior.temporal_projection}) {
+    proj->min_similarity = min_sim;
+    proj->mode = mode;
+    proj->sketch = sketch;
+  }
+  return 0;
+}
+
 int cmd_graphs(const util::ArgParser& args) {
   const auto log_path = args.get("--log");
   const auto prefix = args.get("--out-prefix");
@@ -265,10 +313,7 @@ int cmd_graphs(const util::ArgParser& args) {
 
   auto graphs = read_log_graphs(*log_path);
   core::BehaviorModelConfig behavior;
-  const double min_sim = args.get_double_or("--min-similarity", 0.1);
-  behavior.query_projection.min_similarity = min_sim;
-  behavior.ip_projection.min_similarity = min_sim;
-  behavior.temporal_projection.min_similarity = min_sim;
+  if (const int rc = behavior_from_args(args, "graphs", behavior)) return rc;
   const auto model = core::build_behavior_model(graphs.take_hdbg(), graphs.take_dibg(),
                                                 graphs.take_dtbg(), behavior);
 
@@ -306,10 +351,7 @@ int cmd_embed(const util::ArgParser& args) {
   auto graphs = read_log_graphs(*log_path);
 
   core::BehaviorModelConfig behavior;
-  const double min_sim = args.get_double_or("--min-similarity", 0.1);
-  behavior.query_projection.min_similarity = min_sim;
-  behavior.ip_projection.min_similarity = min_sim;
-  behavior.temporal_projection.min_similarity = min_sim;
+  if (const int rc = behavior_from_args(args, "embed", behavior)) return rc;
   auto model = core::build_behavior_model(graphs.take_hdbg(), graphs.take_dibg(),
                                           graphs.take_dtbg(), behavior);
   std::printf("behavior model: %zu domains, %zu/%zu/%zu similarity edges\n",
@@ -907,6 +949,10 @@ int cmd_run(const util::ArgParser& args) {
   // a single-threaded embedding stage.
   config.embedding.line.threads =
       static_cast<std::size_t>(args.get_int_or("--line-threads", 0));
+  if (const int rc =
+          projection_from_args(args, "run", config.projection_mode, config.sketch)) {
+    return rc;
+  }
   config.svm = svm_from_args(args);
   config.kfold = static_cast<std::size_t>(args.get_int_or("--kfold", 5));
   config.xmeans.k_min = 8;
