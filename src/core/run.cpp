@@ -1,5 +1,7 @@
 #include "core/run.hpp"
 
+#include <algorithm>
+#include <cerrno>
 #include <charconv>
 #include <condition_variable>
 #include <cstdlib>
@@ -8,6 +10,7 @@
 #include <optional>
 #include <sstream>
 #include <thread>
+#include <unordered_set>
 
 #include "core/behavior.hpp"
 #include "core/clustering.hpp"
@@ -146,6 +149,9 @@ struct StageRecord {
 
 struct Manifest {
   std::string config_hash;
+  /// Supervised shard tasks that exhausted retries (sorted task names,
+  /// e.g. "behavior.query.s1"); their stage's artifacts are partial.
+  std::vector<std::string> quarantined;
   std::vector<StageRecord> stages;
 };
 
@@ -153,6 +159,9 @@ constexpr const char* kManifestFile = "manifest.run";
 
 std::string manifest_payload(const Manifest& manifest) {
   std::string out = "config " + manifest.config_hash + "\n";
+  for (const auto& task : manifest.quarantined) {
+    out += "quarantined " + task + "\n";
+  }
   for (const auto& stage : manifest.stages) {
     out += "stage " + stage.name + " " + std::to_string(stage.artifacts.size()) + "\n";
     for (const auto& entry : stage.artifacts) {
@@ -171,6 +180,14 @@ Manifest parse_manifest_payload(const std::string& payload, const std::string& p
     corrupt_payload(path, "manifest: bad config line");
   }
   while (in >> word) {
+    if (word == "quarantined") {
+      std::string task;
+      if (!(in >> task) || !manifest.stages.empty()) {
+        corrupt_payload(path, "manifest: bad quarantined line");
+      }
+      manifest.quarantined.push_back(std::move(task));
+      continue;
+    }
     if (word != "stage") corrupt_payload(path, "manifest: expected stage record");
     StageRecord record;
     std::size_t count = 0;
@@ -193,9 +210,13 @@ void save_manifest(const std::string& workdir, const Manifest& manifest) {
                       manifest_payload(manifest));
 }
 
-/// Manifest from a previous run, if one exists and validates; nullopt
-/// otherwise (missing file, torn container, unparseable payload — all mean
-/// "nothing trustworthy to resume from", never a fatal error).
+/// Manifest from a previous run, if one exists and validates; nullopt when
+/// there is nothing trustworthy to resume from (no manifest yet, torn
+/// container, unparseable payload). A manifest that exists but cannot be
+/// OPENED — permissions, EIO, a directory where the file should be — is a
+/// real input error and propagates as fsio::IoError (filename + errno), so
+/// the CLI reports it on exit 3 instead of silently recomputing over a
+/// workdir it cannot trust.
 std::optional<Manifest> try_load_manifest(const std::string& workdir) {
   const auto path = join(workdir, kManifestFile);
   try {
@@ -203,8 +224,9 @@ std::optional<Manifest> try_load_manifest(const std::string& workdir) {
   } catch (const util::CorruptArtifact& e) {
     util::log_warn() << "run: manifest corrupt (" << e.reason() << "); starting fresh";
     return std::nullopt;
-  } catch (const util::fsio::IoError&) {
-    return std::nullopt;  // typically ENOENT on a first run
+  } catch (const util::fsio::IoError& e) {
+    if (e.error_code() == ENOENT) return std::nullopt;  // first run
+    throw;
   }
 }
 
@@ -281,6 +303,11 @@ class StageWatchdog {
     if (expired_.load(std::memory_order_relaxed)) throw StageDeadlineExceeded{stage_};
   }
 
+  /// Test hook: make the next check() throw, exactly as if the timer had
+  /// fired — a deterministic mid-stage deadline for the resumability
+  /// regression test.
+  void force_expire() noexcept { expired_.store(true, std::memory_order_relaxed); }
+
  private:
   std::string stage_;
   std::mutex mutex_;
@@ -297,14 +324,19 @@ class StageDriver {
   StageDriver(const RunOptions& options, Manifest manifest)
       : options_{options}, manifest_{std::move(manifest)} {}
 
-  /// Record a just-committed artifact's digest, fire the crash hook, and
+  /// Record a just-committed artifact's digest, fire the test hooks, and
   /// poll the deadline.
-  void committed(const char* file, const StageWatchdog& watchdog) {
+  void committed(const char* file, StageWatchdog& watchdog) {
     const auto path = join(options_.workdir, file);
     pending_.push_back({file, file_digest(util::fsio::read_file(path))});
     if (!options_.crash_after_artifact.empty() && options_.crash_after_artifact == file) {
       util::log_warn() << "run: crash hook firing after " << file;
       std::_Exit(137);
+    }
+    if (!options_.expire_deadline_after_artifact.empty() &&
+        options_.expire_deadline_after_artifact == file) {
+      util::log_warn() << "run: deadline hook firing after " << file;
+      watchdog.force_expire();
     }
     watchdog.check();
   }
@@ -312,7 +344,7 @@ class StageDriver {
   /// Run or skip one stage. `body` receives (watchdog) and must commit every
   /// artifact in the stage's spec via committed().
   void stage(const StageSpec& spec, RunSummary& summary,
-             const std::function<void(const StageWatchdog&)>& body) {
+             const std::function<void(StageWatchdog&)>& body) {
     util::Stopwatch watch;
     if (const auto* record = reusable_record(spec.name)) {
       if (stage_artifacts_valid(options_.workdir, *record, spec)) {
@@ -321,6 +353,14 @@ class StageDriver {
         summary.stages.push_back({spec.name, true, watch.seconds()});
         util::log_info() << "run: stage '" << spec.name << "' resumed from artifacts";
         completed_.push_back(*record);
+        // A resumed stage carries its quarantine flags forward: the
+        // partial artifacts are being reused as-is, so the report stays
+        // flagged until the stage is actually recomputed.
+        for (const auto& task : manifest_.quarantined) {
+          if (task.rfind(std::string{spec.name} + ".", 0) == 0) {
+            quarantined_.push_back(task);
+          }
+        }
         return;
       }
     }
@@ -328,18 +368,41 @@ class StageDriver {
     StageWatchdog watchdog{spec.name, options_.stage_deadline_seconds};
     watchdog.check();
     pending_.clear();
-    body(watchdog);
+    try {
+      body(watchdog);
+    } catch (...) {
+      // Mid-stage abort (deadline, I/O failure, supervisor giving up):
+      // persist the completed-stage prefix so the on-disk manifest always
+      // matches this run's config and exactly the stages that finished —
+      // a later --resume then trusts precisely what this run produced and
+      // recomputes only the stage that was in flight. Best-effort: if even
+      // the manifest cannot be written, the original error wins.
+      try {
+        save_manifest(options_.workdir, {config_hash(), quarantined_, completed_});
+      } catch (...) {
+      }
+      throw;
+    }
     completed_.push_back({spec.name, std::move(pending_)});
     pending_ = {};
     // Rewrite the manifest after every stage: a crash between stages loses
     // at most the stage in flight.
-    save_manifest(options_.workdir, {config_hash(), completed_});
+    save_manifest(options_.workdir, {config_hash(), quarantined_, completed_});
     summary.stages.push_back({spec.name, false, watch.seconds()});
     util::log_info() << "run: stage '" << spec.name << "' completed in " << watch.seconds()
                      << "s";
   }
 
   std::string config_hash() const { return hash_pipeline_config(options_.config); }
+
+  /// Record shard tasks quarantined by the supervisor during the current
+  /// stage; they appear in every manifest written from now on.
+  void add_quarantined(const std::vector<std::string>& tasks) {
+    quarantined_.insert(quarantined_.end(), tasks.begin(), tasks.end());
+    std::sort(quarantined_.begin(), quarantined_.end());
+  }
+
+  const std::vector<std::string>& quarantined() const noexcept { return quarantined_; }
 
  private:
   /// The previous run's record for this stage, when resume applies to it.
@@ -375,7 +438,165 @@ class StageDriver {
   Manifest manifest_;                  // from the previous run (may be empty)
   std::vector<StageRecord> completed_; // this run, in order
   std::vector<ManifestEntry> pending_; // artifacts of the stage in flight
+  std::vector<std::string> quarantined_;  // sorted quarantined task names
 };
+
+// ------------------------------------------------- supervised stage work
+
+/// One projection channel of the behavior stage.
+struct ChannelSpec {
+  const char* name;        // task-name component ("behavior.<name>.s<k>")
+  const char* input;       // bipartite input artifact
+  const char* final_file;  // merged similarity CSR artifact
+};
+
+constexpr ChannelSpec kChannels[] = {
+    {"query", "hdbg.bg", "query_sim.csr"},
+    {"ip", "dibg.bg", "ip_sim.csr"},
+    {"temporal", "dtbg.bg", "temporal_sim.csr"},
+};
+
+/// The channel's bipartite graph after the paper's pruning rules — exactly
+/// the graph build_behavior_model projects. Each shard worker recomputes
+/// this independently from the trace artifacts (workers share no memory);
+/// the pruning is deterministic, so every shard filters the identical
+/// vertex set.
+graph::BipartiteGraph pruned_channel_graph(const std::string& workdir,
+                                           const ChannelSpec& channel,
+                                           const PipelineConfig& config) {
+  auto hdbg = graph::load_bipartite_file(join(workdir, "hdbg.bg"));
+  const auto keep_mask = graph::right_degree_keep_mask(hdbg, config.behavior.prune);
+  if (std::string_view{channel.name} == "query") return hdbg.filter_right(keep_mask);
+  std::unordered_set<std::string> kept;
+  for (graph::VertexId r = 0; r < hdbg.right_count(); ++r) {
+    if (keep_mask[r]) kept.insert(hdbg.right_names().name(r));
+  }
+  auto g = graph::load_bipartite_file(join(workdir, channel.input));
+  std::vector<bool> mask(g.right_count(), false);
+  for (graph::VertexId r = 0; r < g.right_count(); ++r) {
+    mask[r] = kept.contains(g.right_names().name(r));
+  }
+  return g.filter_right(mask);
+}
+
+/// The channel's projection options with the run-level knobs applied, as
+/// the in-process path does in its behavior stage.
+graph::ProjectionOptions channel_projection(const PipelineConfig& config,
+                                            const ChannelSpec& channel) {
+  const std::string_view name{channel.name};
+  graph::ProjectionOptions proj = name == "query" ? config.behavior.query_projection
+                                  : name == "ip" ? config.behavior.ip_projection
+                                                 : config.behavior.temporal_projection;
+  proj.threads = config.projection_threads;
+  proj.mode = config.projection_mode;
+  proj.sketch = config.sketch;
+  return proj;
+}
+
+/// Deterministic size-aware merge of per-shard partial projections into the
+/// channel's final CSR. Shards partition the PAIR space disjointly and each
+/// emits exact similarities over the full vertex set, so the merged edge
+/// list is the concatenation (reserved to total size up front), and one
+/// global (u, v) sort reproduces the exact emission order of an unsharded
+/// projection — the merged artifact is byte-identical to a single-process
+/// run. Quarantined shards are simply absent: their pairs are missing and
+/// the report is flagged as partial.
+void merge_channel_shards(const std::string& workdir, const ChannelSpec& channel,
+                          const PipelineConfig& config,
+                          const std::vector<std::string>& partial_paths) {
+  std::vector<graph::WeightedGraph> parts;
+  parts.reserve(partial_paths.size());
+  std::size_t total = 0;
+  for (const auto& partial : partial_paths) {
+    parts.push_back(graph::from_csr(graph::load_csr_file(partial)));
+    total += parts.back().edge_count();
+  }
+  std::vector<graph::WeightedEdge> edges;
+  edges.reserve(total);
+  for (const auto& part : parts) {
+    const auto span = part.edges();
+    edges.insert(edges.end(), span.begin(), span.end());
+  }
+  std::sort(edges.begin(), edges.end(), [](const graph::WeightedEdge& a,
+                                           const graph::WeightedEdge& b) {
+    return a.u != b.u ? a.u < b.u : a.v < b.v;
+  });
+
+  graph::WeightedGraph merged;
+  if (!parts.empty()) {
+    // Every partial carries the full vertex set in identical id order.
+    const auto& names = parts.front().names();
+    for (graph::VertexId v = 0; v < parts.front().vertex_count(); ++v) {
+      merged.add_vertex(names.name(v));
+    }
+  } else {
+    // All shards quarantined: an edgeless graph over the pruned vertex set
+    // keeps downstream stages well-formed (isolated vertices are legal).
+    const auto pruned = pruned_channel_graph(workdir, channel, config);
+    for (graph::VertexId r = 0; r < pruned.right_count(); ++r) {
+      merged.add_vertex(pruned.right_names().name(r));
+    }
+  }
+  for (const auto& e : edges) merged.add_edge_unchecked(e.u, e.v, e.weight);
+  graph::save_csr_file(join(workdir, channel.final_file), merged);
+}
+
+/// Labels-stage work, shared by the in-process path and the worker child.
+void write_labels_file(const std::string& workdir, const PipelineConfig& config,
+                       const std::function<void()>& checkpoint) {
+  const auto truth = trace::load_ground_truth_file(join(workdir, "truth.gt"));
+  const auto kept =
+      parse_domain_list(util::load_artifact(join(workdir, "kept.domains"), "domain-list"),
+                        join(workdir, "kept.domains"));
+  checkpoint();
+  const intel::VirusTotalSim vt{truth, config.virustotal};
+  intel::save_labeled_file(join(workdir, "labeled.set"),
+                           intel::build_labeled_set(kept, truth, vt, config.labeling));
+}
+
+/// Report-stage work, shared by the in-process path and the worker child.
+/// `quarantined` non-empty appends a degraded-run section, so a clean
+/// supervised run emits byte-identical bytes to the single-process path.
+void write_report_file(const std::string& workdir, const PipelineConfig& config,
+                       const std::vector<std::string>& quarantined,
+                       const std::function<void()>& checkpoint) {
+  const auto path = [&](const char* file) { return join(workdir, file); };
+  PipelineResult result;
+  result.trace.truth = trace::load_ground_truth_file(path("truth.gt"));
+  const auto stats = parse_trace_stats(
+      util::load_artifact(path("trace.stats"), "trace-stats"), path("trace.stats"));
+  result.trace.dns_events = stats.dns_events;
+  result.trace.nxdomain_events = stats.nxdomain_events;
+  result.trace.flow_events = stats.flow_events;
+  result.model.kept_domains = parse_domain_list(
+      util::load_artifact(path("kept.domains"), "domain-list"), path("kept.domains"));
+  result.model.query_similarity = graph::from_csr(graph::load_csr_file(path("query_sim.csr")));
+  result.model.ip_similarity = graph::from_csr(graph::load_csr_file(path("ip_sim.csr")));
+  result.model.temporal_similarity =
+      graph::from_csr(graph::load_csr_file(path("temporal_sim.csr")));
+  result.query_embedding = embed::EmbeddingMatrix::load_arena_file(path("query.emb"));
+  result.ip_embedding = embed::EmbeddingMatrix::load_arena_file(path("ip.emb"));
+  result.temporal_embedding = embed::EmbeddingMatrix::load_arena_file(path("temporal.emb"));
+  result.combined_embedding = embed::EmbeddingMatrix::load_arena_file(path("combined.emb"));
+  result.labels = intel::load_labeled_file(path("labeled.set"));
+  checkpoint();
+
+  const auto evals = evaluate_channels(result, config);
+  checkpoint();
+  const auto clusters = cluster_domains(result.combined_embedding, result.model.kept_domains,
+                                        result.trace.truth, config.xmeans);
+  checkpoint();
+  std::ostringstream report;
+  write_detection_report(report, result, evals, clusters);
+  if (!quarantined.empty()) {
+    report << "\n## Degraded run\n\n"
+           << quarantined.size()
+           << " shard task(s) exhausted their retry budget and were quarantined; the "
+              "similarity graphs and everything derived from them are partial:\n\n";
+    for (const auto& task : quarantined) report << "- `" << task << "`\n";
+  }
+  util::fsio::atomic_write_file(path("report.md"), report.str());
+}
 
 }  // namespace
 
@@ -429,9 +650,46 @@ RunSummary run_resumable(const RunOptions& options) {
   summary.report_path = path("report.md");
   const PipelineConfig& config = options.config;
 
+  const bool supervised = options.supervise.workers > 0;
+  std::optional<Supervisor> supervisor;
+  if (supervised) {
+    supervisor.emplace(options.workdir, options.supervise);
+    supervisor->reset_scratch(driver.config_hash(), options.resume);
+  }
+  /// Commit every artifact of a supervised stage, in spec order (the
+  /// supervisor already validated the workers' output containers).
+  const auto commit_all = [&](const StageSpec& spec, StageWatchdog& watchdog) {
+    for (const auto& artifact : spec.artifacts) driver.committed(artifact.file, watchdog);
+  };
+  const auto poll_for = [](StageWatchdog& watchdog) {
+    return [&watchdog] { watchdog.check(); };
+  };
+
   // trace: synthesize the campus capture into the three bipartite graphs
   // plus the ground-truth registry.
-  driver.stage(specs[0], summary, [&](const StageWatchdog& watchdog) {
+  driver.stage(specs[0], summary, [&](StageWatchdog& watchdog) {
+    if (supervised) {
+      WorkerTask task;
+      task.name = "trace";
+      for (const auto& artifact : specs[0].artifacts) {
+        task.outputs.push_back({path(artifact.file), artifact.kind});
+      }
+      task.body = [&path, &config] {
+        GraphBuilderSink graphs;
+        const auto trace_result = trace::generate_trace(config.trace, graphs);
+        graph::save_bipartite_file(path("hdbg.bg"), graphs.take_hdbg());
+        graph::save_bipartite_file(path("dibg.bg"), graphs.take_dibg());
+        graph::save_bipartite_file(path("dtbg.bg"), graphs.take_dtbg());
+        trace::save_ground_truth_file(path("truth.gt"), trace_result.truth);
+        util::save_artifact(path("trace.stats"), "trace-stats",
+                            trace_stats_payload({trace_result.dns_events,
+                                                 trace_result.nxdomain_events,
+                                                 trace_result.flow_events}));
+      };
+      supervisor->run_tasks({task}, poll_for(watchdog));
+      commit_all(specs[0], watchdog);
+      return;
+    }
     GraphBuilderSink graphs;
     const auto trace_result = trace::generate_trace(config.trace, graphs);
     watchdog.check();
@@ -450,8 +708,75 @@ RunSummary run_resumable(const RunOptions& options) {
     driver.committed("trace.stats", watchdog);
   });
 
-  // behavior: prune + project the reloaded bipartite graphs.
-  driver.stage(specs[1], summary, [&](const StageWatchdog& watchdog) {
+  // behavior: prune + project the reloaded bipartite graphs. Supervised,
+  // the projection fans out as pair-hash shard tasks per channel whose
+  // partial CSRs the parent merges deterministically; quarantined shards
+  // leave their pairs out and flag the run.
+  driver.stage(specs[1], summary, [&](StageWatchdog& watchdog) {
+    if (supervised) {
+      const std::size_t shard_count =
+          config.projection_mode == graph::ProjectionMode::kSketched
+              ? 1
+              : std::max<std::size_t>(1, options.supervise.projection_shards);
+      std::vector<WorkerTask> tasks;
+      {
+        WorkerTask prune;
+        prune.name = "behavior.prune";
+        prune.outputs.push_back({path("kept.domains"), "domain-list"});
+        prune.body = [&options, &path, &config] {
+          const auto pruned = pruned_channel_graph(options.workdir, kChannels[0], config);
+          std::vector<std::string> kept;
+          kept.reserve(pruned.right_count());
+          for (graph::VertexId r = 0; r < pruned.right_count(); ++r) {
+            kept.push_back(pruned.right_names().name(r));
+          }
+          util::save_artifact(path("kept.domains"), "domain-list",
+                              domain_list_payload(kept));
+        };
+        tasks.push_back(std::move(prune));
+      }
+      for (const auto& channel : kChannels) {
+        for (std::size_t s = 0; s < shard_count; ++s) {
+          WorkerTask task;
+          task.name = std::string{"behavior."} + channel.name + ".s" + std::to_string(s);
+          task.quarantinable = true;
+          task.reusable = true;
+          const auto partial = supervisor->scratch_path(std::string{channel.name} + ".s" +
+                                                        std::to_string(s) + ".csr");
+          task.outputs.push_back({partial, "csr-graph"});
+          task.body = [&options, &config, channel, s, shard_count, partial] {
+            auto proj = channel_projection(config, channel);
+            proj.pair_shard_index = s;
+            proj.pair_shard_count = shard_count;
+            const auto pruned = pruned_channel_graph(options.workdir, channel, config);
+            graph::save_csr_file(partial, graph::project_right(pruned, proj));
+          };
+          tasks.push_back(std::move(task));
+        }
+      }
+      const std::size_t quarantined_before = supervisor->stats().quarantined.size();
+      supervisor->run_tasks(tasks, poll_for(watchdog));
+      const auto& all_quarantined = supervisor->stats().quarantined;
+      driver.add_quarantined({all_quarantined.begin() +
+                                  static_cast<std::ptrdiff_t>(quarantined_before),
+                              all_quarantined.end()});
+      const std::unordered_set<std::string> quarantined(all_quarantined.begin(),
+                                                        all_quarantined.end());
+      for (const auto& channel : kChannels) {
+        std::vector<std::string> partials;
+        for (std::size_t s = 0; s < shard_count; ++s) {
+          const auto name =
+              std::string{"behavior."} + channel.name + ".s" + std::to_string(s);
+          if (!quarantined.contains(name)) {
+            partials.push_back(supervisor->scratch_path(std::string{channel.name} + ".s" +
+                                                        std::to_string(s) + ".csr"));
+          }
+        }
+        merge_channel_shards(options.workdir, channel, config, partials);
+      }
+      commit_all(specs[1], watchdog);
+      return;
+    }
     auto hdbg = graph::load_bipartite_file(path("hdbg.bg"));
     auto dibg = graph::load_bipartite_file(path("dibg.bg"));
     auto dtbg = graph::load_bipartite_file(path("dtbg.bg"));
@@ -480,8 +805,47 @@ RunSummary run_resumable(const RunOptions& options) {
   // embed: one embedding per similarity graph (seed, seed+1, seed+2 as in
   // run_pipeline), then the concatenated vector. The CSR graphs are
   // memory-mapped, not parsed: LINE's edge sampler reads the mapped
-  // sections in place.
-  driver.stage(specs[2], summary, [&](const StageWatchdog& watchdog) {
+  // sections in place. Supervised, each channel trains in its own worker
+  // (LINE is bit-deterministic at any thread count, so worker placement
+  // cannot change the arenas) and the parent concatenates.
+  driver.stage(specs[2], summary, [&](StageWatchdog& watchdog) {
+    if (supervised) {
+      struct EmbedTaskSpec {
+        const char* channel;
+        const char* csr;
+        const char* arena;
+        std::uint64_t seed_offset;
+      };
+      static constexpr EmbedTaskSpec kEmbeds[] = {
+          {"query", "query_sim.csr", "query.emb", 0},
+          {"ip", "ip_sim.csr", "ip.emb", 1},
+          {"temporal", "temporal_sim.csr", "temporal.emb", 2},
+      };
+      std::vector<WorkerTask> tasks;
+      for (const auto& spec : kEmbeds) {
+        WorkerTask task;
+        task.name = std::string{"embed."} + spec.channel;
+        task.outputs.push_back({path(spec.arena), "embedding-arena"});
+        task.body = [&path, &config, spec] {
+          embed::EmbedConfig embed_config = config.embedding;
+          embed_config.dimension = config.embedding_dimension;
+          embed_config.seed = config.seed + spec.seed_offset;
+          embed::embed_graph(graph::load_csr_file(path(spec.csr)), embed_config)
+              .save_arena_file(path(spec.arena));
+        };
+        tasks.push_back(std::move(task));
+      }
+      supervisor->run_tasks(tasks, poll_for(watchdog));
+      const auto kept = parse_domain_list(
+          util::load_artifact(path("kept.domains"), "domain-list"), path("kept.domains"));
+      const auto query = embed::EmbeddingMatrix::load_arena_file(path("query.emb"));
+      const auto ip = embed::EmbeddingMatrix::load_arena_file(path("ip.emb"));
+      const auto temporal = embed::EmbeddingMatrix::load_arena_file(path("temporal.emb"));
+      embed::EmbeddingMatrix::concat(kept, {&query, &ip, &temporal})
+          .save_arena_file(path("combined.emb"));
+      commit_all(specs[2], watchdog);
+      return;
+    }
     const auto kept = parse_domain_list(
         util::load_artifact(path("kept.domains"), "domain-list"), path("kept.domains"));
     embed::EmbedConfig embed_config = config.embedding;
@@ -511,52 +875,45 @@ RunSummary run_resumable(const RunOptions& options) {
   });
 
   // labels: ground truth + simulated VirusTotal over the kept domains.
-  driver.stage(specs[3], summary, [&](const StageWatchdog& watchdog) {
-    const auto truth = trace::load_ground_truth_file(path("truth.gt"));
-    const auto kept = parse_domain_list(
-        util::load_artifact(path("kept.domains"), "domain-list"), path("kept.domains"));
-    watchdog.check();
-    const intel::VirusTotalSim vt{truth, config.virustotal};
-    intel::save_labeled_file(path("labeled.set"),
-                             intel::build_labeled_set(kept, truth, vt, config.labeling));
+  driver.stage(specs[3], summary, [&](StageWatchdog& watchdog) {
+    if (supervised) {
+      WorkerTask task;
+      task.name = "labels";
+      task.outputs.push_back({path("labeled.set"), "labeled-set"});
+      task.body = [&options, &config] {
+        write_labels_file(options.workdir, config, [] {});
+      };
+      supervisor->run_tasks({task}, poll_for(watchdog));
+      commit_all(specs[3], watchdog);
+      return;
+    }
+    write_labels_file(options.workdir, config, [&watchdog] { watchdog.check(); });
     driver.committed("labeled.set", watchdog);
   });
 
   // report: per-channel SVM evaluation + clustering over the persisted
   // artifacts only (nothing carried in memory from earlier stages).
-  driver.stage(specs[4], summary, [&](const StageWatchdog& watchdog) {
-    PipelineResult result;
-    result.trace.truth = trace::load_ground_truth_file(path("truth.gt"));
-    const auto stats = parse_trace_stats(
-        util::load_artifact(path("trace.stats"), "trace-stats"), path("trace.stats"));
-    result.trace.dns_events = stats.dns_events;
-    result.trace.nxdomain_events = stats.nxdomain_events;
-    result.trace.flow_events = stats.flow_events;
-    result.model.kept_domains = parse_domain_list(
-        util::load_artifact(path("kept.domains"), "domain-list"), path("kept.domains"));
-    result.model.query_similarity = graph::from_csr(graph::load_csr_file(path("query_sim.csr")));
-    result.model.ip_similarity = graph::from_csr(graph::load_csr_file(path("ip_sim.csr")));
-    result.model.temporal_similarity =
-        graph::from_csr(graph::load_csr_file(path("temporal_sim.csr")));
-    result.query_embedding = embed::EmbeddingMatrix::load_arena_file(path("query.emb"));
-    result.ip_embedding = embed::EmbeddingMatrix::load_arena_file(path("ip.emb"));
-    result.temporal_embedding = embed::EmbeddingMatrix::load_arena_file(path("temporal.emb"));
-    result.combined_embedding = embed::EmbeddingMatrix::load_arena_file(path("combined.emb"));
-    result.labels = intel::load_labeled_file(path("labeled.set"));
-    watchdog.check();
-
-    const auto evals = evaluate_channels(result, config);
-    watchdog.check();
-    const auto clusters = cluster_domains(result.combined_embedding,
-                                          result.model.kept_domains, result.trace.truth,
-                                          config.xmeans);
-    watchdog.check();
-    std::ostringstream report;
-    write_detection_report(report, result, evals, clusters);
-    util::fsio::atomic_write_file(path("report.md"), report.str());
+  driver.stage(specs[4], summary, [&](StageWatchdog& watchdog) {
+    if (supervised) {
+      WorkerTask task;
+      task.name = "report";
+      task.outputs.push_back({path("report.md"), nullptr});
+      // The quarantine list is final here: the behavior stage (the only
+      // producer of quarantinable tasks) completed before this stage.
+      task.body = [&options, &config, quarantined = driver.quarantined()] {
+        write_report_file(options.workdir, config, quarantined, [] {});
+      };
+      supervisor->run_tasks({task}, poll_for(watchdog));
+      commit_all(specs[4], watchdog);
+      return;
+    }
+    write_report_file(options.workdir, config, driver.quarantined(),
+                      [&watchdog] { watchdog.check(); });
     driver.committed("report.md", watchdog);
   });
 
+  if (supervisor) summary.supervision = supervisor->stats();
+  summary.quarantined = driver.quarantined();
   return summary;
 }
 

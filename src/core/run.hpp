@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "core/supervisor.hpp"
 
 namespace dnsembed::core {
 
@@ -41,6 +42,18 @@ struct RunOptions {
   /// crash for the crash-recovery suite. Empty = disabled.
   std::string crash_after_artifact;
 
+  /// Test hook: force the stage deadline to expire right after the named
+  /// artifact file is committed — a deterministic mid-stage deadline hit
+  /// for the resumability regression test. Empty = disabled.
+  std::string expire_deadline_after_artifact;
+
+  /// Multi-process orchestration. supervise.workers == 0 (default) keeps
+  /// the single-process path; >= 1 forks stage work out to supervised
+  /// worker processes (projection pair-shards, per-channel LINE training)
+  /// that exchange results only through checksummed artifacts, so the
+  /// report is bit-identical to a single-process run at any worker count.
+  SupervisorOptions supervise;
+
   PipelineConfig config;
 };
 
@@ -55,6 +68,14 @@ struct RunSummary {
   std::vector<RunStageOutcome> stages;
   std::string report_path;
   std::size_t resumed_stages = 0;
+
+  /// What the supervisor did (all zeros on a single-process run).
+  SupervisionStats supervision;
+
+  /// Shard tasks that exhausted their retry budget, as recorded in the
+  /// manifest — includes quarantines carried forward from a resumed stage.
+  /// Non-empty means the report is partial and the CLI exits 5.
+  std::vector<std::string> quarantined;
 };
 
 /// A stage exceeded RunOptions::stage_deadline_seconds and was cancelled.

@@ -1,0 +1,410 @@
+#include "core/supervisor.hpp"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "fault/process_faults.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "util/artifact.hpp"
+#include "util/fsio.hpp"
+#include "util/log.hpp"
+#include "util/subprocess.hpp"
+
+namespace dnsembed::core {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Retry schedule for failed task attempts: the fsio backoff machinery
+/// (bounded exponential + deterministic jitter keyed by task name) with
+/// process-scale constants — 20ms, x4, capped at 2s.
+util::fsio::RetryPolicy task_retry_policy(std::size_t max_retries) {
+  util::fsio::RetryPolicy policy;
+  policy.max_attempts = max_retries + 1;
+  policy.initial_backoff = std::chrono::microseconds{20'000};
+  policy.multiplier = 4.0;
+  policy.max_backoff = std::chrono::microseconds{2'000'000};
+  return policy;
+}
+
+// ------------------------------------------------------------ heartbeats
+//
+// A heartbeat is a tiny plain file the child overwrites with an increasing
+// sequence number. Plain POSIX writes on purpose: heartbeats are advisory
+// liveness signals, not durable state, so they skip fsio (no fsync cost, no
+// injected-fault interference) and the reader only cares whether the
+// content CHANGED since it last looked.
+
+void write_heartbeat(const std::string& path, std::uint64_t beat) {
+  const std::string text = "beat " + std::to_string(beat) + "\n";
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return;  // best effort; a missing heartbeat reads as stale
+  (void)!::write(fd, text.data(), text.size());
+  ::close(fd);
+}
+
+std::string read_heartbeat(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return {};
+  char buf[64];
+  const ssize_t n = ::read(fd, buf, sizeof(buf));
+  ::close(fd);
+  return n > 0 ? std::string(buf, static_cast<std::size_t>(n)) : std::string{};
+}
+
+/// Unlink every regular file directly under `dir` (scratch holds no
+/// subdirectories).
+void wipe_directory(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  while (const dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    ::unlink((dir + "/" + name).c_str());
+  }
+  ::closedir(d);
+}
+
+// ------------------------------------------------------------ child side
+
+bool has_container_output(const WorkerTask& task) {
+  for (const auto& output : task.outputs) {
+    if (output.kind != nullptr) return true;
+  }
+  return false;
+}
+
+/// The forked child's whole life: decide the injected fault, keep the
+/// heartbeat fresh on a side thread, run the task body, exit.
+int run_child(const WorkerTask& task, std::size_t attempt, const SupervisorOptions& options,
+              const std::string& heartbeat_path) {
+  const fault::ProcessFaultChannel channel{options.process_faults};
+  auto injected = channel.decide(task.name, attempt);
+  // Garbage needs a validatable container to be caught through; a task
+  // with only plain-file outputs escalates the draw to a crash so the
+  // fault never goes unnoticed.
+  if (injected == fault::ProcessFault::kGarbage && !has_container_output(task)) {
+    injected = fault::ProcessFault::kCrash;
+  }
+  write_heartbeat(heartbeat_path, 0);
+  if (injected == fault::ProcessFault::kCrash) {
+    util::log_warn() << "worker " << task.name << ": injected crash (attempt " << attempt
+                     << ")";
+    std::_Exit(137);
+  }
+  if (injected == fault::ProcessFault::kHang) {
+    util::log_warn() << "worker " << task.name << ": injected hang (attempt " << attempt
+                     << ")";
+    for (;;) std::this_thread::sleep_for(std::chrono::hours{1});
+  }
+
+  std::atomic<bool> stop{false};
+  const auto interval = std::chrono::duration<double>{options.heartbeat_interval_seconds};
+  std::thread beat{[&] {
+    std::uint64_t n = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(interval);
+      if (stop.load(std::memory_order_relaxed)) break;
+      write_heartbeat(heartbeat_path, n++);
+    }
+  }};
+
+  int rc = 0;
+  try {
+    if (injected == fault::ProcessFault::kGarbage) {
+      util::log_warn() << "worker " << task.name << ": injected garbage output (attempt "
+                       << attempt << ")";
+      for (const auto& output : task.outputs) {
+        if (output.kind == nullptr) continue;
+        util::fsio::atomic_write_file(output.path,
+                                      "garbage-output " + task.name + "\n");
+      }
+    } else {
+      task.body();
+    }
+  } catch (const std::exception& e) {
+    util::log_error() << "worker " << task.name << ": " << e.what();
+    rc = 1;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  beat.join();
+  return rc;
+}
+
+// ------------------------------------------------------- output checking
+
+bool outputs_valid(const WorkerTask& task, std::string& why) {
+  for (const auto& output : task.outputs) {
+    if (output.kind == nullptr) {
+      if (!util::fsio::file_exists(output.path)) {
+        why = output.path + ": missing";
+        return false;
+      }
+      continue;
+    }
+    try {
+      util::validate_artifact_bytes(util::fsio::read_file(output.path), output.kind,
+                                    output.path);
+    } catch (const util::CorruptArtifact& e) {
+      why = e.path() + ": " + e.reason();
+      return false;
+    } catch (const util::fsio::IoError& e) {
+      why = e.what();
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+SupervisorError::SupervisorError(std::string task, const std::string& detail)
+    : std::runtime_error{"supervisor: task '" + task + "' failed permanently: " + detail},
+      task_{std::move(task)} {}
+
+Supervisor::Supervisor(std::string workdir, SupervisorOptions options)
+    : workdir_{std::move(workdir)}, options_{options} {
+  if (options_.workers == 0) options_.workers = 1;
+  if (options_.heartbeat_interval_seconds <= 0.0) options_.heartbeat_interval_seconds = 0.25;
+  if (options_.heartbeat_timeout_seconds <= 0.0) {
+    options_.heartbeat_timeout_seconds = 10.0 * options_.heartbeat_interval_seconds;
+  }
+  if (options_.projection_shards == 0) options_.projection_shards = 1;
+}
+
+std::string Supervisor::scratch_path(const std::string& file) const {
+  return workdir_ + "/sv/" + file;
+}
+
+void Supervisor::reset_scratch(const std::string& config_hash, bool resume) {
+  util::fsio::create_directories(workdir_ + "/sv");
+  const auto hash_path = scratch_path("config.hash");
+  bool keep = resume;
+  if (keep) {
+    try {
+      keep = util::fsio::read_file(hash_path) == config_hash;
+    } catch (const util::fsio::IoError&) {
+      keep = false;
+    }
+    if (!keep) {
+      util::log_info() << "supervisor: scratch built under a different config; wiping";
+    }
+  }
+  if (!keep) {
+    wipe_directory(workdir_ + "/sv");
+    util::fsio::atomic_write_file(hash_path, config_hash);
+  }
+}
+
+void Supervisor::run_tasks(const std::vector<WorkerTask>& tasks,
+                           const std::function<void()>& poll) {
+  static obs::Counter& restarts_counter = obs::metrics().counter("supervisor.restarts");
+  static obs::Counter& crashes_counter = obs::metrics().counter("supervisor.crashes");
+  static obs::Counter& hangs_counter = obs::metrics().counter("supervisor.hangs_killed");
+  static obs::Counter& corrupt_counter = obs::metrics().counter("supervisor.corrupt_outputs");
+  static obs::Counter& quarantined_counter = obs::metrics().counter("supervisor.quarantined");
+  static obs::Counter& run_counter = obs::metrics().counter("supervisor.tasks.run");
+  static obs::Counter& reused_counter = obs::metrics().counter("supervisor.tasks.reused");
+  obs::metrics().gauge("supervisor.workers").set(static_cast<std::int64_t>(options_.workers));
+
+  const auto policy = task_retry_policy(options_.max_retries);
+  const auto heartbeat_timeout =
+      std::chrono::duration<double>{options_.heartbeat_timeout_seconds};
+
+  struct TaskState {
+    std::size_t failures = 0;
+    bool done = false;
+    bool quarantined = false;
+    bool running = false;
+    Clock::time_point eligible = Clock::now();
+  };
+  struct InFlight {
+    std::size_t index = 0;
+    std::size_t attempt = 0;
+    util::ChildProcess child;
+    Clock::time_point spawned;
+    std::string heartbeat;
+    Clock::time_point heartbeat_changed;
+    std::uint64_t span_begin = 0;
+    std::uint64_t span_seq = 0;
+  };
+
+  std::vector<TaskState> state(tasks.size());
+  std::vector<InFlight> running;
+  running.reserve(options_.workers);
+
+  // Scratch reuse: a reusable task whose outputs already validate (partials
+  // from an interrupted supervised run, gated by the scratch config hash)
+  // is finished before anything is forked.
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    std::string why;
+    if (tasks[i].reusable && outputs_valid(tasks[i], why)) {
+      state[i].done = true;
+      ++stats_.tasks_reused;
+      reused_counter.add(1);
+      util::log_info() << "supervisor: task '" << tasks[i].name
+                       << "' reused from scratch artifacts";
+    }
+  }
+
+  /// One attempt of task `i` ended badly; schedule a retry or quarantine.
+  const auto failed = [&](std::size_t i, const std::string& detail) {
+    auto& ts = state[i];
+    ts.running = false;
+    ++ts.failures;
+    if (ts.failures > options_.max_retries) {
+      if (!tasks[i].quarantinable) throw SupervisorError{tasks[i].name, detail};
+      ts.quarantined = true;
+      stats_.quarantined.push_back(tasks[i].name);
+      quarantined_counter.add(1);
+      util::log_warn() << "supervisor: task '" << tasks[i].name << "' quarantined after "
+                       << ts.failures << " failed attempts (" << detail << ")";
+      return;
+    }
+    const auto delay = util::fsio::backoff_delay(policy, tasks[i].name, ts.failures - 1);
+    ts.eligible = Clock::now() + delay;
+    ++stats_.restarts;
+    restarts_counter.add(1);
+    util::log_warn() << "supervisor: task '" << tasks[i].name << "' attempt " << ts.failures
+                     << " failed (" << detail << "); retrying in "
+                     << static_cast<double>(delay.count()) / 1000.0 << "ms";
+  };
+
+  /// A reaped child for slot `f`: classify success / crash / corrupt.
+  const auto reaped = [&](InFlight& flight, const util::ExitStatus& status) {
+    auto& task = tasks[flight.index];
+    if (obs::trace_enabled()) {
+      auto& recorder = obs::SpanRecorder::instance();
+      recorder.record("supervisor." + task.name, flight.span_begin, recorder.now_ns(),
+                      flight.span_seq);
+    }
+    if (!status.success()) {
+      ++stats_.crashes;
+      crashes_counter.add(1);
+      failed(flight.index,
+             std::string{status.signaled ? "killed by signal, status " : "exit "} +
+                 std::to_string(status.code));
+      return;
+    }
+    std::string why;
+    if (!outputs_valid(task, why)) {
+      util::fsio::note_corrupt_detected();
+      ++stats_.corrupt_outputs;
+      corrupt_counter.add(1);
+      failed(flight.index, "corrupt output: " + why);
+      return;
+    }
+    state[flight.index].running = false;
+    state[flight.index].done = true;
+    ++stats_.tasks_run;
+    run_counter.add(1);
+  };
+
+  try {
+    for (;;) {
+      poll();  // stage-deadline watchdog; may throw
+
+      // Reap / watch children. swap-erase keeps the scan O(in-flight).
+      const auto now = Clock::now();
+      std::int64_t max_age_ms = 0;
+      for (std::size_t f = 0; f < running.size();) {
+        auto& flight = running[f];
+        if (const auto status = flight.child.try_wait()) {
+          reaped(flight, *status);
+          running[f] = std::move(running.back());
+          running.pop_back();
+          continue;
+        }
+        const auto beat = read_heartbeat(scratch_path("hb." + tasks[flight.index].name));
+        if (beat != flight.heartbeat) {
+          flight.heartbeat = beat;
+          flight.heartbeat_changed = now;
+        }
+        const auto age = std::chrono::duration<double>{now - flight.heartbeat_changed};
+        max_age_ms = std::max<std::int64_t>(
+            max_age_ms, static_cast<std::int64_t>(age.count() * 1000.0));
+        if (age >= heartbeat_timeout) {
+          util::log_warn() << "supervisor: task '" << tasks[flight.index].name
+                           << "' heartbeat stale for " << age.count() << "s; killing";
+          flight.child.kill();
+          const auto status = flight.child.wait();
+          (void)status;
+          ++stats_.hangs_killed;
+          hangs_counter.add(1);
+          if (obs::trace_enabled()) {
+            auto& recorder = obs::SpanRecorder::instance();
+            recorder.record("supervisor." + tasks[flight.index].name, flight.span_begin,
+                            recorder.now_ns(), flight.span_seq);
+          }
+          failed(flight.index, "hung (stale heartbeat)");
+          running[f] = std::move(running.back());
+          running.pop_back();
+          continue;
+        }
+        ++f;
+      }
+      obs::metrics().gauge("supervisor.heartbeat_age_ms").set(max_age_ms);
+
+      // Spawn ready tasks into free slots, in task order (start order is
+      // deterministic; completion order is not, and does not matter —
+      // artifacts are deterministic and merges re-sort).
+      for (std::size_t i = 0; i < tasks.size() && running.size() < options_.workers; ++i) {
+        auto& ts = state[i];
+        if (ts.done || ts.quarantined || ts.running) continue;
+        if (ts.eligible > Clock::now()) continue;
+        const std::size_t attempt = ts.failures;
+        const auto heartbeat_path = scratch_path("hb." + tasks[i].name);
+        write_heartbeat(heartbeat_path, 0);
+        InFlight flight;
+        flight.index = i;
+        flight.attempt = attempt;
+        flight.spawned = Clock::now();
+        flight.heartbeat = read_heartbeat(heartbeat_path);
+        flight.heartbeat_changed = flight.spawned;
+        if (obs::trace_enabled()) {
+          auto& recorder = obs::SpanRecorder::instance();
+          flight.span_begin = recorder.now_ns();
+          flight.span_seq = recorder.next_seq();
+        }
+        try {
+          const WorkerTask* task = &tasks[i];
+          const SupervisorOptions* options = &options_;
+          flight.child = util::ChildProcess::spawn([task, attempt, options, heartbeat_path] {
+            return run_child(*task, attempt, *options, heartbeat_path);
+          });
+        } catch (const std::system_error& e) {
+          failed(i, std::string{"fork: "} + e.what());
+          continue;
+        }
+        ts.running = true;
+        running.push_back(std::move(flight));
+      }
+
+      if (running.empty()) {
+        bool pending = false;
+        for (const auto& ts : state) pending = pending || !(ts.done || ts.quarantined);
+        if (!pending) break;
+        // Nothing in flight but tasks remain: they are backing off; keep
+        // polling until the earliest becomes eligible.
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds{5});
+    }
+  } catch (...) {
+    for (auto& flight : running) {
+      flight.child.kill();
+      flight.child.wait();
+    }
+    throw;
+  }
+}
+
+}  // namespace dnsembed::core

@@ -1,0 +1,135 @@
+// Process supervision for the resumable runner: forks worker processes to
+// execute pipeline tasks, watches them for crash (waitpid), hang (stale
+// heartbeat file -> SIGKILL), and corrupt output (container validation
+// after exit), retries failures with the fsio bounded-backoff schedule, and
+// quarantines a shard task once its retry budget is exhausted so the run
+// degrades to a partial-but-flagged report instead of dying.
+//
+// The supervisor is deliberately ignorant of pipeline semantics: it runs
+// WorkerTasks — a name, a child-side body, and the list of artifact files
+// the body must leave behind. core/run builds the task lists (projection
+// shards, per-channel LINE training, ...) and performs the deterministic
+// merges between stages; workers exchange results exclusively through the
+// checksummed artifact container, never through memory.
+//
+// Every supervision event flows through the obs registry:
+//   supervisor.restarts / .crashes / .hangs_killed / .corrupt_outputs
+//   supervisor.quarantined, supervisor.tasks.run / .reused
+//   supervisor.heartbeat_age_ms gauge, "supervisor.<task>" trace spans.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "fault/plan.hpp"
+
+namespace dnsembed::core {
+
+struct SupervisorOptions {
+  /// Worker processes to run concurrently. 0 disables the supervisor: the
+  /// runner executes every stage in-process exactly as before.
+  std::size_t workers = 0;
+
+  /// Retries per task after its first attempt; a task failing
+  /// 1 + max_retries times is quarantined (shard tasks) or fatal.
+  std::size_t max_retries = 2;
+
+  /// Seconds between worker heartbeat writes.
+  double heartbeat_interval_seconds = 0.25;
+
+  /// A worker whose heartbeat has not advanced for this long is declared
+  /// hung and SIGKILLed. 0 = 10x the heartbeat interval.
+  double heartbeat_timeout_seconds = 0.0;
+
+  /// Pair-hash shards per projection channel (exact mode; the sketched
+  /// backend is not pair-shardable and runs one task per channel).
+  std::size_t projection_shards = 4;
+
+  /// Seeded process fault injection (proc_* channels); all-zero rates by
+  /// default. Interpreted by fault::ProcessFaultChannel inside the child.
+  fault::FaultPlan process_faults;
+};
+
+/// What the supervisor did across a run, folded into RunSummary.
+struct SupervisionStats {
+  std::size_t restarts = 0;         // retry attempts scheduled (any cause)
+  std::size_t crashes = 0;          // nonzero exit / killed by a signal
+  std::size_t hangs_killed = 0;     // stale heartbeat -> SIGKILL
+  std::size_t corrupt_outputs = 0;  // exit 0 but invalid output containers
+  std::size_t tasks_run = 0;        // task attempts that completed validly
+  std::size_t tasks_reused = 0;     // skipped: scratch outputs still valid
+  std::vector<std::string> quarantined;  // tasks that exhausted retries
+};
+
+/// One unit of supervised work.
+struct WorkerTask {
+  /// Unique name, e.g. "behavior.query.s1". Keys the heartbeat file, the
+  /// backoff jitter, fault-injection draws, metrics, and quarantine rows.
+  std::string name;
+
+  /// Quarantinable tasks (projection shards) degrade the run when their
+  /// retries are exhausted; for any other task that is a fatal error.
+  bool quarantinable = false;
+
+  /// Reusable tasks are skipped when every output already validates —
+  /// only safe for scratch outputs gated by the scratch config hash
+  /// (final artifacts are reused at stage granularity by the manifest).
+  bool reusable = false;
+
+  struct Output {
+    std::string path;
+    /// Artifact kind to validate after the child succeeds; nullptr = plain
+    /// file, existence-checked only.
+    const char* kind = nullptr;
+  };
+  std::vector<Output> outputs;
+
+  /// Runs in the forked child. Throwing makes the attempt a failure.
+  std::function<void()> body;
+};
+
+/// A non-quarantinable task exhausted its retry budget (or could not be
+/// spawned at all).
+class SupervisorError : public std::runtime_error {
+ public:
+  SupervisorError(std::string task, const std::string& detail);
+  const std::string& task() const noexcept { return task_; }
+
+ private:
+  std::string task_;
+};
+
+class Supervisor {
+ public:
+  /// `workdir` is the run's working directory; scratch state (heartbeats,
+  /// shard partials, the scratch config hash) lives under workdir/sv.
+  Supervisor(std::string workdir, SupervisorOptions options);
+
+  /// Prepare the scratch directory. Wipes it when the config hash changed
+  /// or resume is off, so stale partials can never leak into a merge;
+  /// otherwise leaves valid partials for reusable tasks to skip.
+  void reset_scratch(const std::string& config_hash, bool resume);
+
+  /// workdir/sv/<file>.
+  std::string scratch_path(const std::string& file) const;
+
+  /// Run every task to completion (done, reused, or quarantined) with up to
+  /// options.workers children in flight. `poll` is invoked on every
+  /// scheduling round; it may throw (the stage-deadline watchdog does) and
+  /// all children are SIGKILLed and reaped before the exception escapes.
+  /// Throws SupervisorError when a non-quarantinable task exhausts its
+  /// retries. Quarantined task names accumulate in stats().
+  void run_tasks(const std::vector<WorkerTask>& tasks, const std::function<void()>& poll);
+
+  const SupervisionStats& stats() const noexcept { return stats_; }
+
+ private:
+  std::string workdir_;
+  SupervisorOptions options_;
+  SupervisionStats stats_;
+};
+
+}  // namespace dnsembed::core

@@ -36,6 +36,9 @@ FaultPlan FaultPlan::scaled(double severity) const {
   plan.io_error_rate = scale_rate(io_error_rate, severity);
   plan.io_torn_write_rate = scale_rate(io_torn_write_rate, severity);
   plan.io_bitflip_rate = scale_rate(io_bitflip_rate, severity);
+  plan.proc_crash_rate = scale_rate(proc_crash_rate, severity);
+  plan.proc_hang_rate = scale_rate(proc_hang_rate, severity);
+  plan.proc_garbage_rate = scale_rate(proc_garbage_rate, severity);
   return plan;
 }
 
@@ -55,6 +58,9 @@ std::string FaultPlan::describe() const {
   append_rate(out, "io-err", io_error_rate);
   append_rate(out, "io-torn", io_torn_write_rate);
   append_rate(out, "io-flip", io_bitflip_rate);
+  append_rate(out, "proc-crash", proc_crash_rate);
+  append_rate(out, "proc-hang", proc_hang_rate);
+  append_rate(out, "proc-garbage", proc_garbage_rate);
   if (label_extra_delay_max > 0) {
     append_rate(out, "extra-delay", static_cast<double>(label_extra_delay_max));
   }

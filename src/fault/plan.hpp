@@ -70,6 +70,30 @@ struct FaultPlan {
   double io_bitflip_rate = 0.0;
   std::size_t io_bitflip_max_bits = 8;
 
+  // --- Process channels (interpreted by fault::ProcessFaultChannel, drawn
+  // once per (task, attempt) at worker-task start under the pipeline
+  // supervisor). Rates are per task attempt; at most one process fault
+  // fires per attempt (crash wins over hang over garbage when the draw
+  // lands in an overlapping band).
+  /// Probability that a worker attempt dies immediately (exit 137, as if
+  /// SIGKILLed mid-task).
+  double proc_crash_rate = 0.0;
+  /// Probability that a worker attempt hangs after its first heartbeat
+  /// (stops beating and never finishes; the supervisor's staleness watchdog
+  /// must SIGKILL it).
+  double proc_hang_rate = 0.0;
+  /// Probability that a worker attempt commits garbage bytes over its
+  /// output artifacts and reports success (must be caught by container
+  /// validation, never by luck).
+  double proc_garbage_rate = 0.0;
+  /// Cap on faulted attempts per task (0 = unlimited). With a cap of k and
+  /// max_retries >= k the run always recovers; uncapped rate-1 plans drive
+  /// a task to quarantine deterministically.
+  std::size_t proc_max_faults_per_task = 0;
+  /// Restrict process faults to tasks whose name starts with this prefix
+  /// (empty = every task). Lets tests target one projection shard.
+  std::string proc_target;
+
   /// Scale every rate by `severity` (clamped to [0, 1]); magnitudes
   /// (windows, byte counts, delays) are left untouched. severity 0 is a
   /// no-fault plan, 1 is the plan as written.

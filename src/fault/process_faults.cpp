@@ -1,0 +1,47 @@
+#include "fault/process_faults.hpp"
+
+#include "util/hash.hpp"
+#include "util/rng.hpp"
+
+namespace dnsembed::fault {
+
+const char* process_fault_name(ProcessFault fault) noexcept {
+  switch (fault) {
+    case ProcessFault::kNone: return "none";
+    case ProcessFault::kCrash: return "crash";
+    case ProcessFault::kHang: return "hang";
+    case ProcessFault::kGarbage: return "garbage";
+  }
+  return "?";
+}
+
+ProcessFault ProcessFaultChannel::draw(std::string_view task, std::size_t attempt) const {
+  // One Rng per (task, attempt): reseeding keeps the draw independent of
+  // how many other tasks consumed the channel before this one.
+  util::Rng rng{util::xxhash64(task, plan_.seed ^ 0x70726f63ULL) +
+                0x9e3779b97f4a7c15ULL * (attempt + 1)};
+  const double u = rng.uniform();
+  if (u < plan_.proc_crash_rate) return ProcessFault::kCrash;
+  if (u < plan_.proc_crash_rate + plan_.proc_hang_rate) return ProcessFault::kHang;
+  if (u < plan_.proc_crash_rate + plan_.proc_hang_rate + plan_.proc_garbage_rate) {
+    return ProcessFault::kGarbage;
+  }
+  return ProcessFault::kNone;
+}
+
+ProcessFault ProcessFaultChannel::decide(std::string_view task, std::size_t attempt) const {
+  if (!active()) return ProcessFault::kNone;
+  if (!plan_.proc_target.empty() && task.substr(0, plan_.proc_target.size()) != plan_.proc_target) {
+    return ProcessFault::kNone;
+  }
+  if (plan_.proc_max_faults_per_task > 0) {
+    std::size_t prior = 0;
+    for (std::size_t k = 0; k < attempt; ++k) {
+      if (draw(task, k) != ProcessFault::kNone) ++prior;
+    }
+    if (prior >= plan_.proc_max_faults_per_task) return ProcessFault::kNone;
+  }
+  return draw(task, attempt);
+}
+
+}  // namespace dnsembed::fault

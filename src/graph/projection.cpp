@@ -6,15 +6,38 @@
 #include <unordered_map>
 #include <vector>
 
+#include <stdexcept>
+
 #include "graph/sketch.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "util/flat_counter.hpp"
+#include "util/hash.hpp"
 #include "util/thread_pool.hpp"
 
 namespace dnsembed::graph {
 
 namespace {
+
+/// Seed of the pair-shard ownership hash (see ProjectionOptions).
+constexpr std::uint64_t kPairShardSeed = 0x7061697273ULL;
+
+/// owner[v] for every projection-side vertex, or an empty vector when the
+/// projection is unsharded (the common case pays one branch, no table).
+template <typename NameFn>
+std::vector<std::uint32_t> pair_shard_owners(std::size_t side_count, NameFn&& side_name,
+                                             const ProjectionOptions& options) {
+  if (options.pair_shard_count <= 1) return {};
+  if (options.pair_shard_index >= options.pair_shard_count) {
+    throw std::invalid_argument{"projection: pair_shard_index out of range"};
+  }
+  std::vector<std::uint32_t> owner(side_count);
+  for (VertexId v = 0; v < side_count; ++v) {
+    owner[v] = static_cast<std::uint32_t>(util::xxhash64(side_name(v), kPairShardSeed) %
+                                          options.pair_shard_count);
+  }
+  return owner;
+}
 
 /// Shard for a pair key, derived from the FIRST vertex of the pair only:
 /// the inner counting loop emits a run of keys (u, v0..vk) with ascending v
@@ -44,6 +67,11 @@ WeightedGraph project_impl(std::size_t side_count, NameFn&& side_name, DegreeFn&
   WeightedGraph out;
   for (VertexId v = 0; v < side_count; ++v) out.add_vertex(side_name(v));
 
+  const auto owner = pair_shard_owners(side_count, side_name, options);
+  const auto owned = [&](VertexId u) {
+    return owner.empty() || owner[u] == options.pair_shard_index;
+  };
+
   std::size_t threads = util::resolve_threads(options.threads);
   threads = std::min(threads, std::max<std::size_t>(1, pivot_count));
   const std::size_t shards = threads;
@@ -71,6 +99,10 @@ WeightedGraph project_impl(std::size_t side_count, NameFn&& side_name, DegreeFn&
       pairs_counter.add(neighbors.size() * (neighbors.size() - 1) / 2);
       constexpr std::size_t kPrefetchDistance = 16;
       for (std::size_t i = 0; i < neighbors.size(); ++i) {
+        // Pair (neighbors[i], neighbors[j]) with j > i: neighbors[i] is the
+        // smaller endpoint, so ownership filters on it alone and a skipped
+        // run loses no pair another shard would also count.
+        if (!owned(neighbors[i])) continue;
         const std::uint64_t hi_key = static_cast<std::uint64_t>(neighbors[i]) << 32;
         auto& table = tables[shards == 1 ? 0 : shard_of(neighbors[i], shards)];
         // One capacity check per run, not per pair; with the load ensured,
@@ -162,11 +194,13 @@ WeightedGraph project_reference_impl(std::size_t side_count, NameFn&& side_name,
   WeightedGraph out;
   for (VertexId v = 0; v < side_count; ++v) out.add_vertex(side_name(v));
 
+  const auto owner = pair_shard_owners(side_count, side_name, options);
   std::unordered_map<std::uint64_t, std::uint32_t> intersections;
   for (VertexId pivot = 0; pivot < pivot_count; ++pivot) {
     const auto neighbors = pivot_neighbors(pivot);
     if (options.max_pivot_degree != 0 && neighbors.size() > options.max_pivot_degree) continue;
     for (std::size_t i = 0; i < neighbors.size(); ++i) {
+      if (!owner.empty() && owner[neighbors[i]] != options.pair_shard_index) continue;
       const std::uint64_t hi = static_cast<std::uint64_t>(neighbors[i]) << 32;
       for (std::size_t j = i + 1; j < neighbors.size(); ++j) {
         ++intersections[hi | neighbors[j]];
@@ -190,6 +224,9 @@ WeightedGraph project_reference_impl(std::size_t side_count, NameFn&& side_name,
 
 WeightedGraph project_right(const BipartiteGraph& g, const ProjectionOptions& options) {
   if (options.mode == ProjectionMode::kSketched) {
+    if (options.pair_shard_count > 1) {
+      throw std::invalid_argument{"projection: pair shards require exact mode"};
+    }
     return project_sketched(g, /*right_side=*/true, options);
   }
   return project_impl(
@@ -200,6 +237,9 @@ WeightedGraph project_right(const BipartiteGraph& g, const ProjectionOptions& op
 
 WeightedGraph project_left(const BipartiteGraph& g, const ProjectionOptions& options) {
   if (options.mode == ProjectionMode::kSketched) {
+    if (options.pair_shard_count > 1) {
+      throw std::invalid_argument{"projection: pair shards require exact mode"};
+    }
     return project_sketched(g, /*right_side=*/false, options);
   }
   return project_impl(

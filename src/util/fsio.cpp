@@ -52,19 +52,8 @@ int injected_errno(Op op, const std::string& path, std::size_t attempt) {
 }
 
 void backoff_sleep(const RetryPolicy& policy, const std::string& path, std::size_t attempt) {
-  double micros = static_cast<double>(policy.initial_backoff.count());
-  for (std::size_t k = 0; k < attempt; ++k) micros *= policy.multiplier;
-  micros = std::min(micros, static_cast<double>(policy.max_backoff.count()));
-  // Deterministic jitter in [0.5, 1.0): derived from path+attempt so two
-  // processes retrying the same file desynchronize, yet a rerun of the
-  // same scenario sleeps identically (reproducible fault tests).
-  const std::uint64_t h = xxhash64(path, 0x6a09e667f3bcc908ULL + attempt);
-  const double jitter = 0.5 + 0.5 * (static_cast<double>(h >> 11) * 0x1.0p-53);
-  micros *= jitter;
-  if (micros >= 1.0) {
-    std::this_thread::sleep_for(
-        std::chrono::microseconds{static_cast<std::int64_t>(micros)});
-  }
+  const auto delay = backoff_delay(policy, path, attempt);
+  if (delay.count() > 0) std::this_thread::sleep_for(delay);
 }
 
 /// One full attempt of the temp-write-fsync-rename sequence. Returns
@@ -150,6 +139,21 @@ IoError::IoError(Op op, std::string path, int error_code, std::string_view detai
       op_{op},
       path_{std::move(path)},
       error_code_{error_code} {}
+
+std::chrono::microseconds backoff_delay(const RetryPolicy& policy, std::string_view key,
+                                        std::size_t attempt) noexcept {
+  double micros = static_cast<double>(policy.initial_backoff.count());
+  for (std::size_t k = 0; k < attempt; ++k) micros *= policy.multiplier;
+  micros = std::min(micros, static_cast<double>(policy.max_backoff.count()));
+  // Deterministic jitter in [0.5, 1.0): derived from key+attempt so two
+  // processes retrying the same file desynchronize, yet a rerun of the
+  // same scenario sleeps identically (reproducible fault tests).
+  const std::uint64_t h = xxhash64(key, 0x6a09e667f3bcc908ULL + attempt);
+  const double jitter = 0.5 + 0.5 * (static_cast<double>(h >> 11) * 0x1.0p-53);
+  micros *= jitter;
+  if (micros < 1.0) return std::chrono::microseconds{0};
+  return std::chrono::microseconds{static_cast<std::int64_t>(micros)};
+}
 
 bool is_transient_errno(int error_code) noexcept {
   switch (error_code) {

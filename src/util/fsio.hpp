@@ -63,6 +63,14 @@ struct RetryPolicy {
 /// configuration problems like EACCES/ENOENT/ENOSPC.)
 bool is_transient_errno(int error_code) noexcept;
 
+/// Backoff delay for retry attempt `attempt` (0-based) under `policy`:
+/// initial_backoff * multiplier^attempt capped at max_backoff, scaled by a
+/// deterministic jitter in [0.5, 1.0) derived from (key, attempt). The fsio
+/// retry loops key by file path; the process supervisor keys by task name —
+/// both get reproducible, mutually desynchronized schedules.
+std::chrono::microseconds backoff_delay(const RetryPolicy& policy, std::string_view key,
+                                        std::size_t attempt) noexcept;
+
 /// Injection point for the robustness suite. on_io may veto any primitive
 /// operation by returning a nonzero errno (transient errnos are then
 /// retried like real ones); mutate_payload may damage the bytes just

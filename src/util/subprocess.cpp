@@ -1,0 +1,117 @@
+#include "util/subprocess.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <system_error>
+#include <utility>
+
+#include "util/log.hpp"
+
+namespace dnsembed::util {
+
+namespace {
+
+ExitStatus from_wait_status(int status) noexcept {
+  ExitStatus result;
+  if (WIFSIGNALED(status)) {
+    result.signaled = true;
+    result.code = 128 + WTERMSIG(status);
+  } else if (WIFEXITED(status)) {
+    result.code = WEXITSTATUS(status);
+  } else {
+    result.code = -1;  // stopped/continued never reach here (no WUNTRACED)
+  }
+  return result;
+}
+
+}  // namespace
+
+ChildProcess::ChildProcess(ChildProcess&& other) noexcept { *this = std::move(other); }
+
+ChildProcess& ChildProcess::operator=(ChildProcess&& other) noexcept {
+  if (this != &other) {
+    if (running()) {
+      kill();
+      wait();
+    }
+    pid_ = std::exchange(other.pid_, -1);
+    reaped_ = std::exchange(other.reaped_, std::nullopt);
+  }
+  return *this;
+}
+
+ChildProcess::~ChildProcess() {
+  if (running()) {
+    kill();
+    wait();
+  }
+}
+
+ChildProcess ChildProcess::spawn(const std::function<int()>& body) {
+  // Flush stdio before forking so buffered parent output is not duplicated
+  // into the child's _Exit path.
+  std::fflush(stdout);
+  std::fflush(stderr);
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw std::system_error{errno, std::generic_category(), "fork"};
+  }
+  if (pid == 0) {
+    int code = 1;
+    try {
+      code = body();
+    } catch (const std::exception& e) {
+      log_error() << "worker: uncaught exception: " << e.what();
+      code = 1;
+    } catch (...) {
+      log_error() << "worker: uncaught non-standard exception";
+      code = 1;
+    }
+    std::fflush(stdout);
+    std::fflush(stderr);
+    std::_Exit(code);
+  }
+  ChildProcess child;
+  child.pid_ = pid;
+  return child;
+}
+
+std::optional<ExitStatus> ChildProcess::try_wait() {
+  if (pid_ <= 0) return std::nullopt;
+  int status = 0;
+  const pid_t r = ::waitpid(pid_, &status, WNOHANG);
+  if (r == 0) return std::nullopt;  // still running
+  pid_ = -1;
+  if (r < 0) {
+    reaped_ = ExitStatus{.code = -1, .signaled = false};  // ECHILD: lost to reaper
+  } else {
+    reaped_ = from_wait_status(status);
+  }
+  return reaped_;
+}
+
+ExitStatus ChildProcess::wait() {
+  if (pid_ <= 0) return reaped_.value_or(ExitStatus{.code = -1, .signaled = false});
+  int status = 0;
+  pid_t r;
+  do {
+    r = ::waitpid(pid_, &status, 0);
+  } while (r < 0 && errno == EINTR);
+  pid_ = -1;
+  reaped_ = r < 0 ? ExitStatus{.code = -1, .signaled = false} : from_wait_status(status);
+  return *reaped_;
+}
+
+void ChildProcess::kill(int signal) noexcept {
+  if (pid_ > 0) ::kill(pid_, signal);
+}
+
+void ChildProcess::kill() noexcept { kill(SIGKILL); }
+
+}  // namespace dnsembed::util

@@ -1,0 +1,68 @@
+// Fork-based child processes for the pipeline supervisor. A ChildProcess
+// runs a callable in a forked child (no exec: the child inherits the
+// parent's memory image, so task closures carry their configuration with no
+// serialization) and terminates with std::_Exit so no parent-side atexit
+// handlers or static destructors run twice.
+//
+// Fork-without-exec is safe here because the supervisor process holds no
+// persistent threads while spawning: thread pools in this codebase are
+// scoped and joined, and the obs registries are passive data the child only
+// writes to its own copy of. Children communicate results exclusively
+// through checksummed artifact files, never through shared memory.
+#pragma once
+
+#include <sys/types.h>
+
+#include <functional>
+#include <optional>
+
+namespace dnsembed::util {
+
+/// How a child ended, normalized from waitpid status.
+struct ExitStatus {
+  /// Exit code for a normal exit; 128 + signal for a signaled death (the
+  /// shell convention, so a SIGKILLed child reports 137).
+  int code = 0;
+  bool signaled = false;
+
+  bool success() const noexcept { return !signaled && code == 0; }
+};
+
+/// One forked child. Movable, not copyable; the destructor SIGKILLs and
+/// reaps a still-running child so a throwing supervisor never leaks
+/// processes.
+class ChildProcess {
+ public:
+  ChildProcess() = default;
+  ChildProcess(ChildProcess&& other) noexcept;
+  ChildProcess& operator=(ChildProcess&& other) noexcept;
+  ChildProcess(const ChildProcess&) = delete;
+  ChildProcess& operator=(const ChildProcess&) = delete;
+  ~ChildProcess();
+
+  /// Fork and run `body` in the child; the child exits with body's return
+  /// value via std::_Exit (buffered stdio in the child is flushed first).
+  /// Throws std::system_error when fork itself fails (EAGAIN/ENOMEM), which
+  /// the supervisor treats like any other transient task failure.
+  static ChildProcess spawn(const std::function<int()>& body);
+
+  bool running() const noexcept { return pid_ > 0; }
+  pid_t pid() const noexcept { return pid_; }
+
+  /// Non-blocking reap. Returns the exit status once, when the child has
+  /// ended; nullopt while it is still running (or was already reaped).
+  std::optional<ExitStatus> try_wait();
+
+  /// Blocking reap; returns immediately if already reaped.
+  ExitStatus wait();
+
+  /// Send `signal` (default SIGKILL) to a running child. No-op otherwise.
+  void kill(int signal) noexcept;
+  void kill() noexcept;
+
+ private:
+  pid_t pid_ = -1;
+  std::optional<ExitStatus> reaped_;
+};
+
+}  // namespace dnsembed::util

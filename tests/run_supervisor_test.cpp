@@ -1,0 +1,236 @@
+// Supervised (multi-process) runner: at any worker count the report must be
+// byte-identical to the single-process run; injected worker crashes, hangs,
+// and garbage outputs must be detected, retried, and still converge on the
+// same bytes; a shard task that exhausts its retry budget must be
+// quarantined (degraded report + manifest row) and the quarantine must
+// survive --resume; a mid-stage deadline hit must leave the workdir
+// resumable to an identical report.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/run.hpp"
+#include "util/fsio.hpp"
+
+namespace dnsembed::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+RunOptions small_options(const std::string& workdir) {
+  RunOptions options;
+  options.workdir = workdir;
+  auto& config = options.config;
+  config.trace.seed = 31;
+  config.trace.hosts = 40;
+  config.trace.days = 2;
+  config.trace.benign_sites = 150;
+  config.trace.malware_families = 4;
+  config.trace.min_victims = 3;
+  config.trace.max_victims = 8;
+  config.embedding_dimension = 8;
+  config.embedding.line.total_samples = 50'000;
+  config.embedding.line.threads = 2;
+  config.kfold = 3;
+  config.xmeans.k_min = 4;
+  config.xmeans.k_max = 16;
+  return options;
+}
+
+RunOptions supervised_options(const std::string& workdir) {
+  auto options = small_options(workdir);
+  options.supervise.workers = 2;
+  options.supervise.projection_shards = 2;
+  options.supervise.max_retries = 2;
+  options.supervise.heartbeat_interval_seconds = 0.05;
+  return options;
+}
+
+// With projection_shards = 2 the supervised run decomposes into exactly
+// 13 tasks: trace, behavior.prune, 3 channels x 2 projection shards,
+// 3 per-channel embeds, labels, report.
+constexpr std::size_t kTaskCount = 13;
+
+class RunSupervisorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // One workdir per test case: ctest runs the discovered cases in
+    // parallel, so a shared directory would be clobbered mid-run.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = (fs::temp_directory_path() /
+            (std::string{"dnsembed_run_supervisor_"} + info->name()))
+               .string();
+    fs::remove_all(dir_);
+    fs::remove_all(dir_ + "_ref");
+  }
+  void TearDown() override {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+    fs::remove_all(dir_ + "_ref", ec);
+  }
+
+  /// Report bytes of an uninterrupted single-process run of the same config.
+  std::string reference_report() {
+    const auto summary = run_resumable(small_options(dir_ + "_ref"));
+    return util::fsio::read_file(summary.report_path);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(RunSupervisorTest, SupervisedReportMatchesSingleProcess) {
+  const auto reference = reference_report();
+
+  const auto summary = run_resumable(supervised_options(dir_));
+  EXPECT_EQ(util::fsio::read_file(summary.report_path), reference);
+  EXPECT_EQ(summary.supervision.tasks_run, kTaskCount);
+  EXPECT_EQ(summary.supervision.restarts, 0u);
+  EXPECT_EQ(summary.supervision.crashes, 0u);
+  EXPECT_TRUE(summary.quarantined.empty());
+
+  // A supervised --resume over the completed workdir skips every stage and
+  // runs no worker at all.
+  auto resume = supervised_options(dir_);
+  resume.resume = true;
+  const auto second = run_resumable(resume);
+  EXPECT_EQ(second.resumed_stages, second.stages.size());
+  EXPECT_EQ(second.supervision.tasks_run, 0u);
+  EXPECT_EQ(util::fsio::read_file(second.report_path), reference);
+}
+
+TEST_F(RunSupervisorTest, CrashedWorkersAreRetriedToIdenticalReport) {
+  const auto reference = reference_report();
+
+  auto options = supervised_options(dir_);
+  // Every task's first attempt dies with exit 137; the cap guarantees the
+  // retry comes up clean, so each task restarts exactly once.
+  options.supervise.process_faults.proc_crash_rate = 1.0;
+  options.supervise.process_faults.proc_max_faults_per_task = 1;
+  const auto summary = run_resumable(options);
+
+  EXPECT_EQ(summary.supervision.tasks_run, kTaskCount);
+  EXPECT_EQ(summary.supervision.crashes, kTaskCount);
+  EXPECT_EQ(summary.supervision.restarts, kTaskCount);
+  EXPECT_TRUE(summary.quarantined.empty());
+  EXPECT_EQ(util::fsio::read_file(summary.report_path), reference);
+}
+
+TEST_F(RunSupervisorTest, GarbageOutputsAreCaughtByValidationAndRetried) {
+  const auto reference = reference_report();
+
+  auto options = supervised_options(dir_);
+  options.supervise.process_faults.proc_garbage_rate = 1.0;
+  options.supervise.process_faults.proc_max_faults_per_task = 1;
+  const auto summary = run_resumable(options);
+
+  // Tasks with container outputs commit garbage over them (caught by digest
+  // validation); tasks with only plain-file outputs escalate to a crash, so
+  // either way every task fails exactly once.
+  EXPECT_EQ(summary.supervision.tasks_run, kTaskCount);
+  EXPECT_EQ(summary.supervision.restarts, kTaskCount);
+  EXPECT_GE(summary.supervision.corrupt_outputs, 1u);
+  EXPECT_EQ(summary.supervision.corrupt_outputs + summary.supervision.crashes,
+            kTaskCount);
+  EXPECT_TRUE(summary.quarantined.empty());
+  EXPECT_EQ(util::fsio::read_file(summary.report_path), reference);
+}
+
+TEST_F(RunSupervisorTest, HungWorkersAreKilledAndRetried) {
+  const auto reference = reference_report();
+
+  auto options = supervised_options(dir_);
+  options.supervise.process_faults.proc_hang_rate = 1.0;
+  options.supervise.process_faults.proc_max_faults_per_task = 1;
+  options.supervise.heartbeat_timeout_seconds = 0.4;
+  const auto summary = run_resumable(options);
+
+  EXPECT_EQ(summary.supervision.tasks_run, kTaskCount);
+  EXPECT_EQ(summary.supervision.hangs_killed, kTaskCount);
+  EXPECT_EQ(summary.supervision.restarts, kTaskCount);
+  EXPECT_TRUE(summary.quarantined.empty());
+  EXPECT_EQ(util::fsio::read_file(summary.report_path), reference);
+}
+
+TEST_F(RunSupervisorTest, ExhaustedShardIsQuarantinedAndSurvivesResume) {
+  auto options = supervised_options(dir_);
+  // One projection shard crashes on every attempt (no per-task cap); with
+  // max_retries = 1 its second failure exhausts the budget.
+  options.supervise.max_retries = 1;
+  options.supervise.process_faults.proc_crash_rate = 1.0;
+  options.supervise.process_faults.proc_target = "behavior.query.s1";
+  const auto summary = run_resumable(options);
+
+  const std::vector<std::string> expected{"behavior.query.s1"};
+  EXPECT_EQ(summary.quarantined, expected);
+  EXPECT_EQ(summary.supervision.quarantined, expected);
+  EXPECT_EQ(summary.supervision.restarts, 1u);
+  EXPECT_EQ(summary.supervision.crashes, 2u);
+
+  // The degraded report flags the quarantine, and the manifest records it.
+  const auto report = util::fsio::read_file(summary.report_path);
+  EXPECT_NE(report.find("Degraded run"), std::string::npos);
+  EXPECT_NE(report.find("behavior.query.s1"), std::string::npos);
+  const auto manifest = util::fsio::read_file(dir_ + "/manifest.run");
+  EXPECT_NE(manifest.find("quarantined behavior.query.s1"), std::string::npos);
+
+  // --resume over the degraded workdir carries the quarantine forward
+  // without re-running anything, byte-identically.
+  auto resume = supervised_options(dir_);
+  resume.resume = true;
+  const auto second = run_resumable(resume);
+  EXPECT_EQ(second.resumed_stages, second.stages.size());
+  EXPECT_EQ(second.quarantined, expected);
+  EXPECT_EQ(util::fsio::read_file(second.report_path), report);
+}
+
+TEST_F(RunSupervisorTest, DeadlineMidStageLeavesWorkdirResumable) {
+  const auto reference = reference_report();
+
+  // Force the deadline to fire right after the first behavior artifact
+  // (kept.domains) commits: the stage aborts mid-way with some artifacts
+  // committed and some not, which is exactly the state --resume must
+  // recover from.
+  auto options = small_options(dir_);
+  options.stage_deadline_seconds = 30.0;
+  options.expire_deadline_after_artifact = "kept.domains";
+  EXPECT_THROW(run_resumable(options), StageDeadlineExceeded);
+
+  options.stage_deadline_seconds = 0.0;
+  options.expire_deadline_after_artifact.clear();
+  options.resume = true;
+  const auto summary = run_resumable(options);
+  EXPECT_EQ(util::fsio::read_file(summary.report_path), reference);
+
+  // The stage before the interruption resumed (the mid-stage abort saved
+  // the manifest with its record intact); the interrupted stage and
+  // everything after it re-ran.
+  ASSERT_GE(summary.stages.size(), 2u);
+  EXPECT_EQ(summary.stages.front().name, "trace");
+  EXPECT_TRUE(summary.stages.front().resumed);
+  for (const auto& stage : summary.stages) {
+    if (stage.name != "trace") {
+      EXPECT_FALSE(stage.resumed) << stage.name;
+    }
+  }
+}
+
+TEST_F(RunSupervisorTest, DeadlineMidStageLeavesSupervisedRunResumable) {
+  const auto reference = reference_report();
+
+  auto options = supervised_options(dir_);
+  options.stage_deadline_seconds = 30.0;
+  options.expire_deadline_after_artifact = "kept.domains";
+  EXPECT_THROW(run_resumable(options), StageDeadlineExceeded);
+
+  options.stage_deadline_seconds = 0.0;
+  options.expire_deadline_after_artifact.clear();
+  options.resume = true;
+  const auto summary = run_resumable(options);
+  EXPECT_EQ(util::fsio::read_file(summary.report_path), reference);
+}
+
+}  // namespace
+}  // namespace dnsembed::core

@@ -11,9 +11,14 @@
 #      end at smoke scale (no timing gate)
 #   4. micro_line smoke: dispatch must train finite embeddings on both the
 #      scalar and the widest rung (no timing gate at smoke scale)
-#   5. robustness label (fault injection, loader fuzz, crash recovery)
-#      under Address+UB sanitizers
-#   6. concurrency label (parallel projection, deterministic LINE barriers,
+#   5. distributed label (multi-process supervisor: worker crash/hang/
+#      garbage recovery, quarantine, worker-count determinism), then the
+#      micro_run smoke: supervised reports at workers=1 and workers=4 with
+#      an injected crash must be byte-identical to the single-process run
+#   6. robustness label (fault injection, loader fuzz, crash recovery)
+#      under Address+UB sanitizers, plus one distributed-label pass under
+#      ASan so the fork/waitpid/heartbeat paths run sanitized
+#   7. concurrency label (parallel projection, deterministic LINE barriers,
 #      sharded metrics) under ThreadSanitizer
 #
 # Usage: tools/ci_check.sh [--skip-sanitizers]
@@ -51,6 +56,12 @@ DNSEMBED_BENCH_SMOKE=1 DNSEMBED_BENCH_JSON="$(mktemp)" build/bench/micro_graph -
 step "micro_line smoke (dispatch sanity, no timing gate)"
 DNSEMBED_BENCH_SMOKE=1 DNSEMBED_BENCH_JSON="$(mktemp)" build/bench/micro_line
 
+step "distributed label (supervised runner: crash/hang/garbage, quarantine)"
+ctest --preset default -j "$jobs" -L distributed
+
+step "micro_run smoke (worker-count determinism through injected crashes)"
+DNSEMBED_BENCH_SMOKE=1 DNSEMBED_BENCH_JSON="$(mktemp)" build/bench/micro_run
+
 if [[ "$skip_sanitizers" == 1 ]]; then
   step "sanitizer passes skipped (--skip-sanitizers)"
   exit 0
@@ -60,6 +71,9 @@ step "robustness label under ASan/UBSan"
 cmake --preset asan >/dev/null
 cmake --build --preset asan -j "$jobs"
 ctest --preset asan -j "$jobs"
+
+step "distributed label under ASan (fork/waitpid/heartbeat paths sanitized)"
+ctest --test-dir build-asan -j "$jobs" -L distributed --output-on-failure
 
 step "concurrency label under TSan"
 cmake --preset tsan >/dev/null

@@ -103,6 +103,10 @@ commands:
             [--line-threads N]
             [--projection-mode exact|sketched] [--sketch-signature N]
             [--sketch-bands N] [--sketch-bits N] [--sketch-top-k N]
+            [--workers N] [--max-retries N] [--shards N]
+            [--heartbeat-interval SECONDS] [--heartbeat-timeout SECONDS]
+            [--fault-crash R] [--fault-hang R] [--fault-garbage R]
+            [--fault-max-per-task N] [--fault-target PREFIX] [--fault-seed N]
             (resumable pipeline: each stage commits atomic checksummed
              artifacts + a manifest under DIR; --resume skips stages whose
              artifacts still validate and recomputes anything missing,
@@ -110,7 +114,15 @@ commands:
              DIR/report.md. exit 4 = a stage exceeded --stage-deadline.
              LINE SGD is bit-identical for every --line-threads value
              [0 = one per core], so parallel embedding keeps resumed
-             reports byte-identical)
+             reports byte-identical.
+             --workers N >= 1 forks supervised worker processes: projection
+             pair-shards and per-channel LINE training run in children that
+             exchange results only through checksummed artifacts, with
+             heartbeat watchdog, bounded retry/backoff, and shard
+             quarantine after --max-retries; the report stays byte-identical
+             to --workers 0 at any worker count. exit 5 = one or more shards
+             quarantined (report written but partial). --fault-* inject
+             seeded worker crash/hang/garbage faults for testing)
   faultsim  --out report.json [--hosts N] [--days N] [--sites N] [--families N]
             [--seed N] [--severities 0,0.25,0.5,1] [--samples N] [--window N]
             [--label-delay N] [--kfold N] [--no-streaming]
@@ -126,7 +138,8 @@ global options (any command):
   --trace-out FILE                    write Chrome trace_event JSON on exit
                                       (load in Perfetto / chrome://tracing)
 
-exit codes: 0 ok, 1 failure, 2 usage, 3 unreadable input file, 4 deadline
+exit codes: 0 ok, 1 failure, 2 usage, 3 unreadable input file, 4 deadline,
+            5 degraded (quarantined shards; partial report written)
 )");
   return 2;
 }
@@ -138,6 +151,7 @@ int fail(const std::string& message) {
 
 constexpr int kExitInputError = 3;
 constexpr int kExitDeadline = 4;
+constexpr int kExitQuarantine = 5;
 
 /// Probe an input file before handing it to a parser. Returns 0 when it
 /// opens; otherwise reports the filename and errno and returns the
@@ -583,6 +597,11 @@ struct FaultSweepPoint {
   std::size_t io_corrupt_detected = 0;
   std::size_t io_roundtrips_ok = 0;
   fault::IoFaultStats io_faults;
+  // Supervised mini-pipeline under the plan's process channels.
+  bool supervisor_ran = false;
+  core::SupervisionStats supervision;
+  std::size_t supervisor_workers = 0;
+  bool supervisor_report_ok = false;
 };
 
 void write_faultsim_json(std::ostream& out, const trace::TraceConfig& trace,
@@ -635,7 +654,20 @@ void write_faultsim_json(std::ostream& out, const trace::TraceConfig& trace,
         << ", \"roundtrips_ok\": " << p.io_roundtrips_ok
         << ", \"errors_injected\": " << p.io_faults.errors_injected
         << ", \"torn_writes\": " << p.io_faults.torn_writes
-        << ", \"bitflips\": " << p.io_faults.bitflips << "},\n     \"days\": [";
+        << ", \"bitflips\": " << p.io_faults.bitflips << "},\n     \"supervisor\": ";
+    if (p.supervisor_ran) {
+      out << "{\"workers\": " << p.supervisor_workers
+          << ", \"tasks_run\": " << p.supervision.tasks_run
+          << ", \"restarts\": " << p.supervision.restarts
+          << ", \"crashes\": " << p.supervision.crashes
+          << ", \"hangs_killed\": " << p.supervision.hangs_killed
+          << ", \"corrupt_outputs\": " << p.supervision.corrupt_outputs
+          << ", \"quarantined\": " << p.supervision.quarantined.size()
+          << ", \"report_ok\": " << boolean(p.supervisor_report_ok) << "}";
+    } else {
+      out << "null";
+    }
+    out << ",\n     \"days\": [";
     for (std::size_t d = 0; d < p.days.size(); ++d) {
       const auto& r = p.days[d];
       out << (d == 0 ? "\n" : ",\n")
@@ -703,6 +735,13 @@ int cmd_faultsim(const util::ArgParser& args) {
   base.io_error_rate = 0.3;
   base.io_torn_write_rate = 0.15;
   base.io_bitflip_rate = 0.15;
+  // Process channels: at most one injected fault per task, so with the
+  // default retry budget every worker failure recovers (quarantine is the
+  // dedicated tests' territory; the sweep measures restart cost).
+  base.proc_crash_rate = 0.35;
+  base.proc_hang_rate = 0.2;
+  base.proc_garbage_rate = 0.35;
+  base.proc_max_faults_per_task = 1;
 
   std::vector<FaultSweepPoint> sweep;
   for (const double severity : severities) {
@@ -830,6 +869,41 @@ int cmd_faultsim(const util::ArgParser& args) {
       std::remove(trial_path.c_str());
     }
 
+    // Process-fault resilience: a tiny supervised pipeline run under the
+    // plan's proc channels. With the per-task fault cap every failure must
+    // recover within the retry budget: report present, nothing quarantined.
+    {
+      core::RunOptions run_options;
+      run_options.workdir = *out_path + ".supervised";
+      run_options.supervise.workers = 2;
+      run_options.supervise.projection_shards = 2;
+      run_options.supervise.max_retries = 2;
+      run_options.supervise.heartbeat_interval_seconds = 0.05;
+      run_options.supervise.heartbeat_timeout_seconds = 0.6;
+      run_options.supervise.process_faults = plan;
+      auto& run_config = run_options.config;
+      run_config.trace.hosts = 24;
+      run_config.trace.days = 2;
+      run_config.trace.benign_sites = 100;
+      run_config.trace.malware_families = 3;
+      run_config.trace.seed = trace_config.seed;
+      run_config.embedding_dimension = 8;
+      run_config.embedding.line.total_samples = 20'000;
+      run_config.embedding.line.threads = 1;
+      run_config.kfold = 3;
+      point.supervisor_workers = run_options.supervise.workers;
+      try {
+        const auto run_summary = core::run_resumable(run_options);
+        point.supervisor_ran = true;
+        point.supervision = run_summary.supervision;
+        point.supervisor_report_ok =
+            run_summary.quarantined.empty() && util::fsio::file_exists(run_summary.report_path);
+      } catch (const std::exception& e) {
+        util::log_warn() << "faultsim: supervised run failed at severity " << severity
+                         << ": " << e.what();
+      }
+    }
+
     std::printf("severity %.3g: %zu->%zu packets, %zu entries, auc %s, %zu alerts "
                 "(%zu malicious) [%s] (%.1fs)\n",
                 severity, point.packets_exported, point.faults.packets_out,
@@ -932,6 +1006,29 @@ int cmd_run(const util::ArgParser& args) {
   options.resume = args.has("--resume");
   options.stage_deadline_seconds = args.get_double_or("--stage-deadline", 0.0);
   if (const auto crash = args.get("--crash-after")) options.crash_after_artifact = *crash;
+  if (const auto expire = args.get("--expire-deadline-after")) {
+    options.expire_deadline_after_artifact = *expire;
+  }
+
+  // Supervision: --workers 0 (default) keeps the single-process path.
+  options.supervise.workers = static_cast<std::size_t>(args.get_int_or("--workers", 0));
+  options.supervise.max_retries =
+      static_cast<std::size_t>(args.get_int_or("--max-retries", 2));
+  options.supervise.projection_shards =
+      static_cast<std::size_t>(args.get_int_or("--shards", 4));
+  options.supervise.heartbeat_interval_seconds =
+      args.get_double_or("--heartbeat-interval", 0.25);
+  options.supervise.heartbeat_timeout_seconds =
+      args.get_double_or("--heartbeat-timeout", 0.0);
+  // Seeded worker fault injection (tests, bench, faultsim parity).
+  auto& faults = options.supervise.process_faults;
+  faults.proc_crash_rate = args.get_double_or("--fault-crash", 0.0);
+  faults.proc_hang_rate = args.get_double_or("--fault-hang", 0.0);
+  faults.proc_garbage_rate = args.get_double_or("--fault-garbage", 0.0);
+  faults.proc_max_faults_per_task =
+      static_cast<std::size_t>(args.get_int_or("--fault-max-per-task", 1));
+  faults.proc_target = args.get_or("--fault-target", "");
+  faults.seed = static_cast<std::uint64_t>(args.get_int_or("--fault-seed", 1337));
 
   auto& config = options.config;
   config.trace.hosts = static_cast<std::size_t>(args.get_int_or("--hosts", 200));
@@ -965,15 +1062,36 @@ int cmd_run(const util::ArgParser& args) {
       std::printf("stage %-10s %s (%.1fs)\n", stage.name.c_str(),
                   stage.resumed ? "resumed " : "computed", stage.seconds);
     }
+    if (options.supervise.workers > 0) {
+      const auto& sv = summary.supervision;
+      std::printf("supervisor: %zu tasks run, %zu reused, %zu restarts "
+                  "(%zu crashes, %zu hangs killed, %zu corrupt outputs)\n",
+                  sv.tasks_run, sv.tasks_reused, sv.restarts, sv.crashes, sv.hangs_killed,
+                  sv.corrupt_outputs);
+    }
     std::printf("report written to %s (%zu/%zu stages resumed, %.1fs)\n",
                 summary.report_path.c_str(), summary.resumed_stages, summary.stages.size(),
                 watch.seconds());
+    if (!summary.quarantined.empty()) {
+      std::fprintf(stderr, "dnsembed: %zu shard task(s) quarantined; report is partial:\n",
+                   summary.quarantined.size());
+      for (const auto& task : summary.quarantined) {
+        std::fprintf(stderr, "dnsembed:   %s\n", task.c_str());
+      }
+      return kExitQuarantine;
+    }
     return 0;
   } catch (const core::StageDeadlineExceeded& e) {
     std::fprintf(stderr, "dnsembed: %s (committed artifacts remain valid; rerun with "
                          "--resume to continue)\n",
                  e.what());
     return kExitDeadline;
+  } catch (const util::fsio::IoError& e) {
+    // Workdir-creation and manifest-open failures carry filename + errno;
+    // report them like any other unreadable input (exit 3) instead of a
+    // generic runtime failure.
+    std::fprintf(stderr, "dnsembed: run: %s\n", e.what());
+    return kExitInputError;
   }
 }
 
