@@ -13,18 +13,32 @@
 //  2. Informational: full project_right() wall time with metrics disabled
 //     vs enabled, at production (per-pivot) instrumentation granularity.
 //
+// Cross-process telemetry gates on a supervised mini-run (2 workers,
+// 2 projection shards):
+//  3. Correctness: the deterministic pipeline counters merged from worker
+//     sidecars must equal the single-process totals exactly, and the trace
+//     must carry one process lane per worker task. Always enforced, even in
+//     smoke mode.
+//  4. Cost: sidecar write + merge (telemetry on vs off on the same
+//     supervised run) must cost <= 3% wall. Skipped under
+//     DNSEMBED_BENCH_SMOKE=1 — mini-run timings are too noisy for CI.
+//
 // Results land in BENCH_obs.json (override with DNSEMBED_BENCH_JSON).
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "core/run.hpp"
 #include "graph/bipartite.hpp"
 #include "graph/projection.hpp"
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/flat_counter.hpp"
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
@@ -121,6 +135,110 @@ graph::BipartiteGraph random_bipartite(std::size_t hosts, std::size_t domains,
   return g;
 }
 
+// ------------------------------------------ supervised telemetry section
+
+/// The faultsim mini-pipeline shape: small enough that seven runs stay in
+/// bench territory, real enough that all 13 worker tasks execute.
+core::RunOptions mini_run_options(const std::string& workdir) {
+  core::RunOptions options;
+  options.workdir = workdir;
+  options.supervise.workers = 2;
+  options.supervise.projection_shards = 2;
+  options.supervise.max_retries = 2;
+  options.supervise.heartbeat_interval_seconds = 0.05;
+  auto& config = options.config;
+  config.trace.seed = 31;
+  config.trace.hosts = 24;
+  config.trace.days = 2;
+  config.trace.benign_sites = 100;
+  config.trace.malware_families = 3;
+  config.trace.min_victims = 3;
+  config.trace.max_victims = 8;
+  config.embedding_dimension = 8;
+  config.embedding.line.total_samples = 20'000;
+  config.embedding.line.threads = 1;
+  config.kfold = 3;
+  return options;
+}
+
+std::uint64_t counter_value(const obs::MetricsSnapshot& snapshot, const std::string& name) {
+  for (const auto& [counter, value] : snapshot.counters) {
+    if (counter == name) return value;
+  }
+  return 0;
+}
+
+struct SupervisedTelemetry {
+  std::uint64_t single_edges = 0, merged_edges = 0;
+  std::uint64_t single_samples = 0, merged_samples = 0;
+  std::size_t lanes = 0, tasks_run = 0;
+  double off_ms = 0.0, on_ms = 0.0, overhead = 0.0;
+  bool counters_match = false;
+};
+
+SupervisedTelemetry measure_supervised_telemetry(bool smoke) {
+  SupervisedTelemetry result;
+  const auto scratch =
+      (std::filesystem::temp_directory_path() / "dnsembed_micro_obs").string();
+  std::filesystem::remove_all(scratch);
+
+  const auto telemetry = [](bool on) {
+    obs::set_metrics_enabled(on);
+    obs::SpanRecorder::instance().set_enabled(on);
+    obs::metrics().reset_values();
+    obs::SpanRecorder::instance().clear();
+  };
+  const int reps = smoke ? 1 : 3;
+
+  // Single-process totals of the two deterministic pipeline counters:
+  // disjoint projection edge emissions, one add per LINE SGD sample.
+  telemetry(true);
+  auto single = mini_run_options(scratch + "/single");
+  single.supervise.workers = 0;
+  (void)core::run_resumable(single);
+  {
+    const auto snapshot = obs::metrics().snapshot();
+    result.single_edges = counter_value(snapshot, "graph.projection.edges");
+    result.single_samples = counter_value(snapshot, "embed.line.samples");
+  }
+
+  // Supervised, telemetry on: sidecar write + merge in the measured path.
+  double on_best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    telemetry(true);
+    util::Stopwatch watch;
+    const auto summary =
+        core::run_resumable(mini_run_options(scratch + "/on" + std::to_string(r)));
+    on_best = std::min(on_best, watch.millis());
+    if (r == 0) {
+      const auto snapshot = obs::metrics().snapshot();
+      result.merged_edges = counter_value(snapshot, "graph.projection.edges");
+      result.merged_samples = counter_value(snapshot, "embed.line.samples");
+      result.lanes = obs::SpanRecorder::instance().process_lanes().size();
+      result.tasks_run = summary.supervision.tasks_run;
+    }
+  }
+
+  // Supervised, telemetry off: same run, no sidecars written or merged.
+  double off_best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    telemetry(false);
+    util::Stopwatch watch;
+    (void)core::run_resumable(mini_run_options(scratch + "/off" + std::to_string(r)));
+    off_best = std::min(off_best, watch.millis());
+  }
+
+  telemetry(false);
+  std::filesystem::remove_all(scratch);
+  result.on_ms = on_best;
+  result.off_ms = off_best;
+  result.overhead = on_best / off_best - 1.0;
+  result.counters_match = result.merged_edges == result.single_edges &&
+                          result.merged_samples == result.single_samples &&
+                          result.single_edges > 0 && result.single_samples > 0;
+  return result;
+}
+
 /// Gate + BENCH_obs.json. Returns nonzero when the disabled-path overhead
 /// on the pair-count kernel exceeds the 3% budget.
 int write_obs_json() {
@@ -159,6 +277,9 @@ int write_obs_json() {
   const double enabled_overhead = enabled_ms / plain_ms - 1.0;
   const double project_overhead = project_enabled_ms / project_disabled_ms - 1.0;
 
+  const bool smoke = std::getenv("DNSEMBED_BENCH_SMOKE") != nullptr;
+  const auto supervised = measure_supervised_telemetry(smoke);
+
   std::FILE* out = std::fopen(path, "w");
   if (out == nullptr) {
     std::fprintf(stderr, "micro_obs: cannot write %s\n", path);
@@ -175,11 +296,27 @@ int write_obs_json() {
                "  \"project_right_disabled_ms\": %.3f,\n"
                "  \"project_right_enabled_ms\": %.3f,\n"
                "  \"project_right_enabled_overhead\": %.4f,\n"
-               "  \"budget\": %.2f\n"
+               "  \"budget\": %.2f,\n"
+               "  \"supervised\": {\n"
+               "    \"smoke\": %s,\n"
+               "    \"merged_counters_match\": %s,\n"
+               "    \"projection_edges\": %llu,\n"
+               "    \"line_samples\": %llu,\n"
+               "    \"trace_lanes\": %zu,\n"
+               "    \"tasks_run\": %zu,\n"
+               "    \"telemetry_off_ms\": %.1f,\n"
+               "    \"telemetry_on_ms\": %.1f,\n"
+               "    \"sidecar_overhead\": %.4f\n"
+               "  }\n"
                "}\n",
                kKeys, plain_ms, disabled_ms, enabled_ms, disabled_overhead,
                enabled_overhead, project_disabled_ms, project_enabled_ms,
-               project_overhead, kBudget);
+               project_overhead, kBudget, smoke ? "true" : "false",
+               supervised.counters_match ? "true" : "false",
+               static_cast<unsigned long long>(supervised.merged_edges),
+               static_cast<unsigned long long>(supervised.merged_samples),
+               supervised.lanes, supervised.tasks_run, supervised.off_ms,
+               supervised.on_ms, supervised.overhead);
   std::fclose(out);
 
   std::printf("wrote %s\n", path);
@@ -187,14 +324,48 @@ int write_obs_json() {
               "project_right enabled: %.2f%%\n",
               disabled_overhead * 100.0, kBudget * 100.0, enabled_overhead * 100.0,
               project_overhead * 100.0);
-  if (disabled_overhead > kBudget) {
+  std::printf("supervised mini-run: merged counters %s (%llu edges, %llu samples), "
+              "%zu trace lanes; sidecar overhead %.2f%%%s\n",
+              supervised.counters_match ? "match" : "DIVERGED",
+              static_cast<unsigned long long>(supervised.merged_edges),
+              static_cast<unsigned long long>(supervised.merged_samples),
+              supervised.lanes, supervised.overhead * 100.0,
+              smoke ? " (smoke: not gated)" : "");
+  int rc = 0;
+  // Timing gates are skipped in smoke mode: one rep on a busy CI box flaps
+  // around a 3% budget. Correctness gates below always run.
+  if (!smoke && disabled_overhead > kBudget) {
     std::fprintf(stderr,
                  "micro_obs: FAIL: disabled instrumentation costs %.2f%% on the "
                  "pair-count loop (budget %.0f%%)\n",
                  disabled_overhead * 100.0, kBudget * 100.0);
-    return 1;
+    rc = 1;
   }
-  return 0;
+  if (!supervised.counters_match) {
+    std::fprintf(stderr,
+                 "micro_obs: FAIL: merged worker counters diverged from the "
+                 "single-process run (edges %llu vs %llu, samples %llu vs %llu)\n",
+                 static_cast<unsigned long long>(supervised.merged_edges),
+                 static_cast<unsigned long long>(supervised.single_edges),
+                 static_cast<unsigned long long>(supervised.merged_samples),
+                 static_cast<unsigned long long>(supervised.single_samples));
+    rc = 1;
+  }
+  if (supervised.lanes != supervised.tasks_run) {
+    std::fprintf(stderr,
+                 "micro_obs: FAIL: merged trace has %zu process lanes for %zu "
+                 "worker tasks\n",
+                 supervised.lanes, supervised.tasks_run);
+    rc = 1;
+  }
+  if (!smoke && supervised.overhead > kBudget) {
+    std::fprintf(stderr,
+                 "micro_obs: FAIL: sidecar write+merge costs %.2f%% on the "
+                 "supervised mini-run (budget %.0f%%)\n",
+                 supervised.overhead * 100.0, kBudget * 100.0);
+    rc = 1;
+  }
+  return rc;
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 
 #include "core/clustering.hpp"
 #include "core/pipeline.hpp"
+#include "core/supervisor.hpp"
 
 namespace dnsembed::core {
 
@@ -26,5 +27,12 @@ void write_detection_report(std::ostream& out, const PipelineResult& result,
                             const ChannelEvaluations& evals,
                             const ClusteringResult& clusters,
                             const ReportOptions& options = {});
+
+/// Markdown "Worker resources" table from the supervisor's per-task wait4
+/// accounting (attempts, wall, cpu user/sys, max RSS). Rendered to the
+/// CLI's stdout and mirrored by the --status-out file — deliberately NOT
+/// part of report.md, which must stay byte-identical between supervised
+/// and single-process runs. No-op when no task ran.
+void write_worker_resources(std::ostream& out, const SupervisionStats& stats);
 
 }  // namespace dnsembed::core

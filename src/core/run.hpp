@@ -52,6 +52,9 @@ struct RunOptions {
   /// worker processes (projection pair-shards, per-channel LINE training)
   /// that exchange results only through checksummed artifacts, so the
   /// report is bit-identical to a single-process run at any worker count.
+  /// Workers also write telemetry sidecars (obs/sidecar.hpp) that the
+  /// supervisor merges, so --metrics-out/--trace-out see the whole process
+  /// tree, and supervise.status_path enables the live --status-out file.
   SupervisorOptions supervise;
 
   PipelineConfig config;

@@ -4,14 +4,18 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <sstream>
 #include <thread>
 
 #include "fault/process_faults.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sidecar.hpp"
 #include "obs/span.hpp"
 #include "util/artifact.hpp"
 #include "util/fsio.hpp"
@@ -84,9 +88,17 @@ bool has_container_output(const WorkerTask& task) {
 }
 
 /// The forked child's whole life: decide the injected fault, keep the
-/// heartbeat fresh on a side thread, run the task body, exit.
+/// heartbeat fresh on a side thread, run the task body, flush the telemetry
+/// sidecar, exit.
 int run_child(const WorkerTask& task, std::size_t attempt, const SupervisorOptions& options,
-              const std::string& heartbeat_path) {
+              const std::string& heartbeat_path, const std::string& sidecar_path) {
+  // The fork inherited the parent's accumulated metrics and spans; drop
+  // them so the sidecar carries exactly this attempt's telemetry (clear()
+  // also re-arms the span epoch, which is what the parent's rebase offset
+  // assumes).
+  obs::metrics().reset_values();
+  obs::SpanRecorder::instance().clear();
+  const bool telemetry = obs::metrics_enabled() || obs::trace_enabled();
   const fault::ProcessFaultChannel channel{options.process_faults};
   auto injected = channel.decide(task.name, attempt);
   // Garbage needs a validatable container to be caught through; a task
@@ -115,11 +127,27 @@ int run_child(const WorkerTask& task, std::size_t attempt, const SupervisorOptio
       std::this_thread::sleep_for(interval);
       if (stop.load(std::memory_order_relaxed)) break;
       write_heartbeat(heartbeat_path, n++);
+      if (telemetry) {
+        // Periodic metrics-only flush so the on-disk sidecar is at most one
+        // heartbeat stale if this attempt is SIGKILLed or hits a deadline.
+        // Spans are excluded here — the body's threads are still recording
+        // into unlocked thread-local buffers — and picked up by the final
+        // flush below once everything is joined.
+        try {
+          obs::write_telemetry_sidecar(sidecar_path, /*include_spans=*/false);
+        } catch (const std::exception&) {
+          // Best effort: a failed advisory flush must not kill the attempt.
+        }
+      }
     }
   }};
 
   int rc = 0;
   try {
+    // Root span of this worker's trace lane: even a body that opens no
+    // spans of its own exports one event covering the task's wall time, so
+    // the merged trace always shows one named pid lane per worker task.
+    obs::Span task_span{task.name.c_str()};
     if (injected == fault::ProcessFault::kGarbage) {
       util::log_warn() << "worker " << task.name << ": injected garbage output (attempt "
                        << attempt << ")";
@@ -137,6 +165,14 @@ int run_child(const WorkerTask& task, std::size_t attempt, const SupervisorOptio
   }
   stop.store(true, std::memory_order_relaxed);
   beat.join();
+  if (telemetry) {
+    try {
+      obs::write_telemetry_sidecar(sidecar_path, /*include_spans=*/true);
+    } catch (const std::exception& e) {
+      util::log_warn() << "worker " << task.name << ": telemetry sidecar write failed: "
+                       << e.what();
+    }
+  }
   return rc;
 }
 
@@ -205,6 +241,79 @@ void Supervisor::reset_scratch(const std::string& config_hash, bool resume) {
   }
 }
 
+TaskResources& Supervisor::resources_for(const std::string& task) {
+  for (auto& row : stats_.resources) {
+    if (row.task == task) return row;
+  }
+  stats_.resources.push_back(TaskResources{});
+  stats_.resources.back().task = task;
+  return stats_.resources.back();
+}
+
+Supervisor::TaskStatus& Supervisor::status_row(const std::string& task) {
+  for (auto& row : status_) {
+    if (row.task == task) return row;
+  }
+  status_.push_back(TaskStatus{});
+  status_.back().task = task;
+  status_.back().state = "pending";
+  return status_.back();
+}
+
+void Supervisor::set_status(const std::string& task, const char* state, std::size_t attempt,
+                            std::int64_t heartbeat_age_ms) {
+  auto& row = status_row(task);
+  row.state = state;
+  row.attempt = attempt;
+  row.heartbeat_age_ms = heartbeat_age_ms;
+  status_dirty_ = true;
+}
+
+void Supervisor::write_status(bool force) {
+  if (options_.status_path.empty()) return;
+  const auto now = Clock::now();
+  if (!force && !status_dirty_ &&
+      std::chrono::duration<double>(now - last_status_write_).count() <
+          options_.heartbeat_interval_seconds) {
+    return;
+  }
+  std::ostringstream out;
+  out << "{\n  \"workers\": " << options_.workers << ",\n  \"tasks\": [";
+  for (std::size_t i = 0; i < status_.size(); ++i) {
+    const auto& row = status_[i];
+    out << (i == 0 ? "\n" : ",\n") << "    {\"task\": \"" << row.task << "\", \"state\": \""
+        << row.state << "\", \"attempt\": " << row.attempt
+        << ", \"heartbeat_age_ms\": " << row.heartbeat_age_ms << ", \"quarantined\": "
+        << (row.state == "quarantined" ? "true" : "false");
+    for (const auto& res : stats_.resources) {
+      if (res.task != row.task) continue;
+      char buf[192];
+      std::snprintf(buf, sizeof(buf),
+                    ", \"attempts_reaped\": %zu, \"wall_seconds\": %.3f"
+                    ", \"cpu_user_seconds\": %.3f, \"cpu_system_seconds\": %.3f"
+                    ", \"max_rss_kb\": %ld",
+                    res.attempts, res.wall_seconds, res.cpu_user_seconds,
+                    res.cpu_system_seconds, res.max_rss_kb);
+      out << buf;
+      break;
+    }
+    out << "}";
+  }
+  out << (status_.empty() ? "]\n" : "\n  ]\n") << "}\n";
+  // Plain-POSIX temp + rename (the heartbeat idiom): the status file is an
+  // advisory view for operators, so it skips fsio's fsync cost and fault
+  // injection, but readers still never observe a torn write.
+  const std::string text = out.str();
+  const std::string tmp = options_.status_path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return;
+  (void)!::write(fd, text.data(), text.size());
+  ::close(fd);
+  ::rename(tmp.c_str(), options_.status_path.c_str());
+  status_dirty_ = false;
+  last_status_write_ = now;
+}
+
 void Supervisor::run_tasks(const std::vector<WorkerTask>& tasks,
                            const std::function<void()>& poll) {
   static obs::Counter& restarts_counter = obs::metrics().counter("supervisor.restarts");
@@ -214,6 +323,16 @@ void Supervisor::run_tasks(const std::vector<WorkerTask>& tasks,
   static obs::Counter& quarantined_counter = obs::metrics().counter("supervisor.quarantined");
   static obs::Counter& run_counter = obs::metrics().counter("supervisor.tasks.run");
   static obs::Counter& reused_counter = obs::metrics().counter("supervisor.tasks.reused");
+  static obs::Counter& sidecar_corrupt_counter =
+      obs::metrics().counter("supervisor.sidecar_corrupt");
+  static obs::Histogram& heartbeat_hist = obs::metrics().histogram(
+      "supervisor.heartbeat_age_ms", obs::Registry::size_bounds());
+  static obs::Histogram& task_cpu_hist =
+      obs::metrics().latency_histogram("supervisor.task.cpu_seconds");
+  static obs::Histogram& task_wall_hist =
+      obs::metrics().latency_histogram("supervisor.task.wall_seconds");
+  static obs::Histogram& task_rss_hist = obs::metrics().histogram(
+      "supervisor.task.max_rss_kb", obs::Registry::size_bounds());
   obs::metrics().gauge("supervisor.workers").set(static_cast<std::int64_t>(options_.workers));
 
   const auto policy = task_retry_policy(options_.max_retries);
@@ -254,7 +373,9 @@ void Supervisor::run_tasks(const std::vector<WorkerTask>& tasks,
       util::log_info() << "supervisor: task '" << tasks[i].name
                        << "' reused from scratch artifacts";
     }
+    set_status(tasks[i].name, state[i].done ? "reused" : "pending", 0, -1);
   }
+  write_status(false);
 
   /// One attempt of task `i` ended badly; schedule a retry or quarantine.
   const auto failed = [&](std::size_t i, const std::string& detail) {
@@ -266,6 +387,7 @@ void Supervisor::run_tasks(const std::vector<WorkerTask>& tasks,
       ts.quarantined = true;
       stats_.quarantined.push_back(tasks[i].name);
       quarantined_counter.add(1);
+      set_status(tasks[i].name, "quarantined", ts.failures, -1);
       util::log_warn() << "supervisor: task '" << tasks[i].name << "' quarantined after "
                        << ts.failures << " failed attempts (" << detail << ")";
       return;
@@ -274,14 +396,72 @@ void Supervisor::run_tasks(const std::vector<WorkerTask>& tasks,
     ts.eligible = Clock::now() + delay;
     ++stats_.restarts;
     restarts_counter.add(1);
+    set_status(tasks[i].name, "backoff", ts.failures, -1);
     util::log_warn() << "supervisor: task '" << tasks[i].name << "' attempt " << ts.failures
                      << " failed (" << detail << "); retrying in "
                      << static_cast<double>(delay.count()) / 1000.0 << "ms";
   };
 
+  /// Per-attempt resource accounting from the wait4 rusage of a reaped
+  /// child (every attempt counts, failed ones included).
+  const auto account = [&](const InFlight& flight, const util::ExitStatus& status) {
+    const double wall =
+        std::chrono::duration<double>(Clock::now() - flight.spawned).count();
+    auto& res = resources_for(tasks[flight.index].name);
+    ++res.attempts;
+    res.wall_seconds += wall;
+    res.cpu_user_seconds += status.cpu_user_seconds;
+    res.cpu_system_seconds += status.cpu_system_seconds;
+    res.max_rss_kb = std::max(res.max_rss_kb, status.max_rss_kb);
+    task_cpu_hist.observe(status.cpu_user_seconds + status.cpu_system_seconds);
+    task_wall_hist.observe(wall);
+    task_rss_hist.observe(static_cast<double>(status.max_rss_kb));
+  };
+
+  // Worker records accumulate per batch and are appended after it
+  // completes: children finish in nondeterministic order, but the merged
+  // registry must list records in deterministic (task, seq) order.
+  std::vector<std::pair<std::string, std::vector<obs::MetricRecord>>> worker_records;
+
+  /// Fold a successful worker's telemetry sidecar into this process's
+  /// registry/recorder. A corrupt or unreadable sidecar costs only that
+  /// worker's telemetry — warn, count, continue; never abort the merge.
+  const auto merge_sidecar = [&](const InFlight& flight, const WorkerTask& task) {
+    if (!obs::metrics_enabled() && !obs::trace_enabled()) return;
+    const auto path = scratch_path("tm." + task.name);
+    try {
+      const auto sidecar = obs::load_telemetry_sidecar(path);
+      if (obs::metrics_enabled()) {
+        obs::merge_sidecar_metrics(sidecar);
+        if (!sidecar.records.empty()) {
+          worker_records.emplace_back(task.name, sidecar.records);
+        }
+      }
+      if (obs::trace_enabled() && !sidecar.spans.empty()) {
+        // The child's span epoch re-armed at run_child entry, so its times
+        // are relative to (approximately) the moment we spawned it: rebase
+        // by the spawn-time span offset to land the lane on our timeline.
+        auto spans = sidecar.spans;
+        for (auto& event : spans) {
+          event.begin_ns += flight.span_begin;
+          event.end_ns += flight.span_begin;
+        }
+        obs::SpanRecorder::instance().add_process_lane(task.name, std::move(spans));
+      }
+    } catch (const util::CorruptArtifact& e) {
+      sidecar_corrupt_counter.add(1);
+      util::log_warn() << "supervisor: telemetry sidecar for '" << task.name << "' corrupt ("
+                       << e.reason() << "); worker telemetry dropped";
+    } catch (const util::fsio::IoError& e) {
+      util::log_warn() << "supervisor: telemetry sidecar for '" << task.name
+                       << "' unreadable; worker telemetry dropped (" << e.what() << ")";
+    }
+  };
+
   /// A reaped child for slot `f`: classify success / crash / corrupt.
   const auto reaped = [&](InFlight& flight, const util::ExitStatus& status) {
     auto& task = tasks[flight.index];
+    account(flight, status);
     if (obs::trace_enabled()) {
       auto& recorder = obs::SpanRecorder::instance();
       recorder.record("supervisor." + task.name, flight.span_begin, recorder.now_ns(),
@@ -307,6 +487,8 @@ void Supervisor::run_tasks(const std::vector<WorkerTask>& tasks,
     state[flight.index].done = true;
     ++stats_.tasks_run;
     run_counter.add(1);
+    set_status(task.name, "done", flight.attempt + 1, -1);
+    merge_sidecar(flight, task);
   };
 
   try {
@@ -330,14 +512,14 @@ void Supervisor::run_tasks(const std::vector<WorkerTask>& tasks,
           flight.heartbeat_changed = now;
         }
         const auto age = std::chrono::duration<double>{now - flight.heartbeat_changed};
-        max_age_ms = std::max<std::int64_t>(
-            max_age_ms, static_cast<std::int64_t>(age.count() * 1000.0));
+        const auto age_ms = static_cast<std::int64_t>(age.count() * 1000.0);
+        max_age_ms = std::max(max_age_ms, age_ms);
+        status_row(tasks[flight.index].name).heartbeat_age_ms = age_ms;
         if (age >= heartbeat_timeout) {
           util::log_warn() << "supervisor: task '" << tasks[flight.index].name
                            << "' heartbeat stale for " << age.count() << "s; killing";
           flight.child.kill();
-          const auto status = flight.child.wait();
-          (void)status;
+          account(flight, flight.child.wait());
           ++stats_.hangs_killed;
           hangs_counter.add(1);
           if (obs::trace_enabled()) {
@@ -352,7 +534,11 @@ void Supervisor::run_tasks(const std::vector<WorkerTask>& tasks,
         }
         ++f;
       }
-      obs::metrics().gauge("supervisor.heartbeat_age_ms").set(max_age_ms);
+      // Sampled every poll tick while children are in flight, so the
+      // export carries a p99-capable staleness distribution instead of a
+      // last-write gauge.
+      if (!running.empty()) heartbeat_hist.observe(static_cast<double>(max_age_ms));
+      write_status(false);
 
       // Spawn ready tasks into free slots, in task order (start order is
       // deterministic; completion order is not, and does not matter —
@@ -378,14 +564,17 @@ void Supervisor::run_tasks(const std::vector<WorkerTask>& tasks,
         try {
           const WorkerTask* task = &tasks[i];
           const SupervisorOptions* options = &options_;
-          flight.child = util::ChildProcess::spawn([task, attempt, options, heartbeat_path] {
-            return run_child(*task, attempt, *options, heartbeat_path);
-          });
+          const auto sidecar_path = scratch_path("tm." + tasks[i].name);
+          flight.child = util::ChildProcess::spawn(
+              [task, attempt, options, heartbeat_path, sidecar_path] {
+                return run_child(*task, attempt, *options, heartbeat_path, sidecar_path);
+              });
         } catch (const std::system_error& e) {
           failed(i, std::string{"fork: "} + e.what());
           continue;
         }
         ts.running = true;
+        set_status(tasks[i].name, "running", attempt + 1, 0);
         running.push_back(std::move(flight));
       }
 
@@ -405,6 +594,17 @@ void Supervisor::run_tasks(const std::vector<WorkerTask>& tasks,
     }
     throw;
   }
+
+  // Deferred record merge (see worker_records above): task-name order, and
+  // within a task the worker's own append order — i.e. (task, seq).
+  std::sort(worker_records.begin(), worker_records.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& [task_name, records] : worker_records) {
+    for (auto& record : records) {
+      obs::metrics().append_record(record.name, std::move(record.fields));
+    }
+  }
+  write_status(true);
 }
 
 }  // namespace dnsembed::core

@@ -14,11 +14,18 @@
 //
 // Every supervision event flows through the obs registry:
 //   supervisor.restarts / .crashes / .hangs_killed / .corrupt_outputs
-//   supervisor.quarantined, supervisor.tasks.run / .reused
-//   supervisor.heartbeat_age_ms gauge, "supervisor.<task>" trace spans.
+//   supervisor.quarantined, supervisor.tasks.run / .reused,
+//   supervisor.sidecar_corrupt, supervisor.heartbeat_age_ms le-histogram
+//   (sampled every poll tick), supervisor.task.{cpu_seconds,wall_seconds,
+//   max_rss_kb} per-attempt rusage histograms, "supervisor.<task>" trace
+//   spans — and, because each worker writes a telemetry sidecar the
+//   supervisor merges back (obs/sidecar.hpp), everything the workers
+//   themselves recorded.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <stdexcept>
 #include <string>
@@ -51,6 +58,24 @@ struct SupervisorOptions {
   /// Seeded process fault injection (proc_* channels); all-zero rates by
   /// default. Interpreted by fault::ProcessFaultChannel inside the child.
   fault::FaultPlan process_faults;
+
+  /// Live run status file (`run --status-out FILE`): atomically rewritten
+  /// JSON with per-task state/attempt/heartbeat age/quarantine/rusage,
+  /// refreshed on every state change and at least once per heartbeat
+  /// interval. Empty = disabled. Advisory plain-POSIX writes, like the
+  /// heartbeat files.
+  std::string status_path;
+};
+
+/// Per-task resource accounting from wait4 rusage, accumulated across every
+/// attempt of the task (cpu and wall sum; RSS takes the max).
+struct TaskResources {
+  std::string task;
+  std::size_t attempts = 0;  // attempts reaped, including failed ones
+  double wall_seconds = 0.0;
+  double cpu_user_seconds = 0.0;
+  double cpu_system_seconds = 0.0;
+  long max_rss_kb = 0;
 };
 
 /// What the supervisor did across a run, folded into RunSummary.
@@ -62,6 +87,11 @@ struct SupervisionStats {
   std::size_t tasks_run = 0;        // task attempts that completed validly
   std::size_t tasks_reused = 0;     // skipped: scratch outputs still valid
   std::vector<std::string> quarantined;  // tasks that exhausted retries
+  /// One row per task that ran at least one attempt, in first-spawn order
+  /// (deterministic: tasks spawn in task-list order). Feeds the CLI
+  /// "Worker resources" table and the --status-out file — NOT report.md,
+  /// which must stay byte-identical to a single-process run.
+  std::vector<TaskResources> resources;
 };
 
 /// One unit of supervised work.
@@ -127,9 +157,30 @@ class Supervisor {
   const SupervisionStats& stats() const noexcept { return stats_; }
 
  private:
+  /// One row of the --status-out file. Rows persist across run_tasks calls
+  /// so the file covers the whole run, not just the current stage.
+  struct TaskStatus {
+    std::string task;
+    std::string state;  // pending|running|backoff|done|reused|quarantined
+    std::size_t attempt = 0;             // attempts started so far
+    std::int64_t heartbeat_age_ms = -1;  // -1 when not running
+  };
+
+  TaskResources& resources_for(const std::string& task);
+  TaskStatus& status_row(const std::string& task);
+  void set_status(const std::string& task, const char* state, std::size_t attempt,
+                  std::int64_t heartbeat_age_ms);
+  /// Atomic-rewrite the status file. Throttled: writes when a state changed
+  /// (set_status marks dirty) or a heartbeat interval elapsed; `force`
+  /// bypasses the throttle (batch completion).
+  void write_status(bool force);
+
   std::string workdir_;
   SupervisorOptions options_;
   SupervisionStats stats_;
+  std::vector<TaskStatus> status_;
+  std::chrono::steady_clock::time_point last_status_write_{};
+  bool status_dirty_ = false;
 };
 
 }  // namespace dnsembed::core

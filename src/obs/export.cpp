@@ -127,23 +127,59 @@ void write_prometheus(std::ostream& out, const MetricsSnapshot& snapshot) {
   }
 }
 
-void write_chrome_trace(std::ostream& out, const std::vector<SpanEvent>& events,
-                        const TraceWriteOptions& options) {
+namespace {
+
+void write_trace_impl(std::ostream& out, const std::vector<SpanEvent>& events,
+                      const std::vector<ProcessLane>& lanes,
+                      const TraceWriteOptions& options) {
   out << "{\"traceEvents\": [";
-  for (std::size_t i = 0; i < events.size(); ++i) {
-    const auto& event = events[i];
+  bool first = true;
+  const auto separator = [&first, &out]() {
+    out << (first ? "\n" : ",\n");
+    first = false;
+  };
+  const auto emit_event = [&](const SpanEvent& event, std::size_t pid) {
     const double ts = options.zero_times ? 0.0 : static_cast<double>(event.begin_ns) / 1e3;
     const double dur =
         options.zero_times ? 0.0
                            : static_cast<double>(event.end_ns - event.begin_ns) / 1e3;
     char buf[64];
-    out << (i == 0 ? "\n" : ",\n") << "  {\"name\": " << quoted(event.name)
-        << ", \"ph\": \"X\", \"pid\": 1, \"tid\": " << event.tid;
+    separator();
+    out << "  {\"name\": " << quoted(event.name) << ", \"ph\": \"X\", \"pid\": " << pid
+        << ", \"tid\": " << event.tid;
     std::snprintf(buf, sizeof(buf), ", \"ts\": %.3f, \"dur\": %.3f", ts, dur);
     out << buf << ", \"args\": {\"seq\": " << event.seq << "}}";
+  };
+  // Name the pid tracks only for multi-process traces: a single-process
+  // export stays byte-identical to what it was before lanes existed.
+  if (!lanes.empty()) {
+    separator();
+    out << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+           "\"args\": {\"name\": \"supervisor\"}}";
+    for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
+      separator();
+      out << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << lane + 2
+          << ", \"args\": {\"name\": " << quoted(lanes[lane].name) << "}}";
+    }
   }
-  out << (events.empty() ? "], " : "\n], ");
+  for (const auto& event : events) emit_event(event, 1);
+  for (std::size_t lane = 0; lane < lanes.size(); ++lane) {
+    for (const auto& event : lanes[lane].events) emit_event(event, lane + 2);
+  }
+  out << (first ? "], " : "\n], ");
   out << "\"displayTimeUnit\": \"ms\"}\n";
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const std::vector<SpanEvent>& events,
+                        const TraceWriteOptions& options) {
+  write_trace_impl(out, events, {}, options);
+}
+
+void write_chrome_trace(std::ostream& out, const TraceExport& trace,
+                        const TraceWriteOptions& options) {
+  write_trace_impl(out, trace.events, trace.lanes, options);
 }
 
 }  // namespace dnsembed::obs

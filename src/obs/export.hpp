@@ -36,4 +36,18 @@ struct TraceWriteOptions {
 void write_chrome_trace(std::ostream& out, const std::vector<SpanEvent>& events,
                         const TraceWriteOptions& options = {});
 
+/// A complete multi-process trace: the supervising process's own events
+/// (pid 1) plus one lane per worker task (pids 2+ in the given order —
+/// pass SpanRecorder::process_lanes() for stable name-sorted assignment).
+/// Lanes get `process_name` metadata events so Perfetto labels each pid
+/// track with its task name; with no lanes the output is byte-identical to
+/// the events-only overload.
+struct TraceExport {
+  std::vector<SpanEvent> events;
+  std::vector<ProcessLane> lanes;
+};
+
+void write_chrome_trace(std::ostream& out, const TraceExport& trace,
+                        const TraceWriteOptions& options = {});
+
 }  // namespace dnsembed::obs

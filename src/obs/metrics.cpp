@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/fsio.hpp"
+#include "util/log.hpp"
 #include "util/simd.hpp"
 
 namespace dnsembed::obs {
@@ -51,11 +52,26 @@ std::uint64_t Histogram::count() const noexcept {
 }
 
 double Histogram::sum() const noexcept {
+  return static_cast<double>(sum_micros_total()) / 1e6;
+}
+
+std::uint64_t Histogram::sum_micros_total() const noexcept {
   std::uint64_t micros = 0;
   for (const auto& shard : shards_) {
     micros += shard.sum_micros.load(std::memory_order_relaxed);
   }
-  return static_cast<double>(micros) / 1e6;
+  return micros;
+}
+
+bool Histogram::merge_counts(std::span<const std::uint64_t> buckets,
+                             std::uint64_t sum_micros) noexcept {
+  if (buckets.size() != bounds_.size() + 1) return false;
+  auto& shard = shards_[0];
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    shard.buckets[b].value.fetch_add(buckets[b], std::memory_order_relaxed);
+  }
+  shard.sum_micros.fetch_add(sum_micros, std::memory_order_relaxed);
+  return true;
 }
 
 void Histogram::reset() noexcept {
@@ -130,15 +146,29 @@ MetricsSnapshot Registry::snapshot() const {
   MetricsSnapshot snap;
   snap.counters.reserve(counters_.size() + 4);
   for (const auto& c : counters_) snap.counters.emplace_back(c->name(), c->total());
-  // The fsio layer (src/util) cannot depend on obs, so it keeps its own
-  // always-on durability counters; republish them here so every metrics
-  // export shows the I/O retry / atomic-commit / corruption picture.
+  // The fsio and logging layers (src/util) cannot depend on obs, so they
+  // keep their own always-on counters; republish them here so every metrics
+  // export shows the I/O retry / atomic-commit / corruption / suppressed-log
+  // picture. Folding (instead of blindly appending) matters once telemetry
+  // sidecars are merged: the supervisor folds each worker's republished
+  // totals into same-named registry counters, and a second appended entry
+  // would produce duplicate keys in the JSON export.
   {
+    const auto fold = [&snap](const char* name, std::uint64_t value) {
+      for (auto& entry : snap.counters) {
+        if (entry.first == name) {
+          entry.second += value;
+          return;
+        }
+      }
+      snap.counters.emplace_back(name, value);
+    };
     const auto io = util::fsio::stats();
-    snap.counters.emplace_back("io.retries", io.retries);
-    snap.counters.emplace_back("io.atomic_renames", io.atomic_renames);
-    snap.counters.emplace_back("io.faults_injected", io.faults_injected);
-    snap.counters.emplace_back("artifact.corrupt_detected", io.corrupt_detected);
+    fold("io.retries", io.retries);
+    fold("io.atomic_renames", io.atomic_renames);
+    fold("io.faults_injected", io.faults_injected);
+    fold("artifact.corrupt_detected", io.corrupt_detected);
+    fold("log.suppressed", util::suppressed_log_count());
   }
   snap.gauges.reserve(gauges_.size() + 1);
   for (const auto& g : gauges_) snap.gauges.emplace_back(g->name(), g->value());
@@ -154,7 +184,8 @@ MetricsSnapshot Registry::snapshot() const {
     hs.bounds = h->bounds();
     hs.buckets = h->bucket_counts();
     hs.count = h->count();
-    hs.sum = h->sum();
+    hs.sum_micros = h->sum_micros_total();
+    hs.sum = static_cast<double>(hs.sum_micros) / 1e6;
     snap.histograms.push_back(std::move(hs));
   }
   const auto by_name = [](const auto& a, const auto& b) { return a.first < b.first; };
@@ -173,6 +204,7 @@ void Registry::reset_values() {
   for (const auto& h : histograms_) h->reset();
   records_.clear();
   util::fsio::reset_stats();
+  util::reset_suppressed_log_count();
 }
 
 }  // namespace dnsembed::obs

@@ -73,6 +73,13 @@ class Counter {
     slots_[detail::shard_index()].value.fetch_add(n, std::memory_order_relaxed);
   }
 
+  /// Ungated add for cross-process telemetry merge: folds a worker's counter
+  /// total into this process's counter regardless of the enabled flag, so
+  /// merge correctness never depends on flag ordering.
+  void add_raw(std::uint64_t n) noexcept {
+    slots_[detail::shard_index()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+
   /// Sum across shards (exact once mutating threads have been joined).
   std::uint64_t total() const noexcept;
   const std::string& name() const noexcept { return name_; }
@@ -136,6 +143,13 @@ class Histogram {
   std::vector<std::uint64_t> bucket_counts() const;
   std::uint64_t count() const noexcept;
   double sum() const noexcept;
+  /// The exact integer micro-unit sum, for lossless cross-process merge.
+  std::uint64_t sum_micros_total() const noexcept;
+  /// Fold another process's raw bucket counts and micro-unit sum into this
+  /// histogram (ungated, like Counter::add_raw). Returns false — and merges
+  /// nothing — when the bucket layout does not match this histogram's.
+  bool merge_counts(std::span<const std::uint64_t> buckets,
+                    std::uint64_t sum_micros) noexcept;
   void reset() noexcept;
 
  private:
@@ -165,6 +179,9 @@ struct HistogramSnapshot {
   std::vector<std::uint64_t> buckets;  // bounds.size() + 1, non-cumulative
   std::uint64_t count = 0;
   double sum = 0.0;
+  /// Exact micro-unit sum backing `sum`; telemetry sidecars serialize this
+  /// so a merged histogram sum is bit-identical to the single-process one.
+  std::uint64_t sum_micros = 0;
 };
 
 /// Deterministic merged view for the exporters: metrics sorted by name,

@@ -1,0 +1,79 @@
+// Telemetry sidecars: the cross-process half of the obs subsystem. The
+// metrics registry and span recorder are process-wide, so everything a
+// supervised worker records would die with the child; instead each worker
+// serializes its full registry snapshot + span buffer into a checksummed
+// "telemetry-sidecar" artifact under the supervisor's scratch directory
+// (workdir/sv/tm.<task>), and the supervisor folds the sidecar of every
+// successful attempt back into its own registry/recorder. The merged view
+// is what --metrics-out / --trace-out export.
+//
+// Merge semantics (see DESIGN.md §14):
+//  - counters: summed by name (Counter::add_raw, so deterministic pipeline
+//    counters match a single-process run byte-for-byte);
+//  - histograms: raw bucket counts + exact integer micro-unit sums summed
+//    by name (Histogram::merge_counts) — no double rounding;
+//  - records: returned to the caller, which appends them in (task, seq)
+//    order after the batch completes (completion order is nondeterministic);
+//  - spans: returned for the caller to rebase onto its own epoch and attach
+//    as a per-task ProcessLane (one pid per worker task in the trace);
+//  - gauges: point-in-time and process-local — never serialized.
+//
+// The payload is a line-oriented text table (names are dotted identifiers,
+// never containing whitespace); the container layer supplies versioning and
+// corruption detection, and parse errors throw util::CorruptArtifact so a
+// damaged sidecar is indistinguishable from a damaged container: the
+// supervisor warns, drops that worker's telemetry, and continues.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace dnsembed::obs {
+
+inline constexpr const char* kTelemetrySidecarKind = "telemetry-sidecar";
+
+/// Parsed sidecar contents (one worker attempt's telemetry).
+struct TelemetrySidecar {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  struct HistogramData {
+    std::string name;
+    std::vector<double> bounds;
+    std::vector<std::uint64_t> buckets;  // bounds.size() + 1
+    std::uint64_t sum_micros = 0;
+  };
+  std::vector<HistogramData> histograms;
+  std::vector<MetricRecord> records;
+  std::vector<SpanEvent> spans;
+};
+
+/// Serialize the calling process's current registry snapshot (and, when
+/// `include_spans`, its span buffer — only safe once recording threads are
+/// quiescent) into a sidecar payload. Zero-valued counters and empty
+/// histograms are skipped.
+std::string telemetry_sidecar_payload(bool include_spans);
+
+/// Atomically write the current telemetry as a sidecar artifact at `path`.
+/// Throws util::fsio::IoError on I/O failure.
+void write_telemetry_sidecar(const std::string& path, bool include_spans);
+
+/// Parse a sidecar payload; throws util::CorruptArtifact (tagged with
+/// `path`) on any malformed content.
+TelemetrySidecar parse_telemetry_sidecar(const std::string& payload,
+                                         const std::string& path);
+
+/// Load + validate + parse a sidecar artifact file. Throws
+/// util::CorruptArtifact on damage and util::fsio::IoError on I/O failure.
+TelemetrySidecar load_telemetry_sidecar(const std::string& path);
+
+/// Fold a worker's counters and histograms into this process's registry
+/// (ungated adds). Records and spans are left to the caller: records need
+/// deterministic (task, seq) append order across workers, and spans need an
+/// epoch rebase before becoming a ProcessLane.
+void merge_sidecar_metrics(const TelemetrySidecar& sidecar);
+
+}  // namespace dnsembed::obs

@@ -23,7 +23,7 @@ SpanRecorder::SpanRecorder() : epoch_{std::chrono::steady_clock::now()} {}
 void SpanRecorder::set_enabled(bool enabled) {
   if (enabled && !trace_enabled()) {
     const std::lock_guard<std::mutex> lock{mutex_};
-    bool empty = true;
+    bool empty = lanes_.empty();
     for (const auto& buffer : buffers_) empty = empty && buffer->events.empty();
     if (empty) epoch_ = std::chrono::steady_clock::now();
   }
@@ -33,6 +33,7 @@ void SpanRecorder::set_enabled(bool enabled) {
 void SpanRecorder::clear() {
   const std::lock_guard<std::mutex> lock{mutex_};
   for (auto& buffer : buffers_) buffer->events.clear();
+  lanes_.clear();
   seq_.store(0, std::memory_order_relaxed);
   epoch_ = std::chrono::steady_clock::now();
 }
@@ -74,6 +75,27 @@ std::vector<SpanEvent> SpanRecorder::sorted_events() const {
   std::sort(events.begin(), events.end(),
             [](const SpanEvent& a, const SpanEvent& b) { return a.seq < b.seq; });
   return events;
+}
+
+void SpanRecorder::add_process_lane(const std::string& name,
+                                    std::vector<SpanEvent> events) {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  for (auto& lane : lanes_) {
+    if (lane.name == name) {
+      lane.events.insert(lane.events.end(), std::make_move_iterator(events.begin()),
+                         std::make_move_iterator(events.end()));
+      return;
+    }
+  }
+  lanes_.push_back(ProcessLane{name, std::move(events)});
+}
+
+std::vector<ProcessLane> SpanRecorder::process_lanes() const {
+  const std::lock_guard<std::mutex> lock{mutex_};
+  std::vector<ProcessLane> lanes = lanes_;
+  std::sort(lanes.begin(), lanes.end(),
+            [](const ProcessLane& a, const ProcessLane& b) { return a.name < b.name; });
+  return lanes;
 }
 
 void Span::open(const char* name) {

@@ -45,6 +45,15 @@ struct SpanEvent {
   std::uint64_t seq = 0;  // global open order (parents precede children)
 };
 
+/// One worker task's spans, imported from its telemetry sidecar and rebased
+/// to this process's epoch. The Chrome-trace exporter renders each lane as
+/// its own pid with a `process_name` metadata event, so Perfetto shows e.g.
+/// "behavior.query.s1" or "embed.temporal" as a separate process track.
+struct ProcessLane {
+  std::string name;
+  std::vector<SpanEvent> events;  // the worker's own seq order
+};
+
 class SpanRecorder {
  public:
   static SpanRecorder& instance();
@@ -66,6 +75,15 @@ class SpanRecorder {
   /// recorded spans have been joined (or are quiescent).
   std::vector<SpanEvent> sorted_events() const;
 
+  /// Attach a worker task's spans as a dedicated export lane. Events must
+  /// already be rebased to this recorder's epoch; re-adding a name appends
+  /// to the existing lane.
+  void add_process_lane(const std::string& name, std::vector<SpanEvent> events);
+
+  /// Lanes sorted by name: pid/lane assignment in the trace export must not
+  /// depend on worker completion order.
+  std::vector<ProcessLane> process_lanes() const;
+
  private:
   SpanRecorder();
 
@@ -78,6 +96,7 @@ class SpanRecorder {
 
   mutable std::mutex mutex_;  // guards buffers_ registration and draining
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::vector<ProcessLane> lanes_;
   std::atomic<std::uint64_t> seq_{0};
   std::chrono::steady_clock::time_point epoch_;
 };

@@ -9,6 +9,7 @@ namespace dnsembed::util {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::atomic<std::uint64_t> g_suppressed{0};
 std::mutex g_mutex;
 
 const char* tag(LogLevel level) noexcept {
@@ -28,6 +29,20 @@ double elapsed_seconds() noexcept {
 }
 
 }  // namespace
+
+std::uint64_t suppressed_log_count() noexcept {
+  return g_suppressed.load(std::memory_order_relaxed);
+}
+
+void reset_suppressed_log_count() noexcept {
+  g_suppressed.store(0, std::memory_order_relaxed);
+}
+
+namespace detail {
+void note_suppressed_log() noexcept {
+  g_suppressed.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace detail
 
 void set_log_level(LogLevel level) noexcept { g_level.store(level); }
 LogLevel log_level() noexcept { return g_level.load(); }

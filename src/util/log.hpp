@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -26,7 +27,15 @@ std::optional<LogLevel> parse_log_level(std::string_view name) noexcept;
 /// triage never sees an orphan continuation line.
 void log_line(LogLevel level, const std::string& message);
 
+/// Process-wide total of log lines dropped by LimitedLogger instances past
+/// their budget. Republished by the obs registry as the `log.suppressed`
+/// counter, so rate-limited warn sites stay visible in exported metrics.
+std::uint64_t suppressed_log_count() noexcept;
+void reset_suppressed_log_count() noexcept;
+
 namespace detail {
+
+void note_suppressed_log() noexcept;
 
 class LogStream {
  public:
@@ -79,6 +88,7 @@ class LimitedLogger {
     if (n + 1 == max_) {
       return detail::LogStream{level, true, " (further similar warnings suppressed)"};
     }
+    detail::note_suppressed_log();
     return detail::LogStream{level, false};
   }
 

@@ -1,6 +1,8 @@
 #include "util/subprocess.hpp"
 
 #include <signal.h>
+#include <sys/resource.h>
+#include <sys/time.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -17,7 +19,11 @@ namespace dnsembed::util {
 
 namespace {
 
-ExitStatus from_wait_status(int status) noexcept {
+double timeval_seconds(const struct timeval& tv) noexcept {
+  return static_cast<double>(tv.tv_sec) + static_cast<double>(tv.tv_usec) * 1e-6;
+}
+
+ExitStatus from_wait_status(int status, const struct rusage& usage) noexcept {
   ExitStatus result;
   if (WIFSIGNALED(status)) {
     result.signaled = true;
@@ -27,6 +33,9 @@ ExitStatus from_wait_status(int status) noexcept {
   } else {
     result.code = -1;  // stopped/continued never reach here (no WUNTRACED)
   }
+  result.cpu_user_seconds = timeval_seconds(usage.ru_utime);
+  result.cpu_system_seconds = timeval_seconds(usage.ru_stime);
+  result.max_rss_kb = usage.ru_maxrss;
   return result;
 }
 
@@ -85,13 +94,14 @@ ChildProcess ChildProcess::spawn(const std::function<int()>& body) {
 std::optional<ExitStatus> ChildProcess::try_wait() {
   if (pid_ <= 0) return std::nullopt;
   int status = 0;
-  const pid_t r = ::waitpid(pid_, &status, WNOHANG);
+  struct rusage usage = {};
+  const pid_t r = ::wait4(pid_, &status, WNOHANG, &usage);
   if (r == 0) return std::nullopt;  // still running
   pid_ = -1;
   if (r < 0) {
     reaped_ = ExitStatus{.code = -1, .signaled = false};  // ECHILD: lost to reaper
   } else {
-    reaped_ = from_wait_status(status);
+    reaped_ = from_wait_status(status, usage);
   }
   return reaped_;
 }
@@ -99,12 +109,14 @@ std::optional<ExitStatus> ChildProcess::try_wait() {
 ExitStatus ChildProcess::wait() {
   if (pid_ <= 0) return reaped_.value_or(ExitStatus{.code = -1, .signaled = false});
   int status = 0;
+  struct rusage usage = {};
   pid_t r;
   do {
-    r = ::waitpid(pid_, &status, 0);
+    r = ::wait4(pid_, &status, 0, &usage);
   } while (r < 0 && errno == EINTR);
   pid_ = -1;
-  reaped_ = r < 0 ? ExitStatus{.code = -1, .signaled = false} : from_wait_status(status);
+  reaped_ = r < 0 ? ExitStatus{.code = -1, .signaled = false}
+                  : from_wait_status(status, usage);
   return *reaped_;
 }
 

@@ -18,12 +18,18 @@
 
 namespace dnsembed::util {
 
-/// How a child ended, normalized from waitpid status.
+/// How a child ended, normalized from wait4 status, plus its resource
+/// usage so the supervisor can account cpu/RSS per task attempt.
 struct ExitStatus {
   /// Exit code for a normal exit; 128 + signal for a signaled death (the
   /// shell convention, so a SIGKILLed child reports 137).
   int code = 0;
   bool signaled = false;
+  /// getrusage-style accounting of the reaped child (zero when the reap was
+  /// lost to another waiter, e.g. ECHILD).
+  double cpu_user_seconds = 0.0;
+  double cpu_system_seconds = 0.0;
+  long max_rss_kb = 0;
 
   bool success() const noexcept { return !signaled && code == 0; }
 };

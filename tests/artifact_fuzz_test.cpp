@@ -21,6 +21,7 @@
 #include "intel/labels.hpp"
 #include "ml/scaler.hpp"
 #include "ml/svm.hpp"
+#include "obs/sidecar.hpp"
 #include "trace/generator.hpp"
 #include "trace/ground_truth.hpp"
 #include "util/artifact.hpp"
@@ -197,6 +198,24 @@ TEST(ArtifactFuzz, GroundTruth) {
       [&](const std::string& p) { trace::save_ground_truth_file(p, truth); });
   fuzz_loader("truth", pristine,
               [](const std::string& p) { (void)trace::load_ground_truth_file(p); });
+}
+
+TEST(ArtifactFuzz, TelemetrySidecar) {
+  // A worker's telemetry sidecar: damage must surface as CorruptArtifact so
+  // the supervisor can warn, drop that worker's telemetry, and keep the
+  // merge going — it must never crash or misparse into bogus metrics.
+  const std::string payload =
+      "telemetry 1\n"
+      "counter graph.projection.edges 1234\n"
+      "counter embed.line.samples 50000\n"
+      "histogram supervisor.task.cpu_seconds 2 0.5 1 3 1 2 0 1500000\n"
+      "record streaming.day 2 day 1 alerts 3\n"
+      "span embed.line 100 200 4 0\n";
+  const auto pristine = artifact_bytes_of([&](const std::string& p) {
+    util::save_artifact(p, obs::kTelemetrySidecarKind, payload);
+  });
+  fuzz_loader("sidecar", pristine,
+              [](const std::string& p) { (void)obs::load_telemetry_sidecar(p); });
 }
 
 TEST(ArtifactFuzz, StreamingCheckpoint) {

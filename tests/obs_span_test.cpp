@@ -86,8 +86,60 @@ TEST_F(ObsSpanTest, GoldenChromeTraceWithZeroedTimes) {
 
 TEST_F(ObsSpanTest, EmptyTraceIsStillValidJson) {
   std::ostringstream out;
-  obs::write_chrome_trace(out, {});
+  obs::write_chrome_trace(out, std::vector<obs::SpanEvent>{});
   EXPECT_EQ(out.str(), "{\"traceEvents\": [], \"displayTimeUnit\": \"ms\"}\n");
+  // The TraceExport overload with no lanes is byte-identical.
+  std::ostringstream out2;
+  obs::write_chrome_trace(out2, obs::TraceExport{});
+  EXPECT_EQ(out2.str(), out.str());
+}
+
+TEST_F(ObsSpanTest, GoldenMultiProcessTraceWithZeroedTimes) {
+  auto& recorder = obs::SpanRecorder::instance();
+  { obs::Span supervisor_side{"pipeline.run"}; }
+  // Lanes registered in completion order; the export must assign pids by
+  // sorted lane name (behavior.query.s3 -> 2, line.domain -> 3), so a race
+  // between workers can never reshuffle the trace.
+  recorder.add_process_lane("line.domain",
+                            {obs::SpanEvent{"embed.line.epoch", 100, 200, 4, 0}});
+  recorder.add_process_lane("behavior.query.s3",
+                            {obs::SpanEvent{"projection.pairs", 300, 400, 7, 0}});
+
+  std::ostringstream out;
+  obs::TraceWriteOptions options;
+  options.zero_times = true;
+  obs::write_chrome_trace(
+      out, obs::TraceExport{recorder.sorted_events(), recorder.process_lanes()}, options);
+  const std::string tid = std::to_string(recorder.sorted_events().front().tid);
+  const std::string expected =
+      "{\"traceEvents\": [\n"
+      "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+      "\"args\": {\"name\": \"supervisor\"}},\n"
+      "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 2, "
+      "\"args\": {\"name\": \"behavior.query.s3\"}},\n"
+      "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 3, "
+      "\"args\": {\"name\": \"line.domain\"}},\n"
+      "  {\"name\": \"pipeline.run\", \"ph\": \"X\", \"pid\": 1, \"tid\": " + tid +
+      ", \"ts\": 0.000, \"dur\": 0.000, \"args\": {\"seq\": 0}},\n"
+      "  {\"name\": \"projection.pairs\", \"ph\": \"X\", \"pid\": 2, \"tid\": 7"
+      ", \"ts\": 0.000, \"dur\": 0.000, \"args\": {\"seq\": 0}},\n"
+      "  {\"name\": \"embed.line.epoch\", \"ph\": \"X\", \"pid\": 3, \"tid\": 4"
+      ", \"ts\": 0.000, \"dur\": 0.000, \"args\": {\"seq\": 0}}\n"
+      "], \"displayTimeUnit\": \"ms\"}\n";
+  EXPECT_EQ(out.str(), expected);
+}
+
+TEST_F(ObsSpanTest, ProcessLanesAppendByNameAndSurviveClear) {
+  auto& recorder = obs::SpanRecorder::instance();
+  recorder.add_process_lane("behavior.query.s1",
+                            {obs::SpanEvent{"attempt1", 0, 1, 1, 0}});
+  recorder.add_process_lane("behavior.query.s1",
+                            {obs::SpanEvent{"attempt2", 2, 3, 1, 1}});
+  auto lanes = recorder.process_lanes();
+  ASSERT_EQ(lanes.size(), 1u);
+  EXPECT_EQ(lanes[0].events.size(), 2u);
+  recorder.clear();
+  EXPECT_TRUE(recorder.process_lanes().empty());
 }
 
 TEST_F(ObsSpanTest, StageSpanEmitsTraceEventAndLatencyHistogram) {

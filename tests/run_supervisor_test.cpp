@@ -8,11 +8,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <filesystem>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/run.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/fsio.hpp"
 
 namespace dnsembed::core {
@@ -184,6 +190,104 @@ TEST_F(RunSupervisorTest, ExhaustedShardIsQuarantinedAndSurvivesResume) {
   EXPECT_EQ(second.resumed_stages, second.stages.size());
   EXPECT_EQ(second.quarantined, expected);
   EXPECT_EQ(util::fsio::read_file(second.report_path), report);
+}
+
+std::uint64_t counter_value(const obs::MetricsSnapshot& snapshot, const std::string& name) {
+  for (const auto& [counter, value] : snapshot.counters) {
+    if (counter == name) return value;
+  }
+  return 0;
+}
+
+TEST_F(RunSupervisorTest, MergedTelemetryMatchesSingleProcessCounters) {
+  // Worker telemetry dies with the child unless the sidecars round-trip it;
+  // after the merge, the deterministic pipeline counters (disjoint projection
+  // edge emissions, one add per LINE SGD sample) must match a single-process
+  // run byte for byte — even with every task's first attempt crashing, since
+  // only the successful attempt's sidecar is merged.
+  obs::set_metrics_enabled(true);
+  obs::SpanRecorder::instance().set_enabled(true);
+  obs::metrics().reset_values();
+  obs::SpanRecorder::instance().clear();
+
+  (void)run_resumable(small_options(dir_ + "_ref"));
+  const auto single = obs::metrics().snapshot();
+  const auto single_edges = counter_value(single, "graph.projection.edges");
+  const auto single_samples = counter_value(single, "embed.line.samples");
+  ASSERT_GT(single_edges, 0u);
+  ASSERT_GT(single_samples, 0u);
+
+  obs::metrics().reset_values();
+  obs::SpanRecorder::instance().clear();
+
+  auto options = supervised_options(dir_);
+  options.supervise.workers = 4;
+  options.supervise.process_faults.proc_crash_rate = 1.0;
+  options.supervise.process_faults.proc_max_faults_per_task = 1;
+  const auto summary = run_resumable(options);
+  EXPECT_EQ(summary.supervision.crashes, kTaskCount);
+  EXPECT_TRUE(summary.quarantined.empty());
+
+  const auto merged = obs::metrics().snapshot();
+  EXPECT_EQ(counter_value(merged, "graph.projection.edges"), single_edges);
+  EXPECT_EQ(counter_value(merged, "embed.line.samples"), single_samples);
+
+  // The merged trace carries one named process lane per worker task.
+  const auto lanes = obs::SpanRecorder::instance().process_lanes();
+  EXPECT_EQ(lanes.size(), kTaskCount);
+  for (const auto& lane : lanes) {
+    EXPECT_FALSE(lane.name.empty());
+    EXPECT_FALSE(lane.events.empty()) << lane.name;
+  }
+
+  obs::set_metrics_enabled(false);
+  obs::SpanRecorder::instance().set_enabled(false);
+  obs::metrics().reset_values();
+  obs::SpanRecorder::instance().clear();
+}
+
+TEST_F(RunSupervisorTest, StatusFileReflectsRetryInFlight) {
+  auto options = supervised_options(dir_);
+  options.supervise.status_path = dir_ + "_status.json";
+  // Every first attempt crashes, so every task goes through backoff and a
+  // second attempt — the live status file must expose that retry while the
+  // run is still in flight.
+  options.supervise.process_faults.proc_crash_rate = 1.0;
+  options.supervise.process_faults.proc_max_faults_per_task = 1;
+
+  std::atomic<bool> done{false};
+  std::string error;
+  std::thread runner{[&] {
+    try {
+      (void)run_resumable(options);
+    } catch (const std::exception& e) {
+      error = e.what();
+    }
+    done.store(true);
+  }};
+  bool saw_retry = false;
+  while (!done.load()) {
+    try {
+      const auto status = util::fsio::read_file(options.supervise.status_path);
+      if (status.find("\"attempt\": 2") != std::string::npos) saw_retry = true;
+    } catch (const util::fsio::IoError&) {
+      // Not written yet; the atomic rename guarantees we never see a torn
+      // intermediate once it exists.
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  runner.join();
+  EXPECT_TRUE(error.empty()) << error;
+  EXPECT_TRUE(saw_retry);
+
+  // After completion the file persists with one terminal row per task.
+  const auto final_status = util::fsio::read_file(options.supervise.status_path);
+  EXPECT_NE(final_status.find("\"workers\": 2"), std::string::npos);
+  EXPECT_NE(final_status.find("\"tasks\": ["), std::string::npos);
+  EXPECT_NE(final_status.find("\"task\": \"report\""), std::string::npos);
+  EXPECT_NE(final_status.find("\"state\": \"done\""), std::string::npos);
+  EXPECT_NE(final_status.find("\"attempts_reaped\": 2"), std::string::npos);
+  fs::remove(options.supervise.status_path);
 }
 
 TEST_F(RunSupervisorTest, DeadlineMidStageLeavesWorkdirResumable) {

@@ -15,6 +15,11 @@
 #      garbage recovery, quarantine, worker-count determinism), then the
 #      micro_run smoke: supervised reports at workers=1 and workers=4 with
 #      an injected crash must be byte-identical to the single-process run
+#   5b. observability label — which now includes the distributed supervisor
+#      suite, so the sidecar-merge parity and live-status tests run in the
+#      multi-worker configuration — then the micro_obs smoke: merged worker
+#      counters must equal the single-process totals and every worker task
+#      must surface a trace lane (timing gates skipped at smoke scale)
 #   6. robustness label (fault injection, loader fuzz, crash recovery)
 #      under Address+UB sanitizers, plus one distributed-label pass under
 #      ASan so the fork/waitpid/heartbeat paths run sanitized
@@ -61,6 +66,12 @@ ctest --preset default -j "$jobs" -L distributed
 
 step "micro_run smoke (worker-count determinism through injected crashes)"
 DNSEMBED_BENCH_SMOKE=1 DNSEMBED_BENCH_JSON="$(mktemp)" build/bench/micro_run
+
+step "observability label (incl. sidecar merge + live status in the distributed config)"
+ctest --preset default -j "$jobs" -L observability
+
+step "micro_obs smoke (obs overhead + cross-process telemetry parity)"
+DNSEMBED_BENCH_SMOKE=1 DNSEMBED_BENCH_JSON="$(mktemp)" build/bench/micro_obs
 
 if [[ "$skip_sanitizers" == 1 ]]; then
   step "sanitizer passes skipped (--skip-sanitizers)"

@@ -105,6 +105,7 @@ commands:
             [--sketch-bands N] [--sketch-bits N] [--sketch-top-k N]
             [--workers N] [--max-retries N] [--shards N]
             [--heartbeat-interval SECONDS] [--heartbeat-timeout SECONDS]
+            [--status-out FILE]
             [--fault-crash R] [--fault-hang R] [--fault-garbage R]
             [--fault-max-per-task N] [--fault-target PREFIX] [--fault-seed N]
             (resumable pipeline: each stage commits atomic checksummed
@@ -122,7 +123,12 @@ commands:
              quarantine after --max-retries; the report stays byte-identical
              to --workers 0 at any worker count. exit 5 = one or more shards
              quarantined (report written but partial). --fault-* inject
-             seeded worker crash/hang/garbage faults for testing)
+             seeded worker crash/hang/garbage faults for testing.
+             --status-out FILE atomically rewrites a live JSON status file
+             with per-task state/attempt/heartbeat age/rusage while the
+             supervisor runs; workers also write telemetry sidecars the
+             supervisor merges, so --metrics-out/--trace-out cover the
+             whole process tree with one trace lane per worker task)
   faultsim  --out report.json [--hosts N] [--days N] [--sites N] [--families N]
             [--seed N] [--severities 0,0.25,0.5,1] [--samples N] [--window N]
             [--label-delay N] [--kfold N] [--no-streaming]
@@ -602,6 +608,7 @@ struct FaultSweepPoint {
   core::SupervisionStats supervision;
   std::size_t supervisor_workers = 0;
   bool supervisor_report_ok = false;
+  bool supervisor_status_ok = false;  // live --status-out file written + non-empty
 };
 
 void write_faultsim_json(std::ostream& out, const trace::TraceConfig& trace,
@@ -663,7 +670,8 @@ void write_faultsim_json(std::ostream& out, const trace::TraceConfig& trace,
           << ", \"hangs_killed\": " << p.supervision.hangs_killed
           << ", \"corrupt_outputs\": " << p.supervision.corrupt_outputs
           << ", \"quarantined\": " << p.supervision.quarantined.size()
-          << ", \"report_ok\": " << boolean(p.supervisor_report_ok) << "}";
+          << ", \"report_ok\": " << boolean(p.supervisor_report_ok)
+          << ", \"status_ok\": " << boolean(p.supervisor_status_ok) << "}";
     } else {
       out << "null";
     }
@@ -881,11 +889,17 @@ int cmd_faultsim(const util::ArgParser& args) {
       run_options.supervise.heartbeat_interval_seconds = 0.05;
       run_options.supervise.heartbeat_timeout_seconds = 0.6;
       run_options.supervise.process_faults = plan;
+      run_options.supervise.status_path = *out_path + ".supervised.status.json";
       auto& run_config = run_options.config;
       run_config.trace.hosts = 24;
       run_config.trace.days = 2;
       run_config.trace.benign_sites = 100;
       run_config.trace.malware_families = 3;
+      // 24 hosts cannot satisfy the default victim cohort (max 40): clamp,
+      // or generate_trace rejects the config and the supervised probe never
+      // runs.
+      run_config.trace.min_victims = 3;
+      run_config.trace.max_victims = 8;
       run_config.trace.seed = trace_config.seed;
       run_config.embedding_dimension = 8;
       run_config.embedding.line.total_samples = 20'000;
@@ -898,6 +912,12 @@ int cmd_faultsim(const util::ArgParser& args) {
         point.supervision = run_summary.supervision;
         point.supervisor_report_ok =
             run_summary.quarantined.empty() && util::fsio::file_exists(run_summary.report_path);
+        // The live status file must survive the run with task rows in it.
+        try {
+          const auto status = util::fsio::read_file(run_options.supervise.status_path);
+          point.supervisor_status_ok = status.find("\"tasks\"") != std::string::npos;
+        } catch (const util::fsio::IoError&) {
+        }
       } catch (const std::exception& e) {
         util::log_warn() << "faultsim: supervised run failed at severity " << severity
                          << ": " << e.what();
@@ -1020,6 +1040,7 @@ int cmd_run(const util::ArgParser& args) {
       args.get_double_or("--heartbeat-interval", 0.25);
   options.supervise.heartbeat_timeout_seconds =
       args.get_double_or("--heartbeat-timeout", 0.0);
+  options.supervise.status_path = args.get_or("--status-out", "");
   // Seeded worker fault injection (tests, bench, faultsim parity).
   auto& faults = options.supervise.process_faults;
   faults.proc_crash_rate = args.get_double_or("--fault-crash", 0.0);
@@ -1068,6 +1089,7 @@ int cmd_run(const util::ArgParser& args) {
                   "(%zu crashes, %zu hangs killed, %zu corrupt outputs)\n",
                   sv.tasks_run, sv.tasks_reused, sv.restarts, sv.crashes, sv.hangs_killed,
                   sv.corrupt_outputs);
+      core::write_worker_resources(std::cout, sv);
     }
     std::printf("report written to %s (%zu/%zu stages resumed, %.1fs)\n",
                 summary.report_path.c_str(), summary.resumed_stages, summary.stages.size(),
@@ -1148,7 +1170,12 @@ int write_telemetry(const util::ArgParser& args) {
   if (const auto path = args.get("--trace-out")) {
     std::ofstream out{*path};
     if (!out) return fail("cannot open " + *path);
-    obs::write_chrome_trace(out, obs::SpanRecorder::instance().sorted_events());
+    // Supervised runs merge worker sidecars into per-task process lanes;
+    // with no lanes this writes byte-identical output to the events-only
+    // overload, so single-process traces are unchanged.
+    auto& recorder = obs::SpanRecorder::instance();
+    obs::write_chrome_trace(out,
+                            obs::TraceExport{recorder.sorted_events(), recorder.process_lanes()});
   }
   return 0;
 }
