@@ -1,5 +1,7 @@
 #include "core/pipeline.hpp"
 
+#include <map>
+
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "util/log.hpp"
@@ -117,6 +119,19 @@ PipelineResult run_pipeline(const PipelineConfig& config) {
   registry.gauge("pipeline.labels.labeled").set(static_cast<std::int64_t>(result.labels.size()));
   registry.gauge("pipeline.labels.malicious")
       .set(static_cast<std::int64_t>(result.labels.malicious_count()));
+  // Labeled-set composition by campaign archetype (scenario.* namespace;
+  // detection-side gauges are published by evaluate_scenarios).
+  {
+    std::map<std::string, std::size_t> per_scenario;
+    for (std::size_t i = 0; i < result.labels.size(); ++i) {
+      if (result.labels.labels[i] != 1) continue;
+      const std::string_view tag = result.labels.scenario(i);
+      per_scenario[tag.empty() ? "unknown" : std::string{tag}] += 1;
+    }
+    for (const auto& [tag, count] : per_scenario) {
+      registry.gauge("scenario." + tag + ".domains").set(static_cast<std::int64_t>(count));
+    }
+  }
   return result;
 }
 

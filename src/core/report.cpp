@@ -4,7 +4,54 @@
 #include <cstdio>
 #include <ostream>
 
+#include "core/scenario.hpp"
+
 namespace dnsembed::core {
+
+namespace {
+
+/// "Per-scenario detection" section: the combined channel's out-of-fold
+/// scores sliced by campaign archetype, plus seed-expansion reach from the
+/// cluster structure. Emitted only when the scores are row-aligned with the
+/// labeled set and the truth knows at least one family (simulation runs).
+void write_scenario_section(std::ostream& out, const PipelineResult& result,
+                            const ChannelEvaluations& evals, const ClusteringResult& clusters,
+                            const ReportOptions& options) {
+  const auto& scores = evals.combined.scores.scores;
+  if (scores.size() != result.labels.size() || result.trace.truth.families().empty()) return;
+  auto evaluation =
+      evaluate_scenarios(result.labels, scores, result.trace.truth, options.score_threshold);
+  if (evaluation.scenarios.empty()) return;
+  annotate_seed_expansion(evaluation, clusters, result.trace.truth);
+
+  out << "## Per-scenario detection\n\n";
+  out << "| scenario | labeled | recall | precision | AUC | seed-expansion reach |\n";
+  out << "|---|---|---|---|---|---|\n";
+  char row[256];
+  for (const auto& metrics : evaluation.scenarios) {
+    char auc_text[32];
+    if (metrics.auc_valid) {
+      std::snprintf(auc_text, sizeof(auc_text), "%.4f", metrics.auc);
+    } else {
+      std::snprintf(auc_text, sizeof(auc_text), "n/a");
+    }
+    char reach_text[48];
+    if (metrics.expansion_candidates > 0) {
+      std::snprintf(reach_text, sizeof(reach_text), "%zu/%zu", metrics.expansion_reached,
+                    metrics.expansion_candidates);
+    } else {
+      std::snprintf(reach_text, sizeof(reach_text), "n/a");
+    }
+    std::snprintf(row, sizeof(row), "| %s | %zu | %.4f | %.4f | %s | %s |\n",
+                  metrics.scenario.c_str(), metrics.labeled, metrics.recall, metrics.precision,
+                  auc_text, reach_text);
+    out << row;
+  }
+  out << "\nbenign labeled: " << evaluation.benign_labeled << ", benign false positives at threshold: "
+      << evaluation.benign_false_positives << "\n\n";
+}
+
+}  // namespace
 
 void write_detection_report(std::ostream& out, const PipelineResult& result,
                             const ChannelEvaluations& evals,
@@ -34,6 +81,8 @@ void write_detection_report(std::ostream& out, const PipelineResult& result,
   out << "At decision threshold " << options.score_threshold << ": accuracy "
       << cm.accuracy() << ", precision " << cm.precision() << ", recall " << cm.recall()
       << ", FPR " << cm.fpr() << ".\n\n";
+
+  write_scenario_section(out, result, evals, clusters, options);
 
   out << "## Most suspicious clusters\n\n";
   std::size_t shown = 0;

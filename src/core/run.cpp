@@ -605,10 +605,17 @@ void write_report_file(const std::string& workdir, const PipelineConfig& config,
 std::string hash_pipeline_config(const PipelineConfig& config) {
   std::ostringstream out;
   out.precision(17);
-  out << "run-config 2";
+  out << "run-config 3";
   out << " trace=" << config.trace.seed << ',' << config.trace.campaign_seed << ','
       << config.trace.hosts << ',' << config.trace.days << ',' << config.trace.benign_sites
       << ',' << config.trace.malware_families;
+  // Adversarial-scenario knobs change the emitted trace, so they must
+  // invalidate resumed stages exactly like the base trace shape does.
+  out << " adv=" << config.trace.zero_day_families << ','
+      << config.trace.zero_day_activation_day << ',' << config.trace.zero_day_ip_reuse_fraction
+      << ',' << config.trace.evasion_families << ',' << config.trace.evasion_mimicry_rate << ','
+      << config.trace.evasion_cover_sites << ',' << config.trace.iot_host_fraction << ','
+      << config.trace.iot_vendor_domains << ',' << config.trace.iot_burst_period_hours;
   out << " prune=" << config.behavior.prune.min_left_degree << ','
       << config.behavior.prune.max_left_fraction;
   out << " proj=" << config.behavior.query_projection.min_similarity << ','

@@ -1,0 +1,133 @@
+#include "core/scenario.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "ml/metrics.hpp"
+#include "obs/metrics.hpp"
+
+namespace dnsembed::core {
+
+namespace {
+
+/// Canonical archetype order (FamilyKind enum order). Residual tags —
+/// hand-built labeled sets, future kinds — sort lexically after these.
+constexpr std::array<trace::FamilyKind, 8> kArchetypeOrder{
+    trace::FamilyKind::kDgaCnc,    trace::FamilyKind::kSpam,
+    trace::FamilyKind::kPhishing,  trace::FamilyKind::kFastFlux,
+    trace::FamilyKind::kStaticCnc, trace::FamilyKind::kApt,
+    trace::FamilyKind::kZeroDay,   trace::FamilyKind::kEvasion};
+
+std::string row_scenario(const intel::LabeledSet& labels, const trace::GroundTruth& truth,
+                         std::size_t row) {
+  const std::string_view tagged = labels.scenario(row);
+  if (!tagged.empty()) return std::string{tagged};
+  const std::string_view derived = truth.scenario_of(labels.domains[row]);
+  return derived.empty() ? "unknown" : std::string{derived};
+}
+
+}  // namespace
+
+ScenarioEvaluation evaluate_scenarios(const intel::LabeledSet& labels,
+                                      const std::vector<double>& scores,
+                                      const trace::GroundTruth& truth, double threshold) {
+  if (scores.size() != labels.size()) {
+    throw std::invalid_argument{"evaluate_scenarios: scores/labels size mismatch"};
+  }
+  ScenarioEvaluation out;
+  std::vector<double> benign_scores;
+  std::unordered_map<std::string, std::vector<double>> per_scenario;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (labels.labels[i] == 1) {
+      per_scenario[row_scenario(labels, truth, i)].push_back(scores[i]);
+    } else {
+      ++out.benign_labeled;
+      if (scores[i] >= threshold) ++out.benign_false_positives;
+      benign_scores.push_back(scores[i]);
+    }
+  }
+
+  // Deterministic scenario order: archetypes first, residual tags sorted.
+  std::vector<std::string> order;
+  for (const auto kind : kArchetypeOrder) {
+    const std::string name{trace::family_kind_name(kind)};
+    if (per_scenario.contains(name)) order.push_back(name);
+  }
+  std::vector<std::string> residual;
+  for (const auto& [tag, unused] : per_scenario) {
+    if (std::find(order.begin(), order.end(), tag) == order.end()) residual.push_back(tag);
+  }
+  std::sort(residual.begin(), residual.end());
+  order.insert(order.end(), residual.begin(), residual.end());
+
+  for (const auto& tag : order) {
+    const auto& positives = per_scenario[tag];
+    ScenarioMetrics metrics;
+    metrics.scenario = tag;
+    metrics.labeled = positives.size();
+    for (const double s : positives) {
+      if (s >= threshold) ++metrics.detected;
+    }
+    metrics.recall = metrics.labeled == 0 ? 0.0
+                                          : static_cast<double>(metrics.detected) /
+                                                static_cast<double>(metrics.labeled);
+    const std::size_t flagged = metrics.detected + out.benign_false_positives;
+    metrics.precision =
+        flagged == 0 ? 0.0 : static_cast<double>(metrics.detected) / static_cast<double>(flagged);
+    if (!positives.empty() && !benign_scores.empty()) {
+      std::vector<double> pooled;
+      std::vector<int> pooled_labels;
+      pooled.reserve(positives.size() + benign_scores.size());
+      pooled_labels.reserve(positives.size() + benign_scores.size());
+      for (const double s : positives) {
+        pooled.push_back(s);
+        pooled_labels.push_back(1);
+      }
+      for (const double s : benign_scores) {
+        pooled.push_back(s);
+        pooled_labels.push_back(0);
+      }
+      metrics.auc = ml::roc_auc(pooled, pooled_labels);
+      metrics.auc_valid = true;
+    }
+    obs::metrics().gauge("scenario." + tag + ".labeled").set(static_cast<std::int64_t>(metrics.labeled));
+    obs::metrics().gauge("scenario." + tag + ".detected").set(static_cast<std::int64_t>(metrics.detected));
+    obs::metrics()
+        .gauge("scenario." + tag + ".recall_milli")
+        .set(static_cast<std::int64_t>(metrics.recall * 1000.0));
+    out.scenarios.push_back(std::move(metrics));
+  }
+  obs::metrics().gauge("scenario.archetypes").set(static_cast<std::int64_t>(out.scenarios.size()));
+  return out;
+}
+
+void annotate_seed_expansion(ScenarioEvaluation& evaluation, const ClusteringResult& clusters,
+                             const trace::GroundTruth& truth) {
+  std::unordered_map<std::string, ScenarioMetrics*> by_tag;
+  for (auto& metrics : evaluation.scenarios) by_tag.emplace(metrics.scenario, &metrics);
+  for (const auto& cluster : clusters.clusters) {
+    // Scenarios of the malicious members of this cluster.
+    std::unordered_set<std::string> present;
+    for (const auto& domain : cluster.domains) {
+      if (truth.is_malicious(domain)) present.emplace(truth.scenario_of(domain));
+    }
+    if (present.empty()) continue;
+    for (const auto& domain : cluster.domains) {
+      if (!truth.is_malicious(domain)) continue;
+      const std::string tag{truth.scenario_of(domain)};
+      const auto it = by_tag.find(tag);
+      if (it == by_tag.end()) continue;
+      ++it->second->expansion_candidates;
+      // Reached when the cluster also holds a seed from ANOTHER scenario.
+      const bool reached =
+          std::any_of(present.begin(), present.end(),
+                      [&](const std::string& other) { return other != tag; });
+      if (reached) ++it->second->expansion_reached;
+    }
+  }
+}
+
+}  // namespace dnsembed::core

@@ -1,0 +1,57 @@
+// Per-scenario detection evaluation: slice the out-of-fold SVM scores of a
+// labeled set by campaign archetype (scenario tag) so robustness against
+// specific attacker behaviors — zero-day activation, graph evasion, IoT
+// background — is a first-class, gateable metric instead of being averaged
+// away inside one global AUC.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/clustering.hpp"
+#include "intel/labels.hpp"
+#include "trace/ground_truth.hpp"
+
+namespace dnsembed::core {
+
+struct ScenarioMetrics {
+  std::string scenario;              // archetype tag ("dga-cnc", "zero-day", ...)
+  std::size_t labeled = 0;           // labeled malicious domains with this tag
+  std::size_t detected = 0;          // of those, scored >= threshold out of fold
+  double recall = 0.0;               // detected / labeled
+  double precision = 0.0;            // detected / (detected + benign false positives)
+  double auc = 0.0;                  // scenario positives vs ALL labeled benign
+  bool auc_valid = false;            // false when either side is empty
+  // Seed-expansion reach (clusters available only): scenario domains that
+  // share a cluster with at least one malicious domain of ANOTHER scenario
+  // — i.e. reachable from known-family seeds by cluster expansion. The
+  // zero-day acceptance signal: fresh families discoverable without their
+  // own labels.
+  std::size_t expansion_candidates = 0;
+  std::size_t expansion_reached = 0;
+};
+
+struct ScenarioEvaluation {
+  std::vector<ScenarioMetrics> scenarios;  // deterministic archetype order
+  std::size_t benign_labeled = 0;
+  std::size_t benign_false_positives = 0;  // benign rows scored >= threshold
+};
+
+/// Slice `scores` (row-aligned with `labels`, e.g.
+/// DetectionEvaluation::scores.scores) by scenario tag. Tags come from the
+/// labeled set when present, else from the ground truth. Scenarios are
+/// ordered by FamilyKind enum order with any residual tags sorted last, so
+/// report output is byte-stable. Also publishes scenario.* obs gauges.
+ScenarioEvaluation evaluate_scenarios(const intel::LabeledSet& labels,
+                                      const std::vector<double>& scores,
+                                      const trace::GroundTruth& truth,
+                                      double threshold = 0.0);
+
+/// Fill ScenarioMetrics::expansion_* from cluster memberships (candidates =
+/// clustered malicious domains of the scenario; reached = those whose
+/// cluster also holds a malicious seed from a different scenario).
+void annotate_seed_expansion(ScenarioEvaluation& evaluation, const ClusteringResult& clusters,
+                             const trace::GroundTruth& truth);
+
+}  // namespace dnsembed::core

@@ -13,6 +13,14 @@ std::size_t LabeledSet::malicious_count() const {
   return static_cast<std::size_t>(std::count(labels.begin(), labels.end(), 1));
 }
 
+bool valid_scenario_tag(std::string_view tag) noexcept {
+  if (tag.empty() || tag.size() > 32) return false;
+  for (const char c : tag) {
+    if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '-')) return false;
+  }
+  return true;
+}
+
 LabeledSet build_labeled_set(const std::vector<std::string>& candidates,
                              const trace::GroundTruth& truth, const VirusTotalSim& vt,
                              const LabelingConfig& config) {
@@ -43,11 +51,15 @@ LabeledSet build_labeled_set(const std::vector<std::string>& candidates,
   LabeledSet out;
   out.domains.reserve(malicious.size() + benign.size());
   out.labels.reserve(malicious.size() + benign.size());
+  out.scenarios.reserve(malicious.size() + benign.size());
   for (auto& d : malicious) {
+    const std::string_view tag = truth.scenario_of(d);
+    out.scenarios.emplace_back(tag.empty() ? "unknown" : tag);
     out.domains.push_back(std::move(d));
     out.labels.push_back(1);
   }
   for (auto& d : benign) {
+    out.scenarios.emplace_back("benign");
     out.domains.push_back(std::move(d));
     out.labels.push_back(0);
   }
@@ -64,12 +76,24 @@ namespace {
 }  // namespace
 
 std::string labeled_payload(const LabeledSet& labels) {
+  const bool tagged = !labels.scenarios.empty();
+  if (tagged && labels.scenarios.size() != labels.domains.size()) {
+    throw std::invalid_argument{"labeled_payload: scenario/domain count mismatch"};
+  }
   std::string out;
   out += "domains " + std::to_string(labels.size()) + "\n";
   for (std::size_t i = 0; i < labels.size(); ++i) {
     out += labels.domains[i];
     out += '\t';
     out += labels.labels[i] == 1 ? '1' : '0';
+    if (tagged) {
+      if (!valid_scenario_tag(labels.scenarios[i])) {
+        throw std::invalid_argument{"labeled_payload: bad scenario tag '" + labels.scenarios[i] +
+                                    "'"};
+      }
+      out += '\t';
+      out += labels.scenarios[i];
+    }
     out += '\n';
   }
   return out;
@@ -103,12 +127,30 @@ LabeledSet parse_labeled_payload(std::string_view payload, const std::string& co
   for (std::size_t i = 0; i < count; ++i) {
     if (!take_line(line)) bad_labeled(context, "labeled payload: truncated");
     const auto tab = line.find('\t');
-    if (tab == std::string_view::npos || tab == 0 || tab + 2 != line.size() ||
+    if (tab == std::string_view::npos || tab == 0 || tab + 2 > line.size() ||
         (line[tab + 1] != '0' && line[tab + 1] != '1')) {
       bad_labeled(context, "labeled payload: bad row " + std::to_string(i));
     }
+    if (tab + 2 < line.size()) {
+      // Tagged row: "domain \t label \t scenario". A corrupted tag must be
+      // rejected here, never silently re-bucketed into another scenario.
+      if (line[tab + 2] != '\t') {
+        bad_labeled(context, "labeled payload: bad row " + std::to_string(i));
+      }
+      const auto tag = line.substr(tab + 3);
+      if (!valid_scenario_tag(tag)) {
+        bad_labeled(context, "labeled payload: bad scenario tag on row " + std::to_string(i));
+      }
+      out.scenarios.emplace_back(tag);
+    } else if (!out.scenarios.empty()) {
+      // Mixed tagged/untagged rows are corruption, not a format choice.
+      bad_labeled(context, "labeled payload: missing scenario tag on row " + std::to_string(i));
+    }
     out.domains.emplace_back(line.substr(0, tab));
     out.labels.push_back(line[tab + 1] == '1' ? 1 : 0);
+  }
+  if (out.scenarios.size() != 0 && out.scenarios.size() != out.domains.size()) {
+    bad_labeled(context, "labeled payload: partial scenario tagging");
   }
   if (pos != payload.size()) bad_labeled(context, "labeled payload: trailing bytes");
   return out;

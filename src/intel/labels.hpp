@@ -25,10 +25,24 @@ struct LabelingConfig {
 struct LabeledSet {
   std::vector<std::string> domains;
   std::vector<int> labels;  // 1 = malicious
+  /// Scenario tag per row ("dga-cnc", "zero-day", ..., "benign"); empty
+  /// vector when the set predates scenario tagging. Tags are restricted to
+  /// [a-z0-9-] so corrupted tags are rejected at load instead of being
+  /// misattributed to another scenario.
+  std::vector<std::string> scenarios;
 
   std::size_t size() const noexcept { return domains.size(); }
   std::size_t malicious_count() const;
+
+  /// Scenario tag of row i ("" when the set carries no tags).
+  std::string_view scenario(std::size_t i) const noexcept {
+    return i < scenarios.size() ? std::string_view{scenarios[i]} : std::string_view{};
+  }
 };
+
+/// True iff `tag` is a well-formed scenario tag: non-empty, <= 32 bytes,
+/// characters limited to [a-z0-9-].
+bool valid_scenario_tag(std::string_view tag) noexcept;
 
 /// Build labels over `candidates` (typically: the domains surviving graph
 /// pruning). Order of the output is deterministic for a fixed seed.

@@ -105,6 +105,36 @@ struct TraceConfig {
   /// breaking Exposure's TTL features). SIZE_MAX disables the shift.
   std::size_t tactic_shift_day = SIZE_MAX;
 
+  // -------------------------------------------------- adversarial scenarios
+  // All knobs default to OFF so baseline traces stay byte-identical; the
+  // adversarial families are generated IN ADDITION to `malware_families`.
+  /// Zero-day campaigns: families that emit NOTHING before their activation
+  /// day, then beacon like a static C&C. Their domains have no query
+  /// history; the prior signal is serving-IP reuse from earlier families.
+  std::size_t zero_day_families = 0;
+  /// First day (0-based) on which zero-day families emit traffic.
+  /// SIZE_MAX = mid-window (days / 2).
+  std::size_t zero_day_activation_day = SIZE_MAX;
+  /// Fraction of each zero-day family's serving IPs drawn from earlier
+  /// malicious families' pools (the rest are freshly allocated).
+  double zero_day_ip_reuse_fraction = 0.75;
+  /// Graph-evasion campaigns: spam-style families whose victims wrap each
+  /// malicious contact in queries to popular benign cover sites.
+  std::size_t evasion_families = 0;
+  /// Probability that a single malicious contact is wrapped in benign
+  /// cover queries (0 = plain campaign, 1 = every contact covered).
+  double evasion_mimicry_rate = 0.5;
+  /// Benign cover sites each evasion family blends into.
+  std::size_t evasion_cover_sites = 12;
+  /// Fraction of hosts that are IoT/embedded devices: no browsing, a
+  /// handful of vendor endpoints queried in tight periodic bursts —
+  /// narrow, bursty query distributions that stress the behavior model.
+  double iot_host_fraction = 0.0;
+  /// Vendor/cloud endpoints per IoT device class.
+  std::size_t iot_vendor_domains = 3;
+  /// Mean hours between IoT query bursts.
+  double iot_burst_period_hours = 6.0;
+
   // ------------------------------------------------------------- output
   /// Also emit netflow records for malicious contacts and a sample of
   /// benign flows (for the §7.2.2 traffic-pattern analysis).

@@ -64,6 +64,8 @@ struct Host {
   double activity = 1.0;                 // scales session count
   std::array<double, 24> diurnal{};      // hourly activity weights
   std::vector<std::size_t> interests;    // site indices this host visits
+  bool iot = false;                      // IoT/embedded device profile
+  std::size_t iot_class = 0;             // device class (camera, TV, ...)
 };
 
 struct FamilyRuntime {
@@ -73,6 +75,8 @@ struct FamilyRuntime {
   std::uint32_t ttl_shifted = 120;       // regime after TraceConfig::tactic_shift_day
   std::uint64_t dga_seed = 0;            // kDgaCnc only
   std::vector<std::size_t> victim_hosts; // indices into hosts
+  std::size_t active_from_day = 0;       // kZeroDay: silent before this day
+  std::vector<std::size_t> cover_sites;  // kEvasion: benign sites used as cover
 };
 
 class Generator {
@@ -85,12 +89,17 @@ class Generator {
     build_sites(rng);
     build_apps(rng);
     build_hosts(rng);
+    build_iot();
     build_dhcp(rng);
     build_families(rng);
 
     for (std::size_t day = 0; day < config_.days; ++day) {
       for (std::size_t h = 0; h < hosts_.size(); ++h) {
         util::Rng day_rng{config_.seed ^ (0xB10C0000ULL + day * 131071ULL + h)};
+        if (hosts_[h].iot) {
+          emit_iot_day(day, h, day_rng);
+          continue;
+        }
         emit_browsing(day, h, day_rng);
         emit_polling(day, h, day_rng);
       }
@@ -240,6 +249,47 @@ class Generator {
     }
   }
 
+  // IoT/embedded device profiles: the last `hosts * iot_host_fraction`
+  // devices become IoT endpoints — no browsing, no app polling, just a
+  // handful of per-class vendor endpoints queried in tight bursts. Uses a
+  // derived RNG stream so the rest of the campus (leases, families, victim
+  // cohorts) is byte-identical whether or not IoT profiles are enabled.
+  void build_iot() {
+    const auto iot_count = static_cast<std::size_t>(
+        config_.iot_host_fraction * static_cast<double>(config_.hosts));
+    if (iot_count == 0) return;
+    util::Rng rng{config_.seed * 73 + 0x107B0057ULL};
+    static constexpr std::array<const char*, 4> kClasses{"cam", "tv", "sensor", "plug"};
+    IpAllocator vendor_ips{dns::Ipv4{52, 94, 0, 1}.value()};
+    iot_class_endpoints_.resize(kClasses.size());
+    std::unordered_set<std::string> used;
+    for (std::size_t cls = 0; cls < kClasses.size(); ++cls) {
+      while (iot_class_endpoints_[cls].size() < config_.iot_vendor_domains) {
+        ThirdParty endpoint;
+        endpoint.e2ld = third_party_name(rng);
+        if (!used.insert(endpoint.e2ld).second || result_.truth.is_known(endpoint.e2ld)) continue;
+        endpoint.fqdn = std::string{kClasses[cls]} + "-fw." + endpoint.e2ld;
+        const std::size_t ip_count = 1 + rng.uniform_index(2);
+        for (std::size_t i = 0; i < ip_count; ++i) endpoint.ips.push_back(vendor_ips.allocate());
+        endpoint.ttl = static_cast<std::uint32_t>(60 + rng.uniform_index(540));
+        result_.truth.add_benign(endpoint.e2ld);
+        iot_endpoints_.push_back(std::move(endpoint));
+        iot_class_endpoints_[cls].push_back(iot_endpoints_.size() - 1);
+      }
+    }
+    for (std::size_t h = hosts_.size() - iot_count; h < hosts_.size(); ++h) {
+      Host& host = hosts_[h];
+      host.iot = true;
+      host.iot_class = h % kClasses.size();
+      // Embedded devices run around the clock: flat diurnal profile.
+      host.diurnal.fill(1.0);
+    }
+    // IoT devices do not run user-facing polling apps.
+    for (auto& app : apps_) {
+      std::erase_if(app.subscribers, [&](std::size_t h) { return hosts_[h].iot; });
+    }
+  }
+
   void build_dhcp(util::Rng& rng) {
     IpAllocator campus{dns::Ipv4{10, 20, 0, 10}.value()};
     const auto horizon = static_cast<std::int64_t>(config_.days) * kDay;
@@ -288,18 +338,7 @@ class Generator {
                                     : static_cast<std::uint32_t>(3600 + rng.uniform_index(82800));
 
       // Victim cohort: local to this campus.
-      const std::size_t cohort =
-          config_.min_victims +
-          campus_rng.uniform_index(
-              std::max<std::size_t>(1, config_.max_victims - config_.min_victims));
-      std::unordered_set<std::size_t> victims;
-      while (victims.size() < std::min(cohort, hosts_.size())) {
-        victims.insert(campus_rng.uniform_index(hosts_.size()));
-      }
-      family.victim_hosts.assign(victims.begin(), victims.end());
-      for (const std::size_t v : family.victim_hosts) {
-        family.info.victims.push_back(hosts_[v].id);
-      }
+      draw_victims(family, campus_rng);
 
       switch (family.info.kind) {
         case FamilyKind::kDgaCnc: {
@@ -328,9 +367,10 @@ class Generator {
           }
           const std::size_t ip_count = 1 + rng.uniform_index(2);
           for (std::size_t i = 0; i < ip_count; ++i) family.info.ips.push_back(mal_ips.allocate());
-          const std::size_t count = family.info.kind == FamilyKind::kSpam
-                                        ? config_.spam_domains_per_family
-                                        : config_.spam_domains_per_family / 2;
+          const std::size_t count =
+              family.info.kind == FamilyKind::kSpam
+                  ? config_.spam_domains_per_family
+                  : std::max<std::size_t>(1, config_.spam_domains_per_family / 2);
           std::unordered_set<std::string> used;
           while (used.size() < count) {
             const std::string tld = family.info.kind == FamilyKind::kSpam ? "bid" : "top";
@@ -386,7 +426,132 @@ class Generator {
           }
           break;
         }
+        case FamilyKind::kZeroDay:
+        case FamilyKind::kEvasion:
+          // Adversarial kinds are never in the baseline round-robin; they
+          // are built in build_adversarial_families below.
+          break;
       }
+      result_.truth.add_family(family.info);
+      families_.push_back(std::move(family));
+    }
+    build_adversarial_families(rng, campus_rng, mal_ips, cnc_ports);
+  }
+
+  /// Victim cohort drawn from the campus RNG (baseline and adversarial
+  /// families share the draw pattern; `cohort_cap` clamps the size after the
+  /// draw so the RNG sequence is unchanged whether or not a cap applies).
+  void draw_victims(FamilyRuntime& family, util::Rng& campus_rng,
+                    std::size_t cohort_cap = SIZE_MAX) {
+    const std::size_t cohort = std::min(
+        cohort_cap,
+        config_.min_victims +
+            campus_rng.uniform_index(
+                std::max<std::size_t>(1, config_.max_victims - config_.min_victims)));
+    std::unordered_set<std::size_t> victims;
+    while (victims.size() < std::min(cohort, hosts_.size())) {
+      victims.insert(campus_rng.uniform_index(hosts_.size()));
+    }
+    family.victim_hosts.assign(victims.begin(), victims.end());
+    for (const std::size_t v : family.victim_hosts) {
+      family.info.victims.push_back(hosts_[v].id);
+    }
+  }
+
+  // Adversarial campaign archetypes, generated AFTER (and in addition to)
+  // the baseline families so enabling them never perturbs baseline
+  // infrastructure or victim cohorts for a given seed pair.
+  void build_adversarial_families(util::Rng& rng, util::Rng& campus_rng, IpAllocator& mal_ips,
+                                  const std::array<std::uint16_t, 4>& cnc_ports) {
+    if (config_.zero_day_families == 0 && config_.evasion_families == 0) return;
+    const std::size_t activation = config_.zero_day_activation_day == SIZE_MAX
+                                       ? config_.days / 2
+                                       : config_.zero_day_activation_day;
+    // Low-reputation pool: every serving IP already burned by an earlier
+    // family. Zero-day campaigns draw from it (MANTIS: infrastructure
+    // reuse is the one pre-activation signal about fresh domains).
+    std::vector<dns::Ipv4> low_rep_pool;
+    for (const auto& prior : families_) {
+      low_rep_pool.insert(low_rep_pool.end(), prior.info.ips.begin(), prior.info.ips.end());
+    }
+    // Adversarial cohorts stay at or below the >50%-of-hosts pruning head:
+    // a campaign infecting most of a small campus would be pruned as
+    // "popular", which makes the scenario vacuous rather than hard.
+    const std::size_t cohort_cap = std::max<std::size_t>(2, hosts_.size() / 2);
+
+    std::size_t next_id = config_.malware_families;
+    for (std::size_t z = 0; z < config_.zero_day_families; ++z) {
+      FamilyRuntime family;
+      family.info.id = next_id++;
+      family.info.kind = FamilyKind::kZeroDay;
+      family.info.name = "family" + std::to_string(family.info.id) + "-zero-day";
+      family.active_from_day = activation;
+      family.beacon_seconds =
+          rng.uniform(config_.min_beacon_minutes, config_.max_beacon_minutes) * 60.0;
+      // Fresh campaign: no TTL history to shift; a single short-ish regime.
+      family.ttl = static_cast<std::uint32_t>(60 + rng.uniform_index(600));
+      family.ttl_shifted = family.ttl;
+      family.info.port = cnc_ports[rng.uniform_index(cnc_ports.size())];
+      draw_victims(family, campus_rng, cohort_cap);
+      const std::size_t ip_count = 2 + rng.uniform_index(3);
+      for (std::size_t i = 0; i < ip_count; ++i) {
+        if (!low_rep_pool.empty() && rng.bernoulli(config_.zero_day_ip_reuse_fraction)) {
+          family.info.ips.push_back(low_rep_pool[rng.uniform_index(low_rep_pool.size())]);
+        } else {
+          family.info.ips.push_back(mal_ips.allocate());
+        }
+      }
+      const std::size_t count = 3 + rng.uniform_index(4);
+      std::unordered_set<std::string> used;
+      while (used.size() < count) {
+        std::string name = spam_name(rng, "icu");
+        if (result_.truth.is_known(name) || !used.insert(name).second) continue;
+        family.info.domains.push_back(std::move(name));
+      }
+      // Later zero-day families may reuse this family's pool too.
+      low_rep_pool.insert(low_rep_pool.end(), family.info.ips.begin(), family.info.ips.end());
+      result_.truth.add_family(family.info);
+      families_.push_back(std::move(family));
+    }
+
+    for (std::size_t e = 0; e < config_.evasion_families; ++e) {
+      FamilyRuntime family;
+      family.info.id = next_id++;
+      family.info.kind = FamilyKind::kEvasion;
+      family.info.name = "family" + std::to_string(family.info.id) + "-evasion";
+      family.beacon_seconds =
+          rng.uniform(config_.min_beacon_minutes, config_.max_beacon_minutes) * 60.0;
+      // Mimicry extends to answer features: benign-looking TTLs, HTTPS.
+      family.ttl = static_cast<std::uint32_t>(1800 + rng.uniform_index(84600));
+      family.ttl_shifted = family.ttl;
+      family.info.port = 443;
+      draw_victims(family, campus_rng, cohort_cap);
+      if (rng.bernoulli(config_.compromised_hosting_fraction) && !shared_pool_.empty()) {
+        family.info.ips.push_back(shared_pool_[rng.uniform_index(shared_pool_.size())]);
+      }
+      const std::size_t ip_count = 1 + rng.uniform_index(2);
+      for (std::size_t i = 0; i < ip_count; ++i) family.info.ips.push_back(mal_ips.allocate());
+      const std::size_t count = std::max<std::size_t>(1, config_.spam_domains_per_family / 3);
+      std::unordered_set<std::string> used;
+      while (used.size() < count) {
+        std::string name = benign_site_name(rng);
+        if (result_.truth.is_known(name) || !used.insert(name).second) continue;
+        family.info.domains.push_back(std::move(name));
+      }
+      // Cover sites: popular enough that their embeddings sit firmly in the
+      // benign mass, but below the >50%-of-hosts head that pruning removes.
+      // Always-on sites only, so cover is available on every day.
+      const std::size_t lo = sites_.size() / 20;
+      const std::size_t span = std::max<std::size_t>(1, sites_.size() / 3 - lo);
+      std::unordered_set<std::size_t> cover;
+      for (int attempt = 0; attempt < 4096 && cover.size() < config_.evasion_cover_sites;
+           ++attempt) {
+        const std::size_t idx = lo + rng.uniform_index(span);
+        if (sites_[idx].expired || sites_[idx].active_to != SIZE_MAX) continue;
+        cover.insert(idx);
+      }
+      family.cover_sites.assign(cover.begin(), cover.end());
+      std::sort(family.cover_sites.begin(), family.cover_sites.end());
       result_.truth.add_family(family.info);
       families_.push_back(std::move(family));
     }
@@ -573,6 +738,87 @@ class Generator {
       case FamilyKind::kApt:
         emit_apt_day(day, family, rng);
         break;
+      case FamilyKind::kZeroDay:
+        // Completely silent (no DNS, no flows) until the activation day;
+        // afterwards the campaign beacons like a static C&C.
+        if (day >= family.active_from_day) emit_static_cnc_day(day, family, rng);
+        break;
+      case FamilyKind::kEvasion:
+        emit_evasion_day(day, family, rng);
+        break;
+    }
+  }
+
+  void emit_evasion_day(std::size_t day, FamilyRuntime& family, util::Rng& rng) {
+    // Like a spam/phishing campaign, but with probability
+    // `evasion_mimicry_rate` each C&C contact is sandwiched between page
+    // views of popular benign cover sites by the same victim, seconds
+    // apart — poisoning the temporal co-occurrence graph (and, since every
+    // victim uses the same cover set, correlating the cohort with benign
+    // domains in the query graph).
+    const std::int64_t day_start = config_.start_time + static_cast<std::int64_t>(day) * kDay;
+    for (const std::size_t v : family.victim_hosts) {
+      const Host& host = hosts_[v];
+      const auto clicks = 1 + rng.poisson(2.0);
+      for (std::uint64_t c = 0; c < clicks; ++c) {
+        std::int64_t t = day_start + diurnal_second(host, rng);
+        const bool covered =
+            !family.cover_sites.empty() && rng.bernoulli(config_.evasion_mimicry_rate);
+        if (covered) {
+          const Site& cover =
+              sites_[family.cover_sites[rng.uniform_index(family.cover_sites.size())]];
+          emit_page_view(t, host, cover, rng);
+          t += 2 + static_cast<std::int64_t>(rng.uniform_index(6));
+        }
+        const std::size_t chain = 1 + rng.uniform_index(2);
+        for (std::size_t k = 0; k < chain; ++k) {
+          const std::string& domain =
+              family.info.domains[rng.uniform_index(family.info.domains.size())];
+          const dns::Ipv4 ip = family_ip_for(family, domain, rng);
+          emit_dns(t, host.id, domain, family_ttl(family, day), {ip});
+          emit_flow(t + 1, host.id, ip, family.info.port,
+                    500 + static_cast<std::uint32_t>(rng.uniform_index(5000)), true, rng);
+          t += 2 + static_cast<std::int64_t>(rng.uniform_index(5));
+        }
+        if (covered) {
+          const Site& cover =
+              sites_[family.cover_sites[rng.uniform_index(family.cover_sites.size())]];
+          emit_page_view(t + 1 + static_cast<std::int64_t>(rng.uniform_index(4)), host, cover,
+                         rng);
+        }
+      }
+    }
+  }
+
+  void emit_iot_day(std::size_t day, std::size_t host_index, util::Rng& rng) {
+    // Embedded device: a narrow set of vendor endpoints, contacted in
+    // tight bursts (firmware/telemetry check-ins) around the clock. No
+    // browsing, no user apps — the behavioral model sees a query
+    // distribution far narrower and burstier than any desktop.
+    const Host& host = hosts_[host_index];
+    if (iot_class_endpoints_.empty()) return;
+    const auto& endpoints = iot_class_endpoints_[host.iot_class % iot_class_endpoints_.size()];
+    if (endpoints.empty()) return;
+    const std::int64_t day_start = config_.start_time + static_cast<std::int64_t>(day) * kDay;
+    const double period = std::max(600.0, config_.iot_burst_period_hours * 3600.0);
+    std::int64_t t = day_start + static_cast<std::int64_t>(
+                                     rng.uniform_index(static_cast<std::uint64_t>(period)));
+    while (t < day_start + kDay) {
+      // One burst: a handful of rapid queries across the class endpoints.
+      const std::size_t queries = 3 + rng.uniform_index(6);
+      std::int64_t q = t;
+      for (std::size_t i = 0; i < queries; ++i) {
+        const ThirdParty& endpoint = iot_endpoints_[endpoints[rng.uniform_index(endpoints.size())]];
+        emit_dns(q, host.id, endpoint.fqdn, endpoint.ttl, endpoint.ips);
+        q += 1 + static_cast<std::int64_t>(rng.uniform_index(5));
+      }
+      const ThirdParty& flow_endpoint =
+          iot_endpoints_[endpoints[rng.uniform_index(endpoints.size())]];
+      if (!flow_endpoint.ips.empty()) {
+        emit_flow(q, host.id, flow_endpoint.ips.front(), 443,
+                  200 + static_cast<std::uint32_t>(rng.uniform_index(4000)), false, rng);
+      }
+      t += static_cast<std::int64_t>(period * rng.uniform(0.7, 1.3));
     }
   }
 
@@ -727,6 +973,8 @@ class Generator {
   util::Rng obs_rng_{0xCAC4EDECULL};  // resolver-cache observation noise
 
   std::vector<ThirdParty> third_parties_;
+  std::vector<ThirdParty> iot_endpoints_;
+  std::vector<std::vector<std::size_t>> iot_class_endpoints_;  // per device class
   std::vector<std::size_t> cdn_indices_;
   std::vector<Site> sites_;
   std::vector<PollingApp> apps_;
@@ -747,8 +995,47 @@ TraceResult generate_trace(const TraceConfig& config, TraceSink& sink) {
   if (config.benign_sites == 0 || config.third_party_pool == 0) {
     throw std::invalid_argument{"generate_trace: benign pools must be non-empty"};
   }
+  if (config.min_victims == 0 || config.max_victims == 0) {
+    throw std::invalid_argument{
+        "generate_trace: victim cohort range is zero-sized (min_victims and "
+        "max_victims must both be >= 1)"};
+  }
   if (config.min_victims > config.max_victims || config.max_victims > config.hosts) {
-    throw std::invalid_argument{"generate_trace: bad victim cohort bounds"};
+    throw std::invalid_argument{
+        "generate_trace: bad victim cohort bounds (need min_victims <= max_victims <= hosts)"};
+  }
+  if (config.spam_domains_per_family == 0) {
+    throw std::invalid_argument{
+        "generate_trace: spam_domains_per_family must be >= 1 (spam/phishing "
+        "families would own no domains)"};
+  }
+  if (config.zero_day_families > 0 && config.zero_day_activation_day != SIZE_MAX &&
+      config.zero_day_activation_day >= config.days) {
+    throw std::invalid_argument{
+        "generate_trace: zero_day_activation_day is beyond the simulated window "
+        "(the campaign would never activate)"};
+  }
+  if (config.zero_day_ip_reuse_fraction < 0.0 || config.zero_day_ip_reuse_fraction > 1.0) {
+    throw std::invalid_argument{
+        "generate_trace: zero_day_ip_reuse_fraction must be within [0, 1]"};
+  }
+  if (config.evasion_mimicry_rate < 0.0 || config.evasion_mimicry_rate > 1.0) {
+    throw std::invalid_argument{"generate_trace: evasion_mimicry_rate must be within [0, 1]"};
+  }
+  if (config.evasion_families > 0 && config.evasion_cover_sites == 0) {
+    throw std::invalid_argument{
+        "generate_trace: evasion_cover_sites must be >= 1 when evasion families "
+        "are enabled"};
+  }
+  if (config.iot_host_fraction < 0.0 || config.iot_host_fraction >= 1.0) {
+    throw std::invalid_argument{
+        "generate_trace: iot_host_fraction must be within [0, 1) (some hosts "
+        "must remain general-purpose)"};
+  }
+  if (config.iot_host_fraction > 0.0 && config.iot_vendor_domains == 0) {
+    throw std::invalid_argument{
+        "generate_trace: iot_vendor_domains must be >= 1 when IoT profiles are "
+        "enabled"};
   }
   Generator generator{config, sink};
   return generator.run();

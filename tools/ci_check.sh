@@ -20,9 +20,16 @@
 #      multi-worker configuration — then the micro_obs smoke: merged worker
 #      counters must equal the single-process totals and every worker task
 #      must surface a trace lane (timing gates skipped at smoke scale)
+#   5c. scenario label (adversarial suite: zero-day activation, evasion
+#      mimicry, IoT profiles, scenario-tag round-trips), then the
+#      micro_adversarial smoke: the per-scenario detection gates (clean-AUC
+#      regression, zero-day held-out recall, evasion recall floor) must pass
+#      at smoke scale
 #   6. robustness label (fault injection, loader fuzz, crash recovery)
-#      under Address+UB sanitizers, plus one distributed-label pass under
-#      ASan so the fork/waitpid/heartbeat paths run sanitized
+#      under Address+UB sanitizers — the scenario suite carries the
+#      robustness label too, so it reruns sanitized — plus one
+#      distributed-label pass under ASan so the fork/waitpid/heartbeat
+#      paths run sanitized
 #   7. concurrency label (parallel projection, deterministic LINE barriers,
 #      sharded metrics) under ThreadSanitizer
 #
@@ -72,6 +79,12 @@ ctest --preset default -j "$jobs" -L observability
 
 step "micro_obs smoke (obs overhead + cross-process telemetry parity)"
 DNSEMBED_BENCH_SMOKE=1 DNSEMBED_BENCH_JSON="$(mktemp)" build/bench/micro_obs
+
+step "scenario label (adversarial suite: zero-day, evasion, IoT, tags)"
+ctest --preset default -j "$jobs" -L scenario
+
+step "micro_adversarial smoke (per-scenario detection gates)"
+DNSEMBED_BENCH_SMOKE=1 DNSEMBED_BENCH_JSON="$(mktemp)" build/bench/micro_adversarial
 
 if [[ "$skip_sanitizers" == 1 ]]; then
   step "sanitizer passes skipped (--skip-sanitizers)"

@@ -43,6 +43,7 @@
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
 #include "core/run.hpp"
+#include "core/scenario.hpp"
 #include "core/streaming.hpp"
 #include "graph/io.hpp"
 #include "dns/capture_io.hpp"
@@ -78,6 +79,15 @@ int usage() {
 commands:
   simulate  --out FILE [--labels FILE] [--pcap FILE] [--hosts N] [--days N]
             [--families N] [--sites N] [--seed N] [--campaign-seed N]
+            [--zero-day N] [--zero-day-activation DAY] [--zero-day-ip-reuse X]
+            [--evasion N] [--mimicry-rate X] [--cover-sites N]
+            [--iot-fraction X]
+            (adversarial scenario knobs: zero-day families are silent until
+             the activation day [default: mid-window] and reuse serving IPs
+             from earlier families; evasion families wrap C&C contacts in
+             benign cover-site queries at the mimicry rate; --iot-fraction
+             turns hosts into narrow, bursty embedded devices. The same
+             flags work on report/run/advsim.)
   convert   --pcap FILE --out FILE
   graphs    --log FILE --out-prefix PATH [--min-similarity X]
             [--projection-mode exact|sketched] [--sketch-signature N]
@@ -135,6 +145,13 @@ commands:
             (sweep fault severities over export -> faults -> import ->
              detect; also drives the artifact I/O fault channel: transient
              EIO, torn writes, payload bit flips; emit degradation JSON)
+  advsim    --out report.json [--hosts N] [--days N] [--sites N] [--families N]
+            [--seed N] [--mimicry 0,0.25,0.5,1] [--samples N] [--kfold N]
+            [--dim N] [--zero-day N] [--evasion N] [--iot-fraction X]
+            (adversarial sweep: one clean pipeline run, then one run per
+             mimicry rate with zero-day + evasion campaigns and IoT hosts
+             enabled; emits per-scenario recall/precision/AUC and
+             seed-expansion reach as JSON)
 
 global options (any command):
   --log-level debug|info|warn|error   minimum stderr log level
@@ -174,6 +191,8 @@ int check_input(const std::string& path) {
 
 // ------------------------------------------------------------- simulate
 
+void adversarial_from_args(const util::ArgParser& args, trace::TraceConfig& config);
+
 /// Sink writing the joined log.
 class FileLogSink final : public trace::TraceSink {
  public:
@@ -198,6 +217,7 @@ int cmd_simulate(const util::ArgParser& args) {
   config.malware_families = static_cast<std::size_t>(args.get_int_or("--families", 10));
   config.seed = static_cast<std::uint64_t>(args.get_int_or("--seed", 42));
   config.campaign_seed = static_cast<std::uint64_t>(args.get_int_or("--campaign-seed", 0));
+  adversarial_from_args(args, config);
 
   util::Stopwatch watch;
   FileLogSink log_sink{*out_path};
@@ -436,6 +456,23 @@ ml::SvmConfig svm_from_args(const util::ArgParser& args) {
   svm.c = args.get_double_or("--svm-c", 1.0);
   svm.gamma = args.get_double_or("--svm-gamma", 0.5);
   return svm;
+}
+
+/// Adversarial-scenario trace knobs shared by simulate/report/run/advsim.
+/// All default to off; generate_trace validates the values.
+void adversarial_from_args(const util::ArgParser& args, trace::TraceConfig& config) {
+  config.zero_day_families =
+      static_cast<std::size_t>(args.get_int_or("--zero-day", 0));
+  config.zero_day_activation_day = static_cast<std::size_t>(
+      args.get_int_or("--zero-day-activation", -1));  // -1 wraps to SIZE_MAX = mid-window
+  config.zero_day_ip_reuse_fraction =
+      args.get_double_or("--zero-day-ip-reuse", config.zero_day_ip_reuse_fraction);
+  config.evasion_families = static_cast<std::size_t>(args.get_int_or("--evasion", 0));
+  config.evasion_mimicry_rate =
+      args.get_double_or("--mimicry-rate", config.evasion_mimicry_rate);
+  config.evasion_cover_sites = static_cast<std::size_t>(
+      args.get_int_or("--cover-sites", static_cast<long long>(config.evasion_cover_sites)));
+  config.iot_host_fraction = args.get_double_or("--iot-fraction", 0.0);
 }
 
 // --------------------------------------------------------------- detect
@@ -941,6 +978,175 @@ int cmd_faultsim(const util::ArgParser& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------- advsim
+
+/// One point of the adversarial sweep: a full (small) pipeline run at a
+/// given mimicry rate, plus the clean baseline.
+struct AdvSweepPoint {
+  double mimicry = 0.0;
+  bool adversarial = false;  // false = clean baseline (no adversarial families)
+  std::size_t entries = 0;
+  std::size_t kept_domains = 0;
+  std::size_t labeled = 0;
+  bool auc_valid = false;
+  double auc = 0.0;  // combined-channel cross-validated AUC
+  core::ScenarioEvaluation scenarios;
+};
+
+void write_advsim_json(std::ostream& out, const trace::TraceConfig& trace,
+                       const std::vector<AdvSweepPoint>& sweep) {
+  const auto boolean = [](bool b) { return b ? "true" : "false"; };
+  const auto point_json = [&](const AdvSweepPoint& p, const char* indent) {
+    out << "{\"mimicry\": " << p.mimicry << ", \"adversarial\": " << boolean(p.adversarial)
+        << ", \"entries\": " << p.entries << ", \"kept_domains\": " << p.kept_domains
+        << ", \"labeled\": " << p.labeled << ", \"auc\": ";
+    if (p.auc_valid) {
+      out << p.auc;
+    } else {
+      out << "null";
+    }
+    out << ",\n" << indent << " \"scenarios\": [";
+    for (std::size_t s = 0; s < p.scenarios.scenarios.size(); ++s) {
+      const auto& m = p.scenarios.scenarios[s];
+      out << (s == 0 ? "\n" : ",\n") << indent << "   {\"scenario\": \"" << m.scenario
+          << "\", \"labeled\": " << m.labeled << ", \"detected\": " << m.detected
+          << ", \"recall\": " << m.recall << ", \"precision\": " << m.precision
+          << ", \"auc\": ";
+      if (m.auc_valid) {
+        out << m.auc;
+      } else {
+        out << "null";
+      }
+      out << ", \"expansion_reached\": " << m.expansion_reached
+          << ", \"expansion_candidates\": " << m.expansion_candidates << "}";
+    }
+    out << (p.scenarios.scenarios.empty() ? "]" : std::string{"\n"} + indent + " ]");
+    out << ", \"benign_labeled\": " << p.scenarios.benign_labeled
+        << ", \"benign_false_positives\": " << p.scenarios.benign_false_positives << "}";
+  };
+
+  out << "{\n  \"trace\": {\"hosts\": " << trace.hosts << ", \"days\": " << trace.days
+      << ", \"benign_sites\": " << trace.benign_sites
+      << ", \"malware_families\": " << trace.malware_families
+      << ", \"zero_day_families\": " << trace.zero_day_families
+      << ", \"evasion_families\": " << trace.evasion_families
+      << ", \"iot_host_fraction\": " << trace.iot_host_fraction
+      << ", \"seed\": " << trace.seed << "},\n";
+  out << "  \"clean\": ";
+  bool wrote_clean = false;
+  for (const auto& p : sweep) {
+    if (!p.adversarial) {
+      point_json(p, "  ");
+      wrote_clean = true;
+      break;
+    }
+  }
+  if (!wrote_clean) out << "null";
+  out << ",\n  \"sweep\": [";
+  bool first = true;
+  for (const auto& p : sweep) {
+    if (!p.adversarial) continue;
+    out << (first ? "\n    " : ",\n    ");
+    point_json(p, "    ");
+    first = false;
+  }
+  out << (first ? "]" : "\n  ]") << "\n}\n";
+}
+
+int cmd_advsim(const util::ArgParser& args) {
+  const auto out_path = args.get("--out");
+  if (!out_path) return fail("advsim: --out is required");
+
+  trace::TraceConfig trace_config;
+  trace_config.hosts = static_cast<std::size_t>(args.get_int_or("--hosts", 60));
+  trace_config.days = static_cast<std::size_t>(args.get_int_or("--days", 4));
+  trace_config.benign_sites = static_cast<std::size_t>(args.get_int_or("--sites", 300));
+  trace_config.malware_families =
+      static_cast<std::size_t>(args.get_int_or("--families", 6));
+  trace_config.seed = static_cast<std::uint64_t>(args.get_int_or("--seed", 42));
+  // Keep victim cohorts feasible for small host populations.
+  trace_config.max_victims = std::min(trace_config.max_victims, trace_config.hosts / 2);
+  trace_config.min_victims = std::min(trace_config.min_victims, trace_config.max_victims);
+  adversarial_from_args(args, trace_config);
+  // The sweep is about adversarial campaigns: default them on.
+  if (!args.has("--zero-day")) trace_config.zero_day_families = 2;
+  if (!args.has("--evasion")) trace_config.evasion_families = 2;
+  if (!args.has("--iot-fraction")) trace_config.iot_host_fraction = 0.15;
+
+  std::vector<double> rates;
+  for (const auto& token : util::split(args.get_or("--mimicry", "0,0.25,0.5,1"), ',')) {
+    rates.push_back(std::stod(token));
+  }
+
+  const auto samples = static_cast<std::size_t>(args.get_int_or("--samples", 300'000));
+  const auto kfold = static_cast<std::size_t>(args.get_int_or("--kfold", 3));
+  const auto dim = static_cast<std::size_t>(args.get_int_or("--dim", 16));
+
+  util::Stopwatch watch;
+  const auto run_point = [&](const trace::TraceConfig& trace, double mimicry,
+                             bool adversarial) {
+    core::PipelineConfig config;
+    config.trace = trace;
+    config.embedding_dimension = dim;
+    config.embedding.line.total_samples = samples;
+    config.embedding.line.threads = 1;
+    config.svm = svm_from_args(args);
+    config.kfold = kfold;
+    config.xmeans.k_min = 4;
+    config.xmeans.k_max = 32;
+
+    AdvSweepPoint point;
+    point.mimicry = mimicry;
+    point.adversarial = adversarial;
+    const auto result = core::run_pipeline(config);
+    point.entries = result.trace.dns_events;
+    point.kept_domains = result.model.kept_domains.size();
+    point.labeled = result.labels.size();
+    if (result.labels.malicious_count() >= 2 &&
+        result.labels.malicious_count() < result.labels.size()) {
+      const auto eval = core::evaluate_svm(
+          core::make_dataset(result.combined_embedding, result.labels), config.svm,
+          config.kfold, config.seed);
+      point.auc_valid = true;
+      point.auc = eval.auc;
+      point.scenarios = core::evaluate_scenarios(result.labels, eval.scores.scores,
+                                                 result.trace.truth);
+      const auto clusters =
+          core::cluster_domains(result.combined_embedding, result.model.kept_domains,
+                                result.trace.truth, config.xmeans);
+      core::annotate_seed_expansion(point.scenarios, clusters, result.trace.truth);
+    }
+    std::printf("%s mimicry %.3g: %zu kept, %zu labeled, auc %s (%.1fs)\n",
+                adversarial ? "adversarial" : "clean      ", mimicry, point.kept_domains,
+                point.labeled,
+                point.auc_valid ? std::to_string(point.auc).c_str() : "n/a",
+                watch.seconds());
+    return point;
+  };
+
+  std::vector<AdvSweepPoint> sweep;
+  // Clean baseline: the same campus without any adversarial campaigns.
+  {
+    trace::TraceConfig clean = trace_config;
+    clean.zero_day_families = 0;
+    clean.evasion_families = 0;
+    clean.iot_host_fraction = 0.0;
+    sweep.push_back(run_point(clean, 0.0, false));
+  }
+  for (const double rate : rates) {
+    trace::TraceConfig adversarial = trace_config;
+    adversarial.evasion_mimicry_rate = rate;
+    sweep.push_back(run_point(adversarial, rate, true));
+  }
+
+  std::ofstream out{*out_path};
+  if (!out) return fail("cannot open " + *out_path);
+  write_advsim_json(out, trace_config, sweep);
+  std::printf("adversarial sweep written to %s (%.1fs)\n", out_path->c_str(),
+              watch.seconds());
+  return 0;
+}
+
 // ---------------------------------------------------------------- report
 
 int cmd_report(const util::ArgParser& args) {
@@ -954,6 +1160,7 @@ int cmd_report(const util::ArgParser& args) {
   config.trace.malware_families =
       static_cast<std::size_t>(args.get_int_or("--families", 8));
   config.trace.seed = static_cast<std::uint64_t>(args.get_int_or("--seed", 42));
+  adversarial_from_args(args, config.trace);
   config.embedding_dimension = 24;
   config.embedding.line.total_samples =
       static_cast<std::size_t>(args.get_int_or("--samples", 2'000'000));
@@ -1058,6 +1265,7 @@ int cmd_run(const util::ArgParser& args) {
   config.trace.malware_families =
       static_cast<std::size_t>(args.get_int_or("--families", 8));
   config.trace.seed = static_cast<std::uint64_t>(args.get_int_or("--seed", 42));
+  adversarial_from_args(args, config.trace);
   config.embedding_dimension = static_cast<std::size_t>(args.get_int_or("--dim", 24));
   config.embedding.line.total_samples =
       static_cast<std::size_t>(args.get_int_or("--samples", 2'000'000));
@@ -1129,6 +1337,7 @@ int dispatch(const util::ArgParser& args, const std::string& command) {
   if (command == "report") return cmd_report(args);
   if (command == "run") return cmd_run(args);
   if (command == "faultsim") return cmd_faultsim(args);
+  if (command == "advsim") return cmd_advsim(args);
   std::fprintf(stderr, "dnsembed: unknown command '%s'\n", command.c_str());
   return usage();
 }
