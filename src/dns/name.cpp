@@ -14,6 +14,26 @@ std::string normalize_name(std::string_view name) {
   return out;
 }
 
+std::string_view normalize_name_view(std::string_view name,
+                                     std::span<char> buf) noexcept {
+  if (!name.empty() && name.back() == '.') name.remove_suffix(1);
+  std::size_t upper = name.size();
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const auto u = static_cast<unsigned char>(name[i]);
+    if (u >= 'A' && u <= 'Z') {
+      upper = i;
+      break;
+    }
+  }
+  if (upper == name.size()) return name;  // already lower-case
+  if (name.size() > buf.size()) return {};
+  for (std::size_t i = 0; i < upper; ++i) buf[i] = name[i];
+  for (std::size_t i = upper; i < name.size(); ++i) {
+    buf[i] = static_cast<char>(std::tolower(static_cast<unsigned char>(name[i])));
+  }
+  return {buf.data(), name.size()};
+}
+
 namespace {
 
 bool is_label_char(char c) noexcept {

@@ -4,6 +4,7 @@
 // no trailing dot). Wire-format conversion lives in dns/wire.hpp.
 #pragma once
 
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -19,6 +20,16 @@ inline constexpr std::size_t kMaxLabelLength = 63;
 
 /// Lower-case and strip one trailing dot. Does not validate.
 std::string normalize_name(std::string_view name);
+
+/// Zero-allocation normalize_name: when `name` is already normalized the
+/// returned view aliases the input untouched; otherwise the normalized form
+/// is written into `buf` (which must hold at least kMaxNameLength bytes) and
+/// the view aliases `buf`. Names longer than kMaxNameLength after stripping
+/// the trailing dot are returned as-is when already lower-case and truncated
+/// to empty otherwise — they can never pass is_valid_name, so callers reject
+/// them either way.
+std::string_view normalize_name_view(std::string_view name,
+                                     std::span<char> buf) noexcept;
 
 /// RFC-1035 syntactic validity of a normalized name: non-empty labels of
 /// <= 63 chars, total <= 253, characters restricted to LDH plus '_'

@@ -47,53 +47,62 @@ const PublicSuffixList& PublicSuffixList::builtin() {
   return instance;
 }
 
-std::string PublicSuffixList::public_suffix(std::string_view name) const {
-  const std::string norm = normalize_name(name);
-  const auto parts = labels(norm);
-  if (parts.empty()) return {};
+std::string_view PublicSuffixList::public_suffix_of(std::string_view name) const noexcept {
+  if (name.empty()) return {};
 
   // Walk suffixes from longest to shortest; prefer the longest matching
-  // rule, with exception rules overriding wildcard rules.
-  std::size_t offset = 0;  // index into norm where the current suffix starts
-  std::string best;        // longest match so far (PSL: longest rule wins)
-  for (std::size_t i = 0; i < parts.size(); ++i) {
-    const std::string_view suffix{norm.data() + offset, norm.size() - offset};
-    const std::string suffix_str{suffix};
-    if (exceptions_.contains(suffix_str)) {
+  // rule, with exception rules overriding wildcard rules. Every candidate
+  // is a view into `name`, so the heterogeneous set lookups never allocate.
+  std::size_t offset = 0;   // index into name where the current suffix starts
+  std::string_view best{};  // longest match so far (PSL: longest rule wins)
+  for (;;) {
+    const std::string_view suffix = name.substr(offset);
+    if (exceptions_.contains(suffix)) {
       // Exception rule: the suffix is everything after the first label.
       const std::size_t dot = suffix.find('.');
-      return dot == std::string_view::npos ? std::string{} : std::string{suffix.substr(dot + 1)};
+      return dot == std::string_view::npos ? std::string_view{} : suffix.substr(dot + 1);
     }
     if (best.empty()) {
-      if (rules_.contains(suffix_str)) {
-        best = suffix_str;
+      if (rules_.contains(suffix)) {
+        best = suffix;
       } else {
         // "*.X": the whole "label.X" is a suffix when the remainder matches X.
         const std::size_t dot = suffix.find('.');
-        if (dot != std::string_view::npos &&
-            wildcards_.contains(std::string{suffix.substr(dot + 1)})) {
-          best = suffix_str;
+        if (dot != std::string_view::npos && wildcards_.contains(suffix.substr(dot + 1))) {
+          best = suffix;
         }
       }
     }
-    offset += parts[i].size() + 1;
+    const std::size_t next = name.find('.', offset);
+    if (next == std::string_view::npos) break;
+    offset = next + 1;
   }
   if (!best.empty()) return best;
   // Default "*" rule: the TLD alone.
-  return std::string{parts.back()};
+  return top_level(name);
+}
+
+std::string_view PublicSuffixList::e2ld_view(std::string_view name) const noexcept {
+  if (!is_valid_name(name)) return {};
+  const std::string_view suffix = public_suffix_of(name);
+  if (suffix.empty() || suffix.size() == name.size()) return {};
+  if (name[name.size() - suffix.size() - 1] != '.') return {};
+  // One label more than the suffix.
+  const std::string_view head = name.substr(0, name.size() - suffix.size() - 1);
+  const std::size_t dot = head.rfind('.');
+  return dot == std::string_view::npos ? name : name.substr(dot + 1);
+}
+
+std::string PublicSuffixList::public_suffix(std::string_view name) const {
+  const std::string norm = normalize_name(name);
+  return std::string{public_suffix_of(norm)};
 }
 
 std::optional<std::string> PublicSuffixList::e2ld(std::string_view name) const {
   const std::string norm = normalize_name(name);
-  if (!is_valid_name(norm)) return std::nullopt;
-  const std::string suffix = public_suffix(norm);
-  if (suffix.empty() || norm == suffix) return std::nullopt;
-  if (!is_subdomain_of(norm, suffix)) return std::nullopt;
-  // One label more than the suffix.
-  const std::string_view head{norm.data(), norm.size() - suffix.size() - 1};
-  const std::size_t dot = head.rfind('.');
-  const std::string_view owner = dot == std::string_view::npos ? head : head.substr(dot + 1);
-  return std::string{owner} + "." + suffix;
+  const std::string_view owner = e2ld_view(norm);
+  if (owner.empty()) return std::nullopt;
+  return std::string{owner};
 }
 
 std::string PublicSuffixList::e2ld_or_self(std::string_view name) const {

@@ -39,10 +39,30 @@ class PublicSuffixList {
   /// returned normalized as-is. Convenient for bulk log aggregation.
   std::string e2ld_or_self(std::string_view name) const;
 
+  /// Zero-allocation public_suffix over an already-normalized name: every
+  /// PSL result (rule match, wildcard expansion, exception remainder, or the
+  /// default top-level label) is a contiguous suffix of the input, so the
+  /// returned view aliases `name`. The serve hot path uses this.
+  std::string_view public_suffix_of(std::string_view name) const noexcept;
+
+  /// Zero-allocation e2ld over an already-normalized name; the returned view
+  /// aliases `name`. Empty when the name is invalid or has no registrable
+  /// part (same cases where e2ld returns nullopt).
+  std::string_view e2ld_view(std::string_view name) const noexcept;
+
  private:
-  std::unordered_set<std::string> rules_;       // normal rules
-  std::unordered_set<std::string> wildcards_;   // "*.X" stored as "X"
-  std::unordered_set<std::string> exceptions_;  // "!Y" stored as "Y"
+  struct TransparentHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  using RuleSet =
+      std::unordered_set<std::string, TransparentHash, std::equal_to<>>;
+
+  RuleSet rules_;       // normal rules
+  RuleSet wildcards_;   // "*.X" stored as "X"
+  RuleSet exceptions_;  // "!Y" stored as "Y"
 };
 
 }  // namespace dnsembed::dns

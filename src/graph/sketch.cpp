@@ -160,15 +160,15 @@ std::vector<std::uint64_t> band_candidates(const Sketch& sketch, const SketchOpt
   const std::size_t k = s.signature_size;
   const std::size_t rows = k / s.bands;
 
-  // One entry per (vertex, band); ineligible vertices get the sentinel key
-  // so they sort to the end and are skipped by the bucket scan.
+  // One entry per (vertex, band), laid out band-major so each band owns a
+  // contiguous shard; ineligible vertices get the sentinel key so they sort
+  // to the end and are skipped by the bucket scan.
   std::vector<BandEntry> entries(side_count * s.bands);
   run_ranges(pool, side_count, [&](std::size_t lo, std::size_t hi, std::size_t) {
     for (std::size_t d = lo; d < hi; ++d) {
-      BandEntry* slot = entries.data() + d * s.bands;
       if (sketch.eligible[d] == 0) {
         for (std::size_t b = 0; b < s.bands; ++b) {
-          slot[b] = {kNoKey, static_cast<std::uint32_t>(d)};
+          entries[b * side_count + d] = {kNoKey, static_cast<std::uint32_t>(d)};
         }
         continue;
       }
@@ -179,14 +179,62 @@ std::vector<std::uint64_t> band_candidates(const Sketch& sketch, const SketchOpt
         const std::string_view slice{reinterpret_cast<const char*>(sig + b * rows), rows};
         std::uint64_t key = util::xxhash64(slice, util::mix64(s.seed ^ (b + 1)));
         if (key == kNoKey) --key;  // keep the sentinel unambiguous
-        slot[b] = {key, static_cast<std::uint32_t>(d)};
+        entries[b * side_count + d] = {key, static_cast<std::uint32_t>(d)};
       }
     }
   });
 
-  std::sort(entries.begin(), entries.end(), [](const BandEntry& a, const BandEntry& b) {
+  // Per-band shard sort + k-way merge instead of one global sort: the shards
+  // sort in parallel and the merge is a linear pass over a bands-sized heap.
+  // Each shard's contents are a pure function of (seed, graph) and the merge
+  // comparator (key, vertex, band) is a total order, so the merged sequence
+  // is bit-identical at any thread count.
+  const auto entry_less = [](const BandEntry& a, const BandEntry& b) {
     return a.key != b.key ? a.key < b.key : a.vertex < b.vertex;
+  };
+  run_ranges(pool, s.bands, [&](std::size_t lo, std::size_t hi, std::size_t) {
+    for (std::size_t b = lo; b < hi; ++b) {
+      std::sort(entries.begin() + b * side_count, entries.begin() + (b + 1) * side_count,
+                entry_less);
+    }
   });
+
+  std::vector<BandEntry> merged;
+  merged.reserve(entries.size());
+  {
+    struct Head {
+      BandEntry entry;
+      std::uint32_t band;
+      std::size_t cursor;  // index of the NEXT entry in this band's shard
+    };
+    // Max-heap with an inverted comparator pops the smallest head; the band
+    // index breaks (key, vertex) ties so the heap order is total.
+    const auto head_greater = [](const Head& a, const Head& b) {
+      if (a.entry.key != b.entry.key) return a.entry.key > b.entry.key;
+      if (a.entry.vertex != b.entry.vertex) return a.entry.vertex > b.entry.vertex;
+      return a.band > b.band;
+    };
+    std::vector<Head> heap;
+    heap.reserve(s.bands);
+    for (std::size_t b = 0; b < s.bands; ++b) {
+      if (side_count == 0) break;
+      heap.push_back({entries[b * side_count], static_cast<std::uint32_t>(b),
+                      b * side_count + 1});
+    }
+    std::make_heap(heap.begin(), heap.end(), head_greater);
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), head_greater);
+      Head head = heap.back();
+      heap.pop_back();
+      merged.push_back(head.entry);
+      const std::size_t shard_end = (static_cast<std::size_t>(head.band) + 1) * side_count;
+      if (head.cursor < shard_end) {
+        heap.push_back({entries[head.cursor], head.band, head.cursor + 1});
+        std::push_heap(heap.begin(), heap.end(), head_greater);
+      }
+    }
+  }
+  entries = std::move(merged);
 
   // Bucket scan: each run of equal keys is one LSH bucket; every distinct
   // vertex pair inside it becomes a candidate (deduplicated across bands by

@@ -51,6 +51,21 @@ class SvmModel {
   /// (the training config's threads knob is carried into the model).
   std::vector<double> decision_values(const Matrix& x) const;
 
+  /// Micro-batch scoring for the serve fallback path: streams each support
+  /// vector once across the whole batch (SV-major), so a batch of b rows
+  /// reads the support-vector matrix once instead of b times. Each output
+  /// accumulates in the same per-support-vector order as decision_value, so
+  /// the doubles are bit-identical to scoring the rows one at a time.
+  std::vector<double> score_rows(std::span<const std::span<const double>> rows) const;
+
+  /// Feature dimension the model was trained on.
+  std::size_t dimension() const noexcept { return support_vectors_.cols(); }
+
+  /// Worker threads for decision_values (0 = one per hardware thread).
+  /// Scores are identical at every value; the knob is not persisted, so
+  /// loaded models default to serial until a caller raises it.
+  void set_scoring_threads(std::size_t threads) noexcept { config_.threads = threads; }
+
   std::size_t support_vector_count() const noexcept { return coef_.size(); }
   double bias() const noexcept { return bias_; }
   std::size_t iterations() const noexcept { return iterations_; }

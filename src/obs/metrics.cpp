@@ -120,11 +120,26 @@ Histogram& Registry::latency_histogram(std::string_view name) {
   return histogram(name, latency_seconds_bounds());
 }
 
+Histogram& Registry::fine_latency_histogram(std::string_view name) {
+  return histogram(name, fine_latency_seconds_bounds());
+}
+
 std::span<const double> Registry::latency_seconds_bounds() noexcept {
   // Powers of 4 from 1ms to ~17min: wide enough for packet handling
   // through full-pipeline stages with 11 buckets.
   static const double bounds[] = {0.001, 0.004, 0.016, 0.064, 0.256, 1.024,
                                   4.096, 16.384, 65.536, 262.144, 1048.576};
+  return bounds;
+}
+
+std::span<const double> Registry::fine_latency_seconds_bounds() noexcept {
+  // Powers of 4 from 1µs to ~4s: a serve-path index hit lands in the first
+  // few buckets and a batched-scorer fallback (deadline-bounded, sub-ms to
+  // tens of ms) still resolves instead of collapsing into bucket zero of
+  // the stage-scale bounds above.
+  static const double bounds[] = {0.000001, 0.000004, 0.000016, 0.000064,
+                                  0.000256, 0.001024, 0.004096, 0.016384,
+                                  0.065536, 0.262144, 1.048576, 4.194304};
   return bounds;
 }
 

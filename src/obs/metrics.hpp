@@ -204,10 +204,16 @@ class Registry {
   Histogram& histogram(std::string_view name, std::span<const double> bounds);
   /// Histogram with the default latency bounds (seconds, 1ms..16min).
   Histogram& latency_histogram(std::string_view name);
+  /// Histogram with the fine latency bounds (seconds, 1µs..~4s) — for
+  /// request-scale paths (the serve daemon's per-lookup latency) where the
+  /// stage-scale buckets above would collapse everything into one bucket.
+  Histogram& fine_latency_histogram(std::string_view name);
 
-  /// Default bucket bounds: powers of 4 from 1ms (latency, seconds) and
-  /// powers of 4 from 1 (sizes/counts).
+  /// Default bucket bounds: powers of 4 from 1ms (latency, seconds),
+  /// powers of 4 from 1µs (fine latency, seconds), and powers of 4 from 1
+  /// (sizes/counts).
   static std::span<const double> latency_seconds_bounds() noexcept;
+  static std::span<const double> fine_latency_seconds_bounds() noexcept;
   static std::span<const double> size_bounds() noexcept;
 
   void append_record(std::string_view name,

@@ -1,0 +1,189 @@
+#include "serve/score_index.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "util/artifact.hpp"
+#include "util/csr.hpp"
+#include "util/hash.hpp"
+
+namespace dnsembed::serve {
+
+namespace {
+
+constexpr std::uint64_t kEmptyKey = 0;
+constexpr std::uint64_t kMetaVersion = 1;
+
+/// Arena "meta" section layout (u64 each).
+enum MetaField : std::size_t {
+  kMetaVersionField = 0,
+  kMetaBucketCount = 1,
+  kMetaEntryCount = 2,
+  kMetaSeed = 3,
+  kMetaSlots = 4,
+  kMetaFieldCount = 5,
+};
+
+std::uint64_t domain_key(std::string_view name, std::uint64_t seed) noexcept {
+  const std::uint64_t h = util::xxhash64(name, seed);
+  return h == kEmptyKey ? 1 : h;  // 0 is the empty-slot sentinel
+}
+
+/// Relaxed atomic load of a key slot. The table is immutable once readers
+/// can see it (snapshot publication is the release edge), so relaxed is
+/// sufficient and keeps the probe loop wait-free with no fencing cost.
+std::uint64_t load_key(const std::uint64_t* slot) noexcept {
+  return __atomic_load_n(slot, __ATOMIC_RELAXED);
+}
+
+std::size_t pow2_at_least(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ScoreIndex ScoreIndex::build(const std::vector<std::string>& names,
+                             std::span<const double> scores, std::uint64_t seed) {
+  if (names.size() != scores.size()) {
+    throw std::invalid_argument{"ScoreIndex::build: names/scores length mismatch"};
+  }
+  ScoreIndex out;
+  out.seed_ = seed;
+  if (names.empty()) return out;
+
+  // <= 50% slot occupancy: at least two slots per entry, rounded up to a
+  // power of two bucket count so probing can mask instead of mod.
+  const std::size_t min_buckets = (2 * names.size() + kSlotsPerBucket - 1) / kSlotsPerBucket;
+  out.buckets_.assign(pow2_at_least(min_buckets), Bucket{});
+  const std::size_t mask = out.buckets_.size() - 1;
+
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    const std::uint64_t key = domain_key(names[i], seed);
+    std::size_t b = key & mask;
+    for (;;) {
+      Bucket& bucket = out.buckets_[b];
+      bool placed = false;
+      for (std::size_t s = 0; s < kSlotsPerBucket; ++s) {
+        if (bucket.keys[s] == key) {
+          throw std::invalid_argument{"ScoreIndex::build: duplicate name or key collision: " +
+                                      names[i]};
+        }
+        if (bucket.keys[s] == kEmptyKey) {
+          bucket.keys[s] = key;
+          bucket.scores[s] = scores[i];
+          placed = true;
+          break;
+        }
+      }
+      if (placed) break;
+      b = (b + 1) & mask;  // full bucket: linear probe with wraparound
+    }
+  }
+  out.entry_count_ = names.size();
+  return out;
+}
+
+bool ScoreIndex::find(std::string_view name, double* score) const noexcept {
+  if (buckets_.empty()) return false;
+  const std::uint64_t key = domain_key(name, seed_);
+  const std::size_t mask = buckets_.size() - 1;
+  std::size_t b = key & mask;
+  // Insertion fills bucket slots front to back and only spills to the next
+  // bucket when all four slots are taken, so the first empty slot proves
+  // absence and bounds the probe.
+  for (std::size_t probes = 0; probes <= mask; ++probes) {
+    const Bucket& bucket = buckets_[b];
+    for (std::size_t s = 0; s < kSlotsPerBucket; ++s) {
+      const std::uint64_t k = load_key(&bucket.keys[s]);
+      if (k == key) {
+        *score = bucket.scores[s];
+        return true;
+      }
+      if (k == kEmptyKey) return false;
+    }
+    b = (b + 1) & mask;
+  }
+  return false;
+}
+
+std::string ScoreIndex::payload() const {
+  const std::uint64_t meta[kMetaFieldCount] = {
+      kMetaVersion,
+      static_cast<std::uint64_t>(buckets_.size()),
+      static_cast<std::uint64_t>(entry_count_),
+      seed_,
+      static_cast<std::uint64_t>(kSlotsPerBucket),
+  };
+  util::ArenaWriter writer;
+  writer.add(util::arena_tag("meta"), meta, sizeof(meta));
+  writer.add(util::arena_tag("buckets"), buckets_.data(), buckets_.size() * sizeof(Bucket));
+  return writer.payload(kScoreIndexKind);
+}
+
+ScoreIndex ScoreIndex::from_payload(std::string_view payload, const std::string& context) {
+  const util::ArenaView arena = util::ArenaView::parse(payload, context);
+  const auto meta = arena.typed<std::uint64_t>(util::arena_tag("meta"), context);
+  if (meta.size() != kMetaFieldCount) {
+    throw util::CorruptArtifact{context, "score-index meta section has wrong field count"};
+  }
+  if (meta[kMetaVersionField] != kMetaVersion) {
+    throw util::CorruptArtifact{context, "unsupported score-index version"};
+  }
+  if (meta[kMetaSlots] != kSlotsPerBucket) {
+    throw util::CorruptArtifact{context, "score-index slot geometry mismatch"};
+  }
+  const std::uint64_t bucket_count = meta[kMetaBucketCount];
+  const std::uint64_t entry_count = meta[kMetaEntryCount];
+  if (bucket_count == 0) {
+    if (entry_count != 0) {
+      throw util::CorruptArtifact{context, "score-index entries without buckets"};
+    }
+    ScoreIndex out;
+    out.seed_ = meta[kMetaSeed];
+    return out;
+  }
+  if ((bucket_count & (bucket_count - 1)) != 0) {
+    throw util::CorruptArtifact{context, "score-index bucket count is not a power of two"};
+  }
+  const std::string_view raw = arena.section(util::arena_tag("buckets"), context);
+  if (raw.size() != bucket_count * sizeof(Bucket)) {
+    throw util::CorruptArtifact{context, "score-index buckets section size mismatch"};
+  }
+  if (entry_count > bucket_count * kSlotsPerBucket) {
+    throw util::CorruptArtifact{context, "score-index entry count exceeds capacity"};
+  }
+
+  ScoreIndex out;
+  out.seed_ = meta[kMetaSeed];
+  out.entry_count_ = static_cast<std::size_t>(entry_count);
+  // Arena sections are only 8-aligned; copy into owned cache-line-aligned
+  // buckets so the one-line-per-lookup contract holds.
+  out.buckets_.resize(static_cast<std::size_t>(bucket_count));
+  std::memcpy(out.buckets_.data(), raw.data(), raw.size());
+
+  // Structural cross-check: the live-slot count must match the declared
+  // entry count, so a bit flip in the bucket bytes that survives up to here
+  // (checksum already re-verified by the artifact layer) cannot silently
+  // shrink or grow the table.
+  std::size_t live = 0;
+  for (const Bucket& bucket : out.buckets_) {
+    for (const std::uint64_t k : bucket.keys) live += k != kEmptyKey;
+  }
+  if (live != out.entry_count_) {
+    throw util::CorruptArtifact{context, "score-index live slot count mismatch"};
+  }
+  return out;
+}
+
+void ScoreIndex::save_file(const std::string& path) const {
+  util::save_artifact(path, kScoreIndexKind, payload());
+}
+
+ScoreIndex ScoreIndex::load_file(const std::string& path) {
+  const util::MappedArtifact mapped = util::map_artifact(path, kScoreIndexKind);
+  return from_payload(mapped.payload(), path);
+}
+
+}  // namespace dnsembed::serve

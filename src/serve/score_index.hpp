@@ -1,0 +1,82 @@
+// Read-optimized open-addressing domain → score index: the serve daemon's
+// lock-free fast path.
+//
+// Layout: an array of 64-byte buckets, each holding four (xxh64 key, f64
+// score) slots, so one point lookup touches exactly one cache line in the
+// common case. Keys are xxhash64(e2LD, seed) with 0 reserved as the empty
+// sentinel (a real hash of 0 is remapped). Bucket count is a power of two
+// sized for <= 50% occupancy; collisions probe linearly to the next bucket
+// with wraparound. The table is immutable after build/load, so concurrent
+// readers need no synchronization beyond the snapshot publication that
+// hands them the table (serve/snapshot.hpp) — key loads still go through
+// relaxed atomics so the hand-off is data-race-free by construction under
+// TSan.
+//
+// Scores are stored as full doubles: they are precomputed through the exact
+// batch scoring path (SvmModel::decision_values), so an index hit returns a
+// byte-identical double to what the batch pipeline reports for the same
+// domain and artifacts.
+//
+// Serialization is a util/csr.hpp arena ("meta" + "buckets" sections)
+// wrapped in the standard checksummed artifact container, kind
+// "score-index". Loads validate the structure (version, power-of-two bucket
+// count, slot geometry, section size, live-slot count) before use and copy
+// the buckets into owned 64-aligned storage — the mmap path only guarantees
+// 8-alignment of arena sections, which is not enough for the cache-line
+// bucket contract.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dnsembed::serve {
+
+inline constexpr std::string_view kScoreIndexKind = "score-index";
+
+class ScoreIndex {
+ public:
+  static constexpr std::size_t kSlotsPerBucket = 4;
+
+  struct alignas(64) Bucket {
+    std::uint64_t keys[kSlotsPerBucket];
+    double scores[kSlotsPerBucket];
+  };
+  static_assert(sizeof(Bucket) == 64, "one bucket must be one cache line");
+
+  ScoreIndex() = default;
+
+  /// Build from parallel name/score arrays. Throws std::invalid_argument on
+  /// mismatched lengths, duplicate names, or a 64-bit key collision between
+  /// distinct names (astronomically unlikely; refusing keeps find() exact).
+  static ScoreIndex build(const std::vector<std::string>& names,
+                          std::span<const double> scores, std::uint64_t seed);
+
+  /// Wait-free point lookup; true and *score filled on a hit. Never
+  /// allocates, never blocks.
+  bool find(std::string_view name, double* score) const noexcept;
+
+  std::size_t size() const noexcept { return entry_count_; }
+  bool empty() const noexcept { return entry_count_ == 0; }
+  std::size_t bucket_count() const noexcept { return buckets_.size(); }
+  std::uint64_t seed() const noexcept { return seed_; }
+  /// Resident table bytes (the sizing-table number in README).
+  std::size_t memory_bytes() const noexcept { return buckets_.size() * sizeof(Bucket); }
+
+  /// Arena payload codec (exposed for the loader fuzz tests) and the
+  /// artifact-wrapped file forms.
+  std::string payload() const;
+  static ScoreIndex from_payload(std::string_view payload, const std::string& context);
+  void save_file(const std::string& path) const;
+  static ScoreIndex load_file(const std::string& path);
+
+ private:
+  std::vector<Bucket> buckets_;  // power-of-two count; empty when size()==0
+  std::size_t entry_count_ = 0;
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace dnsembed::serve

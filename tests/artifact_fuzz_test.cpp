@@ -22,6 +22,7 @@
 #include "ml/scaler.hpp"
 #include "ml/svm.hpp"
 #include "obs/sidecar.hpp"
+#include "serve/score_index.hpp"
 #include "trace/generator.hpp"
 #include "trace/ground_truth.hpp"
 #include "util/artifact.hpp"
@@ -139,6 +140,24 @@ TEST(ArtifactFuzz, EmbeddingArena) {
       artifact_bytes_of([&](const std::string& p) { m.save_arena_file(p); });
   fuzz_loader("embedding_arena", pristine,
               [](const std::string& p) { (void)embed::EmbeddingMatrix::load_arena_file(p); });
+}
+
+TEST(ArtifactFuzz, ScoreIndex) {
+  // Serve-daemon score index ("score-index"): binary arena with cache-line
+  // bucket payload. Damage must surface as CorruptArtifact from the digest,
+  // the arena parser, or the index's structural checks (meta shape, slot
+  // geometry, live-slot count) — never as a crash or a silently wrong table.
+  std::vector<std::string> names;
+  std::vector<double> scores;
+  for (int i = 0; i < 24; ++i) {
+    names.push_back("fz" + std::to_string(i) + ".test");
+    scores.push_back(0.25 * i - 3.0);
+  }
+  const auto index = serve::ScoreIndex::build(names, scores, 17);
+  const auto pristine =
+      artifact_bytes_of([&](const std::string& p) { index.save_file(p); });
+  fuzz_loader("score_index", pristine,
+              [](const std::string& p) { (void)serve::ScoreIndex::load_file(p); });
 }
 
 TEST(ArtifactFuzz, SvmModel) {

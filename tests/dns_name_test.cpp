@@ -115,5 +115,84 @@ TEST(PublicSuffix, PaperExamplesFromAbuseFeeds) {
   EXPECT_EQ(psl.e2ld("www.oorfapjflmp.ws"), "oorfapjflmp.ws");
 }
 
+// --- zero-allocation view path (the serve hot path) -----------------------
+
+TEST(NameView, NormalizeViewAliasesInputWhenAlreadyNormalized) {
+  char buf[kMaxNameLength];
+  const std::string_view input = "www.example.com";
+  const std::string_view out = normalize_name_view(input, buf);
+  EXPECT_EQ(out, input);
+  EXPECT_EQ(out.data(), input.data());  // no copy taken
+}
+
+TEST(NameView, NormalizeViewMatchesAllocatingNormalize) {
+  char buf[kMaxNameLength];
+  for (const std::string_view raw :
+       {"WWW.Example.COM.", "abc", ".", "", "MiXeD.CaSe.Uk.Co", "already.lower.cc",
+        "Trailing.Dot.", "UPPER"}) {
+    EXPECT_EQ(normalize_name_view(raw, buf), normalize_name(raw)) << raw;
+  }
+}
+
+TEST(NameView, ViewResultsAliasInputOrBuffer) {
+  char buf[kMaxNameLength];
+  const std::string_view mixed = "A.B.Com";
+  const std::string_view out = normalize_name_view(mixed, buf);
+  EXPECT_EQ(out, "a.b.com");
+  EXPECT_EQ(out.data(), buf);  // lower-casing used the caller's buffer
+}
+
+TEST(PublicSuffixView, MatchesStringPathOnNormalizedNames) {
+  const auto& psl = PublicSuffixList::builtin();
+  for (const std::string name :
+       {"maps.google.com", "google.com", "com", "www.bbc.uk.co", "a.b.co.uk", "co.uk",
+        "anything.ck", "www.ck", "sub.www.ck", "x.example.zzzz", "zzzz",
+        "brvegnholster.bid", "www.oorfapjflmp.ws", "single"}) {
+    EXPECT_EQ(std::string{psl.public_suffix_of(name)}, psl.public_suffix(name)) << name;
+    const std::string_view owner = psl.e2ld_view(name);
+    const auto e2 = psl.e2ld(name);
+    if (e2.has_value()) {
+      EXPECT_EQ(std::string{owner}, *e2) << name;
+      // The view must alias the input buffer, never a temporary.
+      EXPECT_GE(owner.data(), name.data()) << name;
+      EXPECT_LE(owner.data() + owner.size(), name.data() + name.size()) << name;
+    } else {
+      EXPECT_TRUE(owner.empty()) << name;
+    }
+  }
+}
+
+TEST(PublicSuffixView, RandomizedParityWithStringPath) {
+  const auto& psl = PublicSuffixList::builtin();
+  // Deterministic pseudo-random names over a suffix-rich alphabet; the view
+  // path and the allocating path must agree on every one, including invalid
+  // shapes.
+  std::uint64_t state = 0x5eedULL;
+  const auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  const char* parts[] = {"www", "a", "b-c", "x_y", "ck", "uk", "co", "com", "zz", "-bad", ""};
+  for (int round = 0; round < 2000; ++round) {
+    std::string name;
+    const int n = 1 + static_cast<int>(next() % 4);
+    for (int i = 0; i < n; ++i) {
+      if (i > 0) name += '.';
+      name += parts[next() % (sizeof(parts) / sizeof(parts[0]))];
+    }
+    // The view path requires pre-normalized input (the serve engine always
+    // normalizes first); the string path normalizes internally.
+    const std::string norm = normalize_name(name);
+    const std::string_view owner = psl.e2ld_view(norm);
+    const auto e2 = psl.e2ld(name);
+    if (e2.has_value()) {
+      EXPECT_EQ(std::string{owner}, *e2) << name;
+    } else {
+      EXPECT_TRUE(owner.empty()) << name;
+    }
+    EXPECT_EQ(std::string{psl.public_suffix_of(norm)}, psl.public_suffix(name)) << name;
+  }
+}
+
 }  // namespace
 }  // namespace dnsembed::dns

@@ -25,6 +25,11 @@
 #      micro_adversarial smoke: the per-scenario detection gates (clean-AUC
 #      regression, zero-day held-out recall, evasion recall floor) must pass
 #      at smoke scale
+#   5d. serving label (score index round-trips, snapshot-swap retirement,
+#      engine/batch score parity, line-protocol server), then the
+#      micro_serve smoke: daemon scores must stay byte-identical to the
+#      batch pipeline and snapshot swaps must not fail a single read
+#      (latency/throughput gates skipped at smoke scale)
 #   6. robustness label (fault injection, loader fuzz, crash recovery)
 #      under Address+UB sanitizers — the scenario suite carries the
 #      robustness label too, so it reruns sanitized — plus one
@@ -85,6 +90,12 @@ ctest --preset default -j "$jobs" -L scenario
 
 step "micro_adversarial smoke (per-scenario detection gates)"
 DNSEMBED_BENCH_SMOKE=1 DNSEMBED_BENCH_JSON="$(mktemp)" build/bench/micro_adversarial
+
+step "serving label (score index, snapshot swap, engine parity, line server)"
+ctest --preset default -j "$jobs" -L serving
+
+step "micro_serve smoke (daemon/batch score parity + reload under load)"
+DNSEMBED_BENCH_SMOKE=1 DNSEMBED_BENCH_JSON="$(mktemp)" build/bench/micro_serve
 
 if [[ "$skip_sanitizers" == 1 ]]; then
   step "sanitizer passes skipped (--skip-sanitizers)"

@@ -11,6 +11,9 @@
 //              stage artifacts + manifest; --resume skips valid stages)
 //   faultsim   sweep fault-injection severities over the full ingest +
 //              streaming-detection chain; report degradation curves (JSON)
+//   serve      long-running scoring daemon: lock-free domain->score index
+//              with snapshot-swap artifact reload and micro-batched SVM
+//              fallback for unindexed domains
 //
 // Durable intermediates (embeddings, models, labeled sets, run artifacts)
 // are written atomically as versioned, checksummed containers; loaders
@@ -60,6 +63,8 @@
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "serve/engine.hpp"
+#include "serve/server.hpp"
 #include "trace/generator.hpp"
 #include "trace/pcap_sink.hpp"
 #include "util/args.hpp"
@@ -152,6 +157,17 @@ commands:
              mimicry rate with zero-day + evasion campaigns and IoT hosts
              enabled; emits per-scenario recall/precision/AUC and
              seed-expansion reach as JSON)
+  serve     --embeddings FILE --model MODEL [--index-limit N] [--max-batch N]
+            [--batch-deadline-us N] [--threads N] [--status-out FILE]
+            [--status-every N]
+            (scoring daemon: precomputes a lock-free domain->score index
+             from the artifacts and answers one domain per stdin line as
+             "<score>\t<verdict>\t<source>\t<domain>"; unseen domains go
+             through a deadline-bounded micro-batch SVM fallback. Control
+             lines: !reload rebuilds + atomically swaps the artifact
+             snapshot without blocking readers, !stats prints counters
+             JSON, !quit/EOF exits. --status-out atomically rewrites a
+             JSON status file while serving.)
 
 global options (any command):
   --log-level debug|info|warn|error   minimum stderr log level
@@ -1325,6 +1341,56 @@ int cmd_run(const util::ArgParser& args) {
   }
 }
 
+// ------------------------------------------------------------- serve
+
+/// Long-running scoring daemon: artifacts -> lock-free score index; one
+/// domain per stdin line, verdicts on stdout, !reload swaps artifacts
+/// in place without dropping a request.
+int cmd_serve(const util::ArgParser& args) {
+  const auto embeddings = args.get("--embeddings");
+  const auto model = args.get("--model");
+  if (!embeddings || !model) {
+    std::fprintf(stderr, "dnsembed serve: --embeddings and --model are required\n");
+    return usage();
+  }
+  if (const int rc = check_input(*embeddings); rc != 0) return rc;
+  if (const int rc = check_input(*model); rc != 0) return rc;
+
+  serve::ServeOptions options;
+  options.index_limit = static_cast<std::size_t>(args.get_int_or("--index-limit", 0));
+  options.max_batch = static_cast<std::size_t>(args.get_int_or("--max-batch", 32));
+  options.batch_deadline_us =
+      static_cast<std::uint64_t>(args.get_int_or("--batch-deadline-us", 200));
+  options.threads = static_cast<std::size_t>(args.get_int_or("--threads", 1));
+  serve::ServeEngine engine{*embeddings, *model, options};
+
+  serve::ServerOptions server;
+  server.status_path = args.get_or("--status-out", "");
+  server.status_every = static_cast<std::uint64_t>(args.get_int_or("--status-every", 1024));
+
+  {
+    const auto s = engine.stats();
+    std::fprintf(stderr,
+                 "dnsembed serve: snapshot v%llu, %llu domains indexed (%.1f MiB), "
+                 "%llu embedding rows; reading stdin\n",
+                 static_cast<unsigned long long>(s.snapshot_version),
+                 static_cast<unsigned long long>(s.index_entries),
+                 static_cast<double>(s.index_bytes) / (1024.0 * 1024.0),
+                 static_cast<unsigned long long>(s.embedding_rows));
+  }
+  serve::run_line_server(engine, std::cin, std::cout, server);
+  const auto s = engine.stats();
+  std::fprintf(stderr,
+               "dnsembed serve: %llu lookups (%llu index, %llu batched, %llu unknown), "
+               "%llu reloads\n",
+               static_cast<unsigned long long>(s.lookups),
+               static_cast<unsigned long long>(s.index_hits),
+               static_cast<unsigned long long>(s.batch_scored),
+               static_cast<unsigned long long>(s.unknown),
+               static_cast<unsigned long long>(s.reloads));
+  return 0;
+}
+
 int dispatch(const util::ArgParser& args, const std::string& command) {
   if (command == "simulate") return cmd_simulate(args);
   if (command == "convert") return cmd_convert(args);
@@ -1338,6 +1404,7 @@ int dispatch(const util::ArgParser& args, const std::string& command) {
   if (command == "run") return cmd_run(args);
   if (command == "faultsim") return cmd_faultsim(args);
   if (command == "advsim") return cmd_advsim(args);
+  if (command == "serve") return cmd_serve(args);
   std::fprintf(stderr, "dnsembed: unknown command '%s'\n", command.c_str());
   return usage();
 }
